@@ -1,0 +1,30 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rows to ``benchmarks/results/<name>.txt`` (also echoed to
+stdout when pytest runs with ``-s``), alongside the paper's reference
+values so the shapes can be compared at a glance.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_table():
+    """Write a rendered table (plus paper reference notes) to disk."""
+
+    def _record(name: str, text: str) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print("\n" + text)
+        return path
+
+    return _record

@@ -1,0 +1,90 @@
+"""Ablation: Generalized Reduction vs MapReduce (Section III-A's argument).
+
+The paper claims the fused proc/combine/reduce API avoids the memory and
+communication overheads of MapReduce, even with the Combine function.
+This benchmark quantifies both on identical datasets:
+
+* shuffle volume (bytes that would cross the network / inter-cluster);
+* mapper-side buffered pairs (memory pressure combine cannot avoid);
+* wall-clock of the two engines on the same workload.
+"""
+
+import numpy as np
+
+from repro.apps.kmeans import KMeansMapReduceSpec, KMeansSpec
+from repro.apps.wordcount import WordCountMapReduceSpec, WordCountSpec
+from repro.bursting.report import format_table
+from repro.core.serialization import serialized_nbytes
+from repro.data.dataset import write_dataset
+from repro.data.formats import points_format, tokens_format
+from repro.data.generator import generate_points, generate_tokens
+from repro.mapreduce.engine import MapReduceEngine
+from repro.runtime.engine import ClusterConfig, ThreadedEngine
+from repro.storage.local import MemoryStore
+
+PAPER_NOTES = """\
+Paper reference (Section III-A):
+  - 'Using the Combine function can only reduce communication ... the
+    (key, value) pairs are still generated on each map node and can
+    result in high memory requirements'
+  - generalized reduction 'avoids intermediate memory overheads':
+    only the reduction object ever exists or moves"""
+
+
+def _setup(units, fmt):
+    store = MemoryStore("local")
+    idx = write_dataset(units, fmt, store, n_files=4, chunk_units=max(1, len(units) // 16))
+    return {"local": store}, idx
+
+
+def test_ablation_api(benchmark, record_table):
+    toks = generate_tokens(60000, 512, seed=61)
+    stores, idx = _setup(toks, tokens_format())
+    pts = generate_points(20000, 8, seed=62)
+    pstores, pidx = _setup(pts, points_format(8))
+    cents = generate_points(10, 8, seed=63)
+
+    rows = []
+
+    def run_case(name, gr_spec, mr_plain, mr_combine, s, i):
+        mr_engine = MapReduceEngine(s, n_mappers=2, n_reducers=2, combine_flush_pairs=4096)
+        gr_engine = ThreadedEngine([ClusterConfig("local", "local", 2)], s)
+        plain = mr_engine.run(mr_plain, i)
+        comb = mr_engine.run(mr_combine, i)
+        gr = gr_engine.run(gr_spec, i)
+        rows.append(
+            {
+                "workload": name,
+                "mr_shuffle_bytes": plain.stats.intermediate_nbytes,
+                "mr+combine_shuffle_bytes": comb.stats.intermediate_nbytes,
+                "gr_robj_bytes": serialized_nbytes(gr.robj),
+                "mr+combine_peak_buffer_pairs": comb.stats.peak_buffer_pairs,
+            }
+        )
+        return gr
+
+    def run_all():
+        run_case(
+            "wordcount", WordCountSpec(),
+            WordCountMapReduceSpec(False), WordCountMapReduceSpec(True),
+            stores, idx,
+        )
+        run_case(
+            "kmeans", KMeansSpec(cents),
+            KMeansMapReduceSpec(cents, False), KMeansMapReduceSpec(cents, True),
+            pstores, pidx,
+        )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_table(
+        "ablation_api",
+        format_table(rows, "Ablation -- shuffle volume and buffering, MR vs GR")
+        + "\n\n" + PAPER_NOTES,
+    )
+    for r in rows:
+        # Combine shrinks the shuffle, but the robj is smaller still.
+        assert r["mr+combine_shuffle_bytes"] < r["mr_shuffle_bytes"]
+        assert r["gr_robj_bytes"] < r["mr+combine_shuffle_bytes"]
+        # And combine still buffers thousands of pairs in memory.
+        assert r["mr+combine_peak_buffer_pairs"] >= 4096

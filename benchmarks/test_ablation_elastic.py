@@ -1,0 +1,68 @@
+"""Extension bench: deadline-driven elastic scale-out.
+
+The bursting motivation of Section I ("maintain an acceptable response
+time during workload peaks") made operational: as the deadline tightens
+the monitor leases more cloud cores mid-run, each paying a boot
+latency, and the finish time tracks the deadline until the lease cap
+binds.
+"""
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import paper_index
+from repro.bursting.report import format_table
+from repro.sim.calibration import APP_PROFILES, ResourceParams
+from repro.sim.elastic import ElasticPolicy, simulate_elastic_run
+from repro.sim.simrun import simulate_run
+
+PAPER_NOTES = """\
+Context (related work [21], Marshall et al.'s Elastic Site):
+  - middleware transparently extends the cluster into the cloud when
+    the queue projects past the deadline
+  - integrated here with data-aware scheduling: leased cores enter the
+    same pull loop and steal whatever data placement requires"""
+
+
+def test_ablation_elastic(benchmark, record_table):
+    env = EnvironmentConfig("h", 0.5, 8, 8)
+    profile = APP_PROFILES["kmeans"]
+    params = ResourceParams()
+    index = paper_index(profile, env)
+    clusters = env.clusters(params)
+
+    def run_all():
+        base = simulate_run(index, clusters, profile, params, seed=0)
+        rows = [{
+            "deadline_x": "none",
+            "leased_cores": 0,
+            "total_s": round(base.total_s, 1),
+            "met": "-",
+        }]
+        for factor in (0.9, 0.7, 0.5):
+            policy = ElasticPolicy(
+                deadline_s=base.total_s * factor,
+                check_interval_s=base.total_s / 25,
+                startup_latency_s=base.total_s / 25,
+                step_cores=4,
+                max_extra_cores=24,
+            )
+            res = simulate_elastic_run(index, clusters, profile, policy, params, seed=0)
+            rows.append({
+                "deadline_x": f"{factor:.1f}x",
+                "leased_cores": res.extra_cores_leased,
+                "total_s": round(res.total_s, 1),
+                "met": "yes" if res.met_deadline else "no",
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_table(
+        "ablation_elastic",
+        format_table(rows, "Extension -- elastic scale-out vs deadline (kmeans, 8+8 base cores)")
+        + "\n\n" + PAPER_NOTES,
+    )
+    leased = [r["leased_cores"] for r in rows]
+    totals = [r["total_s"] for r in rows]
+    # Tighter deadlines lease more and finish faster.
+    assert leased == sorted(leased)
+    assert totals == sorted(totals, reverse=True)
+    assert leased[-1] > leased[1] > 0

@@ -1,0 +1,65 @@
+"""Ablation: pooling + work stealing vs strict co-location.
+
+The paper's conclusion claims "our middleware is able to effectively
+balance the amount of computation at both ends, even if the initial
+data distribution is not even".  This ablation disables work stealing
+(a :class:`StaticScheduler` that only co-locates, like conventional
+MapReduce deployments) and measures the cost across the three data
+skews of Figure 3, for knn.
+"""
+
+from repro.bursting.config import paper_environments
+from repro.bursting.driver import simulate_environment
+from repro.bursting.report import format_table
+from repro.runtime.scheduler import StaticScheduler
+from repro.sim.calibration import APP_PROFILES
+
+PAPER_NOTES = """\
+Paper reference (Section VI, conclusion 2):
+  - pooling + stealing balances computation across clusters even under
+    skewed data placement; without stealing the data-poor cluster idles
+    and the data-rich cluster becomes the critical path
+  - the penalty of disabling stealing grows with the skew"""
+
+
+def test_ablation_pooling_vs_static(benchmark, record_table):
+    envs = [
+        e for e in paper_environments(APP_PROFILES["knn"])
+        if e.local_cores and e.cloud_cores
+    ]
+
+    def run_all():
+        rows = []
+        for env in envs:
+            stealing = simulate_environment("knn", env)
+            static = simulate_environment(
+                "knn", env, scheduler_factory=StaticScheduler
+            )
+            rows.append(
+                {
+                    "env": env.name,
+                    "stealing_total_s": round(stealing.total_s, 2),
+                    "static_total_s": round(static.total_s, 2),
+                    "static_penalty_pct": round(
+                        100 * (static.total_s - stealing.total_s) / stealing.total_s, 1
+                    ),
+                    "local_idle_static_s": round(
+                        static.stats.clusters["local"].idle_s, 2
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_table(
+        "ablation_pooling",
+        format_table(rows, "Ablation -- work stealing vs strict co-location (knn)")
+        + "\n\n" + PAPER_NOTES,
+    )
+    penalties = [r["static_penalty_pct"] for r in rows]
+    # Stealing never loses, and its advantage grows with data skew.
+    assert all(p >= -1.0 for p in penalties)
+    assert penalties == sorted(penalties)
+    assert penalties[-1] > 15.0
+    # Without stealing, the data-poor cluster idles for a long time.
+    assert rows[-1]["local_idle_static_s"] > 5.0

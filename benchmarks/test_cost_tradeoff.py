@@ -1,0 +1,61 @@
+"""Extension bench: the time/cost and placement trade-off surfaces.
+
+Not a table in the poster, but the quantification its conclusion calls
+for ("cloud bursting can allow flexibility in combining limited local
+resources with pay-as-you-go cloud resources") and the subject of the
+authors' follow-up paper.  Regenerates two curves for knn:
+
+* time vs dollars as rented cloud cores grow (fixed 17/83 placement);
+* time and dollars as the data placement shifts (fixed 16+16 cores).
+"""
+
+from repro.bursting.report import format_table
+from repro.cost.placement import best_placement, placement_curve
+from repro.cost.provisioning import pareto_frontier, tradeoff_curve
+
+PAPER_NOTES = """\
+Paper context (Sections I, VI; follow-up work):
+  - bursting buys response time with pay-as-you-go dollars; the whole
+    curve (not one point) is the deliverable for an operator
+  - 'having a perfect distribution would likely minimize the total
+    slowdown' -- the placement curve is U-shaped with its minimum where
+    data shares match compute shares"""
+
+
+def test_cost_tradeoff(benchmark, record_table):
+    def run_all():
+        prov = tradeoff_curve(
+            "knn", local_cores=16, local_data_fraction=1 / 6,
+            cloud_core_options=(0, 4, 8, 16, 32, 64),
+        )
+        place = placement_curve(
+            "knn", local_cores=16, cloud_cores=16,
+            fractions=(0.0, 1 / 6, 1 / 3, 0.5, 2 / 3, 5 / 6, 1.0),
+        )
+        return prov, place
+
+    prov, place = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        [p.to_dict() for p in prov],
+        "Extension -- cloud cores vs time/cost (knn, 17/83 data)",
+    )
+    text += "\n\n" + format_table(
+        [p.to_dict() for p in place],
+        "Extension -- data placement vs time/cost (knn, 16+16 cores)",
+    )
+    record_table("cost_tradeoff", text + "\n\n" + PAPER_NOTES)
+
+    # Provisioning curve: time monotone down, compute dollars monotone up.
+    times = [p.time_s for p in prov]
+    assert times == sorted(times, reverse=True)
+    compute = [p.cost.compute_usd for p in prov]
+    assert compute == sorted(compute)
+    # The frontier spans at least the slowest-cheapest and fastest points.
+    frontier = pareto_frontier(prov)
+    assert len(frontier) >= 2
+
+    # Placement curve: U-shaped in time with an interior optimum.
+    best = best_placement(place, objective="time")
+    assert 0.0 < best.local_fraction < 1.0
+    ends = (place[0].time_s, place[-1].time_s)
+    assert best.time_s < min(ends)

@@ -1,0 +1,38 @@
+"""Figure 3(b): k-means cloud-bursting execution over the five environments.
+
+kmeans uses more cloud cores (44 all-cloud, 22 hybrid) because m1.large
+cores are slower; the paper equalized throughput.
+
+Paper shape: computation dominates; hybrid overheads are tiny (worst
+slowdown 1.4%) -- compute-intensive applications exploit cloud bursting
+with very little penalty.
+"""
+
+from repro.bursting.driver import run_paper_sweep
+from repro.bursting.report import fig3_rows, format_table, table2_rows
+
+PAPER_NOTES = """\
+Paper reference (Fig. 3b, kmeans):
+  - computation dominates retrieval in every environment
+  - cores: env-local (32,0), env-cloud (0,44), hybrids (16,22)
+  - worst-case total slowdown only 1.4%; sync overheads 1% - 4.1%"""
+
+
+def test_fig3_kmeans(benchmark, record_table):
+    results = benchmark.pedantic(run_paper_sweep, args=("kmeans",), rounds=3, iterations=1)
+    rows = fig3_rows(results)
+    record_table(
+        "fig3_kmeans",
+        format_table(rows, "Figure 3(b) -- kmeans execution breakdown (simulated seconds)")
+        + "\n\n" + PAPER_NOTES,
+    )
+    by_env = {(r["env"], r["cluster"]): r for r in rows}
+    # Compute-dominated everywhere.
+    for key, r in by_env.items():
+        assert r["processing_s"] > r["retrieval_s"], key
+    # Hybrid slowdowns tiny.
+    for r in table2_rows(results):
+        assert abs(r["slowdown_pct"]) < 5.0
+    # The cloud cluster really has 22 cores in hybrids, 44 standalone.
+    assert by_env[("env-cloud", "cloud")]["cores"] == 44
+    assert by_env[("env-50/50", "cloud")]["cores"] == 22

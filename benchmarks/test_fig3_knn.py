@@ -1,0 +1,36 @@
+"""Figure 3(a): kNN cloud-bursting execution over the five environments.
+
+Regenerates the stacked processing / data-retrieval / sync breakdown for
+env-local(32,0), env-cloud(0,32), env-50/50, env-33/67, env-17/83(16,16).
+
+Paper shape: knn is retrieval-dominated; env-cloud retrieval is shorter
+than env-local; retrieval (and total time) grow as more data sits in S3.
+"""
+
+from repro.bursting.driver import run_paper_sweep
+from repro.bursting.report import fig3_rows, format_table
+
+PAPER_NOTES = """\
+Paper reference (Fig. 3a, knn):
+  - retrieval dominates processing in every environment
+  - env-cloud retrieval < env-local retrieval (multi-threaded S3 GETs)
+  - totals rise monotonically over env-50/50 -> env-33/67 -> env-17/83
+  - slowdown vs env-local: 1.7% / 15.4% / 45.9%"""
+
+
+def test_fig3_knn(benchmark, record_table):
+    results = benchmark.pedantic(run_paper_sweep, args=("knn",), rounds=3, iterations=1)
+    rows = fig3_rows(results)
+    record_table(
+        "fig3_knn",
+        format_table(rows, "Figure 3(a) -- knn execution breakdown (simulated seconds)")
+        + "\n\n" + PAPER_NOTES,
+    )
+    by_env = {(r["env"], r["cluster"]): r for r in rows}
+    # Retrieval-dominated.
+    assert by_env[("env-local", "local")]["retrieval_s"] > by_env[("env-local", "local")]["processing_s"]
+    # env-cloud retrieval beats env-local.
+    assert by_env[("env-cloud", "cloud")]["retrieval_s"] < by_env[("env-local", "local")]["retrieval_s"]
+    # Totals rise with S3 share.
+    totals = [results[e].total_s for e in ("env-50/50", "env-33/67", "env-17/83")]
+    assert totals[0] < totals[1] < totals[2]

@@ -1,0 +1,37 @@
+"""Figure 3(c): PageRank cloud-bursting execution over the five environments.
+
+Paper shape: computation and retrieval are balanced; the very large
+reduction object makes hybrid sync times visibly larger than the
+centralized baselines (the robj must cross the WAN), and slowdowns sit
+between knn's and kmeans's.
+"""
+
+from repro.bursting.driver import run_paper_sweep
+from repro.bursting.report import fig3_rows, format_table, table2_rows
+
+PAPER_NOTES = """\
+Paper reference (Fig. 3c, pagerank):
+  - balanced between computation and data retrieval
+  - hybrid sync times exceed centralized ones (robj crosses the WAN;
+    inter-cluster reduction overheads 6.8% - 12.1%)
+  - retrieval rises across 50/50 -> 33/67 -> 17/83"""
+
+
+def test_fig3_pagerank(benchmark, record_table):
+    results = benchmark.pedantic(run_paper_sweep, args=("pagerank",), rounds=3, iterations=1)
+    rows = fig3_rows(results)
+    record_table(
+        "fig3_pagerank",
+        format_table(rows, "Figure 3(c) -- pagerank execution breakdown (simulated seconds)")
+        + "\n\n" + PAPER_NOTES,
+    )
+    by_env = {(r["env"], r["cluster"]): r for r in rows}
+    # Balanced compute/retrieval in the local baseline.
+    base = by_env[("env-local", "local")]
+    assert 0.4 < base["processing_s"] / base["retrieval_s"] < 2.5
+    # Hybrid global reduction is a visible overhead.
+    for r in table2_rows(results):
+        assert r["global_reduction_s"] > 1.0
+    # Hybrid sync exceeds the centralized baseline's.
+    assert by_env[("env-50/50", "local")]["sync_s"] + by_env[("env-50/50", "cloud")]["sync_s"] \
+        > by_env[("env-local", "local")]["sync_s"]

@@ -1,0 +1,33 @@
+"""Figure 4(b): k-means scalability, all data in S3, cores (4,4) -> (32,32).
+
+Paper shape: the best-scaling application (~86-88% per doubling) --
+computation dominates, so adding cores pays off almost linearly; sync
+overhead 0.1% - 2.5%, worst at (4,4).
+"""
+
+from repro.bursting.driver import run_scalability_sweep
+from repro.bursting.report import fig4_rows, format_table
+
+PAPER_NOTES = """\
+Paper reference (Fig. 4b, kmeans):
+  - speedup efficiency per doubling: 85.8% - 88.3% (best of the three)
+  - compute-dominated at every scale
+  - sync overhead 0.1% - 2.5%"""
+
+
+def test_fig4_kmeans(benchmark, record_table):
+    results = benchmark.pedantic(run_scalability_sweep, args=("kmeans",), rounds=1, iterations=1)
+    rows = fig4_rows(results)
+    record_table(
+        "fig4_kmeans",
+        format_table(rows, "Figure 4(b) -- kmeans scalability (simulated seconds)")
+        + "\n\n" + PAPER_NOTES,
+    )
+    effs = [r["efficiency_pct"] for r in rows if r["efficiency_pct"] is not None]
+    assert all(e > 80.0 for e in effs)
+    # Compute dominates at every scale.
+    for r in rows:
+        assert r["local_processing_s"] > r["local_retrieval_s"]
+        assert r["cloud_processing_s"] > r["cloud_retrieval_s"]
+    # Sync overhead stays small.
+    assert all(r["sync_pct"] < 8.0 for r in rows)

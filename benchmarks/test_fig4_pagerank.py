@@ -1,0 +1,32 @@
+"""Figure 4(c): PageRank scalability, all data in S3, cores (4,4) -> (32,32).
+
+Paper shape: the worst-scaling application -- the reduction-object
+exchange is a fixed cost that does not shrink with core count, so sync
+overhead climbs from 3.3% to 13.3% and efficiency falls to ~66-73%.
+"""
+
+from repro.bursting.driver import run_scalability_sweep
+from repro.bursting.report import fig4_rows, format_table
+
+PAPER_NOTES = """\
+Paper reference (Fig. 4c, pagerank):
+  - speedup efficiency per doubling: 66.4% - 73.2% (worst of the three)
+  - sync overhead grows 3.3% -> 13.3% with core count (fixed robj cost)
+  - high I/O requirement: S3 -> cluster retrieval slows the local side"""
+
+
+def test_fig4_pagerank(benchmark, record_table):
+    results = benchmark.pedantic(run_scalability_sweep, args=("pagerank",), rounds=3, iterations=1)
+    rows = fig4_rows(results)
+    record_table(
+        "fig4_pagerank",
+        format_table(rows, "Figure 4(c) -- pagerank scalability (simulated seconds)")
+        + "\n\n" + PAPER_NOTES,
+    )
+    sync = [r["sync_pct"] for r in rows]
+    # Fixed robj exchange: sync share grows with core count.
+    assert sync[-1] > 2 * sync[0]
+    assert sync[-1] > 8.0
+    # Worst scaler: final-doubling efficiency below kmeans's typical band.
+    effs = [r["efficiency_pct"] for r in rows if r["efficiency_pct"] is not None]
+    assert effs[-1] < 85.0

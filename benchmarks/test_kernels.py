@@ -1,0 +1,65 @@
+"""Microbenchmarks of the vectorized local-reduction kernels.
+
+These are real wall-clock benchmarks (pytest-benchmark statistics) of
+the hot path each slave runs per unit group, useful for tracking kernel
+regressions independent of the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansSpec
+from repro.apps.knn import KnnSpec
+from repro.apps.pagerank import PageRankSpec, out_degrees
+from repro.apps.wordcount import WordCountSpec
+from repro.data.generator import generate_edges, generate_points, generate_tokens
+
+GROUP = 8192
+
+
+@pytest.fixture(scope="module")
+def point_group():
+    return generate_points(GROUP, 8, seed=71)
+
+
+def test_kernel_knn(benchmark, point_group):
+    spec = KnnSpec(np.full(8, 0.5), 10)
+    robj = spec.create_reduction_object()
+    benchmark(spec.local_reduction, robj, point_group)
+
+
+def test_kernel_kmeans(benchmark, point_group):
+    spec = KMeansSpec(generate_points(10, 8, seed=72))
+    robj = spec.create_reduction_object()
+    benchmark(spec.local_reduction, robj, point_group)
+
+
+def test_kernel_pagerank(benchmark):
+    n_pages = 100_000
+    edges = generate_edges(n_pages, GROUP, seed=73)
+    outdeg = out_degrees(edges, n_pages)
+    spec = PageRankSpec(np.full(n_pages, 1 / n_pages), outdeg)
+    robj = spec.create_reduction_object()
+    benchmark(spec.local_reduction, robj, edges)
+
+
+def test_kernel_wordcount(benchmark):
+    tokens = generate_tokens(GROUP, 10_000, seed=74)
+    spec = WordCountSpec()
+    robj = spec.create_reduction_object()
+    benchmark(spec.local_reduction, robj, tokens)
+
+
+def test_kernel_topk_merge(benchmark):
+    from repro.core.reduction_object import TopKReductionObject
+
+    a = TopKReductionObject(100)
+    a.update_batch(np.random.default_rng(1).random(1000), list(range(1000)))
+
+    def merge_fresh():
+        b = TopKReductionObject(100)
+        b.update_batch(np.random.default_rng(2).random(1000), list(range(1000)))
+        b.merge(a)
+        return b
+
+    benchmark(merge_fresh)

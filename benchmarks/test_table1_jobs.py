@@ -1,0 +1,40 @@
+"""Table I: job assignment per application and environment.
+
+Regenerates, for each application and data distribution, how many jobs
+each cluster processed and how many of those were stolen (data at the
+other site).
+
+Paper shape: both clusters process comparable job counts in every
+hybrid configuration (pooling balances load), and the local cluster's
+stolen-job count rises as its local data share shrinks.
+"""
+
+from repro.bursting.driver import run_paper_sweep
+from repro.bursting.report import format_table, table1_rows
+
+PAPER_NOTES = """\
+Paper reference (Table I):
+  - total jobs = 960 in every cell
+  - stolen jobs (right of the dotted line in the paper) grow with the
+    skew toward S3: 50/50 < 33/67 < 17/83"""
+
+
+def test_table1_jobs(benchmark, record_table):
+    def sweep_all():
+        return {app: run_paper_sweep(app) for app in ("knn", "kmeans", "pagerank")}
+
+    per_app = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    sections = []
+    for app, results in per_app.items():
+        rows = table1_rows(results)
+        sections.append(format_table(rows, f"Table I -- job assignment ({app})"))
+        # Every job processed exactly once.
+        for r in rows:
+            assert r["local_jobs"] + r["cloud_jobs"] == 960
+        hybrid = {r["env"]: r for r in rows}
+        stolen = [
+            hybrid[e]["local_stolen"] + hybrid[e]["cloud_stolen"]
+            for e in ("env-50/50", "env-33/67", "env-17/83")
+        ]
+        assert stolen[0] < stolen[1] < stolen[2], app
+    record_table("table1_jobs", "\n\n".join(sections) + "\n\n" + PAPER_NOTES)

@@ -1,0 +1,42 @@
+"""Table II: slowdowns of the applications with respect to data distribution.
+
+Regenerates global-reduction time, idle time, extra local retrieval, and
+total slowdown vs env-local for every application and hybrid
+configuration, plus the headline number: the average slowdown of cloud
+bursting over centralized processing.
+
+Paper shape: average slowdown 15.55%; knn grows 1.7% -> 15.4% -> 45.9%;
+kmeans stays under 1.4%; pagerank pays a visible global-reduction cost.
+"""
+
+from repro.bursting.driver import run_paper_sweep
+from repro.bursting.report import average_slowdown_pct, format_table, table2_rows
+
+PAPER_NOTES = """\
+Paper reference (Table II):
+  - average slowdown of bursting vs centralized: 15.55%
+  - knn: 1.7% / 15.4% / 45.9% (data retrieval dominates the slowdown)
+  - kmeans: worst case 1.4% (compute hides all overheads)
+  - pagerank: global reduction is significant (large reduction object)"""
+
+
+def test_table2_slowdowns(benchmark, record_table):
+    def sweep_all():
+        return {app: run_paper_sweep(app) for app in ("knn", "kmeans", "pagerank")}
+
+    per_app = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    sections = []
+    for app, results in per_app.items():
+        sections.append(
+            format_table(table2_rows(results), f"Table II -- slowdowns ({app})")
+        )
+    avg = average_slowdown_pct(per_app)
+    sections.append(f"Average hybrid slowdown: {avg:.2f}%  (paper: 15.55%)")
+    record_table("table2_slowdowns", "\n\n".join(sections) + "\n\n" + PAPER_NOTES)
+
+    assert 8.0 < avg < 25.0
+    knn = {r["env"]: r["slowdown_pct"] for r in table2_rows(per_app["knn"])}
+    assert knn["env-50/50"] < knn["env-33/67"] < knn["env-17/83"]
+    assert knn["env-17/83"] > 25.0
+    kmeans = [abs(r["slowdown_pct"]) for r in table2_rows(per_app["kmeans"])]
+    assert max(kmeans) < 5.0

@@ -1,0 +1,55 @@
+"""Time/cost-sensitive provisioning: how many cloud cores to rent?
+
+The paper's motivating scenario quantified: a 12 GB knn query whose data
+is mostly in S3 (the 17/83 placement) must finish within a deadline; the
+local cluster contributes 16 cores for free, and every extra EC2 core
+costs money.  This example sweeps cloud-core options through the
+simulator, prices each run under 2011 AWS prices, prints the time/cost
+trade-off and the Pareto frontier, then answers both operational
+questions: cheapest-under-deadline and fastest-under-budget.
+
+Run:  python examples/deadline_provisioning.py
+"""
+
+from repro import (
+    cheapest_meeting_deadline,
+    fastest_within_budget,
+    format_table,
+    pareto_frontier,
+    tradeoff_curve,
+)
+
+DEADLINE_S = 60.0
+BUDGET_USD = 2.0
+
+
+def main() -> None:
+    points = tradeoff_curve(
+        "knn",
+        local_cores=16,
+        local_data_fraction=1 / 6,
+        cloud_core_options=(0, 4, 8, 16, 32, 64),
+    )
+    print(format_table(
+        [p.to_dict() for p in points],
+        "knn 17/83 -- time/cost trade-off (16 free local cores + rented EC2)",
+    ))
+
+    frontier = pareto_frontier(points)
+    print("\nPareto frontier (time vs dollars):")
+    for p in frontier:
+        print(f"  {p.cloud_cores:3d} cloud cores  ->  {p.time_s:7.1f} s   ${p.cost_usd:.3f}")
+
+    pick = cheapest_meeting_deadline(points, DEADLINE_S)
+    print(f"\nDeadline {DEADLINE_S:.0f}s  -> rent {pick.cloud_cores} cloud cores "
+          f"({pick.time_s:.1f}s, ${pick.cost_usd:.3f})" if pick
+          else f"\nDeadline {DEADLINE_S:.0f}s -> infeasible with these options")
+
+    pick = fastest_within_budget(points, BUDGET_USD)
+    print(f"Budget  ${BUDGET_USD:.2f} -> rent {pick.cloud_cores} cloud cores "
+          f"({pick.time_s:.1f}s, ${pick.cost_usd:.3f})" if pick
+          else f"Budget ${BUDGET_USD:.2f} -> infeasible with these options")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""PageRank over a synthetic web crawl stored across two sites.
+
+Builds a preferential-attachment web graph, runs damped power iteration
+through the cloud-bursting middleware until convergence, prints the
+top-ranked pages, and cross-checks the fixed point against networkx.
+
+Each iteration's reduction object is the dense rank vector -- the
+paper's "very large reduction object" -- so this example also prints how
+many bytes the global reduction shipped between the sites per pass.
+
+Run:  python examples/pagerank_web.py
+"""
+
+import numpy as np
+
+from repro import (
+    MemoryStore,
+    PageRankSpec,
+    SimulatedS3Store,
+    generate_edges,
+    out_degrees,
+    run_threaded_bursting,
+)
+from repro.core.serialization import serialized_nbytes
+
+N_PAGES = 2_000
+N_EDGES = 40_000
+DAMPING = 0.85
+TOL = 1e-10
+MAX_ITERS = 60
+
+
+def main() -> None:
+    edges = generate_edges(N_PAGES, N_EDGES, seed=23)
+    outdeg = out_degrees(edges, N_PAGES)
+    ranks = np.full(N_PAGES, 1.0 / N_PAGES)
+
+    print(f"pagerank: {N_PAGES} pages, {N_EDGES} links; "
+          "edge list split 50/50 between cluster and S3\n")
+    for it in range(1, MAX_ITERS + 1):
+        stores = {"local": MemoryStore("local"), "cloud": SimulatedS3Store()}
+        rr = run_threaded_bursting(
+            PageRankSpec(ranks, outdeg, DAMPING),
+            edges,
+            stores,
+            local_fraction=0.5,
+            local_workers=2,
+            cloud_workers=2,
+        )
+        new_ranks = rr.result
+        delta = float(np.abs(new_ranks - ranks).sum())
+        if it <= 3 or delta < TOL:
+            robj_bytes = serialized_nbytes(rr.robj)
+            print(f"iter {it:2d}: L1 delta={delta:.3e}  "
+                  f"robj shipped per cluster: {robj_bytes / 1024:.1f} KiB")
+        ranks = new_ranks
+        if delta < TOL:
+            print(f"\nConverged after {it} iterations.")
+            break
+
+    top = np.argsort(-ranks)[:5]
+    print("\nTop-5 pages:")
+    for p in top:
+        print(f"  page {int(p):5d}  rank {ranks[p]:.6f}")
+
+    # Independent validation against networkx.
+    import networkx as nx
+
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(range(N_PAGES))
+    g.add_edges_from(map(tuple, edges))
+    nx_ranks = nx.pagerank(g, alpha=DAMPING, tol=1e-12, max_iter=200)
+    err = max(abs(ranks[i] - nx_ranks[i]) for i in range(N_PAGES))
+    print(f"\nmax |repro - networkx| = {err:.2e}")
+    assert err < 1e-6, "diverged from networkx!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Regenerate the paper's full evaluation section from the simulator.
+
+Runs every configuration behind Figure 3 (a-c), Table I, Table II, and
+Figure 4 (a-c) at the paper's true scale (12 GB datasets, 32 files, 960
+jobs, up to 64 cores) through the discrete-event simulator and prints
+the tables.  Finishes with the headline comparisons against the paper.
+
+Run:  python examples/paper_evaluation.py
+"""
+
+from repro import (
+    average_slowdown_pct,
+    fig3_rows,
+    fig4_rows,
+    format_table,
+    run_paper_sweep,
+    run_scalability_sweep,
+    table1_rows,
+    table2_rows,
+)
+
+APPS = ("knn", "kmeans", "pagerank")
+FIG3 = {"knn": "3(a)", "kmeans": "3(b)", "pagerank": "3(c)"}
+FIG4 = {"knn": "4(a)", "kmeans": "4(b)", "pagerank": "4(c)"}
+
+
+def main() -> None:
+    sweeps = {}
+    for app in APPS:
+        sweeps[app] = run_paper_sweep(app)
+        print(format_table(
+            fig3_rows(sweeps[app]),
+            f"Figure {FIG3[app]} -- {app} execution breakdown (simulated s)",
+        ))
+        print()
+
+    for app in APPS:
+        print(format_table(table1_rows(sweeps[app]), f"Table I -- job assignment ({app})"))
+        print()
+
+    for app in APPS:
+        print(format_table(table2_rows(sweeps[app]), f"Table II -- slowdowns ({app})"))
+        print()
+
+    effs = []
+    for app in APPS:
+        rows = fig4_rows(run_scalability_sweep(app))
+        print(format_table(rows, f"Figure {FIG4[app]} -- {app} scalability (simulated s)"))
+        print()
+        effs.extend(r["efficiency_pct"] for r in rows if r["efficiency_pct"])
+
+    avg_slow = average_slowdown_pct(sweeps)
+    avg_eff = sum(effs) / len(effs)
+    print("=" * 64)
+    print(f"Average hybrid slowdown vs centralized: {avg_slow:6.2f}%   (paper: 15.55%)")
+    print(f"Average speedup efficiency per doubling: {avg_eff:5.1f}%   (paper: ~81%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,252 @@
+"""repro: data-intensive computing with cloud bursting.
+
+A reproduction of Bicer, Chiu, Agrawal, *A Framework for Data-Intensive
+Computing with Cloud Bursting* (SC 2011): a Generalized-Reduction
+(FREERIDE-style MapReduce variant) middleware that processes a dataset
+split between a local cluster and a cloud object store using compute at
+both sites, with pooling-based load balancing and work stealing.
+
+Public surface
+--------------
+* programming APIs: :class:`GeneralizedReductionSpec`,
+  :class:`MapReduceSpec`, reduction objects, combiners;
+* data organization: record formats, dataset writer, chunk index,
+  synthetic generators;
+* storage: local/memory stores, :class:`SimulatedS3Store`, parallel
+  ranged retrieval;
+* execution: :class:`ThreadedEngine` (real execution),
+  :func:`simulate_environment` and the sweep drivers (performance model),
+  :class:`MapReduceEngine` (baseline);
+* reporting: the Figure-3/4 and Table-I/II row builders.
+"""
+
+from repro.apps import (
+    APPLICATIONS,
+    Application,
+    KMeansMapReduceSpec,
+    KMeansResult,
+    KMeansSpec,
+    KnnMapReduceSpec,
+    KnnSpec,
+    PageRankMapReduceSpec,
+    PageRankSpec,
+    WordCountMapReduceSpec,
+    WordCountSpec,
+    get_application,
+    knn_exact,
+    lloyd_step,
+    out_degrees,
+    pagerank_reference,
+    pagerank_step,
+    wordcount_exact,
+)
+from repro.bursting import (
+    EnvironmentConfig,
+    IterationRecord,
+    KMeansRun,
+    PageRankRun,
+    kmeans_distributed,
+    pagerank_distributed,
+    average_slowdown_pct,
+    fig3_rows,
+    fig4_rows,
+    format_table,
+    paper_environments,
+    paper_index,
+    run_paper_sweep,
+    run_scalability_sweep,
+    run_threaded_bursting,
+    scalability_environments,
+    simulate_environment,
+    table1_rows,
+    table2_rows,
+)
+from repro.core import (
+    ArrayReductionObject,
+    DictReductionObject,
+    GeneralizedReductionSpec,
+    MapReduceSpec,
+    ReductionObject,
+    TopKReductionObject,
+    get_combiner,
+    register_combiner,
+    run_local_pass,
+)
+from repro.data import (
+    DataIndex,
+    RecordFormat,
+    build_index,
+    distribute_dataset,
+    edges_format,
+    generate_edges,
+    generate_points,
+    generate_tokens,
+    iter_unit_groups,
+    points_format,
+    read_all_units,
+    read_chunk,
+    tokens_format,
+    units_per_group,
+    write_dataset,
+)
+from repro.mapreduce import MapReduceEngine, MapReduceResult, ShuffleStats
+from repro.runtime import (
+    ActorEngine,
+    ClusterConfig,
+    HeadScheduler,
+    Job,
+    RandomScheduler,
+    RunResult,
+    RunStats,
+    StaticScheduler,
+    ThreadedEngine,
+    jobs_from_index,
+)
+from repro.cost import (
+    CostReport,
+    PlacementPoint,
+    best_placement,
+    placement_curve,
+    PricingModel,
+    ProvisioningPoint,
+    cheapest_meeting_deadline,
+    cost_of_run,
+    fastest_within_budget,
+    pareto_frontier,
+    tradeoff_curve,
+)
+from repro.bursting.session import BurstingSession
+from repro.sim import (
+    APP_PROFILES,
+    AppSimProfile,
+    FailureSpec,
+    ResourceParams,
+    SimClusterConfig,
+    SimRunResult,
+    StragglerSpec,
+    simulate_run,
+)
+from repro.storage import (
+    LocalDiskStore,
+    MemoryStore,
+    ParallelFetcher,
+    S3Profile,
+    SimulatedS3Store,
+    StorageBackend,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # apps
+    "APPLICATIONS",
+    "Application",
+    "KMeansMapReduceSpec",
+    "KMeansResult",
+    "KMeansSpec",
+    "KnnMapReduceSpec",
+    "KnnSpec",
+    "PageRankMapReduceSpec",
+    "PageRankSpec",
+    "WordCountMapReduceSpec",
+    "WordCountSpec",
+    "get_application",
+    "knn_exact",
+    "lloyd_step",
+    "out_degrees",
+    "pagerank_reference",
+    "pagerank_step",
+    "wordcount_exact",
+    # bursting
+    "EnvironmentConfig",
+    "IterationRecord",
+    "KMeansRun",
+    "PageRankRun",
+    "kmeans_distributed",
+    "pagerank_distributed",
+    "average_slowdown_pct",
+    "fig3_rows",
+    "fig4_rows",
+    "format_table",
+    "paper_environments",
+    "paper_index",
+    "run_paper_sweep",
+    "run_scalability_sweep",
+    "run_threaded_bursting",
+    "scalability_environments",
+    "simulate_environment",
+    "table1_rows",
+    "table2_rows",
+    # core
+    "ArrayReductionObject",
+    "DictReductionObject",
+    "GeneralizedReductionSpec",
+    "MapReduceSpec",
+    "ReductionObject",
+    "TopKReductionObject",
+    "get_combiner",
+    "register_combiner",
+    "run_local_pass",
+    # data
+    "DataIndex",
+    "RecordFormat",
+    "build_index",
+    "distribute_dataset",
+    "edges_format",
+    "generate_edges",
+    "generate_points",
+    "generate_tokens",
+    "iter_unit_groups",
+    "points_format",
+    "read_all_units",
+    "read_chunk",
+    "tokens_format",
+    "units_per_group",
+    "write_dataset",
+    # mapreduce
+    "MapReduceEngine",
+    "MapReduceResult",
+    "ShuffleStats",
+    # runtime
+    "ActorEngine",
+    "ClusterConfig",
+    "HeadScheduler",
+    "Job",
+    "RandomScheduler",
+    "RunResult",
+    "RunStats",
+    "StaticScheduler",
+    "ThreadedEngine",
+    "jobs_from_index",
+    # cost
+    "CostReport",
+    "PlacementPoint",
+    "best_placement",
+    "placement_curve",
+    "PricingModel",
+    "ProvisioningPoint",
+    "cheapest_meeting_deadline",
+    "cost_of_run",
+    "fastest_within_budget",
+    "pareto_frontier",
+    "tradeoff_curve",
+    # session
+    "BurstingSession",
+    # sim
+    "APP_PROFILES",
+    "AppSimProfile",
+    "FailureSpec",
+    "ResourceParams",
+    "SimClusterConfig",
+    "SimRunResult",
+    "StragglerSpec",
+    "simulate_run",
+    # storage
+    "LocalDiskStore",
+    "MemoryStore",
+    "ParallelFetcher",
+    "S3Profile",
+    "SimulatedS3Store",
+    "StorageBackend",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""Benchmark applications: kNN, k-means, PageRank, wordcount."""
+
+from repro.apps.base import APPLICATIONS, Application, get_application, register_application
+from repro.apps.apriori import (
+    APRIORI_APP,
+    AprioriMapReduceSpec,
+    AprioriPassSpec,
+    apriori_exact,
+    apriori_mine,
+    candidate_join,
+    generate_transactions,
+    transactions_format,
+)
+from repro.apps.regression import (
+    REGRESSION_APP,
+    LinearRegressionMapReduceSpec,
+    LinearRegressionSpec,
+    RegressionResult,
+    generate_regression_rows,
+    regression_exact,
+)
+from repro.apps.kmeans import (
+    KMEANS_APP,
+    KMeansMapReduceSpec,
+    KMeansResult,
+    KMeansSpec,
+    lloyd_step,
+)
+from repro.apps.knn import KNN_APP, KnnMapReduceSpec, KnnSpec, knn_exact
+from repro.apps.stats import (
+    STATS_APP,
+    ColumnStatsMapReduceSpec,
+    ColumnStatsSpec,
+    column_stats_exact,
+)
+from repro.apps.pagerank import (
+    PAGERANK_APP,
+    PageRankMapReduceSpec,
+    PageRankSpec,
+    out_degrees,
+    pagerank_reference,
+    pagerank_step,
+)
+from repro.apps.wordcount import (
+    WORDCOUNT_APP,
+    WordCountMapReduceSpec,
+    WordCountSpec,
+    wordcount_exact,
+)
+
+__all__ = [
+    "APRIORI_APP",
+    "AprioriMapReduceSpec",
+    "AprioriPassSpec",
+    "apriori_exact",
+    "apriori_mine",
+    "candidate_join",
+    "generate_transactions",
+    "transactions_format",
+    "REGRESSION_APP",
+    "LinearRegressionMapReduceSpec",
+    "LinearRegressionSpec",
+    "RegressionResult",
+    "generate_regression_rows",
+    "regression_exact",
+    "APPLICATIONS",
+    "Application",
+    "get_application",
+    "register_application",
+    "KMEANS_APP",
+    "KMeansMapReduceSpec",
+    "KMeansResult",
+    "KMeansSpec",
+    "lloyd_step",
+    "KNN_APP",
+    "KnnMapReduceSpec",
+    "KnnSpec",
+    "knn_exact",
+    "STATS_APP",
+    "ColumnStatsMapReduceSpec",
+    "ColumnStatsSpec",
+    "column_stats_exact",
+    "PAGERANK_APP",
+    "PageRankMapReduceSpec",
+    "PageRankSpec",
+    "out_degrees",
+    "pagerank_reference",
+    "pagerank_step",
+    "WORDCOUNT_APP",
+    "WordCountMapReduceSpec",
+    "WordCountSpec",
+    "wordcount_exact",
+]

@@ -1,0 +1,238 @@
+"""Apriori frequent-itemset mining.
+
+FREERIDE's flagship application ([13], [14]): market-basket
+transactions are scanned level by level; pass ``k`` counts the support
+of candidate ``k``-itemsets in a :class:`DictReductionObject`, the
+frequent ones are joined into ``(k+1)``-candidates, and the scan
+repeats until no candidates survive.  Every pass is one run of the
+middleware, so the full miner composes directly with cloud bursting.
+
+Data layout: each transaction is one data unit -- a fixed-width row of
+``basket_width`` item ids padded with ``-1``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.apps.base import Application, register_application
+from repro.core.api import GeneralizedReductionSpec, run_local_pass
+from repro.core.combiners import get_combiner
+from repro.core.mapreduce_api import MapReduceSpec
+from repro.core.reduction_object import DictReductionObject, ReductionObject
+from repro.data.formats import RecordFormat
+from repro.data.units import iter_unit_groups
+
+__all__ = [
+    "transactions_format",
+    "generate_transactions",
+    "AprioriPassSpec",
+    "AprioriMapReduceSpec",
+    "candidate_join",
+    "apriori_mine",
+    "apriori_exact",
+    "APRIORI_APP",
+]
+
+PAD = -1
+
+
+def transactions_format(basket_width: int = 12) -> RecordFormat:
+    """Fixed-width padded transactions (one unit = one basket)."""
+    return RecordFormat("transactions", np.int64, (basket_width,))
+
+
+def generate_transactions(
+    n: int,
+    *,
+    n_items: int = 100,
+    basket_width: int = 12,
+    n_patterns: int = 8,
+    pattern_len: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Synthetic baskets with planted frequent patterns.
+
+    Each basket embeds one of ``n_patterns`` frequent itemsets with
+    probability ~1/2 and fills the rest with uniform noise items, so
+    real associations exist for the miner to find.  Rows are padded
+    with ``PAD`` (-1) and items within a basket are distinct.
+    """
+    if basket_width < pattern_len + 1:
+        raise ValueError("basket_width too small for the planted patterns")
+    rng = np.random.default_rng(seed)
+    patterns = [
+        rng.choice(n_items, size=pattern_len, replace=False) for _ in range(n_patterns)
+    ]
+    rows = np.full((n, basket_width), PAD, dtype=np.int64)
+    for i in range(n):
+        basket: list[int] = []
+        if rng.random() < 0.5:
+            basket.extend(patterns[rng.integers(n_patterns)].tolist())
+        n_noise = int(rng.integers(1, basket_width - len(basket) + 1))
+        noise = rng.choice(n_items, size=n_noise, replace=False)
+        for item in noise:
+            if item not in basket and len(basket) < basket_width:
+                basket.append(int(item))
+        rows[i, : len(basket)] = sorted(basket)
+    return rows
+
+
+class AprioriPassSpec(GeneralizedReductionSpec):
+    """One counting pass: support of each candidate itemset.
+
+    ``candidates=None`` runs the first pass (single-item supports,
+    fully vectorized via bincount); otherwise each candidate tuple is
+    counted with vectorized membership tests over the whole group.
+    """
+
+    def __init__(self, fmt: RecordFormat, candidates: list[tuple[int, ...]] | None = None) -> None:
+        self.fmt = fmt
+        self.candidates = None if candidates is None else [tuple(c) for c in candidates]
+
+    def create_reduction_object(self) -> DictReductionObject:
+        return DictReductionObject(get_combiner("sum"), value_nbytes=24)
+
+    def local_reduction(self, robj: ReductionObject, unit_group: np.ndarray) -> None:
+        assert isinstance(robj, DictReductionObject)
+        if self.candidates is None:
+            items = unit_group[unit_group != PAD]
+            uniq, counts = np.unique(items, return_counts=True)
+            for item, cnt in zip(uniq.tolist(), counts.tolist()):
+                robj.update((item,), int(cnt))
+            return
+        for cand in self.candidates:
+            present = np.ones(unit_group.shape[0], dtype=bool)
+            for item in cand:
+                present &= (unit_group == item).any(axis=1)
+                if not present.any():
+                    break
+            cnt = int(present.sum())
+            if cnt:
+                robj.update(cand, cnt)
+
+    compute_s_per_unit = 2.5e-7
+
+
+class AprioriMapReduceSpec(MapReduceSpec):
+    """Baseline MapReduce pass: one (itemset, 1) pair per occurrence."""
+
+    def __init__(self, fmt: RecordFormat, candidates: list[tuple[int, ...]] | None = None,
+                 with_combiner: bool = True) -> None:
+        self.fmt = fmt
+        self.candidates = None if candidates is None else [tuple(c) for c in candidates]
+        self._with_combiner = with_combiner
+
+    def map(self, unit_group: np.ndarray) -> Iterator[tuple[Hashable, Any]]:
+        if self.candidates is None:
+            for row in unit_group:
+                for item in row[row != PAD].tolist():
+                    yield (item,), 1
+            return
+        for row in unit_group:
+            present = set(row[row != PAD].tolist())
+            for cand in self.candidates:
+                if present.issuperset(cand):
+                    yield cand, 1
+
+    @property
+    def has_combiner(self) -> bool:
+        return self._with_combiner
+
+    def combine(self, key: Hashable, values: Sequence[Any]) -> Any:
+        return sum(values)
+
+    def reduce(self, key: Hashable, values: Sequence[Any]) -> Any:
+        return sum(values)
+
+
+def candidate_join(frequent: Sequence[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Classic apriori-gen: join frequent k-itemsets into (k+1)-candidates.
+
+    Joins pairs sharing a (k-1)-prefix and prunes candidates with an
+    infrequent k-subset.
+    """
+    frequent = sorted(set(tuple(sorted(f)) for f in frequent))
+    if not frequent:
+        return []
+    k = len(frequent[0])
+    if any(len(f) != k for f in frequent):
+        raise ValueError("all frequent itemsets must have equal length")
+    freq_set = set(frequent)
+    out = []
+    for i, a in enumerate(frequent):
+        for b in frequent[i + 1 :]:
+            if a[:-1] != b[:-1]:
+                continue
+            cand = a + (b[-1],)
+            if all(tuple(sub) in freq_set for sub in combinations(cand, k)):
+                out.append(cand)
+    return out
+
+
+def apriori_mine(
+    run_pass,
+    fmt: RecordFormat,
+    *,
+    min_support: int,
+    max_len: int = 4,
+) -> dict[tuple[int, ...], int]:
+    """Drive the level-wise miner.
+
+    ``run_pass(spec) -> dict`` executes one counting pass on any engine
+    (single-machine, threaded bursting, ...) and returns itemset ->
+    support.  Returns all frequent itemsets up to ``max_len``.
+    """
+    if min_support <= 0:
+        raise ValueError("min_support must be positive")
+    result: dict[tuple[int, ...], int] = {}
+    counts = run_pass(AprioriPassSpec(fmt, None))
+    frequent = {k: v for k, v in counts.items() if v >= min_support}
+    result.update(frequent)
+    level = 1
+    while frequent and level < max_len:
+        candidates = candidate_join(list(frequent))
+        if not candidates:
+            break
+        counts = run_pass(AprioriPassSpec(fmt, candidates))
+        frequent = {k: v for k, v in counts.items() if v >= min_support}
+        result.update(frequent)
+        level += 1
+    return result
+
+
+def apriori_exact(
+    transactions: np.ndarray, *, min_support: int, max_len: int = 4
+) -> dict[tuple[int, ...], int]:
+    """Reference miner running passes on one machine (for tests)."""
+    width = transactions.shape[1]
+    fmt = transactions_format(width)
+
+    def run_pass(spec: AprioriPassSpec) -> dict:
+        robj = run_local_pass(spec, iter_unit_groups(transactions, 1024))
+        return robj.value()
+
+    return apriori_mine(run_pass, fmt, min_support=min_support, max_len=max_len)
+
+
+APRIORI_APP = register_application(
+    Application(
+        name="apriori",
+        make_format=lambda basket_width=12, **_: transactions_format(basket_width),
+        generate=lambda n_units, seed=0, basket_width=12, **kw: generate_transactions(
+            n_units, basket_width=basket_width, seed=seed,
+            **{k: v for k, v in kw.items() if k in ("n_items", "n_patterns", "pattern_len")},
+        ),
+        make_gr_spec=lambda candidates=None, *, basket_width=12, **_kw: AprioriPassSpec(
+            transactions_format(basket_width), candidates
+        ),
+        make_mr_spec=lambda candidates=None, *, basket_width=12, with_combiner=True, **_kw: (
+            AprioriMapReduceSpec(transactions_format(basket_width), candidates, with_combiner)
+        ),
+        default_params={"basket_width": 12, "n_items": 100},
+        profile="cpu-bound",
+    )
+)

@@ -1,0 +1,66 @@
+"""Application registry.
+
+An :class:`Application` bundles everything the drivers and benchmarks
+need to run one of the paper's workloads end to end: the record format,
+a synthetic data generator, factories for both programming-model specs
+(generalized reduction and MapReduce), and cost hints for the
+performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.api import GeneralizedReductionSpec
+from repro.core.mapreduce_api import MapReduceSpec
+from repro.data.formats import RecordFormat
+
+__all__ = ["Application", "APPLICATIONS", "register_application", "get_application"]
+
+
+@dataclass(frozen=True)
+class Application:
+    """One benchmark workload, with everything needed to run it."""
+
+    name: str
+    #: Build the record format from workload params.
+    make_format: Callable[..., RecordFormat]
+    #: ``generate(n_units, seed, **params) -> ndarray`` of data units.
+    generate: Callable[..., np.ndarray]
+    #: ``make_gr_spec(units_or_state, **params) -> GeneralizedReductionSpec``
+    make_gr_spec: Callable[..., GeneralizedReductionSpec]
+    #: ``make_mr_spec(units_or_state, **params) -> MapReduceSpec``
+    make_mr_spec: Callable[..., MapReduceSpec]
+    #: Default workload parameters (k, dim, n_pages, ...).
+    default_params: dict[str, Any] = field(default_factory=dict)
+    #: Qualitative profile used by docs and the cost model:
+    #: "io-bound", "cpu-bound", or "balanced".
+    profile: str = "balanced"
+
+    def params_with_defaults(self, **overrides: Any) -> dict[str, Any]:
+        params = dict(self.default_params)
+        params.update(overrides)
+        return params
+
+
+APPLICATIONS: dict[str, Application] = {}
+
+
+def register_application(app: Application) -> Application:
+    """Register an application; names must be unique."""
+    if app.name in APPLICATIONS:
+        raise ValueError(f"application {app.name!r} already registered")
+    APPLICATIONS[app.name] = app
+    return app
+
+
+def get_application(name: str) -> Application:
+    try:
+        return APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(APPLICATIONS)}"
+        ) from None

@@ -1,0 +1,135 @@
+"""k-Nearest-Neighbors search.
+
+The paper's knn: "a classic database/data mining algorithm.  It has low
+computation, leading to medium to high I/O demands and the reduction
+object is small."  Given a query point, each worker keeps the k nearest
+candidates it has seen in a :class:`TopKReductionObject`; global
+reduction re-selects the best k of all workers' candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.apps.base import Application, register_application
+from repro.core.api import GeneralizedReductionSpec
+from repro.core.mapreduce_api import MapReduceSpec
+from repro.core.reduction_object import ReductionObject, TopKReductionObject
+from repro.data.formats import points_format
+from repro.data.generator import generate_points
+
+__all__ = ["KnnSpec", "KnnMapReduceSpec", "knn_exact", "KNN_APP"]
+
+
+def _distances(group: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances of each row of ``group`` to ``query``."""
+    diff = group - query  # broadcast, no copies of group
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+class KnnSpec(GeneralizedReductionSpec):
+    """Generalized-reduction kNN for a single query point."""
+
+    def __init__(self, query: np.ndarray, k: int) -> None:
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise ValueError("query must be a 1-D point")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.query = query
+        self.k = k
+        self.fmt = points_format(len(query))
+        # Each retained entry: score + the point coordinates.
+        self._entry_nbytes = 8 + query.nbytes
+
+    def create_reduction_object(self) -> TopKReductionObject:
+        return TopKReductionObject(self.k, largest=False, entry_nbytes=self._entry_nbytes)
+
+    def local_reduction(self, robj: ReductionObject, unit_group: np.ndarray) -> None:
+        assert isinstance(robj, TopKReductionObject)
+        d = _distances(unit_group, self.query)
+        # Pre-select the group's best k before offering, so the object's
+        # update cost is O(k) rather than O(group).
+        if len(d) > self.k:
+            idx = np.argpartition(d, self.k - 1)[: self.k]
+        else:
+            idx = np.arange(len(d))
+        robj.update_batch(d[idx], [unit_group[i].copy() for i in idx])
+
+    def finalize(self, robj: ReductionObject) -> list[tuple[float, np.ndarray]]:
+        """Sorted ``(squared_distance, point)`` pairs, nearest first."""
+        return robj.value()
+
+    compute_s_per_unit = 2.0e-8  # low computation per element
+
+
+class KnnMapReduceSpec(MapReduceSpec):
+    """Baseline MapReduce kNN: every point becomes a (key, value) pair."""
+
+    KEY = "nn"
+
+    def __init__(self, query: np.ndarray, k: int, with_combiner: bool = True) -> None:
+        self.query = np.asarray(query, dtype=np.float64)
+        self.k = k
+        self.fmt = points_format(len(self.query))
+        self._with_combiner = with_combiner
+
+    def map(self, unit_group: np.ndarray) -> Iterator[tuple[Hashable, Any]]:
+        d = _distances(unit_group, self.query)
+        for dist, point in zip(d.tolist(), unit_group):
+            yield self.KEY, (dist, point.copy())
+
+    @property
+    def has_combiner(self) -> bool:
+        return self._with_combiner
+
+    def _best_k(self, values: Sequence[Any]) -> list[Any]:
+        flat: list[tuple[float, np.ndarray]] = []
+        for v in values:
+            if isinstance(v, list):
+                flat.extend(v)
+            else:
+                flat.append(v)
+        flat.sort(key=lambda dv: dv[0])
+        return flat[: self.k]
+
+    def combine(self, key: Hashable, values: Sequence[Any]) -> Any:
+        return self._best_k(values)
+
+    def reduce(self, key: Hashable, values: Sequence[Any]) -> Any:
+        return self._best_k(values)
+
+    def finalize(self, output: dict) -> list[tuple[float, np.ndarray]]:
+        return output.get(self.KEY, [])
+
+
+def knn_exact(points: np.ndarray, query: np.ndarray, k: int) -> list[tuple[float, np.ndarray]]:
+    """Reference answer computed directly (for tests)."""
+    d = _distances(points, np.asarray(query, dtype=np.float64))
+    order = np.argsort(d, kind="stable")[:k]
+    return [(float(d[i]), points[i]) for i in order]
+
+
+def _make_gr_spec(query: np.ndarray, *, k: int = 10, **_ignored) -> KnnSpec:
+    return KnnSpec(query, k)
+
+
+def _make_mr_spec(query: np.ndarray, *, k: int = 10, with_combiner: bool = True, **_ignored):
+    return KnnMapReduceSpec(query, k, with_combiner)
+
+
+KNN_APP = register_application(
+    Application(
+        name="knn",
+        make_format=lambda dim=8, **_: points_format(dim),
+        generate=lambda n_units, seed=0, dim=8, **kw: generate_points(
+            n_units, dim, seed=seed, **{k: v for k, v in kw.items() if k in ("n_clusters", "spread")}
+        ),
+        make_gr_spec=_make_gr_spec,
+        make_mr_spec=_make_mr_spec,
+        default_params={"dim": 8, "k": 10},
+        profile="io-bound",
+    )
+)

@@ -1,0 +1,180 @@
+"""Linear regression (least squares) in one generalized-reduction pass.
+
+One of the original FREERIDE workloads: each data unit is a row
+``(x_1..x_d, y)``; the reduction object accumulates the normal-equation
+blocks ``X^T X`` and ``X^T y`` (plus the residual bookkeeping needed for
+R^2), so a single pass over arbitrarily distributed data yields the
+exact global least-squares fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.apps.base import Application, register_application
+from repro.core.api import GeneralizedReductionSpec
+from repro.core.mapreduce_api import MapReduceSpec
+from repro.core.reduction_object import ArrayReductionObject, ReductionObject
+from repro.data.formats import points_format
+from repro.data.generator import generate_points
+
+__all__ = [
+    "RegressionResult",
+    "LinearRegressionSpec",
+    "LinearRegressionMapReduceSpec",
+    "regression_exact",
+    "generate_regression_rows",
+    "REGRESSION_APP",
+]
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """Fitted model and goodness of fit."""
+
+    coef: np.ndarray      # (d,) feature coefficients
+    intercept: float
+    r_squared: float
+    n_rows: int
+
+
+def _design_dim(dim: int) -> int:
+    """Width of the augmented design (features + intercept column)."""
+    return dim + 1
+
+
+class LinearRegressionSpec(GeneralizedReductionSpec):
+    """Exact distributed least squares via normal-equation accumulation.
+
+    The robj is a ``(p+1, p+1)`` array (p = features + intercept)
+    holding the Gram matrix of the augmented row ``(x, 1, y)`` -- its
+    blocks give ``X^T X``, ``X^T y``, ``sum y``, and ``sum y^2``, which
+    is everything finalize needs.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        # Unit layout: d features then the response -> (d+1)-wide points.
+        self.fmt = points_format(dim + 1)
+
+    def create_reduction_object(self) -> ArrayReductionObject:
+        p = _design_dim(self.dim) + 1  # + response column
+        return ArrayReductionObject((p + 1, p + 1), np.float64, "add")
+
+    def local_reduction(self, robj: ReductionObject, unit_group: np.ndarray) -> None:
+        assert isinstance(robj, ArrayReductionObject)
+        n = unit_group.shape[0]
+        # Augmented matrix [x | 1 | y | count-helper]: one GEMM per group.
+        aug = np.empty((n, self.dim + 3))
+        aug[:, : self.dim] = unit_group[:, : self.dim]
+        aug[:, self.dim] = 1.0
+        aug[:, self.dim + 1] = unit_group[:, self.dim]
+        aug[:, self.dim + 2] = 1.0
+        robj.data += aug.T @ aug
+
+    def finalize(self, robj: ReductionObject) -> RegressionResult:
+        g = robj.value()
+        d = self.dim
+        p = d + 1  # features + intercept
+        xtx = g[:p, :p]
+        xty = g[:p, d + 1]
+        n = g[d, d]  # the 1s column dotted with itself
+        if n == 0:
+            raise ValueError("cannot fit a regression on zero rows")
+        beta = np.linalg.solve(xtx, xty)
+        y_sum = g[d, d + 1]
+        y_sq = g[d + 1, d + 1]
+        ss_tot = y_sq - y_sum**2 / n
+        # Residual SS via the quadratic form: y'y - 2 b'X'y + b'X'X b.
+        ss_res = y_sq - 2 * beta @ xty + beta @ xtx @ beta
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return RegressionResult(
+            coef=beta[:d].copy(),
+            intercept=float(beta[d]),
+            r_squared=float(max(min(r2, 1.0), -np.inf)),
+            n_rows=int(round(n)),
+        )
+
+    compute_s_per_unit = 6.0e-8
+
+
+class LinearRegressionMapReduceSpec(MapReduceSpec):
+    """Baseline MapReduce regression: per-group partial Gram matrices."""
+
+    KEY = "gram"
+
+    def __init__(self, dim: int, with_combiner: bool = True) -> None:
+        self.dim = dim
+        self.fmt = points_format(dim + 1)
+        self._with_combiner = with_combiner
+        self._gr = LinearRegressionSpec(dim)
+
+    def map(self, unit_group: np.ndarray) -> Iterator[tuple[Hashable, Any]]:
+        robj = self._gr.create_reduction_object()
+        self._gr.local_reduction(robj, unit_group)
+        yield self.KEY, robj.data
+
+    @property
+    def has_combiner(self) -> bool:
+        return self._with_combiner
+
+    def combine(self, key: Hashable, values: Sequence[Any]) -> Any:
+        return np.sum(values, axis=0)
+
+    def reduce(self, key: Hashable, values: Sequence[Any]) -> Any:
+        return np.sum(values, axis=0)
+
+    def finalize(self, output: dict) -> RegressionResult:
+        robj = self._gr.create_reduction_object()
+        robj.data += output[self.KEY]
+        return self._gr.finalize(robj)
+
+
+def regression_exact(rows: np.ndarray) -> RegressionResult:
+    """Reference fit via numpy lstsq (for tests)."""
+    d = rows.shape[1] - 1
+    x = np.column_stack([rows[:, :d], np.ones(len(rows))])
+    y = rows[:, d]
+    beta, *_ = np.linalg.lstsq(x, y, rcond=None)
+    pred = x @ beta
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return RegressionResult(
+        coef=beta[:d], intercept=float(beta[d]),
+        r_squared=1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0,
+        n_rows=len(rows),
+    )
+
+
+def generate_regression_rows(
+    n: int, dim: int, *, noise: float = 0.1, seed: int = 0
+) -> np.ndarray:
+    """Rows ``(x, y)`` from a random linear model with Gaussian noise."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim))
+    true_coef = rng.uniform(-2, 2, size=dim)
+    intercept = rng.uniform(-1, 1)
+    y = x @ true_coef + intercept + rng.normal(0, noise, size=n)
+    return np.column_stack([x, y])
+
+
+REGRESSION_APP = register_application(
+    Application(
+        name="regression",
+        make_format=lambda dim=8, **_: points_format(dim + 1),
+        generate=lambda n_units, seed=0, dim=8, **kw: generate_regression_rows(
+            n_units, dim, seed=seed, **{k: v for k, v in kw.items() if k == "noise"}
+        ),
+        make_gr_spec=lambda *_state, dim=8, **_kw: LinearRegressionSpec(dim),
+        make_mr_spec=lambda *_state, dim=8, with_combiner=True, **_kw: (
+            LinearRegressionMapReduceSpec(dim, with_combiner)
+        ),
+        default_params={"dim": 8},
+        profile="cpu-bound",
+    )
+)

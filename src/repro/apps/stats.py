@@ -1,0 +1,157 @@
+"""Summary-statistics application (library version of the custom example).
+
+One pass over a points dataset yields per-column count / mean / std /
+min / max plus a histogram of the first column -- the kind of data
+profiling pass that precedes the paper's mining workloads.  Small
+reduction object, trivial compute: the most I/O-bound app in the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.apps.base import Application, register_application
+from repro.core.api import GeneralizedReductionSpec
+from repro.core.mapreduce_api import MapReduceSpec
+from repro.core.reduction_object import ReductionObject
+from repro.core.stats_objects import HistogramReductionObject, MomentsReductionObject
+from repro.data.formats import points_format
+from repro.data.generator import generate_points
+
+__all__ = ["ColumnStatsSpec", "ColumnStatsMapReduceSpec", "column_stats_exact", "STATS_APP"]
+
+
+class _StatsObject(ReductionObject):
+    """Composite robj: per-column moments + first-column histogram."""
+
+    def __init__(self, dim: int, edges: np.ndarray) -> None:
+        self.moments = MomentsReductionObject(dim)
+        self.histogram = HistogramReductionObject(edges)
+
+    def merge(self, other: ReductionObject) -> None:
+        if not isinstance(other, _StatsObject):
+            raise TypeError("can only merge a matching stats object")
+        self.moments.merge(other.moments)
+        self.histogram.merge(other.histogram)
+
+    def copy_empty(self) -> "_StatsObject":
+        return _StatsObject(self.moments.dim, self.histogram.edges)
+
+    @property
+    def nbytes(self) -> int:
+        return self.moments.nbytes + self.histogram.nbytes
+
+    def value(self) -> dict[str, Any]:
+        out = self.moments.value()
+        out["histogram"] = self.histogram.value()
+        return out
+
+
+class ColumnStatsSpec(GeneralizedReductionSpec):
+    """One-pass per-column statistics with a first-column histogram."""
+
+    def __init__(self, dim: int, *, hist_range: tuple[float, float] = (-1.0, 2.0),
+                 hist_bins: int = 32) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if hist_bins <= 0 or hist_range[0] >= hist_range[1]:
+            raise ValueError("invalid histogram configuration")
+        self.dim = dim
+        self.edges = np.linspace(hist_range[0], hist_range[1], hist_bins + 1)
+        self.fmt = points_format(dim)
+
+    def create_reduction_object(self) -> _StatsObject:
+        return _StatsObject(self.dim, self.edges)
+
+    def local_reduction(self, robj: ReductionObject, unit_group: np.ndarray) -> None:
+        assert isinstance(robj, _StatsObject)
+        robj.moments.update(unit_group)
+        robj.histogram.update(unit_group[:, 0])
+
+    compute_s_per_unit = 1.0e-8  # the most I/O-bound app in the suite
+
+
+class ColumnStatsMapReduceSpec(MapReduceSpec):
+    """Baseline MapReduce stats: one pair per point per column."""
+
+    def __init__(self, dim: int, with_combiner: bool = True) -> None:
+        self.dim = dim
+        self.fmt = points_format(dim)
+        self._with_combiner = with_combiner
+
+    def map(self, unit_group: np.ndarray) -> Iterator[tuple[Hashable, Any]]:
+        for row in unit_group:
+            for j in range(self.dim):
+                v = float(row[j])
+                yield j, (1, v, v * v, v, v)
+
+    @property
+    def has_combiner(self) -> bool:
+        return self._with_combiner
+
+    @staticmethod
+    def _merge(values: Sequence[Any]):
+        n = 0
+        s = 0.0
+        sq = 0.0
+        mn = np.inf
+        mx = -np.inf
+        for cn, cs, csq, cmn, cmx in values:
+            n += cn
+            s += cs
+            sq += csq
+            mn = min(mn, cmn)
+            mx = max(mx, cmx)
+        return n, s, sq, mn, mx
+
+    def combine(self, key, values):
+        return self._merge(values)
+
+    def reduce(self, key, values):
+        return self._merge(values)
+
+    def finalize(self, output: dict) -> dict[str, np.ndarray]:
+        mean = np.zeros(self.dim)
+        std = np.zeros(self.dim)
+        mn = np.zeros(self.dim)
+        mx = np.zeros(self.dim)
+        count = 0
+        for j, (n, s, sq, cmn, cmx) in output.items():
+            count = n
+            mean[j] = s / n
+            std[j] = np.sqrt(max(sq / n - (s / n) ** 2, 0.0))
+            mn[j] = cmn
+            mx[j] = cmx
+        return {"count": count, "mean": mean, "std": std, "min": mn, "max": mx}
+
+
+def column_stats_exact(points: np.ndarray) -> dict[str, Any]:
+    """Reference statistics (for tests)."""
+    return {
+        "count": len(points),
+        "mean": points.mean(axis=0),
+        "std": points.std(axis=0),
+        "min": points.min(axis=0),
+        "max": points.max(axis=0),
+    }
+
+
+STATS_APP = register_application(
+    Application(
+        name="stats",
+        make_format=lambda dim=8, **_: points_format(dim),
+        generate=lambda n_units, seed=0, dim=8, **kw: generate_points(
+            n_units, dim, seed=seed, **{k: v for k, v in kw.items() if k in ("n_clusters", "spread")}
+        ),
+        make_gr_spec=lambda *_state, dim=8, **kw: ColumnStatsSpec(
+            dim, **{k: v for k, v in kw.items() if k in ("hist_range", "hist_bins")}
+        ),
+        make_mr_spec=lambda *_state, dim=8, with_combiner=True, **_kw: ColumnStatsMapReduceSpec(
+            dim, with_combiner
+        ),
+        default_params={"dim": 8},
+        profile="io-bound",
+    )
+)

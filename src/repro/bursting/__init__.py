@@ -1,0 +1,54 @@
+"""Cloud-bursting drivers, environment configs, and report generation."""
+
+from repro.bursting.algorithms import (
+    IterationRecord,
+    KMeansRun,
+    PageRankRun,
+    kmeans_distributed,
+    pagerank_distributed,
+)
+from repro.bursting.session import BurstingSession
+
+from repro.bursting.config import (
+    EnvironmentConfig,
+    paper_environments,
+    scalability_environments,
+)
+from repro.bursting.driver import (
+    paper_index,
+    run_paper_sweep,
+    run_scalability_sweep,
+    run_threaded_bursting,
+    simulate_environment,
+)
+from repro.bursting.report import (
+    average_slowdown_pct,
+    fig3_rows,
+    fig4_rows,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "IterationRecord",
+    "KMeansRun",
+    "PageRankRun",
+    "kmeans_distributed",
+    "pagerank_distributed",
+    "BurstingSession",
+    "EnvironmentConfig",
+    "paper_environments",
+    "scalability_environments",
+    "paper_index",
+    "run_paper_sweep",
+    "run_scalability_sweep",
+    "run_threaded_bursting",
+    "simulate_environment",
+    "average_slowdown_pct",
+    "fig3_rows",
+    "fig4_rows",
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,158 @@
+"""Iterative algorithms packaged over a BurstingSession.
+
+The examples drive k-means and PageRank by hand; these are the
+library-level equivalents a downstream user calls directly: given a
+session holding the distributed dataset, run the iteration to
+convergence and return the result plus per-iteration history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.kmeans import KMeansSpec
+from repro.apps.pagerank import PageRankSpec, out_degrees
+from repro.bursting.session import BurstingSession
+
+__all__ = [
+    "IterationRecord",
+    "KMeansRun",
+    "PageRankRun",
+    "kmeans_distributed",
+    "pagerank_distributed",
+]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Telemetry for one pass of an iterative computation."""
+
+    iteration: int
+    delta: float          # convergence metric of the pass
+    wall_s: float         # engine wall time of the pass
+    jobs_stolen: int
+
+
+@dataclass
+class KMeansRun:
+    """Converged k-means result."""
+
+    centroids: np.ndarray
+    counts: np.ndarray
+    sse: float
+    converged: bool
+    history: list[IterationRecord] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+
+@dataclass
+class PageRankRun:
+    """Converged PageRank result."""
+
+    ranks: np.ndarray
+    converged: bool
+    history: list[IterationRecord] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+    def top(self, k: int) -> list[tuple[int, float]]:
+        """The ``k`` highest-ranked pages as ``(page, rank)`` pairs."""
+        order = np.argsort(-self.ranks)[:k]
+        return [(int(i), float(self.ranks[i])) for i in order]
+
+
+def kmeans_distributed(
+    session: BurstingSession,
+    init_centroids: np.ndarray,
+    *,
+    max_iters: int = 50,
+    tol: float = 1e-7,
+) -> KMeansRun:
+    """Lloyd's algorithm to convergence over the session's dataset.
+
+    Convergence: the relative SSE improvement drops below ``tol``.
+    """
+    if max_iters <= 0 or tol < 0:
+        raise ValueError("max_iters > 0 and tol >= 0 required")
+    centroids = np.asarray(init_centroids, dtype=np.float64)
+    prev_sse = np.inf
+    history: list[IterationRecord] = []
+    result = None
+    converged = False
+    for it in range(1, max_iters + 1):
+        rr = session.run(KMeansSpec(centroids))
+        result = rr.result
+        delta = (prev_sse - result.sse) / max(prev_sse, 1e-300)
+        history.append(
+            IterationRecord(it, float(delta), rr.stats.total_s, rr.stats.jobs_stolen)
+        )
+        centroids = result.centroids
+        if np.isfinite(prev_sse) and delta <= tol:
+            converged = True
+            break
+        prev_sse = result.sse
+    assert result is not None
+    return KMeansRun(
+        centroids=result.centroids,
+        counts=result.counts,
+        sse=result.sse,
+        converged=converged,
+        history=history,
+    )
+
+
+def pagerank_distributed(
+    session: BurstingSession,
+    n_pages: int,
+    *,
+    damping: float = 0.85,
+    max_iters: int = 100,
+    tol: float = 1e-10,
+) -> PageRankRun:
+    """Damped power iteration to a fixed point over the session's edges.
+
+    Computes out-degrees with one extra pass over the distributed data
+    (itself a generalized reduction), then iterates until the L1 change
+    drops below ``tol``.
+    """
+    if n_pages <= 0 or max_iters <= 0 or tol < 0:
+        raise ValueError("n_pages > 0, max_iters > 0, tol >= 0 required")
+    outdeg = _distributed_out_degrees(session, n_pages)
+    ranks = np.full(n_pages, 1.0 / n_pages)
+    history: list[IterationRecord] = []
+    converged = False
+    for it in range(1, max_iters + 1):
+        rr = session.run(PageRankSpec(ranks, outdeg, damping))
+        new_ranks = rr.result
+        delta = float(np.abs(new_ranks - ranks).sum())
+        history.append(IterationRecord(it, delta, rr.stats.total_s, rr.stats.jobs_stolen))
+        ranks = new_ranks
+        if delta < tol:
+            converged = True
+            break
+    return PageRankRun(ranks=ranks, converged=converged, history=history)
+
+
+def _distributed_out_degrees(session: BurstingSession, n_pages: int) -> np.ndarray:
+    """Out-degree vector via one generalized-reduction pass."""
+    from repro.core.api import GeneralizedReductionSpec
+    from repro.core.reduction_object import ArrayReductionObject
+
+    class OutDegreeSpec(GeneralizedReductionSpec):
+        def __init__(self, fmt):
+            self.fmt = fmt
+
+        def create_reduction_object(self):
+            return ArrayReductionObject((n_pages,), np.float64, "add")
+
+        def local_reduction(self, robj, unit_group):
+            robj.data += np.bincount(unit_group[:, 0], minlength=n_pages)
+
+    return session.run(OutDegreeSpec(session.index.fmt)).result

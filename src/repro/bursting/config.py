@@ -1,0 +1,85 @@
+"""Environment configurations from the paper's evaluation (Section IV).
+
+Five configurations share the same aggregate computing power: two
+centralized baselines (env-local, env-cloud) and three hybrids with a
+50-50 split of cores and increasing skew in the data distribution
+(env-50/50, env-33/67, env-17/83).  kmeans uses more cloud cores (44
+all-cloud, 22 hybrid) because m1.large cores are slower than the local
+Xeons and the paper equalized throughput, not core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.calibration import AppSimProfile, ResourceParams
+from repro.sim.simrun import SimClusterConfig
+
+__all__ = ["EnvironmentConfig", "paper_environments", "scalability_environments"]
+
+
+@dataclass(frozen=True)
+class EnvironmentConfig:
+    """One evaluation environment."""
+
+    name: str
+    local_data_fraction: float  # share of dataset bytes stored locally
+    local_cores: int
+    cloud_cores: int
+
+    @property
+    def data_fractions(self) -> dict[str, float]:
+        f = self.local_data_fraction
+        fractions: dict[str, float] = {}
+        if f > 0:
+            fractions["local"] = f
+        if f < 1:
+            fractions["cloud"] = 1.0 - f
+        return fractions
+
+    def clusters(
+        self, params: ResourceParams, retrieval_threads: int = 8
+    ) -> list[SimClusterConfig]:
+        out: list[SimClusterConfig] = []
+        if self.local_cores > 0:
+            out.append(
+                SimClusterConfig(
+                    name="local",
+                    location="local",
+                    n_cores=self.local_cores,
+                    core_speed=params.local_core_speed,
+                    retrieval_threads=retrieval_threads,
+                )
+            )
+        if self.cloud_cores > 0:
+            out.append(
+                SimClusterConfig(
+                    name="cloud",
+                    location="cloud",
+                    n_cores=self.cloud_cores,
+                    core_speed=params.cloud_core_speed,
+                    retrieval_threads=retrieval_threads,
+                )
+            )
+        if not out:
+            raise ValueError(f"environment {self.name!r} has no cores")
+        return out
+
+
+def paper_environments(profile: AppSimProfile) -> list[EnvironmentConfig]:
+    """The five Figure-3 configurations for one application."""
+    hybrid_cloud = profile.hybrid_cloud_cores
+    return [
+        EnvironmentConfig("env-local", 1.0, 32, 0),
+        EnvironmentConfig("env-cloud", 0.0, 0, profile.cloud_only_cores),
+        EnvironmentConfig("env-50/50", 0.50, 16, hybrid_cloud),
+        EnvironmentConfig("env-33/67", 1.0 / 3.0, 16, hybrid_cloud),
+        EnvironmentConfig("env-17/83", 1.0 / 6.0, 16, hybrid_cloud),
+    ]
+
+
+def scalability_environments() -> list[EnvironmentConfig]:
+    """Figure-4 configurations: all data in S3, (m, m) cores doubling."""
+    return [
+        EnvironmentConfig(f"({m},{m})", 0.0, m, m) for m in (4, 8, 16, 32)
+    ]

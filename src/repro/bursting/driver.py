@@ -1,0 +1,162 @@
+"""High-level drivers: the public entry points for bursting experiments.
+
+``simulate_environment`` runs one paper configuration through the
+discrete-event simulator at the paper's true dataset scale (12 GB, 32
+files, 96 jobs -- the simulator only costs O(jobs), not O(bytes));
+``run_paper_sweep`` runs all five Figure-3 configurations;
+``run_scalability_sweep`` the four Figure-4 core counts.
+
+``run_threaded_bursting`` executes a *real* (scaled-down) dataset through
+the threaded middleware across a local store and a simulated S3 store,
+returning actual results plus measured stats -- the functional
+counterpart used by examples and integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.bursting.config import (
+    EnvironmentConfig,
+    paper_environments,
+    scalability_environments,
+)
+from repro.core.api import GeneralizedReductionSpec
+from repro.data.dataset import distribute_dataset, write_dataset
+from repro.data.formats import RecordFormat
+from repro.data.index import DataIndex, build_index
+from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
+from repro.sim.calibration import (
+    APP_PROFILES,
+    PAPER_N_FILES,
+    PAPER_N_JOBS,
+    AppSimProfile,
+    ResourceParams,
+)
+from repro.sim.simrun import SimRunResult, simulate_run
+from repro.storage.base import StorageBackend
+
+__all__ = [
+    "paper_index",
+    "simulate_environment",
+    "run_paper_sweep",
+    "run_scalability_sweep",
+    "run_threaded_bursting",
+]
+
+
+def paper_index(profile: AppSimProfile, env: EnvironmentConfig) -> DataIndex:
+    """Metadata-only index at the paper's dataset scale, placed per ``env``.
+
+    The simulator never touches bytes, so the index carries sizes and
+    placement only: 32 files, 96 chunks of ~128 MB.
+    """
+    fmt = RecordFormat(f"{profile.name}-sim", np.uint8, (profile.unit_nbytes,))
+    units_per_file = profile.dataset_units // PAPER_N_FILES
+    chunks_per_file = PAPER_N_JOBS // PAPER_N_FILES
+    # Ceil so each file splits into exactly ``chunks_per_file`` chunks.
+    chunk_units = -(-units_per_file // chunks_per_file)
+    index = build_index(
+        fmt,
+        [units_per_file] * PAPER_N_FILES,
+        chunk_units=chunk_units,
+        location="local",
+        meta={"app": profile.name, "scale": "paper"},
+    )
+    fractions = env.data_fractions
+    if list(fractions) == ["local"]:
+        return index
+    return index.with_placement(fractions)
+
+
+def simulate_environment(
+    app: str,
+    env: EnvironmentConfig,
+    params: ResourceParams | None = None,
+    *,
+    seed: int = 0,
+    scheduler_factory=None,
+) -> SimRunResult:
+    """Simulate one application under one environment configuration."""
+    profile = APP_PROFILES[app]
+    params = params or ResourceParams()
+    index = paper_index(profile, env)
+    kwargs: dict[str, Any] = {"seed": seed}
+    if scheduler_factory is not None:
+        kwargs["scheduler_factory"] = scheduler_factory
+    return simulate_run(index, env.clusters(params), profile, params, **kwargs)
+
+
+def run_paper_sweep(
+    app: str,
+    params: ResourceParams | None = None,
+    *,
+    seed: int = 0,
+) -> dict[str, SimRunResult]:
+    """All five Figure-3 environments for one application."""
+    profile = APP_PROFILES[app]
+    return {
+        env.name: simulate_environment(app, env, params, seed=seed)
+        for env in paper_environments(profile)
+    }
+
+
+def run_scalability_sweep(
+    app: str,
+    params: ResourceParams | None = None,
+    *,
+    seed: int = 0,
+) -> dict[str, SimRunResult]:
+    """The four Figure-4 core-doubling configurations (all data in S3)."""
+    return {
+        env.name: simulate_environment(app, env, params, seed=seed)
+        for env in scalability_environments()
+    }
+
+
+def run_threaded_bursting(
+    spec: GeneralizedReductionSpec,
+    units: np.ndarray,
+    stores: dict[str, StorageBackend],
+    *,
+    local_fraction: float = 0.5,
+    local_workers: int = 2,
+    cloud_workers: int = 2,
+    n_files: int = 8,
+    chunk_units: int | None = None,
+    batch_size: int = 2,
+    retrieval_threads: int = 2,
+) -> RunResult:
+    """Run a real dataset through the threaded middleware, split across sites.
+
+    ``stores`` must contain ``"local"`` and ``"cloud"`` backends.  The
+    dataset is written to the local store, distributed according to
+    ``local_fraction``, and processed by workers at both sites with the
+    full scheduling/stealing protocol.
+    """
+    if "local" not in stores or "cloud" not in stores:
+        raise ValueError('stores must provide "local" and "cloud" backends')
+    if chunk_units is None:
+        chunk_units = max(1, len(units) // (n_files * 3))
+    index = write_dataset(
+        units, spec.fmt, stores["local"], n_files=n_files, chunk_units=chunk_units
+    )
+    fractions: dict[str, float] = {}
+    if local_fraction > 0:
+        fractions["local"] = local_fraction
+    if local_fraction < 1:
+        fractions["cloud"] = 1.0 - local_fraction
+    index = distribute_dataset(index, stores, fractions, stores["local"])
+    clusters = []
+    if local_workers > 0:
+        clusters.append(
+            ClusterConfig("local", "local", local_workers, retrieval_threads)
+        )
+    if cloud_workers > 0:
+        clusters.append(
+            ClusterConfig("cloud", "cloud", cloud_workers, retrieval_threads)
+        )
+    engine = ThreadedEngine(clusters, stores, batch_size=batch_size)
+    return engine.run(spec, index)

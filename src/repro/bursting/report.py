@@ -1,0 +1,187 @@
+"""Report generation: the paper's figures and tables as data + text.
+
+Each function turns sweep results into the rows of one paper artifact:
+
+* :func:`fig3_rows` -- per-environment, per-cluster stacked breakdown
+  (processing / data retrieval / sync), Figure 3;
+* :func:`table1_rows` -- jobs processed per cluster with stolen counts,
+  Table I;
+* :func:`table2_rows` -- global-reduction time, idle time, extra local
+  retrieval, and total slowdown vs env-local, Table II;
+* :func:`fig4_rows` -- scalability breakdowns with per-doubling
+  efficiency, Figure 4;
+* :func:`format_table` -- aligned plain-text rendering of any row list.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sim.simrun import SimRunResult
+
+__all__ = [
+    "fig3_rows",
+    "table1_rows",
+    "table2_rows",
+    "fig4_rows",
+    "average_slowdown_pct",
+    "format_table",
+    "rows_to_csv",
+]
+
+
+def fig3_rows(results: Mapping[str, SimRunResult]) -> list[dict]:
+    """Stacked-bar components per environment and cluster (Figure 3)."""
+    rows: list[dict] = []
+    for env_name, res in results.items():
+        for cname, c in res.stats.clusters.items():
+            rows.append(
+                {
+                    "env": env_name,
+                    "cluster": cname,
+                    "cores": c.n_workers,
+                    "processing_s": round(c.processing_s, 2),
+                    "retrieval_s": round(c.retrieval_s, 2),
+                    "sync_s": round(c.sync_s, 2),
+                    "total_s": round(c.total_s, 2),
+                }
+            )
+    return rows
+
+
+def table1_rows(results: Mapping[str, SimRunResult]) -> list[dict]:
+    """Job assignment per environment (Table I).
+
+    ``local_jobs``/``cloud_jobs`` are jobs *processed by* each cluster;
+    ``*_stolen`` the subset whose data lived at the other site.
+    """
+    rows: list[dict] = []
+    for env_name, res in results.items():
+        clusters = res.stats.clusters
+        rows.append(
+            {
+                "env": env_name,
+                "local_jobs": clusters["local"].jobs_processed if "local" in clusters else 0,
+                "local_stolen": clusters["local"].jobs_stolen if "local" in clusters else 0,
+                "cloud_jobs": clusters["cloud"].jobs_processed if "cloud" in clusters else 0,
+                "cloud_stolen": clusters["cloud"].jobs_stolen if "cloud" in clusters else 0,
+            }
+        )
+    return rows
+
+
+def table2_rows(
+    results: Mapping[str, SimRunResult],
+    baseline: str = "env-local",
+) -> list[dict]:
+    """Overheads and slowdowns of the hybrid configurations (Table II)."""
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = results[baseline]
+    base_total = base.total_s
+    base_local_retrieval = (
+        base.stats.clusters["local"].retrieval_s if "local" in base.stats.clusters else 0.0
+    )
+    rows: list[dict] = []
+    for env_name, res in results.items():
+        if env_name == baseline or env_name == "env-cloud":
+            continue
+        local_ret = (
+            res.stats.clusters["local"].retrieval_s
+            if "local" in res.stats.clusters
+            else 0.0
+        )
+        slowdown = res.total_s - base_total
+        rows.append(
+            {
+                "env": env_name,
+                "global_reduction_s": round(res.stats.global_reduction_s, 2),
+                "idle_s": round(
+                    max(c.idle_s for c in res.stats.clusters.values()), 2
+                ),
+                "local_retrieval_delta_s": round(local_ret - base_local_retrieval, 2),
+                "total_slowdown_s": round(slowdown, 2),
+                "slowdown_pct": round(100.0 * slowdown / base_total, 2),
+            }
+        )
+    return rows
+
+
+def average_slowdown_pct(
+    per_app_results: Mapping[str, Mapping[str, SimRunResult]],
+    baseline: str = "env-local",
+) -> float:
+    """Mean slowdown over all hybrid cells of all apps (paper: 15.55%)."""
+    cells: list[float] = []
+    for results in per_app_results.values():
+        for row in table2_rows(results, baseline):
+            cells.append(row["slowdown_pct"])
+    if not cells:
+        raise ValueError("no hybrid cells found")
+    return sum(cells) / len(cells)
+
+
+def fig4_rows(results: Mapping[str, SimRunResult]) -> list[dict]:
+    """Scalability breakdown with per-doubling efficiency (Figure 4).
+
+    Efficiency of a configuration with twice the cores is
+    ``T_prev / (2 * T_curr)`` -- 100% means perfect halving.
+    """
+    rows: list[dict] = []
+    prev_total: float | None = None
+    for env_name, res in results.items():
+        total = res.total_s
+        efficiency = None
+        if prev_total is not None and total > 0:
+            efficiency = round(100.0 * prev_total / (2.0 * total), 1)
+        sync = max(c.sync_s for c in res.stats.clusters.values())
+        sync_pct = round(100.0 * sync / total, 2) if total else 0.0
+        row = {
+            "config": env_name,
+            "total_s": round(total, 2),
+            "sync_pct": sync_pct,
+            "efficiency_pct": efficiency,
+        }
+        for cname, c in res.stats.clusters.items():
+            row[f"{cname}_processing_s"] = round(c.processing_s, 2)
+            row[f"{cname}_retrieval_s"] = round(c.retrieval_s, 2)
+            row[f"{cname}_sync_s"] = round(c.sync_s, 2)
+        rows.append(row)
+        prev_total = total
+    return rows
+
+
+def rows_to_csv(rows: list[dict], path: str) -> None:
+    """Write a row list (as produced by the builders above) to CSV.
+
+    Columns are the union of keys across rows, ordered by first
+    appearance; missing cells are left empty.
+    """
+    import csv
+
+    headers: list[str] = []
+    for r in rows:
+        for k in r:
+            if k not in headers:
+                headers.append(k)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=headers, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    headers = list(rows[0])
+    cols = {h: [str(r.get(h, "")) for r in rows] for h in headers}
+    widths = {h: max(len(h), *(len(v) for v in cols[h])) for h in headers}
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[h]) for h in headers))
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for r in rows:
+        lines.append("  ".join(str(r.get(h, "")).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

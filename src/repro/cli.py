@@ -1,0 +1,256 @@
+"""Command-line interface.
+
+Exposes the reproduction's main entry points without writing Python::
+
+    python -m repro sweep --app knn            # Figure-3 environments
+    python -m repro scalability --app kmeans   # Figure-4 core doublings
+    python -m repro simulate --app pagerank --local-cores 16 \\
+        --cloud-cores 16 --local-fraction 0.33  # one configuration
+    python -m repro provision --app knn --local-cores 16 \\
+        --local-fraction 0.17 --deadline 60     # cost-aware sizing
+    python -m repro evaluate                    # every paper artifact
+    python -m repro demo                        # threaded wordcount demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import (
+    run_paper_sweep,
+    run_scalability_sweep,
+    simulate_environment,
+)
+from repro.bursting.report import (
+    average_slowdown_pct,
+    fig3_rows,
+    fig4_rows,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+from repro.cost.provisioning import (
+    cheapest_meeting_deadline,
+    fastest_within_budget,
+    pareto_frontier,
+    tradeoff_curve,
+)
+from repro.sim.calibration import APP_PROFILES
+
+__all__ = ["main", "build_parser"]
+
+PAPER_APPS = tuple(APP_PROFILES)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-intensive computing with cloud bursting (SC 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="run the Figure-3 environment sweep for one app")
+    p.add_argument("--app", choices=PAPER_APPS, required=True)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("scalability", help="run the Figure-4 core-doubling sweep")
+    p.add_argument("--app", choices=PAPER_APPS, required=True)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("simulate", help="simulate one custom configuration")
+    p.add_argument("--app", choices=PAPER_APPS, required=True)
+    p.add_argument("--local-cores", type=int, default=16)
+    p.add_argument("--cloud-cores", type=int, default=16)
+    p.add_argument("--local-fraction", type=float, default=0.5,
+                   help="fraction of dataset bytes stored locally (0..1)")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("provision", help="time/cost-aware cloud-core sizing")
+    p.add_argument("--app", choices=PAPER_APPS, required=True)
+    p.add_argument("--local-cores", type=int, default=16)
+    p.add_argument("--local-fraction", type=float, default=1 / 6)
+    p.add_argument("--deadline", type=float, default=None, help="seconds")
+    p.add_argument("--budget", type=float, default=None, help="US dollars")
+    p.add_argument("--options", type=int, nargs="+", default=[0, 4, 8, 16, 32, 64],
+                   help="candidate cloud core counts")
+
+    p = sub.add_parser("place", help="data-placement advisor for one app")
+    p.add_argument("--app", choices=PAPER_APPS, required=True)
+    p.add_argument("--local-cores", type=int, default=16)
+    p.add_argument("--cloud-cores", type=int, default=16)
+    p.add_argument("--objective", choices=("time", "cost"), default="time")
+
+    p = sub.add_parser("trace", help="ASCII Gantt timeline of one configuration")
+    p.add_argument("--app", choices=PAPER_APPS, required=True)
+    p.add_argument("--local-cores", type=int, default=8)
+    p.add_argument("--cloud-cores", type=int, default=8)
+    p.add_argument("--local-fraction", type=float, default=1 / 6)
+    p.add_argument("--width", type=int, default=96)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("evaluate", help="regenerate every paper table and figure")
+
+    p = sub.add_parser("demo", help="run the threaded wordcount quickstart")
+    p.add_argument("--tokens", type=int, default=100_000)
+    p.add_argument("--vocab", type=int, default=2_000)
+    return parser
+
+
+def _cmd_sweep(args) -> int:
+    results = run_paper_sweep(args.app, seed=args.seed)
+    print(format_table(fig3_rows(results), f"Figure 3 -- {args.app} breakdown"))
+    print()
+    print(format_table(table1_rows(results), f"Table I -- job assignment ({args.app})"))
+    print()
+    print(format_table(table2_rows(results), f"Table II -- slowdowns ({args.app})"))
+    return 0
+
+
+def _cmd_scalability(args) -> int:
+    results = run_scalability_sweep(args.app, seed=args.seed)
+    print(format_table(fig4_rows(results), f"Figure 4 -- {args.app} scalability"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if not 0.0 <= args.local_fraction <= 1.0:
+        print("error: --local-fraction must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.local_cores <= 0 and args.cloud_cores <= 0:
+        print("error: need at least one core somewhere", file=sys.stderr)
+        return 2
+    env = EnvironmentConfig(
+        "custom", args.local_fraction, args.local_cores, args.cloud_cores
+    )
+    res = simulate_environment(args.app, env, seed=args.seed)
+    print(format_table(
+        res.stats.breakdown_rows(),
+        f"{args.app}: {args.local_cores} local + {args.cloud_cores} cloud cores, "
+        f"{args.local_fraction:.0%} of data local",
+    ))
+    print(f"total: {res.total_s:.2f}s   "
+          f"global reduction: {res.stats.global_reduction_s:.2f}s   "
+          f"jobs stolen: {res.stats.jobs_stolen}")
+    return 0
+
+
+def _cmd_provision(args) -> int:
+    points = tradeoff_curve(
+        args.app,
+        local_cores=args.local_cores,
+        local_data_fraction=args.local_fraction,
+        cloud_core_options=args.options,
+    )
+    print(format_table([p.to_dict() for p in points], "time/cost trade-off"))
+    frontier = pareto_frontier(points)
+    print("\nPareto frontier:",
+          ", ".join(f"{p.cloud_cores}c/{p.time_s:.0f}s/${p.cost_usd:.2f}" for p in frontier))
+    if args.deadline is not None:
+        pick = cheapest_meeting_deadline(points, args.deadline)
+        if pick is None:
+            print(f"deadline {args.deadline:.0f}s: infeasible with these options")
+            return 1
+        print(f"deadline {args.deadline:.0f}s -> {pick.cloud_cores} cloud cores "
+              f"({pick.time_s:.1f}s, ${pick.cost_usd:.3f})")
+    if args.budget is not None:
+        pick = fastest_within_budget(points, args.budget)
+        if pick is None:
+            print(f"budget ${args.budget:.2f}: infeasible with these options")
+            return 1
+        print(f"budget ${args.budget:.2f} -> {pick.cloud_cores} cloud cores "
+              f"({pick.time_s:.1f}s, ${pick.cost_usd:.3f})")
+    return 0
+
+
+def _cmd_place(args) -> int:
+    from repro.cost.placement import best_placement, placement_curve
+
+    points = placement_curve(
+        args.app, local_cores=args.local_cores, cloud_cores=args.cloud_cores
+    )
+    print(format_table([p.to_dict() for p in points], "placement sweep"))
+    best = best_placement(points, objective=args.objective)
+    print(f"\nbest ({args.objective}): {best.local_fraction:.0%} of data local "
+          f"-> {best.time_s:.1f}s, ${best.cost.total_usd:.3f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.bursting.driver import paper_index
+    from repro.sim.calibration import ResourceParams
+    from repro.sim.simrun import simulate_run
+    from repro.sim.trace import Tracer, render_gantt
+
+    env = EnvironmentConfig(
+        "trace", args.local_fraction, args.local_cores, args.cloud_cores
+    )
+    profile = APP_PROFILES[args.app]
+    params = ResourceParams()
+    tracer = Tracer()
+    res = simulate_run(
+        paper_index(profile, env), env.clusters(params), profile, params,
+        seed=args.seed, tracer=tracer,
+    )
+    print(f"{args.app}: {res.total_s:.1f}s, {res.stats.jobs_stolen} stolen, "
+          f"utilization {tracer.utilization():.0%}\n")
+    print(render_gantt(tracer, width=args.width))
+    return 0
+
+
+def _cmd_evaluate(_args) -> int:
+    sweeps = {}
+    for app in PAPER_APPS:
+        sweeps[app] = run_paper_sweep(app)
+        print(format_table(fig3_rows(sweeps[app]), f"Figure 3 -- {app}"))
+        print()
+        print(format_table(table1_rows(sweeps[app]), f"Table I -- {app}"))
+        print()
+        print(format_table(table2_rows(sweeps[app]), f"Table II -- {app}"))
+        print()
+    for app in PAPER_APPS:
+        print(format_table(fig4_rows(run_scalability_sweep(app)), f"Figure 4 -- {app}"))
+        print()
+    print(f"Average hybrid slowdown: {average_slowdown_pct(sweeps):.2f}% (paper: 15.55%)")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.apps.wordcount import WordCountSpec, wordcount_exact
+    from repro.bursting.driver import run_threaded_bursting
+    from repro.data.generator import generate_tokens
+    from repro.storage.local import MemoryStore
+    from repro.storage.s3 import SimulatedS3Store
+
+    tokens = generate_tokens(args.tokens, args.vocab, seed=7)
+    stores = {"local": MemoryStore("local"), "cloud": SimulatedS3Store()}
+    rr = run_threaded_bursting(WordCountSpec(), tokens, stores, local_fraction=0.5)
+    ok = rr.result == wordcount_exact(tokens)
+    print(f"wordcount over {args.tokens} tokens across 2 sites: "
+          f"{'OK' if ok else 'MISMATCH'}; "
+          f"{rr.stats.jobs_processed} jobs ({rr.stats.jobs_stolen} stolen), "
+          f"{rr.stats.total_s:.3f}s wall")
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "scalability": _cmd_scalability,
+    "simulate": _cmd_simulate,
+    "provision": _cmd_provision,
+    "place": _cmd_place,
+    "trace": _cmd_trace,
+    "evaluate": _cmd_evaluate,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Core processing APIs: generalized reduction and MapReduce specs."""
+
+from repro.core.api import GeneralizedReductionSpec, run_local_pass
+from repro.core.combiners import COMBINERS, get_combiner, register_combiner
+from repro.core.mapreduce_api import MapReduceSpec
+from repro.core.reduction_object import (
+    ArrayReductionObject,
+    DictReductionObject,
+    ReductionObject,
+    TopKReductionObject,
+)
+from repro.core.stats_objects import HistogramReductionObject, MomentsReductionObject
+from repro.core.serialization import deserialize_robj, serialize_robj, serialized_nbytes
+
+__all__ = [
+    "GeneralizedReductionSpec",
+    "run_local_pass",
+    "COMBINERS",
+    "get_combiner",
+    "register_combiner",
+    "MapReduceSpec",
+    "ArrayReductionObject",
+    "DictReductionObject",
+    "ReductionObject",
+    "TopKReductionObject",
+    "HistogramReductionObject",
+    "MomentsReductionObject",
+    "deserialize_robj",
+    "serialize_robj",
+    "serialized_nbytes",
+]

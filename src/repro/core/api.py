@@ -1,0 +1,89 @@
+"""The Generalized Reduction processing API.
+
+An application implements three pieces (Section III-A of the paper):
+
+* **Reduction Object** -- the accumulator, declared via
+  :meth:`GeneralizedReductionSpec.create_reduction_object`;
+* **Local Reduction** -- ``proc(e)``: process a group of data units and
+  fold them into the object immediately.  The result must be independent
+  of the order in which units are processed (the runtime decides order);
+* **Global Reduction** -- merge the per-worker/per-cluster objects into
+  one, by default via pairwise :meth:`ReductionObject.merge`.
+
+Compared to MapReduce-with-combine this fuses map, combine, and reduce
+per element, avoiding intermediate (key, value) buffers, sorting,
+grouping, and shuffling -- critical under scarce inter-cluster bandwidth.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.reduction_object import ReductionObject
+from repro.data.formats import RecordFormat
+
+__all__ = ["GeneralizedReductionSpec", "run_local_pass"]
+
+
+class GeneralizedReductionSpec(abc.ABC):
+    """User-facing specification of a generalized-reduction computation."""
+
+    #: Binary layout of the data units this application consumes.
+    fmt: RecordFormat
+
+    @abc.abstractmethod
+    def create_reduction_object(self) -> ReductionObject:
+        """Declare a fresh (identity-valued) reduction object."""
+
+    @abc.abstractmethod
+    def local_reduction(self, robj: ReductionObject, unit_group: np.ndarray) -> None:
+        """Process one group of data units, updating ``robj`` in place.
+
+        Implementations must be vectorized over the group and
+        order-independent across groups.
+        """
+
+    def global_reduction(self, robjs: Sequence[ReductionObject]) -> ReductionObject:
+        """Merge reduction objects from all workers into one.
+
+        The default pairwise-merge suits any commutative/associative
+        ``merge``; applications may override (e.g. to renormalize).
+        """
+        if not robjs:
+            return self.create_reduction_object()
+        result = robjs[0]
+        for other in robjs[1:]:
+            result.merge(other)
+        return result
+
+    def finalize(self, robj: ReductionObject):
+        """Turn the merged object into the user-facing result."""
+        return robj.value()
+
+    # -- cost hints for the performance model -------------------------------
+    #: Seconds of CPU per data unit on the reference core (calibrated).
+    compute_s_per_unit: float = 1e-6
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} fmt={getattr(self, 'fmt', None)!r}>"
+
+
+def run_local_pass(
+    spec: GeneralizedReductionSpec,
+    unit_groups: Iterable[np.ndarray],
+    robj: ReductionObject | None = None,
+) -> ReductionObject:
+    """Sequentially apply local reduction over an iterable of groups.
+
+    This is the single-worker reference executor; the threaded runtime
+    and the simulator both reduce to many concurrent invocations of this
+    loop followed by a global reduction.
+    """
+    if robj is None:
+        robj = spec.create_reduction_object()
+    for group in unit_groups:
+        spec.local_reduction(robj, group)
+    return robj

@@ -1,0 +1,71 @@
+"""Library of common global-combination functions.
+
+"A user can choose from one of the several common combination functions
+already implemented in the generalized reduction system library (such as
+aggregation, concatenation, etc.), or they can provide one of their
+own."  Combiners here operate on pairs of plain values and are used by
+:class:`~repro.core.reduction_object.DictReductionObject` and by custom
+global reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["get_combiner", "register_combiner", "COMBINERS"]
+
+
+def _sum(a, b):
+    return a + b
+
+
+def _min(a, b):
+    return a if a <= b else b
+
+
+def _max(a, b):
+    return a if a >= b else b
+
+
+def _concat(a, b):
+    return list(a) + list(b)
+
+
+def _mean(a, b):
+    """Combine ``(total, count)`` pairs; finalize as ``total / count``."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _count(a, b):
+    return a + b
+
+
+COMBINERS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _sum,
+    "min": _min,
+    "max": _max,
+    "concat": _concat,
+    "mean": _mean,
+    "count": _count,
+}
+
+
+def register_combiner(name: str, fn: Callable[[Any, Any], Any]) -> None:
+    """Add a user-provided combiner to the registry.
+
+    Re-registering an existing name raises so library combiners cannot be
+    silently shadowed.
+    """
+    if name in COMBINERS:
+        raise ValueError(f"combiner {name!r} already registered")
+    COMBINERS[name] = fn
+
+
+def get_combiner(name: str) -> Callable[[Any, Any], Any]:
+    """Look up a combiner by name."""
+    try:
+        return COMBINERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown combiner {name!r}; available: {sorted(COMBINERS)}"
+        ) from None

@@ -1,0 +1,66 @@
+"""The classic MapReduce API (baseline for comparison).
+
+The paper contrasts generalized reduction with MapReduce both without and
+with the optional ``combine`` function (Figure 1).  This module defines
+the spec the baseline engine in :mod:`repro.mapreduce` executes, so the
+two programming models can be benchmarked on identical substrates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.formats import RecordFormat
+
+__all__ = ["MapReduceSpec"]
+
+KV = tuple[Hashable, Any]
+
+
+class MapReduceSpec(abc.ABC):
+    """User-facing map/combine/reduce specification."""
+
+    #: Binary layout of the input data units.
+    fmt: RecordFormat
+
+    @abc.abstractmethod
+    def map(self, unit_group: np.ndarray) -> Iterator[KV]:
+        """Emit (key, value) pairs for a group of input units."""
+
+    def combine(self, key: Hashable, values: Sequence[Any]) -> Any:
+        """Optionally pre-reduce a mapper-local buffer of values.
+
+        The default raises; the engine only calls this when the spec
+        advertises ``has_combiner``.
+        """
+        raise NotImplementedError("spec does not define a combiner")
+
+    @abc.abstractmethod
+    def reduce(self, key: Hashable, values: Sequence[Any]) -> Any:
+        """Merge all values of ``key`` into the final output value."""
+
+    @property
+    def has_combiner(self) -> bool:
+        """Whether the engine should run the combine stage."""
+        return type(self).combine is not MapReduceSpec.combine
+
+    def value_nbytes(self, value: Any) -> int:
+        """Approximate wire size of one value (for shuffle accounting)."""
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            return 8
+        if isinstance(value, np.ndarray):
+            return int(value.nbytes)
+        if isinstance(value, (tuple, list)):
+            return sum(self.value_nbytes(v) for v in value)
+        return 16
+
+    def pair_nbytes(self, key: Hashable, value: Any) -> int:
+        """Approximate wire size of one (key, value) pair."""
+        return 8 + self.value_nbytes(value)
+
+    def finalize(self, output: dict) -> Any:
+        """Post-process the reduced key -> value dictionary."""
+        return output

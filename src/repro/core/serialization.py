@@ -1,0 +1,36 @@
+"""Reduction-object serialization.
+
+Inter-cluster global reduction physically moves reduction objects from
+each master to the head node, so serialized size is a first-class
+quantity (it is the whole reason PageRank's sync time balloons).  The
+threaded runtime ships real pickled bytes; the simulator charges
+``robj.nbytes`` against the WAN model.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.core.reduction_object import ReductionObject
+
+__all__ = ["serialize_robj", "deserialize_robj", "serialized_nbytes"]
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def serialize_robj(robj: ReductionObject) -> bytes:
+    """Pickle a reduction object for transport."""
+    return pickle.dumps(robj, protocol=_PROTOCOL)
+
+
+def deserialize_robj(data: bytes) -> ReductionObject:
+    """Inverse of :func:`serialize_robj`."""
+    obj = pickle.loads(data)
+    if not isinstance(obj, ReductionObject):
+        raise TypeError(f"payload is {type(obj).__name__}, not a ReductionObject")
+    return obj
+
+
+def serialized_nbytes(robj: ReductionObject) -> int:
+    """Actual wire size of the object (may exceed ``robj.nbytes``)."""
+    return len(serialize_robj(robj))

@@ -1,0 +1,153 @@
+"""Statistical reduction objects: histograms and running moments.
+
+Two further accumulators in the spirit of the paper's "common
+combination functions already implemented in the generalized reduction
+system library": a fixed-bin histogram and a per-column moments sketch
+(count / mean / M2 / min / max, merged with the parallel Welford-Chan
+update).  Both satisfy the merge contract (commutative, associative,
+order-independent) and are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.reduction_object import ReductionObject
+
+__all__ = ["HistogramReductionObject", "MomentsReductionObject"]
+
+
+class HistogramReductionObject(ReductionObject):
+    """Fixed-edge histogram with under/overflow bins.
+
+    ``edges`` are the ``n_bins + 1`` monotonically increasing bin
+    boundaries; values outside ``[edges[0], edges[-1])`` land in the
+    dedicated underflow/overflow counters so no sample is ever dropped
+    silently.
+    """
+
+    def __init__(self, edges: np.ndarray) -> None:
+        edges = np.asarray(edges, dtype=np.float64)
+        if edges.ndim != 1 or len(edges) < 2:
+            raise ValueError("edges must be a 1-D array of at least two boundaries")
+        if not np.all(np.diff(edges) > 0):
+            raise ValueError("edges must be strictly increasing")
+        self.edges = edges
+        self.counts = np.zeros(len(edges) - 1, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of samples in (vectorized)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        self.underflow += int((values < self.edges[0]).sum())
+        self.overflow += int((values >= self.edges[-1]).sum())
+        inside = values[(values >= self.edges[0]) & (values < self.edges[-1])]
+        if inside.size:
+            idx = np.searchsorted(self.edges, inside, side="right") - 1
+            self.counts += np.bincount(idx, minlength=len(self.counts))
+
+    def merge(self, other: ReductionObject) -> None:
+        if not isinstance(other, HistogramReductionObject):
+            raise TypeError("can only merge a HistogramReductionObject")
+        if not np.array_equal(other.edges, self.edges):
+            raise ValueError("cannot merge histograms with different edges")
+        self.counts += other.counts
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+
+    def copy_empty(self) -> "HistogramReductionObject":
+        return HistogramReductionObject(self.edges)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.counts.nbytes + self.edges.nbytes + 16)
+
+    def value(self) -> dict[str, Any]:
+        return {
+            "edges": self.edges.copy(),
+            "counts": self.counts.copy(),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+
+class MomentsReductionObject(ReductionObject):
+    """Per-column count / mean / M2 / min / max, mergeable exactly.
+
+    Uses the Chan-Golub-LeVeque pairwise update so merging partial
+    results from many workers is numerically stable: variance computed
+    from the merged object equals (to rounding) the single-pass answer.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.count = 0.0
+        self.mean = np.zeros(dim)
+        self.m2 = np.zeros(dim)
+        self.min = np.full(dim, np.inf)
+        self.max = np.full(dim, -np.inf)
+
+    def update(self, rows: np.ndarray) -> None:
+        """Fold a batch of ``(n, dim)`` rows in (vectorized)."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) rows, got {rows.shape}")
+        n = rows.shape[0]
+        if n == 0:
+            return
+        batch_mean = rows.mean(axis=0)
+        batch_m2 = ((rows - batch_mean) ** 2).sum(axis=0)
+        self._combine(n, batch_mean, batch_m2)
+        np.minimum(self.min, rows.min(axis=0), out=self.min)
+        np.maximum(self.max, rows.max(axis=0), out=self.max)
+
+    def _combine(self, n_b: float, mean_b: np.ndarray, m2_b: np.ndarray) -> None:
+        n_a = self.count
+        n = n_a + n_b
+        delta = mean_b - self.mean
+        self.mean += delta * (n_b / n)
+        self.m2 += m2_b + delta**2 * (n_a * n_b / n)
+        self.count = n
+
+    def merge(self, other: ReductionObject) -> None:
+        if not isinstance(other, MomentsReductionObject) or other.dim != self.dim:
+            raise TypeError("can only merge a matching MomentsReductionObject")
+        if other.count > 0:
+            self._combine(other.count, other.mean, other.m2)
+        np.minimum(self.min, other.min, out=self.min)
+        np.maximum(self.max, other.max, out=self.max)
+
+    def copy_empty(self) -> "MomentsReductionObject":
+        return MomentsReductionObject(self.dim)
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Population variance per column (NaN when empty)."""
+        if self.count == 0:
+            return np.full(self.dim, np.nan)
+        return self.m2 / self.count
+
+    @property
+    def nbytes(self) -> int:
+        return int(8 + self.mean.nbytes + self.m2.nbytes + self.min.nbytes + self.max.nbytes)
+
+    def value(self) -> dict[str, Any]:
+        return {
+            "count": int(self.count),
+            "mean": self.mean.copy(),
+            "variance": self.variance,
+            "std": np.sqrt(np.maximum(self.variance, 0.0)),
+            "min": self.min.copy(),
+            "max": self.max.copy(),
+        }

@@ -1,0 +1,45 @@
+"""Time/cost-sensitive bursting: pricing, accounting, provisioning."""
+
+from repro.cost.accounting import CostReport, cost_of_run
+from repro.cost.instances import (
+    EC2_CATALOG_2011,
+    InstanceChoice,
+    InstanceType,
+    cheapest_instances_for_deadline,
+    instance_tradeoff,
+)
+from repro.cost.placement import PlacementPoint, best_placement, placement_curve
+from repro.cost.pricing import PricingModel
+from repro.cost.spot import SpotMarket, SpotSummary, SpotTrial, spot_analysis
+from repro.cost.provisioning import (
+    DEFAULT_CLOUD_CORE_OPTIONS,
+    ProvisioningPoint,
+    cheapest_meeting_deadline,
+    fastest_within_budget,
+    pareto_frontier,
+    tradeoff_curve,
+)
+
+__all__ = [
+    "CostReport",
+    "cost_of_run",
+    "PricingModel",
+    "EC2_CATALOG_2011",
+    "InstanceChoice",
+    "InstanceType",
+    "cheapest_instances_for_deadline",
+    "instance_tradeoff",
+    "PlacementPoint",
+    "best_placement",
+    "placement_curve",
+    "DEFAULT_CLOUD_CORE_OPTIONS",
+    "ProvisioningPoint",
+    "cheapest_meeting_deadline",
+    "fastest_within_budget",
+    "pareto_frontier",
+    "tradeoff_curve",
+    "SpotMarket",
+    "SpotSummary",
+    "SpotTrial",
+    "spot_analysis",
+]

@@ -1,0 +1,88 @@
+"""Cost accounting for simulated bursting runs.
+
+Derives the billable quantities of one execution from its
+:class:`~repro.sim.simrun.SimRunResult`, the environment, and the
+application profile:
+
+* **compute**: cloud instance-hours for the run's duration;
+* **requests**: one ranged GET per retrieval thread per S3-resident job
+  (multi-threaded retrieval literally multiplies the request bill);
+* **egress**: bytes leaving AWS -- chunks stolen by the local cluster
+  plus the cloud master's reduction-object upload to a local head node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bursting.config import EnvironmentConfig
+from repro.cost.pricing import PricingModel
+from repro.sim.calibration import AppSimProfile, PAPER_DATASET_NBYTES, PAPER_N_JOBS
+from repro.sim.simrun import SimRunResult
+
+__all__ = ["CostReport", "cost_of_run"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Dollar breakdown of one run."""
+
+    compute_usd: float
+    requests_usd: float
+    egress_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.requests_usd + self.egress_usd
+
+    def to_dict(self) -> dict:
+        return {
+            "compute_usd": round(self.compute_usd, 4),
+            "requests_usd": round(self.requests_usd, 4),
+            "egress_usd": round(self.egress_usd, 4),
+            "total_usd": round(self.total_usd, 4),
+        }
+
+
+def cost_of_run(
+    result: SimRunResult,
+    env: EnvironmentConfig,
+    profile: AppSimProfile,
+    pricing: PricingModel = PricingModel(),
+    *,
+    retrieval_threads: int = 8,
+) -> CostReport:
+    """Price one simulated execution.
+
+    S3-resident jobs processed by the cloud cluster are intra-AWS
+    (free transfer, billed requests); jobs stolen by the local cluster
+    pay both requests and egress.  The reduction object crosses out of
+    AWS only when a local head exists (hybrid and all-local setups).
+    """
+    if retrieval_threads <= 0:
+        raise ValueError("retrieval_threads must be positive")
+    clusters = result.stats.clusters
+    chunk_nbytes = PAPER_DATASET_NBYTES / PAPER_N_JOBS
+
+    compute = pricing.compute_cost(env.cloud_cores, result.total_s)
+
+    # Jobs fetched from S3: everything except local-cluster local jobs.
+    local = clusters.get("local")
+    cloud = clusters.get("cloud")
+    s3_jobs = 0
+    egress_bytes = 0.0
+    if cloud is not None:
+        # Cloud's non-stolen jobs came from S3 (its own site's store).
+        s3_jobs += cloud.jobs_processed - cloud.jobs_stolen
+    if local is not None:
+        # Local's stolen jobs are S3 reads crossing out of AWS.
+        s3_jobs += local.jobs_stolen
+        egress_bytes += local.jobs_stolen * chunk_nbytes
+    requests = pricing.request_cost(s3_jobs * retrieval_threads)
+
+    # Reduction object leaves AWS iff the head sits at the local cluster.
+    if cloud is not None and local is not None:
+        egress_bytes += profile.robj_nbytes
+    egress = pricing.egress_cost(egress_bytes)
+
+    return CostReport(compute_usd=compute, requests_usd=requests, egress_usd=egress)

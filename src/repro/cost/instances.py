@@ -1,0 +1,151 @@
+"""Instance-type selection.
+
+2011-era EC2 offered several instance families with different
+core counts, per-core speeds (ECUs), and hourly prices; the paper used
+m1.large.  This module extends provisioning to the *type* axis: given a
+catalog, simulate each (type, count) candidate and pick the cheapest
+configuration meeting a deadline -- quantifying, e.g., whether slower
+m1.small cores or faster cluster-compute cores are the better deal for
+a given workload mix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bursting.driver import paper_index
+from repro.bursting.config import EnvironmentConfig
+from repro.cost.pricing import PricingModel
+from repro.sim.calibration import APP_PROFILES, ResourceParams
+from repro.sim.simrun import SimClusterConfig, simulate_run
+
+__all__ = [
+    "InstanceType",
+    "EC2_CATALOG_2011",
+    "InstanceChoice",
+    "instance_tradeoff",
+    "cheapest_instances_for_deadline",
+]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One rentable instance family."""
+
+    name: str
+    cores: int
+    core_speed: float      # relative to a local cluster core
+    price_hour_usd: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.core_speed <= 0 or self.price_hour_usd < 0:
+            raise ValueError(f"invalid instance type {self.name!r}")
+
+    @property
+    def throughput(self) -> float:
+        """Local-core equivalents this instance provides."""
+        return self.cores * self.core_speed
+
+    @property
+    def usd_per_equiv_hour(self) -> float:
+        """Price per local-core-equivalent hour (efficiency metric)."""
+        return self.price_hour_usd / self.throughput
+
+
+#: Late-2011 us-east on-demand prices, speeds as local-Xeon fractions.
+EC2_CATALOG_2011: tuple[InstanceType, ...] = (
+    InstanceType("m1.small", cores=1, core_speed=0.40, price_hour_usd=0.085),
+    InstanceType("m1.large", cores=2, core_speed=16 / 22, price_hour_usd=0.34),
+    InstanceType("m1.xlarge", cores=4, core_speed=16 / 22, price_hour_usd=0.68),
+    InstanceType("c1.xlarge", cores=8, core_speed=0.90, price_hour_usd=0.68),
+    InstanceType("cc1.4xlarge", cores=8, core_speed=1.00, price_hour_usd=1.30),
+)
+
+
+@dataclass(frozen=True)
+class InstanceChoice:
+    """One simulated (type, count) candidate."""
+
+    itype: InstanceType
+    count: int
+    time_s: float
+    compute_usd: float
+
+    @property
+    def cloud_cores(self) -> int:
+        return self.itype.cores * self.count
+
+    def to_dict(self) -> dict:
+        return {
+            "instance": self.itype.name,
+            "count": self.count,
+            "cloud_cores": self.cloud_cores,
+            "time_s": round(self.time_s, 1),
+            "compute_usd": round(self.compute_usd, 3),
+        }
+
+
+def instance_tradeoff(
+    app: str,
+    *,
+    local_cores: int,
+    local_data_fraction: float,
+    catalog: Sequence[InstanceType] = EC2_CATALOG_2011,
+    counts: Sequence[int] = (2, 4, 8, 16),
+    params: ResourceParams | None = None,
+    pricing: PricingModel = PricingModel(),
+    retrieval_threads: int = 8,
+    seed: int = 0,
+) -> list[InstanceChoice]:
+    """Simulate every (instance type, count) candidate and price it."""
+    if not catalog or not counts:
+        raise ValueError("catalog and counts must be non-empty")
+    profile = APP_PROFILES[app]
+    params = params or ResourceParams()
+    choices: list[InstanceChoice] = []
+    for itype in catalog:
+        for count in sorted(set(counts)):
+            if count <= 0:
+                raise ValueError("instance counts must be positive")
+            env = EnvironmentConfig(
+                f"{itype.name}x{count}", local_data_fraction,
+                local_cores, itype.cores * count,
+            )
+            index = paper_index(profile, env)
+            clusters = []
+            if local_cores > 0:
+                clusters.append(
+                    SimClusterConfig(
+                        "local", "local", local_cores,
+                        core_speed=params.local_core_speed,
+                        retrieval_threads=retrieval_threads,
+                    )
+                )
+            clusters.append(
+                SimClusterConfig(
+                    "cloud", "cloud", itype.cores * count,
+                    core_speed=itype.core_speed,
+                    retrieval_threads=retrieval_threads,
+                )
+            )
+            res = simulate_run(index, clusters, profile, params, seed=seed)
+            hours = res.total_s / 3600.0
+            billed = math.ceil(hours / pricing.billing_quantum_h) * pricing.billing_quantum_h
+            choices.append(
+                InstanceChoice(itype, count, res.total_s, count * billed * itype.price_hour_usd)
+            )
+    return choices
+
+
+def cheapest_instances_for_deadline(
+    choices: Sequence[InstanceChoice], deadline_s: float
+) -> InstanceChoice | None:
+    """Cheapest candidate finishing within the deadline (None if none)."""
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    feasible = [c for c in choices if c.time_s <= deadline_s]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda c: (c.compute_usd, c.time_s))

@@ -1,0 +1,82 @@
+"""Data-placement advisor.
+
+The paper observes that "the proportion of data distribution and
+allocated throughput are important parameters" and that "having a
+perfect distribution would likely minimize the total slowdown".  This
+module searches the placement axis: for a fixed compute configuration,
+simulate a grid of local-data fractions and report the one minimizing
+execution time (or dollar cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import simulate_environment
+from repro.cost.accounting import CostReport, cost_of_run
+from repro.cost.pricing import PricingModel
+from repro.sim.calibration import APP_PROFILES, ResourceParams
+
+__all__ = ["PlacementPoint", "placement_curve", "best_placement"]
+
+DEFAULT_FRACTIONS = (0.0, 1 / 6, 1 / 3, 0.5, 2 / 3, 5 / 6, 1.0)
+
+
+@dataclass(frozen=True)
+class PlacementPoint:
+    """One evaluated data distribution."""
+
+    local_fraction: float
+    time_s: float
+    cost: CostReport
+    env: EnvironmentConfig
+
+    def to_dict(self) -> dict:
+        d = {
+            "local_fraction": round(self.local_fraction, 3),
+            "time_s": round(self.time_s, 2),
+        }
+        d.update(self.cost.to_dict())
+        return d
+
+
+def placement_curve(
+    app: str,
+    *,
+    local_cores: int,
+    cloud_cores: int,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    params: ResourceParams | None = None,
+    pricing: PricingModel = PricingModel(),
+    seed: int = 0,
+) -> list[PlacementPoint]:
+    """Simulate each candidate local-data fraction and price it."""
+    if not fractions:
+        raise ValueError("need at least one candidate fraction")
+    profile = APP_PROFILES[app]
+    params = params or ResourceParams()
+    points = []
+    for frac in sorted(set(fractions)):
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError(f"fraction {frac} outside [0, 1]")
+        env = EnvironmentConfig(f"place-{frac:.2f}", frac, local_cores, cloud_cores)
+        result = simulate_environment(app, env, params, seed=seed)
+        points.append(
+            PlacementPoint(frac, result.total_s, cost_of_run(result, env, profile, pricing), env)
+        )
+    return points
+
+
+def best_placement(
+    points: Sequence[PlacementPoint], *, objective: str = "time"
+) -> PlacementPoint:
+    """The point minimizing ``objective`` ("time" or "cost")."""
+    if not points:
+        raise ValueError("no placement points to choose from")
+    if objective == "time":
+        return min(points, key=lambda p: (p.time_s, p.cost.total_usd))
+    if objective == "cost":
+        return min(points, key=lambda p: (p.cost.total_usd, p.time_s))
+    raise ValueError(f"unknown objective {objective!r}")

@@ -1,0 +1,86 @@
+"""Cloud pricing model (pay-as-you-go, circa the paper).
+
+The paper motivates bursting with the pay-as-you-go economics of EC2/S3
+and closes by noting bursting "can allow flexibility in combining
+limited local resources with pay-as-you-go cloud resources"; the
+authors' follow-up work makes the time/cost trade-off explicit.  This
+module prices a simulated run under the 2011-era AWS model:
+
+* EC2 instances billed per (partial) instance-hour;
+* S3 GET requests billed per request;
+* data transfer *out* of AWS billed per GB (inbound and intra-AWS free) --
+  which is exactly the traffic work stealing by the local cluster and
+  reduction-object uploads to a local head node generate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PricingModel"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """AWS-style price book.  Defaults mirror late-2011 us-east prices."""
+
+    #: $ per instance-hour (m1.large was $0.34).
+    instance_hour_usd: float = 0.34
+    #: Cores per instance (m1.large: 2 virtual cores).
+    cores_per_instance: int = 2
+    #: Minimum billed granularity in hours (EC2 billed whole hours).
+    billing_quantum_h: float = 1.0
+    #: $ per 1,000 GET requests (S3: $0.01 per 10,000 -> 0.001 per 1k).
+    s3_get_per_1k_usd: float = 0.001
+    #: $ per GB transferred out of AWS ($0.12 first tiers).
+    egress_per_gb_usd: float = 0.12
+    #: $ per GB-month of S3 storage ($0.14 standard).
+    s3_storage_gb_month_usd: float = 0.14
+
+    def __post_init__(self) -> None:
+        if self.cores_per_instance <= 0:
+            raise ValueError("cores_per_instance must be positive")
+        if self.billing_quantum_h <= 0:
+            raise ValueError("billing_quantum_h must be positive")
+        if min(
+            self.instance_hour_usd,
+            self.s3_get_per_1k_usd,
+            self.egress_per_gb_usd,
+            self.s3_storage_gb_month_usd,
+        ) < 0:
+            raise ValueError("prices must be non-negative")
+
+    def instances_for(self, cores: int) -> int:
+        """Instances needed to host ``cores`` cores."""
+        if cores < 0:
+            raise ValueError("cores must be non-negative")
+        return math.ceil(cores / self.cores_per_instance)
+
+    def compute_cost(self, cloud_cores: int, duration_s: float) -> float:
+        """EC2 bill for a run of ``duration_s`` on ``cloud_cores`` cores."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if cloud_cores == 0 or duration_s == 0:
+            return 0.0
+        hours = duration_s / 3600.0
+        billed = math.ceil(hours / self.billing_quantum_h) * self.billing_quantum_h
+        return self.instances_for(cloud_cores) * billed * self.instance_hour_usd
+
+    def request_cost(self, n_gets: int) -> float:
+        """S3 request bill."""
+        if n_gets < 0:
+            raise ValueError("n_gets must be non-negative")
+        return (n_gets / 1000.0) * self.s3_get_per_1k_usd
+
+    def egress_cost(self, nbytes: float) -> float:
+        """Data-transfer-out bill."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return (nbytes / float(1 << 30)) * self.egress_per_gb_usd
+
+    def storage_cost(self, nbytes: float, days: float) -> float:
+        """S3 storage bill for holding ``nbytes`` for ``days``."""
+        if nbytes < 0 or days < 0:
+            raise ValueError("nbytes and days must be non-negative")
+        return (nbytes / float(1 << 30)) * self.s3_storage_gb_month_usd * (days / 30.0)

@@ -1,0 +1,127 @@
+"""Time/cost-sensitive provisioning.
+
+Answers the operational questions cloud bursting raises, using the
+simulator as the performance oracle:
+
+* *"My deadline is T seconds -- how many cloud cores do I rent?"*
+  (:func:`cheapest_meeting_deadline`)
+* *"My budget is $B -- how fast can I get the answer?"*
+  (:func:`fastest_within_budget`)
+* *"Show me the whole trade-off."* (:func:`tradeoff_curve`,
+  :func:`pareto_frontier`)
+
+This realizes the paper's closing motivation ("avoid over-provisioning
+of base resources, while still providing users better response time")
+and the authors' follow-up work on time/cost-constrained execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import simulate_environment
+from repro.cost.accounting import CostReport, cost_of_run
+from repro.cost.pricing import PricingModel
+from repro.sim.calibration import APP_PROFILES, ResourceParams
+
+__all__ = [
+    "ProvisioningPoint",
+    "tradeoff_curve",
+    "pareto_frontier",
+    "cheapest_meeting_deadline",
+    "fastest_within_budget",
+]
+
+DEFAULT_CLOUD_CORE_OPTIONS = (0, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class ProvisioningPoint:
+    """One evaluated configuration on the time/cost plane."""
+
+    cloud_cores: int
+    time_s: float
+    cost: CostReport
+    env: EnvironmentConfig
+
+    @property
+    def cost_usd(self) -> float:
+        return self.cost.total_usd
+
+    def to_dict(self) -> dict:
+        d = {"cloud_cores": self.cloud_cores, "time_s": round(self.time_s, 2)}
+        d.update(self.cost.to_dict())
+        return d
+
+
+def tradeoff_curve(
+    app: str,
+    *,
+    local_cores: int,
+    local_data_fraction: float,
+    cloud_core_options: Sequence[int] = DEFAULT_CLOUD_CORE_OPTIONS,
+    params: ResourceParams | None = None,
+    pricing: PricingModel = PricingModel(),
+    seed: int = 0,
+) -> list[ProvisioningPoint]:
+    """Simulate each candidate cloud-core count and price it.
+
+    A candidate is skipped when it cannot process the dataset at all
+    (no cores anywhere, or cloud-resident data with zero cores at both
+    sites cannot happen since local cores always exist in practice).
+    """
+    profile = APP_PROFILES[app]
+    params = params or ResourceParams()
+    points: list[ProvisioningPoint] = []
+    for cloud_cores in sorted(set(cloud_core_options)):
+        if local_cores == 0 and cloud_cores == 0:
+            continue
+        env = EnvironmentConfig(
+            f"prov-{cloud_cores}", local_data_fraction, local_cores, cloud_cores
+        )
+        result = simulate_environment(app, env, params, seed=seed)
+        report = cost_of_run(result, env, profile, pricing)
+        points.append(
+            ProvisioningPoint(cloud_cores, result.total_s, report, env)
+        )
+    if not points:
+        raise ValueError("no feasible configurations to evaluate")
+    return points
+
+
+def pareto_frontier(points: Sequence[ProvisioningPoint]) -> list[ProvisioningPoint]:
+    """Configurations not dominated in (time, cost), sorted by time."""
+    ordered = sorted(points, key=lambda p: (p.time_s, p.cost_usd))
+    frontier: list[ProvisioningPoint] = []
+    best_cost = float("inf")
+    for p in ordered:
+        if p.cost_usd < best_cost - 1e-12:
+            frontier.append(p)
+            best_cost = p.cost_usd
+    return frontier
+
+
+def cheapest_meeting_deadline(
+    points: Sequence[ProvisioningPoint], deadline_s: float
+) -> ProvisioningPoint | None:
+    """Cheapest configuration finishing within ``deadline_s`` (None if none)."""
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    feasible = [p for p in points if p.time_s <= deadline_s]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda p: (p.cost_usd, p.time_s))
+
+
+def fastest_within_budget(
+    points: Sequence[ProvisioningPoint], budget_usd: float
+) -> ProvisioningPoint | None:
+    """Fastest configuration costing at most ``budget_usd`` (None if none)."""
+    if budget_usd < 0:
+        raise ValueError("budget must be non-negative")
+    feasible = [p for p in points if p.cost_usd <= budget_usd]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda p: (p.time_s, p.cost_usd))

@@ -1,0 +1,159 @@
+"""Spot-instance analysis: cheap capacity that can vanish mid-run.
+
+EC2's spot market (launched 2009) rents spare capacity at a steep
+discount but may revoke instances at any moment -- the classic
+follow-up question for bursting middleware (cf. the "AMAZING" optimal
+spot-bidding line of work).  Because this middleware already tolerates
+worker loss (the head reassigns in-flight jobs and survivors absorb the
+load), spot revocation is *graceful degradation*, and the interesting
+question becomes statistical: over the revocation distribution, what do
+time and cost look like versus on-demand?
+
+``spot_analysis`` Monte-Carlos revocation times through the simulator's
+failure machinery and summarizes the time/cost distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import paper_index
+from repro.cost.pricing import PricingModel
+from repro.sim.calibration import APP_PROFILES, ResourceParams
+from repro.sim.simrun import FailureSpec, simulate_run
+
+__all__ = ["SpotMarket", "SpotTrial", "SpotSummary", "spot_analysis"]
+
+
+@dataclass(frozen=True)
+class SpotMarket:
+    """Spot price and revocation behaviour.
+
+    ``discount`` scales the on-demand instance price; revocations
+    arrive as a Poisson process with ``revocation_rate_per_hour`` per
+    *fleet* (a revocation takes out ``revocation_fraction`` of the spot
+    cores at once, modelling a price spike clearing part of the bid).
+    """
+
+    discount: float = 0.3
+    revocation_rate_per_hour: float = 1.0
+    revocation_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.discount <= 1:
+            raise ValueError("discount must be in (0, 1]")
+        if self.revocation_rate_per_hour < 0:
+            raise ValueError("revocation rate must be non-negative")
+        if not 0 < self.revocation_fraction <= 1:
+            raise ValueError("revocation_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SpotTrial:
+    """One Monte-Carlo outcome."""
+
+    time_s: float
+    cost_usd: float
+    revoked_cores: int
+    revocation_time_s: float | None
+
+
+@dataclass(frozen=True)
+class SpotSummary:
+    """Distribution summary plus the on-demand reference point."""
+
+    trials: tuple[SpotTrial, ...]
+    ondemand_time_s: float
+    ondemand_cost_usd: float
+
+    @property
+    def mean_time_s(self) -> float:
+        return float(np.mean([t.time_s for t in self.trials]))
+
+    @property
+    def p95_time_s(self) -> float:
+        return float(np.percentile([t.time_s for t in self.trials], 95))
+
+    @property
+    def mean_cost_usd(self) -> float:
+        return float(np.mean([t.cost_usd for t in self.trials]))
+
+    @property
+    def revocation_frequency(self) -> float:
+        return sum(1 for t in self.trials if t.revoked_cores > 0) / len(self.trials)
+
+    @property
+    def mean_savings_pct(self) -> float:
+        return 100.0 * (1.0 - self.mean_cost_usd / self.ondemand_cost_usd)
+
+    @property
+    def mean_slowdown_pct(self) -> float:
+        return 100.0 * (self.mean_time_s / self.ondemand_time_s - 1.0)
+
+
+def spot_analysis(
+    app: str,
+    env: EnvironmentConfig,
+    market: SpotMarket = SpotMarket(),
+    params: ResourceParams | None = None,
+    pricing: PricingModel = PricingModel(),
+    *,
+    n_trials: int = 20,
+    seed: int = 0,
+) -> SpotSummary:
+    """Monte-Carlo the run with spot-revocation failures on the cloud side.
+
+    Cost model per trial: the whole cloud fleet is billed at the spot
+    discount for the run's (per-quantum) duration; revoked capacity
+    stops billing at the revocation instant.  The local cluster is free
+    (owned).  Durations use per-minute quanta, appropriate for the
+    sub-hour simulated runs.
+    """
+    if env.cloud_cores <= 0:
+        raise ValueError("spot analysis needs cloud cores")
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    params = params or ResourceParams()
+    profile = APP_PROFILES[app]
+    index = paper_index(profile, env)
+    clusters = env.clusters(params)
+    minute = PricingModel(
+        instance_hour_usd=pricing.instance_hour_usd,
+        cores_per_instance=pricing.cores_per_instance,
+        billing_quantum_h=1 / 60,
+        s3_get_per_1k_usd=pricing.s3_get_per_1k_usd,
+        egress_per_gb_usd=pricing.egress_per_gb_usd,
+    )
+
+    base = simulate_run(index, clusters, profile, params, seed=seed)
+    ondemand_cost = minute.compute_cost(env.cloud_cores, base.total_s)
+
+    rng = np.random.default_rng(seed)
+    revoke_cores = max(1, int(round(env.cloud_cores * market.revocation_fraction)))
+    trials: list[SpotTrial] = []
+    for trial in range(n_trials):
+        if market.revocation_rate_per_hour > 0:
+            revoke_at = float(rng.exponential(3600.0 / market.revocation_rate_per_hour))
+        else:
+            revoke_at = math.inf
+        if revoke_at >= base.total_s * 3:  # effectively never, within the run
+            res = simulate_run(index, clusters, profile, params, seed=seed + trial)
+            cost = market.discount * minute.compute_cost(env.cloud_cores, res.total_s)
+            trials.append(SpotTrial(res.total_s, cost, 0, None))
+            continue
+        res = simulate_run(
+            index, clusters, profile, params, seed=seed + trial,
+            failures=[FailureSpec("cloud", revoke_cores, revoke_at)],
+        )
+        surviving = env.cloud_cores - revoke_cores
+        cost = market.discount * (
+            minute.compute_cost(revoke_cores, min(revoke_at, res.total_s))
+            + minute.compute_cost(surviving, res.total_s)
+        )
+        trials.append(SpotTrial(res.total_s, cost, revoke_cores, revoke_at))
+    return SpotSummary(tuple(trials), base.total_s, ondemand_cost)

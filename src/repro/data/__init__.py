@@ -1,0 +1,44 @@
+"""Data organization: formats, chunks, data units, index, generators."""
+
+from repro.data.chunks import ChunkInfo, plan_file_chunks
+from repro.data.dataset import (
+    distribute_dataset,
+    read_all_units,
+    read_chunk,
+    write_dataset,
+)
+from repro.data.formats import RecordFormat, edges_format, points_format, tokens_format
+from repro.data.generator import generate_edges, generate_points, generate_tokens
+from repro.data.index import DataIndex, FileInfo, build_index
+from repro.data.integrity import (
+    IntegrityError,
+    attach_checksums,
+    verify_chunk_bytes,
+    verify_dataset,
+)
+from repro.data.units import iter_unit_groups, units_per_group
+
+__all__ = [
+    "ChunkInfo",
+    "plan_file_chunks",
+    "write_dataset",
+    "distribute_dataset",
+    "read_chunk",
+    "read_all_units",
+    "RecordFormat",
+    "points_format",
+    "edges_format",
+    "tokens_format",
+    "generate_points",
+    "generate_edges",
+    "generate_tokens",
+    "DataIndex",
+    "IntegrityError",
+    "attach_checksums",
+    "verify_chunk_bytes",
+    "verify_dataset",
+    "FileInfo",
+    "build_index",
+    "iter_unit_groups",
+    "units_per_group",
+]

@@ -1,0 +1,86 @@
+"""Chunk planning.
+
+The data set is divided into files; the data inside the files is split
+into logical chunks sized for the compute units' available memory.  One
+*job* in the middleware corresponds to one chunk, so the chunk plan fixes
+the job pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChunkInfo", "plan_file_chunks"]
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """Metadata for one logical chunk, as recorded in the index file.
+
+    Mirrors the paper's index entries: physical location (data file),
+    starting offset, size, and number of data units inside the chunk.
+    """
+
+    chunk_id: int
+    file_id: int
+    key: str            # storage key of the containing file
+    offset: int         # byte offset within the file
+    nbytes: int         # chunk size in bytes
+    n_units: int        # number of data units in the chunk
+    location: str       # name of the storage site currently holding it
+    crc32: int | None = None  # checksum of the chunk's bytes, if computed
+
+    def to_dict(self) -> dict:
+        return {
+            "chunk_id": self.chunk_id,
+            "file_id": self.file_id,
+            "key": self.key,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "n_units": self.n_units,
+            "location": self.location,
+            "crc32": self.crc32,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChunkInfo":
+        return cls(**{**d, "crc32": d.get("crc32")})
+
+
+def plan_file_chunks(
+    *,
+    file_id: int,
+    key: str,
+    file_units: int,
+    unit_nbytes: int,
+    chunk_units: int,
+    location: str,
+    first_chunk_id: int = 0,
+) -> list[ChunkInfo]:
+    """Split one file of ``file_units`` units into chunks of ``chunk_units``.
+
+    The last chunk of the file may hold fewer units.  Offsets are byte
+    offsets into the file, so a chunk can be fetched with a single range
+    read.
+    """
+    if chunk_units <= 0:
+        raise ValueError("chunk_units must be positive")
+    if file_units < 0:
+        raise ValueError("file_units must be non-negative")
+    chunks: list[ChunkInfo] = []
+    cid = first_chunk_id
+    for start_unit in range(0, file_units, chunk_units):
+        n = min(chunk_units, file_units - start_unit)
+        chunks.append(
+            ChunkInfo(
+                chunk_id=cid,
+                file_id=file_id,
+                key=key,
+                offset=start_unit * unit_nbytes,
+                nbytes=n * unit_nbytes,
+                n_units=n,
+                location=location,
+            )
+        )
+        cid += 1
+    return chunks

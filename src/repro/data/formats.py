@@ -1,0 +1,108 @@
+"""Record formats: how data units are laid out in bytes.
+
+The paper's data organizer works on three granularities -- files, chunks,
+and *data units*, where a data unit is "the smallest processable data
+element in the system".  A :class:`RecordFormat` defines the binary layout
+of one data unit.  All our formats are fixed-size records backed by a
+numpy dtype so that a whole group of units can be decoded with one
+zero-copy ``np.frombuffer`` call and processed with vectorized kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RecordFormat", "points_format", "edges_format", "tokens_format"]
+
+
+@dataclass(frozen=True)
+class RecordFormat:
+    """Fixed-size binary record layout for data units.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, stored in the index file.
+    dtype:
+        Scalar numpy dtype of each field of the record.
+    record_shape:
+        Trailing shape of a single record.  ``()`` means one scalar per
+        unit; ``(d,)`` means each unit is a ``d``-vector (e.g. a point in
+        d-dimensional space); ``(2,)`` an edge, etc.
+    """
+
+    name: str
+    dtype: Any
+    record_shape: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        object.__setattr__(self, "record_shape", tuple(int(s) for s in self.record_shape))
+        if any(s <= 0 for s in self.record_shape):
+            raise ValueError(f"record_shape must be positive, got {self.record_shape}")
+
+    @property
+    def values_per_unit(self) -> int:
+        """Number of scalar values composing one data unit."""
+        return int(math.prod(self.record_shape)) if self.record_shape else 1
+
+    @property
+    def unit_nbytes(self) -> int:
+        """Size in bytes of one encoded data unit."""
+        return self.values_per_unit * self.dtype.itemsize
+
+    def n_units(self, nbytes: int) -> int:
+        """Number of whole units contained in ``nbytes`` bytes."""
+        if nbytes % self.unit_nbytes:
+            raise ValueError(
+                f"{nbytes} bytes is not a whole number of {self.unit_nbytes}-byte units"
+            )
+        return nbytes // self.unit_nbytes
+
+    def encode(self, units: np.ndarray) -> bytes:
+        """Serialize an ``(n, *record_shape)`` array of units to bytes."""
+        arr = np.ascontiguousarray(units, dtype=self.dtype)
+        expected = (arr.shape[0],) + self.record_shape
+        if arr.shape != expected:
+            raise ValueError(f"expected unit array of shape (n, {self.record_shape}), got {arr.shape}")
+        return arr.tobytes()
+
+    def decode(self, buf: bytes | bytearray | memoryview) -> np.ndarray:
+        """Deserialize bytes into an ``(n, *record_shape)`` array.
+
+        The returned array is a read-only view over ``buf`` when possible
+        (no copy), per the "views, not copies" guidance for numerical code.
+        """
+        arr = np.frombuffer(buf, dtype=self.dtype)
+        n = self.n_units(arr.nbytes)
+        return arr.reshape((n,) + self.record_shape)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dtype": self.dtype.str,
+            "record_shape": list(self.record_shape),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RecordFormat":
+        return cls(d["name"], np.dtype(d["dtype"]), tuple(d["record_shape"]))
+
+
+def points_format(dim: int, dtype: Any = np.float64) -> RecordFormat:
+    """Format for d-dimensional points (kNN, k-means workloads)."""
+    return RecordFormat("points", dtype, (dim,))
+
+
+def edges_format(dtype: Any = np.int64) -> RecordFormat:
+    """Format for directed graph edges ``(src, dst)`` (PageRank workload)."""
+    return RecordFormat("edges", dtype, (2,))
+
+
+def tokens_format(dtype: Any = np.int64) -> RecordFormat:
+    """Format for token-id streams (wordcount workload)."""
+    return RecordFormat("tokens", dtype, ())

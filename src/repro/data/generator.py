@@ -1,0 +1,89 @@
+"""Synthetic workload generators.
+
+The paper's three applications consume 120 GB datasets we cannot ship;
+these generators produce statistically comparable data at any scale:
+
+* **points** -- a Gaussian mixture in ``dim`` dimensions (kNN, k-means);
+* **edges** -- a directed graph with preferential attachment so the
+  in-degree distribution is heavy-tailed like web graphs (PageRank);
+* **tokens** -- Zipf-distributed word ids (wordcount).
+
+Every generator takes an explicit seed and is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_points", "generate_edges", "generate_tokens"]
+
+
+def generate_points(
+    n: int,
+    dim: int,
+    *,
+    n_clusters: int = 8,
+    spread: float = 0.15,
+    seed: int = 0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Sample ``n`` points from a mixture of ``n_clusters`` Gaussians.
+
+    Cluster centers are uniform in the unit cube; each component has
+    isotropic standard deviation ``spread``.  Returns ``(n, dim)``.
+    """
+    if n < 0 or dim <= 0 or n_clusters <= 0:
+        raise ValueError("n >= 0, dim > 0, n_clusters > 0 required")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1.0, size=(n_clusters, dim))
+    labels = rng.integers(0, n_clusters, size=n)
+    pts = centers[labels] + rng.normal(0.0, spread, size=(n, dim))
+    return pts.astype(dtype, copy=False)
+
+
+def generate_edges(
+    n_pages: int,
+    n_edges: int,
+    *,
+    seed: int = 0,
+    zipf_a: float = 1.5,
+    dtype=np.int64,
+) -> np.ndarray:
+    """Sample ``n_edges`` directed edges over pages ``0..n_pages-1``.
+
+    Sources are uniform; destinations follow a truncated Zipf law so a
+    few pages collect most in-links, matching web-graph skew.  Returns
+    ``(n_edges, 2)`` with columns ``(src, dst)``.  Self-loops are allowed
+    (PageRank handles them); every page is guaranteed at least one
+    outgoing edge when ``n_edges >= n_pages`` so no rank mass is lost to
+    dangling nodes in the common case.
+    """
+    if n_pages <= 0 or n_edges < 0:
+        raise ValueError("n_pages > 0 and n_edges >= 0 required")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_pages, size=n_edges, dtype=dtype)
+    # Truncated Zipf destinations: rejection-free via modular fold.
+    dst = (rng.zipf(zipf_a, size=n_edges) - 1) % n_pages
+    dst = dst.astype(dtype, copy=False)
+    if n_edges >= n_pages:
+        # Give every page one outgoing edge to avoid dangling nodes.
+        src[:n_pages] = np.arange(n_pages, dtype=dtype)
+        perm = rng.permutation(n_edges)
+        src, dst = src[perm], dst[perm]
+    return np.stack([src, dst], axis=1)
+
+
+def generate_tokens(
+    n: int,
+    vocab_size: int,
+    *,
+    seed: int = 0,
+    zipf_a: float = 1.3,
+    dtype=np.int64,
+) -> np.ndarray:
+    """Sample ``n`` Zipf-distributed token ids in ``[0, vocab_size)``."""
+    if n < 0 or vocab_size <= 0:
+        raise ValueError("n >= 0 and vocab_size > 0 required")
+    rng = np.random.default_rng(seed)
+    tok = (rng.zipf(zipf_a, size=n) - 1) % vocab_size
+    return tok.astype(dtype, copy=False)

@@ -1,0 +1,41 @@
+"""Data-unit grouping.
+
+After a chunk is read into a slave's memory it is "further split into
+groups of data units that can fit into its cache", and the reduction
+function runs once per group.  Grouping both bounds working-set size and
+amortizes per-call overhead of the (vectorized) reduction kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["units_per_group", "iter_unit_groups"]
+
+
+def units_per_group(cache_nbytes: int, unit_nbytes: int) -> int:
+    """How many data units fit in a cache of ``cache_nbytes`` bytes.
+
+    Always at least 1, so that units larger than the cache still form
+    singleton groups rather than failing.
+    """
+    if cache_nbytes <= 0:
+        raise ValueError("cache_nbytes must be positive")
+    if unit_nbytes <= 0:
+        raise ValueError("unit_nbytes must be positive")
+    return max(1, cache_nbytes // unit_nbytes)
+
+
+def iter_unit_groups(units: np.ndarray, group_units: int) -> Iterator[np.ndarray]:
+    """Yield consecutive views of ``units`` with at most ``group_units`` rows.
+
+    The yielded arrays are views (no copies); the final group may be
+    shorter.  An empty input yields nothing.
+    """
+    if group_units <= 0:
+        raise ValueError("group_units must be positive")
+    n = units.shape[0]
+    for start in range(0, n, group_units):
+        yield units[start : start + group_units]

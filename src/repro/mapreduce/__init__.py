@@ -1,0 +1,5 @@
+"""Baseline MapReduce engine (comparison substrate)."""
+
+from repro.mapreduce.engine import MapReduceEngine, MapReduceResult, ShuffleStats
+
+__all__ = ["MapReduceEngine", "MapReduceResult", "ShuffleStats"]

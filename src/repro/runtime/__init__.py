@@ -1,0 +1,29 @@
+"""Runtime: jobs, scheduling policy, stats, and the threaded engine."""
+
+from repro.runtime.actors import ActorEngine
+from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
+from repro.runtime.jobs import Job, LocalJobPool, jobs_from_index
+from repro.runtime.messages import AssignJobs, Channel, RequestJobs, RobjUpload, Shutdown
+from repro.runtime.scheduler import HeadScheduler, RandomScheduler, StaticScheduler
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+
+__all__ = [
+    "ActorEngine",
+    "ClusterConfig",
+    "RunResult",
+    "ThreadedEngine",
+    "Job",
+    "LocalJobPool",
+    "jobs_from_index",
+    "AssignJobs",
+    "Channel",
+    "RequestJobs",
+    "RobjUpload",
+    "Shutdown",
+    "HeadScheduler",
+    "RandomScheduler",
+    "StaticScheduler",
+    "ClusterStats",
+    "RunStats",
+    "WorkerStats",
+]

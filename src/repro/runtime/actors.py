@@ -1,0 +1,316 @@
+"""Actor-based control plane: the literal Figure-2 architecture.
+
+Where :class:`~repro.runtime.engine.ThreadedEngine` invokes the head
+scheduler through a lock (fast, simple), this engine runs the paper's
+architecture as drawn: a **head actor** thread owning the global job
+pool and the final global reduction, one **master actor** thread per
+cluster owning the local pool, and slave worker threads -- all
+communicating exclusively through typed messages
+(:class:`RequestJobs`, :class:`AssignJobs`, :class:`RobjUpload`) over
+:class:`~repro.runtime.messages.Channel` objects whose latency models
+the control-plane delay between a cloud master and a local head.
+
+Both engines produce identical results; integration tests assert it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.api import GeneralizedReductionSpec
+from repro.core.reduction_object import ReductionObject
+from repro.core.serialization import deserialize_robj, serialize_robj
+from repro.data.index import DataIndex
+from repro.data.units import iter_unit_groups, units_per_group
+from repro.runtime.engine import ClusterConfig, RunResult
+from repro.runtime.jobs import Job, jobs_from_index
+from repro.runtime.messages import AssignJobs, Channel, RequestJobs, RobjUpload, Shutdown
+from repro.runtime.scheduler import HeadScheduler
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.storage.base import StorageBackend
+from repro.storage.transfer import ParallelFetcher
+
+__all__ = ["ActorEngine"]
+
+
+@dataclass(frozen=True)
+class _CompleteJobs:
+    """Master -> head: these assigned jobs finished processing."""
+
+    cluster: str
+    jobs: tuple[Job, ...]
+
+
+class _HeadActor(threading.Thread):
+    """Owns the global scheduler; services masters over channels."""
+
+    def __init__(
+        self,
+        scheduler: HeadScheduler,
+        inbox: Channel,
+        master_channels: dict[str, Channel],
+        spec: GeneralizedReductionSpec,
+        n_clusters: int,
+    ) -> None:
+        super().__init__(name="head", daemon=True)
+        self.scheduler = scheduler
+        self.inbox = inbox
+        self.master_channels = master_channels
+        self.spec = spec
+        self.n_clusters = n_clusters
+        self.uploads: list[ReductionObject] = []
+        self.final: ReductionObject | None = None
+        self.global_reduction_s = 0.0
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            while True:
+                msg = self.inbox.recv()
+                if isinstance(msg, RequestJobs):
+                    jobs = self.scheduler.request_jobs(msg.location, msg.max_jobs)
+                    self.master_channels[msg.cluster].send(AssignJobs(tuple(jobs)))
+                elif isinstance(msg, _CompleteJobs):
+                    for job in msg.jobs:
+                        self.scheduler.complete(job)
+                elif isinstance(msg, RobjUpload):
+                    t0 = time.monotonic()
+                    self.uploads.append(deserialize_robj(msg.payload))
+                    if len(self.uploads) == self.n_clusters:
+                        self.final = self.spec.global_reduction(self.uploads)
+                        self.global_reduction_s += time.monotonic() - t0
+                        return
+                    self.global_reduction_s += time.monotonic() - t0
+                elif isinstance(msg, Shutdown):
+                    return
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"head got unexpected message {msg!r}")
+        except BaseException as exc:  # surfaced by the engine
+            self.error = exc
+
+
+class _MasterActor(threading.Thread):
+    """Owns one cluster: pool, slaves, combination, upload."""
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        head_inbox: Channel,
+        inbox: Channel,
+        spec: GeneralizedReductionSpec,
+        index: DataIndex,
+        stores: dict[str, StorageBackend],
+        batch_size: int,
+        group_units: int,
+        cstats: ClusterStats,
+        t_start: float,
+    ) -> None:
+        super().__init__(name=f"master-{cluster.name}", daemon=True)
+        self.cluster = cluster
+        self.head_inbox = head_inbox
+        self.inbox = inbox
+        self.spec = spec
+        self.index = index
+        self.stores = stores
+        self.batch_size = batch_size
+        self.group_units = group_units
+        self.cstats = cstats
+        self.t_start = t_start
+        self.error: BaseException | None = None
+        self._pool: list[Job] = []
+        self._done = False
+        self._lock = threading.Lock()
+        self._refill_lock = threading.Lock()
+
+    # -- API used by this cluster's worker threads ---------------------------
+
+    def get_job(self) -> Job | None:
+        while True:
+            with self._lock:
+                if self._pool:
+                    return self._pool.pop(0)
+                if self._done:
+                    return None
+            with self._refill_lock:
+                with self._lock:
+                    if self._pool:
+                        return self._pool.pop(0)
+                    if self._done:
+                        return None
+                # One worker performs the head round-trip on behalf of
+                # the cluster; channel latency models the network.
+                self.head_inbox.send(
+                    RequestJobs(self.cluster.name, self.cluster.location, self.batch_size)
+                )
+                reply = self.inbox.recv()
+                assert isinstance(reply, AssignJobs)
+                with self._lock:
+                    if reply.jobs:
+                        self._pool.extend(reply.jobs)
+                    else:
+                        self._done = True
+
+    def complete(self, job: Job) -> None:
+        self.head_inbox.send(_CompleteJobs(self.cluster.name, (job,)))
+
+    # -- the master's own thread: slaves, barrier, combination, upload ------
+
+    def run(self) -> None:
+        try:
+            fetchers = {
+                loc: ParallelFetcher(store, self.cluster.retrieval_threads)
+                for loc, store in self.stores.items()
+            }
+            robjs: list[ReductionObject] = []
+            workers = []
+            for wid in range(self.cluster.n_workers):
+                wstats = WorkerStats()
+                self.cstats.workers.append(wstats)
+                th = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"{self.cluster.name}-w{wid}",
+                    args=(fetchers, wstats, robjs),
+                    daemon=True,
+                )
+                workers.append(th)
+                th.start()
+            for th in workers:
+                th.join()
+            for f in fetchers.values():
+                f.close()
+            if self.error is not None:
+                raise self.error
+            self.cstats.finished_at = max(
+                (w.finished_at for w in self.cstats.workers), default=0.0
+            )
+            merged = (
+                self.spec.global_reduction(robjs)
+                if robjs
+                else self.spec.create_reduction_object()
+            )
+            payload = serialize_robj(merged)
+            self.cstats.robj_nbytes = len(payload)
+            t0 = time.monotonic()
+            self.head_inbox.send(RobjUpload(self.cluster.name, payload, len(payload)))
+            self.cstats.robj_transfer_s = time.monotonic() - t0
+        except BaseException as exc:
+            self.error = exc
+
+    def _worker_loop(
+        self,
+        fetchers: dict[str, ParallelFetcher],
+        wstats: WorkerStats,
+        robjs_out: list[ReductionObject],
+    ) -> None:
+        try:
+            robj = self.spec.create_reduction_object()
+            while True:
+                job = self.get_job()
+                if job is None:
+                    break
+                t0 = time.monotonic()
+                raw = fetchers[job.location].fetch(
+                    job.chunk.key, job.chunk.offset, job.chunk.nbytes
+                )
+                t1 = time.monotonic()
+                wstats.retrieval_s += t1 - t0
+                units = self.index.fmt.decode(raw)
+                for group in iter_unit_groups(units, self.group_units):
+                    self.spec.local_reduction(robj, group)
+                wstats.processing_s += time.monotonic() - t1
+                wstats.jobs_processed += 1
+                if job.location != self.cluster.location:
+                    wstats.jobs_stolen += 1
+                self.complete(job)
+            wstats.finished_at = time.monotonic() - self.t_start
+            robjs_out.append(robj)
+        except BaseException as exc:
+            self.error = exc
+
+
+class ActorEngine:
+    """Message-passing head/master/slave engine (same API as ThreadedEngine)."""
+
+    def __init__(
+        self,
+        clusters: list[ClusterConfig],
+        stores: dict[str, StorageBackend],
+        *,
+        batch_size: int = 4,
+        group_nbytes: int = 1 << 20,
+        scheduler_factory=HeadScheduler,
+    ) -> None:
+        if not clusters:
+            raise ValueError("need at least one cluster")
+        names = [c.name for c in clusters]
+        if len(set(names)) != len(names):
+            raise ValueError("cluster names must be unique")
+        self.clusters = clusters
+        self.stores = stores
+        self.batch_size = batch_size
+        self.group_nbytes = group_nbytes
+        self.scheduler_factory = scheduler_factory
+
+    def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
+        missing = set(index.locations) - set(self.stores)
+        if missing:
+            raise ValueError(f"index references unknown stores: {sorted(missing)}")
+        scheduler = self.scheduler_factory(jobs_from_index(index))
+        group_units = units_per_group(self.group_nbytes, index.fmt.unit_nbytes)
+        t_start = time.monotonic()
+        stats = RunStats()
+
+        head_inbox = Channel()
+        master_channels = {
+            c.name: Channel(latency_s=c.link_latency_s) for c in self.clusters
+        }
+        head = _HeadActor(scheduler, head_inbox, master_channels, spec, len(self.clusters))
+        masters = []
+        for cluster in self.clusters:
+            cstats = ClusterStats(cluster.name, cluster.location)
+            stats.clusters[cluster.name] = cstats
+            masters.append(
+                _MasterActor(
+                    cluster, head_inbox, master_channels[cluster.name], spec,
+                    index, self.stores, self.batch_size, group_units,
+                    cstats, t_start,
+                )
+            )
+
+        head.start()
+        for m in masters:
+            m.start()
+        for m in masters:
+            m.join()
+        failed = next((m for m in masters if m.error is not None), None)
+        if failed is not None:
+            # A master died without uploading; release the head actor
+            # before surfacing the failure.
+            head_inbox.send(Shutdown())
+            head.join(timeout=5.0)
+            raise failed.error
+        head.join(timeout=60.0)
+        t_end = time.monotonic()
+
+        if head.error is not None:
+            raise head.error
+        if head.is_alive() or head.final is None:
+            raise RuntimeError("head actor did not produce a final reduction object")
+        if not scheduler.all_done:
+            raise RuntimeError(
+                f"run ended with {scheduler.remaining} unassigned / "
+                f"{scheduler.outstanding} outstanding jobs"
+            )
+
+        stats.total_s = t_end - t_start
+        stats.global_reduction_s = head.global_reduction_s
+        processing_end = max(c.finished_at for c in stats.clusters.values())
+        stats.processing_end_s = processing_end
+        for cstats in stats.clusters.values():
+            cstats.idle_s = max(0.0, processing_end - cstats.finished_at)
+            for w in cstats.workers:
+                w.sync_s = max(0.0, stats.total_s - w.finished_at)
+        return RunResult(spec.finalize(head.final), stats, head.final)

@@ -1,0 +1,68 @@
+"""Jobs and job pools.
+
+One job corresponds to one chunk of the dataset.  The head node owns the
+global pool (built from the index); each master keeps a small local pool
+it refills from the head on demand -- the pooling mechanism behind the
+paper's dynamic load balancing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.data.chunks import ChunkInfo
+from repro.data.index import DataIndex
+
+__all__ = ["Job", "jobs_from_index", "LocalJobPool"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """A unit of schedulable work: fetch and reduce one chunk."""
+
+    job_id: int
+    chunk: ChunkInfo
+
+    @property
+    def location(self) -> str:
+        """Storage site currently holding the chunk."""
+        return self.chunk.location
+
+    @property
+    def file_id(self) -> int:
+        return self.chunk.file_id
+
+    @property
+    def nbytes(self) -> int:
+        return self.chunk.nbytes
+
+    @property
+    def n_units(self) -> int:
+        return self.chunk.n_units
+
+
+def jobs_from_index(index: DataIndex) -> list[Job]:
+    """Generate the job pool from the data index, one job per chunk."""
+    return [Job(c.chunk_id, c) for c in index.chunks]
+
+
+class LocalJobPool:
+    """Thread-safe FIFO pool held by a master node."""
+
+    def __init__(self) -> None:
+        self._q: deque[Job] = deque()
+        self._lock = threading.Lock()
+
+    def add(self, jobs: list[Job]) -> None:
+        with self._lock:
+            self._q.extend(jobs)
+
+    def try_get(self) -> Job | None:
+        with self._lock:
+            return self._q.popleft() if self._q else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._q)

@@ -1,0 +1,85 @@
+"""Control-plane message types.
+
+The threaded engine's head/master/slave actors communicate through typed
+messages over in-process channels (a stand-in for the paper's TCP
+control plane).  An optional per-channel latency models the "higher
+network delays between the master and head nodes" of cloud clusters.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.jobs import Job
+
+__all__ = [
+    "RequestJobs",
+    "AssignJobs",
+    "RobjUpload",
+    "Shutdown",
+    "Channel",
+]
+
+
+@dataclass(frozen=True)
+class RequestJobs:
+    """Master -> head: my pool is depleted, send up to ``max_jobs``."""
+
+    cluster: str
+    location: str
+    max_jobs: int
+
+
+@dataclass(frozen=True)
+class AssignJobs:
+    """Head -> master: a batch of jobs (empty means no work remains)."""
+
+    jobs: tuple[Job, ...]
+
+
+@dataclass(frozen=True)
+class RobjUpload:
+    """Master -> head: my cluster's merged reduction object."""
+
+    cluster: str
+    payload: bytes
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Engine -> actor: exit your service loop."""
+
+
+@dataclass
+class Channel:
+    """One-directional message channel with optional delivery latency.
+
+    ``send`` stamps the message with its earliest delivery time; ``recv``
+    sleeps out any remaining latency, so a zero-latency channel behaves
+    exactly like a plain queue.
+    """
+
+    latency_s: float = 0.0
+    _q: "queue.Queue[tuple[float, Any]]" = field(default_factory=queue.Queue)
+
+    def send(self, msg: Any) -> None:
+        self._q.put((time.monotonic() + self.latency_s, msg))
+
+    def recv(self, timeout: float | None = None) -> Any:
+        deliver_at, msg = self._q.get(timeout=timeout)
+        delay = deliver_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        return msg
+
+    def __len__(self) -> int:
+        return self._q.qsize()
+
+
+# A lock type alias used by the engine for the shared scheduler.
+SchedulerLock = threading.Lock

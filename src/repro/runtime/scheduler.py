@@ -1,0 +1,211 @@
+"""Head-node job assignment policy.
+
+This is the paper's scheduling heart, factored as a pure (lock-free)
+data structure so the threaded runtime and the discrete-event simulator
+execute the *identical* policy:
+
+* **Locality first** -- a requesting cluster receives jobs whose chunks
+  are stored at its own site while any remain;
+* **Consecutive jobs** -- assigned jobs are consecutive chunks of one
+  file, "because it allows the compute units to sequentially read jobs
+  from the files";
+* **Work stealing** -- once a cluster's local jobs are exhausted, it is
+  handed remote jobs, "chosen from files which the minimum number of
+  nodes are currently processing", minimizing file contention;
+* **On-demand pull** -- masters request batches when their pool runs
+  low, so faster clusters naturally process more jobs.
+
+Callers must serialize access (the threaded engine wraps calls in a
+lock; the simulator is single-threaded by construction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.jobs import Job
+
+__all__ = ["HeadScheduler", "RandomScheduler", "StaticScheduler"]
+
+
+class HeadScheduler:
+    """Locality-aware, contention-minimizing job assignment."""
+
+    def __init__(self, jobs: list[Job]) -> None:
+        # Per-file FIFO of unassigned jobs, in chunk order so batches are
+        # consecutive byte ranges.
+        self._by_file: dict[int, deque[Job]] = {}
+        self._file_location: dict[int, str] = {}
+        for job in sorted(jobs, key=lambda j: j.job_id):
+            self._by_file.setdefault(job.file_id, deque()).append(job)
+            self._file_location[job.file_id] = job.location
+        self._active_readers: dict[int, int] = {fid: 0 for fid in self._by_file}
+        self._unassigned = len(jobs)
+        self._outstanding = 0  # assigned but not yet completed
+        self.assigned_counts: dict[str, int] = {}
+        self.stolen_counts: dict[str, int] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Jobs not yet assigned."""
+        return self._unassigned
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs assigned but not yet reported complete."""
+        return self._outstanding
+
+    @property
+    def all_done(self) -> bool:
+        return self._unassigned == 0 and self._outstanding == 0
+
+    # -- policy --------------------------------------------------------------
+
+    def _files_with_jobs(self, location: str | None) -> list[int]:
+        """File ids that still hold unassigned jobs, optionally at ``location``."""
+        return [
+            fid
+            for fid, q in self._by_file.items()
+            if q and (location is None or self._file_location[fid] == location)
+        ]
+
+    def _take_from_file(self, fid: int, max_jobs: int) -> list[Job]:
+        q = self._by_file[fid]
+        batch = [q.popleft() for _ in range(min(max_jobs, len(q)))]
+        self._unassigned -= len(batch)
+        self._outstanding += len(batch)
+        self._active_readers[fid] += len(batch)
+        return batch
+
+    def request_jobs(self, cluster_location: str, max_jobs: int) -> list[Job]:
+        """Assign up to ``max_jobs`` consecutive jobs to a requesting cluster.
+
+        Returns an empty list when no unassigned jobs remain anywhere, in
+        which case the requesting master should enter global reduction.
+        """
+        if max_jobs <= 0:
+            raise ValueError("max_jobs must be positive")
+        # Locality: consecutive jobs from a local file, preferring the
+        # file already being read the least to spread sequential streams.
+        local_files = self._files_with_jobs(cluster_location)
+        if local_files:
+            fid = min(local_files, key=lambda f: (self._active_readers[f], f))
+            batch = self._take_from_file(fid, max_jobs)
+            self.assigned_counts[cluster_location] = (
+                self.assigned_counts.get(cluster_location, 0) + len(batch)
+            )
+            return batch
+        # Stealing: remote file with the minimum number of active readers.
+        remote_files = self._files_with_jobs(None)
+        if remote_files:
+            fid = min(remote_files, key=lambda f: (self._active_readers[f], f))
+            batch = self._take_from_file(fid, max_jobs)
+            self.assigned_counts[cluster_location] = (
+                self.assigned_counts.get(cluster_location, 0) + len(batch)
+            )
+            self.stolen_counts[cluster_location] = (
+                self.stolen_counts.get(cluster_location, 0) + len(batch)
+            )
+            return batch
+        return []
+
+    def complete(self, job: Job) -> None:
+        """Report one assigned job processed (releases file contention)."""
+        if self._outstanding <= 0:
+            raise RuntimeError("complete() called with no outstanding jobs")
+        self._outstanding -= 1
+        readers = self._active_readers[job.file_id]
+        if readers <= 0:
+            raise RuntimeError(f"file {job.file_id} has no active readers")
+        self._active_readers[job.file_id] = readers - 1
+
+    def reassign(self, job: Job) -> None:
+        """Return an assigned-but-unfinished job to the pool.
+
+        Called when a worker dies mid-job (fault tolerance): the job
+        becomes available again and a surviving worker -- possibly at
+        the other cluster -- will pick it up.  Requeued at the front of
+        its file so sequential-read batches stay contiguous.
+        """
+        if self._outstanding <= 0:
+            raise RuntimeError("reassign() called with no outstanding jobs")
+        self._outstanding -= 1
+        self._unassigned += 1
+        readers = self._active_readers[job.file_id]
+        if readers <= 0:
+            raise RuntimeError(f"file {job.file_id} has no active readers")
+        self._active_readers[job.file_id] = readers - 1
+        self._by_file[job.file_id].appendleft(job)
+
+
+class StaticScheduler(HeadScheduler):
+    """Ablation baseline: strict co-location, no work stealing.
+
+    Each cluster only ever receives jobs whose data lives at its own
+    site -- the co-location constraint of conventional MapReduce
+    deployments.  With skewed data placement the data-poor cluster
+    idles once its share is exhausted; the stealing ablation benchmark
+    quantifies the cost.
+    """
+
+    def request_jobs(self, cluster_location: str, max_jobs: int) -> list[Job]:
+        if max_jobs <= 0:
+            raise ValueError("max_jobs must be positive")
+        local_files = self._files_with_jobs(cluster_location)
+        if not local_files:
+            return []
+        fid = min(local_files, key=lambda f: (self._active_readers[f], f))
+        batch = self._take_from_file(fid, max_jobs)
+        self.assigned_counts[cluster_location] = (
+            self.assigned_counts.get(cluster_location, 0) + len(batch)
+        )
+        return batch
+
+
+class RandomScheduler(HeadScheduler):
+    """Ablation baseline: ignores locality and contention.
+
+    Assigns jobs in a seeded random order regardless of where their data
+    lives, so batches are neither local nor consecutive.  Used by the
+    scheduling ablation benchmark.
+    """
+
+    def __init__(self, jobs: list[Job], seed: int = 0) -> None:
+        import random
+
+        super().__init__(jobs)
+        rng = random.Random(seed)
+        self._order: deque[Job] = deque()
+        shuffled = sorted(jobs, key=lambda j: j.job_id)
+        rng.shuffle(shuffled)
+        self._order.extend(shuffled)
+
+    def request_jobs(self, cluster_location: str, max_jobs: int) -> list[Job]:
+        if max_jobs <= 0:
+            raise ValueError("max_jobs must be positive")
+        batch: list[Job] = []
+        while self._order and len(batch) < max_jobs:
+            job = self._order.popleft()
+            # Keep the bookkeeping of the parent class coherent.
+            self._by_file[job.file_id].remove(job)
+            self._unassigned -= 1
+            self._outstanding += 1
+            self._active_readers[job.file_id] += 1
+            batch.append(job)
+        if batch:
+            self.assigned_counts[cluster_location] = (
+                self.assigned_counts.get(cluster_location, 0) + len(batch)
+            )
+            stolen = sum(1 for j in batch if j.location != cluster_location)
+            if stolen:
+                self.stolen_counts[cluster_location] = (
+                    self.stolen_counts.get(cluster_location, 0) + stolen
+                )
+        return batch
+
+    def reassign(self, job: Job) -> None:
+        super().reassign(job)
+        # Keep the random draw order in sync with the per-file queues.
+        self._order.appendleft(job)

@@ -1,0 +1,113 @@
+"""Execution-time accounting.
+
+The paper reports, per cluster, the decomposition of overall execution
+time into **processing**, **data retrieval**, and **sync** (barrier wait
+plus global-reduction exchange), and additionally tracks per-cluster job
+counts (Table I) and idle/global-reduction overheads (Table II).  Both
+execution engines populate these structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WorkerStats", "ClusterStats", "RunStats"]
+
+
+@dataclass
+class WorkerStats:
+    """Timers accumulated by one worker (one core in the simulator)."""
+
+    processing_s: float = 0.0
+    retrieval_s: float = 0.0
+    sync_s: float = 0.0
+    jobs_processed: int = 0
+    jobs_stolen: int = 0        # jobs whose data lived at another site
+    finished_at: float = 0.0    # when this worker ran out of work
+    failed: bool = False        # worker died before the run finished
+
+    @property
+    def busy_s(self) -> float:
+        return self.processing_s + self.retrieval_s
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated view of one cluster's workers."""
+
+    name: str
+    location: str
+    workers: list[WorkerStats] = field(default_factory=list)
+    robj_nbytes: int = 0            # size of the reduction object it shipped
+    robj_transfer_s: float = 0.0    # time to send it to the head
+    finished_at: float = 0.0        # when the last worker finished jobs
+    idle_s: float = 0.0             # waiting for the other cluster, unable to steal
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def _mean(self, attr: str) -> float:
+        if not self.workers:
+            return 0.0
+        return sum(getattr(w, attr) for w in self.workers) / len(self.workers)
+
+    @property
+    def processing_s(self) -> float:
+        """Mean per-worker processing time (the stacked-bar component)."""
+        return self._mean("processing_s")
+
+    @property
+    def retrieval_s(self) -> float:
+        return self._mean("retrieval_s")
+
+    @property
+    def sync_s(self) -> float:
+        return self._mean("sync_s")
+
+    @property
+    def total_s(self) -> float:
+        return self.processing_s + self.retrieval_s + self.sync_s
+
+    @property
+    def jobs_processed(self) -> int:
+        return sum(w.jobs_processed for w in self.workers)
+
+    @property
+    def jobs_stolen(self) -> int:
+        return sum(w.jobs_stolen for w in self.workers)
+
+    @property
+    def workers_failed(self) -> int:
+        return sum(1 for w in self.workers if w.failed)
+
+
+@dataclass
+class RunStats:
+    """Complete accounting for one execution."""
+
+    clusters: dict[str, ClusterStats] = field(default_factory=dict)
+    total_s: float = 0.0              # wall-clock (sim or real) of the run
+    global_reduction_s: float = 0.0   # robj exchange + final merge
+    processing_end_s: float = 0.0     # when the last cluster finished jobs
+
+    @property
+    def jobs_processed(self) -> int:
+        return sum(c.jobs_processed for c in self.clusters.values())
+
+    @property
+    def jobs_stolen(self) -> int:
+        return sum(c.jobs_stolen for c in self.clusters.values())
+
+    def breakdown_rows(self) -> list[dict]:
+        """Rows for the Figure-3-style stacked breakdown."""
+        return [
+            {
+                "cluster": c.name,
+                "processing_s": round(c.processing_s, 4),
+                "retrieval_s": round(c.retrieval_s, 4),
+                "sync_s": round(c.sync_s, 4),
+                "total_s": round(c.total_s, 4),
+            }
+            for c in self.clusters.values()
+        ]

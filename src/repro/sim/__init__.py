@@ -1,0 +1,69 @@
+"""Discrete-event simulator: kernel, flows, topology, calibrated runs."""
+
+from repro.sim.calibration import (
+    APP_PROFILES,
+    GB,
+    MB,
+    PAPER_DATASET_NBYTES,
+    PAPER_N_FILES,
+    PAPER_N_JOBS,
+    AppSimProfile,
+    ResourceParams,
+)
+from repro.sim.elastic import ElasticPolicy, ElasticRunResult, simulate_elastic_run
+from repro.sim.events import Event, SimEnv, all_of
+from repro.sim.flows import Flow, FlowNetwork, Link
+from repro.sim.multisite import (
+    InterSiteLink,
+    MultiSiteTopology,
+    SiteSpec,
+    default_three_site_topology,
+    simulate_multisite,
+)
+from repro.sim.simrun import (
+    FailureSpec,
+    SimClusterConfig,
+    SimRunResult,
+    StragglerSpec,
+    simulate_run,
+)
+from repro.sim.topology import FetchPath, Topology
+from repro.sim.trace import Span, Tracer, render_gantt
+from repro.sim.variability import VariabilityModel, VariabilityParams
+
+__all__ = [
+    "APP_PROFILES",
+    "GB",
+    "MB",
+    "PAPER_DATASET_NBYTES",
+    "PAPER_N_FILES",
+    "PAPER_N_JOBS",
+    "AppSimProfile",
+    "ResourceParams",
+    "ElasticPolicy",
+    "ElasticRunResult",
+    "simulate_elastic_run",
+    "Event",
+    "SimEnv",
+    "all_of",
+    "Flow",
+    "FlowNetwork",
+    "Link",
+    "FailureSpec",
+    "InterSiteLink",
+    "MultiSiteTopology",
+    "SiteSpec",
+    "default_three_site_topology",
+    "simulate_multisite",
+    "SimClusterConfig",
+    "SimRunResult",
+    "StragglerSpec",
+    "simulate_run",
+    "FetchPath",
+    "Topology",
+    "VariabilityModel",
+    "VariabilityParams",
+    "Span",
+    "Tracer",
+    "render_gantt",
+]

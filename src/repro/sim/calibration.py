@@ -1,0 +1,148 @@
+"""Cost-model calibration.
+
+Absolute resource rates cannot be copied from the paper (its testbed is
+gone); these constants are chosen so the *relationships* the paper
+reports hold: knn is retrieval-dominated, kmeans computation-dominated,
+pagerank balanced with a large reduction object; env-cloud retrieval
+beats env-local (multi-threaded S3 GETs); remote retrieval grows with
+the S3 data share; and hybrid slowdowns / scaling efficiencies land in
+the paper's ranges.  EXPERIMENTS.md records paper-vs-measured values.
+
+All bandwidths are bytes/second, latencies seconds, sizes bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "MB",
+    "GB",
+    "ResourceParams",
+    "AppSimProfile",
+    "APP_PROFILES",
+    "PAPER_DATASET_NBYTES",
+    "PAPER_N_FILES",
+    "PAPER_N_JOBS",
+]
+
+MB = 1 << 20
+GB = 1 << 30
+
+#: The paper's dataset layout: 12 GB split into 32 files.  The OCR'd text
+#: reads "96" jobs, but trailing digits are dropped throughout that copy
+#: ("July 21" for July 2010, "In 27" for 2007); 960 jobs (12.8 MB chunks,
+#: 30 per file) matches the companion MATE-EC2 paper's configuration and
+#: gives the job granularity the reported load-balancing quality implies.
+PAPER_DATASET_NBYTES = 12 * GB
+PAPER_N_FILES = 32
+PAPER_N_JOBS = 960
+
+
+@dataclass(frozen=True)
+class ResourceParams:
+    """Rates and latencies of the simulated environment."""
+
+    # Local cluster storage node (dedicated SATA array behind a NIC).
+    local_disk_bw: float = 450 * MB
+    #: Per-worker ceiling when reading the local storage node (compute-node
+    #: NIC share: ~1 GbE per 8-core node).
+    local_per_worker_bw: float = 12.5 * MB
+
+    # Cloud object store (S3).
+    s3_aggregate_bw: float = 480 * MB
+    #: Single GET connection cap; multiplied by retrieval threads.
+    s3_per_connection_bw: float = 1.8 * MB
+    s3_request_latency_s: float = 0.06
+
+    # Inter-site WAN (campus <-> AWS).
+    wan_bw: float = 60 * MB
+    wan_latency_s: float = 0.04
+    #: Single cross-WAN connection cap (again multiplied by threads).
+    wan_per_connection_bw: float = 1.2 * MB
+
+    # Compute.
+    local_core_speed: float = 1.0
+    #: m1.large elastic compute units are slower than the local Xeons;
+    #: the paper needed 22 cloud cores to match 16 local ones.
+    cloud_core_speed: float = 16.0 / 22.0
+
+    # Performance variability (lognormal sigma of per-core speed).
+    local_speed_sigma: float = 0.02
+    cloud_speed_sigma: float = 0.08
+
+    # Control plane.
+    local_refill_rtt_s: float = 0.001
+    cloud_refill_rtt_s: float = 0.08
+    batch_size: int = 4
+
+    # Global reduction.
+    merge_s_per_byte: float = 5.0e-9
+    merge_fixed_s: float = 0.05
+
+    def scaled(self, **overrides) -> "ResourceParams":
+        """Copy with selected fields replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class AppSimProfile:
+    """Per-application cost profile for the simulator.
+
+    ``compute_s_per_unit`` is seconds of CPU per data unit on a
+    reference (local) core; ``robj_nbytes`` the reduction-object size
+    each cluster ships during global reduction.
+    """
+
+    name: str
+    unit_nbytes: int
+    compute_s_per_unit: float
+    robj_nbytes: int
+    #: Cloud core count that matches ``local_cores`` of local throughput
+    #: in the paper's hybrid setups (kmeans used 22 vs 16).
+    hybrid_cloud_cores: int = 16
+    cloud_only_cores: int = 32
+
+    @property
+    def dataset_units(self) -> int:
+        return PAPER_DATASET_NBYTES // self.unit_nbytes
+
+    @property
+    def units_per_job(self) -> int:
+        return self.dataset_units // PAPER_N_JOBS
+
+
+#: Calibrated profiles for the paper's three applications.
+#:
+#: knn: 64-byte points (8 x f64), low compute -> retrieval-dominated.
+#: kmeans: same points, heavy compute -> computation-dominated.
+#: pagerank: 16-byte edges, medium compute, 32 MB rank-vector robj.
+APP_PROFILES: dict[str, AppSimProfile] = {
+    "knn": AppSimProfile(
+        name="knn",
+        unit_nbytes=64,
+        compute_s_per_unit=4.2e-7,
+        robj_nbytes=64 * 10 + 80,  # k=10 neighbours, coords + scores
+        hybrid_cloud_cores=16,
+        cloud_only_cores=32,
+    ),
+    "kmeans": AppSimProfile(
+        name="kmeans",
+        unit_nbytes=64,
+        compute_s_per_unit=4.0e-5,
+        robj_nbytes=10 * (8 + 2) * 8,  # k=10 centroid sums + counts + sse
+        hybrid_cloud_cores=22,
+        cloud_only_cores=44,
+    ),
+    "pagerank": AppSimProfile(
+        name="pagerank",
+        unit_nbytes=16,
+        compute_s_per_unit=1.25e-6,
+        # 750M edges imply a ~30M-page web graph; the rank-vector robj is
+        # then ~240 MB, the "very large reduction object" whose exchange
+        # dominates pagerank's sync time and caps its scalability.
+        robj_nbytes=240 * MB,
+        hybrid_cloud_cores=16,
+        cloud_only_cores=32,
+    ),
+}

@@ -1,0 +1,195 @@
+"""Fluid flow network: bandwidth sharing with max-min fairness.
+
+Every data movement in the simulator -- a chunk read from the local
+storage node, a ranged GET from S3, a reduction-object upload over the
+WAN -- is a *flow* traversing one or more capacitated links.  Active
+flows share link capacity by **progressive filling (max-min fairness)**,
+the standard fluid model of TCP-like sharing: the flow rate is the
+largest allocation such that no link is oversubscribed and no flow can
+gain rate without another losing more.
+
+Rates are recomputed whenever the set of active flows changes, and each
+recomputation first advances every flow's progress at its previous rate,
+so completion times are exact under the piecewise-constant-rate model.
+
+Per-flow ``max_rate`` caps model S3's per-connection throughput ceiling;
+a slave fetching with ``r`` retrieval threads simply opens a flow with
+an ``r`` times larger cap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.sim.events import Event, SimEnv
+
+__all__ = ["Link", "Flow", "FlowNetwork"]
+
+_EPS_BYTES = 1e-6
+
+
+def _done_eps(flow: "Flow") -> float:
+    """Completion threshold: absolute floor plus a relative term.
+
+    Large transfers accumulate rounding in ``remaining -= rate * dt``
+    proportional to their size; treating anything below ~1e-9 of the
+    original volume as finished keeps completion times exact to within
+    double precision without ever stranding a flow.
+    """
+    return max(_EPS_BYTES, 1e-9 * flow.nbytes)
+
+
+class Link:
+    """A capacitated network or storage resource (bytes/second)."""
+
+    __slots__ = ("name", "capacity")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError(f"link {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, {self.capacity:g} B/s)"
+
+
+class Flow:
+    """One in-flight transfer."""
+
+    __slots__ = ("links", "remaining", "max_rate", "rate", "event", "nbytes", "started_at")
+
+    def __init__(self, links: tuple[Link, ...], nbytes: float, max_rate: float,
+                 event: Event, started_at: float) -> None:
+        self.links = links
+        self.nbytes = nbytes
+        self.remaining = float(nbytes)
+        self.max_rate = max_rate
+        self.rate = 0.0
+        self.event = event
+        self.started_at = started_at
+
+
+class FlowNetwork:
+    """Manages active flows and their fair-share rates."""
+
+    def __init__(self, env: SimEnv) -> None:
+        self.env = env
+        self.flows: list[Flow] = []
+        self._last_update = 0.0
+        self._wake_seq = 0
+
+    def transfer(
+        self,
+        links: Sequence[Link],
+        nbytes: float,
+        max_rate: float = math.inf,
+    ) -> Event:
+        """Start a flow of ``nbytes`` over ``links``; returns its done event.
+
+        Either ``max_rate`` or at least one finite-capacity link must
+        bound the flow (an unbounded flow would complete instantly,
+        which is almost always a modelling error).
+        """
+        event = self.env.event()
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            event.succeed()
+            return event
+        if math.isinf(max_rate) and not links:
+            raise ValueError("flow must be bounded by links or max_rate")
+        if max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+        flow = Flow(tuple(links), nbytes, max_rate, event, self.env.now)
+        self._advance_progress()
+        self.flows.append(flow)
+        self._reallocate_and_schedule()
+        return event
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        """Apply progress at current rates since the last update."""
+        dt = self.env.now - self._last_update
+        if dt > 0:
+            for f in self.flows:
+                f.remaining -= f.rate * dt
+        self._last_update = self.env.now
+
+    def _allocate_rates(self) -> None:
+        """Progressive-filling max-min fair allocation."""
+        unfrozen = set(self.flows)
+        residual: dict[Link, float] = {}
+        counts: dict[Link, int] = {}
+        for f in self.flows:
+            for link in f.links:
+                residual.setdefault(link, link.capacity)
+                counts[link] = counts.get(link, 0) + 1
+        while unfrozen:
+            # Fair share currently offered by each loaded link.
+            limit = math.inf
+            for link, cnt in counts.items():
+                if cnt > 0:
+                    limit = min(limit, residual[link] / cnt)
+            # Flows capped below the link-driven limit freeze first.
+            capped = [f for f in unfrozen if f.max_rate <= limit + 1e-15]
+            if capped:
+                for f in capped:
+                    f.rate = f.max_rate
+                    self._freeze(f, unfrozen, residual, counts)
+                continue
+            if math.isinf(limit):
+                # Only possible if all remaining flows have no links; they
+                # were required to carry a finite max_rate, so this is a bug.
+                raise RuntimeError("unbounded flows in allocation")
+            # Freeze every flow crossing a bottleneck link at the limit.
+            bottlenecks = {
+                link
+                for link, cnt in counts.items()
+                if cnt > 0 and residual[link] / cnt <= limit + 1e-15
+            }
+            froze_any = False
+            for f in list(unfrozen):
+                if any(link in bottlenecks for link in f.links):
+                    f.rate = limit
+                    self._freeze(f, unfrozen, residual, counts)
+                    froze_any = True
+            if not froze_any:  # numerical safety net
+                for f in list(unfrozen):
+                    f.rate = limit
+                    self._freeze(f, unfrozen, residual, counts)
+
+    @staticmethod
+    def _freeze(flow: Flow, unfrozen: set, residual: dict, counts: dict) -> None:
+        unfrozen.discard(flow)
+        for link in flow.links:
+            residual[link] = max(0.0, residual[link] - flow.rate)
+            counts[link] -= 1
+
+    def _reallocate_and_schedule(self) -> None:
+        """Complete finished flows, recompute rates, schedule next wake-up."""
+        finished = [f for f in self.flows if f.remaining <= _done_eps(f)]
+        if finished:
+            self.flows = [f for f in self.flows if f.remaining > _done_eps(f)]
+            for f in finished:
+                f.event.succeed()
+        if self.flows:
+            self._allocate_rates()
+            next_done = min(f.remaining / f.rate for f in self.flows)
+            # Guarantee the clock actually advances: below ~1 ns the
+            # addition ``now + next_done`` can round to ``now`` and stall.
+            next_done = max(next_done, 1e-9)
+            self._wake_seq += 1
+            seq = self._wake_seq
+
+            def wake() -> None:
+                if seq != self._wake_seq:
+                    return  # superseded by a later reallocation
+                self._advance_progress()
+                self._reallocate_and_schedule()
+
+            self.env.call_in(next_done, wake)
+        else:
+            self._wake_seq += 1  # cancel any pending wake-up

@@ -1,0 +1,504 @@
+"""Simulated cloud-bursting execution.
+
+Drives the *same* head-scheduler policy as the threaded runtime
+(:class:`repro.runtime.scheduler.HeadScheduler`) over the discrete-event
+kernel, modelling every core, link, and reduction-object exchange.  This
+is the engine behind all Figure-3/4 and Table-I/II reproductions.
+
+The accounting mirrors the paper exactly:
+
+* per-worker **retrieval** and **processing** timers (serial per job,
+  matching the paper's stacked bars that sum to total execution time);
+* **sync** = time from a worker running out of jobs until the head
+  finishes the global reduction (intra-cluster barrier skew +
+  inter-cluster wait + reduction-object exchange);
+* per-cluster **idle time** and the run's **global reduction time** for
+  Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.data.index import DataIndex
+from repro.runtime.jobs import Job, jobs_from_index
+from repro.runtime.scheduler import HeadScheduler
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.sim.calibration import AppSimProfile, ResourceParams
+from repro.sim.events import Event, SimEnv, all_of
+from repro.sim.flows import FlowNetwork
+from repro.sim.topology import Topology
+from repro.sim.variability import VariabilityModel, VariabilityParams
+
+__all__ = [
+    "SimClusterConfig",
+    "FailureSpec",
+    "StragglerSpec",
+    "SimRunResult",
+    "simulate_run",
+]
+
+
+@dataclass(frozen=True)
+class SimClusterConfig:
+    """One simulated cluster."""
+
+    name: str
+    location: str          # "local" or "cloud"
+    n_cores: int
+    core_speed: float = 1.0
+    retrieval_threads: int = 8
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Kill ``n_workers`` cores of ``cluster`` at simulated time ``at_s``.
+
+    A worker whose in-flight job has not completed by ``at_s`` loses
+    that job; the head reassigns it (possibly to the other cluster) and
+    the dead core never requests work again.
+
+    Recovery relies on surviving workers still in their request loop; a
+    failure landing after every other worker has already drained the
+    pool and exited cannot be recovered (mirroring a real run, where the
+    job would need a new scheduling round) and the simulation raises.
+
+    Jobs a core completed *before* dying keep contributing to the final
+    result: this models the checkpointed reduction object of the
+    authors' fault-tolerance follow-up work, where the small robj is
+    periodically persisted so only the in-flight chunk is lost.
+    """
+
+    cluster: str
+    n_workers: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Slow ``n_workers`` cores of ``cluster`` down to ``slowdown`` speed.
+
+    Models the persistent stragglers of heterogeneous/virtualized
+    environments (Zaharia et al.'s motivation for LATE): the affected
+    cores run at ``slowdown`` times their normal speed for the whole
+    run.  Combine with ``speculation=True`` to let idle workers back up
+    the stragglers' in-flight jobs.
+    """
+
+    cluster: str
+    n_workers: int
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if not 0 < self.slowdown < 1:
+            raise ValueError("slowdown must be in (0, 1)")
+
+
+class _SpeculationContext:
+    """Shared bookkeeping for speculative (backup) execution.
+
+    Tracks in-flight jobs; once the head pool is empty, idle workers
+    pick the in-flight job that started earliest (the likeliest
+    straggler victim), run a backup copy, and whichever copy finishes
+    first completes the job -- the other is discarded as wasted work.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.in_flight: dict[int, tuple[Job, float]] = {}
+        self.backed_up: set[int] = set()
+        self.completed: set[int] = set()
+        self.wasted_executions = 0
+
+    def start(self, job: Job, now: float) -> None:
+        self.in_flight.setdefault(job.job_id, (job, now))
+
+    def try_complete(self, job: Job) -> bool:
+        """First finisher wins; returns False for the redundant copy."""
+        if job.job_id in self.completed:
+            self.wasted_executions += 1
+            return False
+        self.completed.add(job.job_id)
+        self.in_flight.pop(job.job_id, None)
+        return True
+
+    def pick_backup(self) -> Job | None:
+        """Oldest in-flight job not yet backed up (None if nothing left)."""
+        if not self.enabled:
+            return None
+        candidates = [
+            (started, job)
+            for job_id, (job, started) in self.in_flight.items()
+            if job_id not in self.backed_up
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda t: t[0])
+        job = candidates[0][1]
+        self.backed_up.add(job.job_id)
+        return job
+
+
+@dataclass
+class SimRunResult:
+    """Statistics of one simulated run (simulated seconds)."""
+
+    stats: RunStats
+    end_time_s: float
+    #: Redundant speculative executions whose primary won the race.
+    wasted_executions: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.end_time_s
+
+
+class _SimMaster:
+    """Cluster-local pool refilling from the shared head scheduler."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        scheduler: HeadScheduler,
+        location: str,
+        batch_size: int,
+        refill_rtt_s: float,
+    ) -> None:
+        self.env = env
+        self.scheduler = scheduler
+        self.location = location
+        self.batch_size = batch_size
+        self.refill_rtt_s = refill_rtt_s
+        self.pool: deque[Job] = deque()
+        self.done = False
+        self._inflight: Event | None = None
+        #: All masters of the run (set by simulate_run), so a failure's
+        #: reassignment can reopen every cluster's request loop.
+        self.peers: list["_SimMaster"] = [self]
+
+    def get_job(self):
+        """Process-style generator returning the next job or ``None``."""
+        while True:
+            if self.pool:
+                return self.pool.popleft()
+            if self.done:
+                return None
+            if self._inflight is not None:
+                # Another worker is already asking the head; wait for it.
+                yield self._inflight
+                continue
+            self._inflight = self.env.event()
+            if self.refill_rtt_s > 0:
+                yield self.refill_rtt_s
+            jobs = self.scheduler.request_jobs(self.location, self.batch_size)
+            if jobs:
+                self.pool.extend(jobs)
+            else:
+                self.done = True
+            ev, self._inflight = self._inflight, None
+            ev.succeed()
+
+    def complete(self, job: Job) -> None:
+        self.scheduler.complete(job)
+
+    def reopen(self) -> None:
+        """A reassigned job re-entered the head pool: ask again."""
+        self.done = False
+
+
+def _worker_proc(
+    env: SimEnv,
+    net: FlowNetwork,
+    topo: Topology,
+    master: _SimMaster,
+    cluster: SimClusterConfig,
+    profile: AppSimProfile,
+    wstats: WorkerStats,
+    speed_factor: float,
+    varmodel: VariabilityModel,
+    fail_at_s: float = math.inf,
+    spec_ctx: _SpeculationContext | None = None,
+    tracer=None,
+    worker_name: str = "",
+):
+    """One simulated core: pull, fetch, process, repeat.
+
+    A core with a finite ``fail_at_s`` dies at that instant: the job it
+    was working on is handed back to the head for reassignment and the
+    core stops requesting work.  With speculation enabled, a core that
+    finds the pool empty backs up the oldest in-flight job instead of
+    idling.
+    """
+    spec_ctx = spec_ctx or _SpeculationContext(enabled=False)
+
+    def execute(job: Job, is_backup: bool):
+        # -- retrieval ------------------------------------------------------
+        t0 = env.now
+        path = topo.fetch_path(cluster.location, job.location, cluster.retrieval_threads)
+        if path.latency_s > 0:
+            yield path.latency_s
+        yield net.transfer(path.links, job.nbytes, path.per_flow_cap)
+        wstats.retrieval_s += env.now - t0
+        stolen = job.location != cluster.location
+        if tracer is not None:
+            tracer.record(worker_name, "fetch", t0, env.now, job.job_id,
+                          job.location, stolen)
+        # -- processing -----------------------------------------------------
+        t0 = env.now
+        base = job.n_units * profile.compute_s_per_unit
+        base /= cluster.core_speed * speed_factor
+        base /= varmodel.effective_speed(base)
+        if spec_ctx.enabled:
+            # Process in quanta so a copy that lost the race is killed
+            # promptly instead of grinding to the end (LATE semantics).
+            n_slices = 8
+            for _ in range(n_slices):
+                yield base / n_slices
+                if job.job_id in spec_ctx.completed:
+                    spec_ctx.wasted_executions += 1
+                    wstats.processing_s += env.now - t0
+                    return env.now <= fail_at_s
+        else:
+            yield base
+        if env.now > fail_at_s:
+            # Died mid-job.  Unless a backup copy exists (or already
+            # finished), hand the job back for reassignment; masters
+            # that already saw an empty pool must start asking again.
+            if not is_backup and job.job_id not in spec_ctx.completed:
+                if job.job_id in spec_ctx.backed_up:
+                    pass  # the running backup will complete it
+                else:
+                    spec_ctx.in_flight.pop(job.job_id, None)
+                    master.scheduler.reassign(job)
+                    for m in master.peers:
+                        m.reopen()
+            return False
+        wstats.processing_s += env.now - t0
+        if tracer is not None:
+            tracer.record(worker_name, "compute", t0, env.now, job.job_id,
+                          job.location, stolen)
+        if spec_ctx.try_complete(job):
+            wstats.jobs_processed += 1
+            if stolen:
+                wstats.jobs_stolen += 1
+            master.complete(job)
+        return True
+
+    while env.now < fail_at_s:
+        job = yield from master.get_job()
+        if job is None:
+            backup = spec_ctx.pick_backup()
+            if backup is None:
+                break
+            alive = yield from execute(backup, True)
+            if not alive:
+                wstats.finished_at = fail_at_s
+                wstats.failed = True
+                return
+            continue
+        spec_ctx.start(job, env.now)
+        alive = yield from execute(job, False)
+        if not alive:
+            wstats.finished_at = fail_at_s
+            wstats.failed = True
+            return
+    wstats.failed = env.now >= fail_at_s
+    wstats.finished_at = min(env.now, fail_at_s) if wstats.failed else env.now
+
+
+def _cluster_proc(
+    env: SimEnv,
+    net: FlowNetwork,
+    topo: Topology,
+    cluster: SimClusterConfig,
+    worker_events: list[Event],
+    cstats: ClusterStats,
+    robj_nbytes: int,
+    params: ResourceParams,
+    master: _SimMaster,
+):
+    """Cluster coordinator: barrier, combine, ship the reduction object.
+
+    Intra-cluster combination merges the workers' reduction-object
+    copies in a binary tree (``ceil(log2(n))`` sequential merge steps),
+    so large objects (pagerank) charge a combination cost that grows
+    with the core count -- one of the two effects capping pagerank's
+    scalability in the paper (the other is the fixed WAN exchange).
+    """
+    yield all_of(env, worker_events)
+    cstats.finished_at = env.now
+    if all(w.failed for w in cstats.workers) and master.pool:
+        # Every core died with jobs still prefetched in the master's
+        # pool: hand them back to the head so another cluster recovers.
+        while master.pool:
+            master.scheduler.reassign(master.pool.pop())
+        for m in master.peers:
+            m.reopen()
+    if cluster.n_cores > 1 and robj_nbytes > 0:
+        depth = math.ceil(math.log2(cluster.n_cores))
+        yield depth * robj_nbytes * params.merge_s_per_byte
+    path = topo.robj_path(cluster.location)
+    t0 = env.now
+    if path.latency_s > 0:
+        yield path.latency_s
+    if path.links:
+        yield net.transfer(path.links, robj_nbytes, path.per_flow_cap)
+    cstats.robj_transfer_s = env.now - t0
+    cstats.robj_nbytes = robj_nbytes
+
+
+def simulate_run(
+    index: DataIndex,
+    clusters: list[SimClusterConfig],
+    profile: AppSimProfile,
+    params: ResourceParams = ResourceParams(),
+    *,
+    seed: int = 0,
+    scheduler_factory=HeadScheduler,
+    failures: list[FailureSpec] | None = None,
+    stragglers: list[StragglerSpec] | None = None,
+    speculation: bool = False,
+    topology=None,
+    site_sigmas: dict[str, float] | None = None,
+    tracer=None,
+) -> SimRunResult:
+    """Simulate one complete cloud-bursting execution.
+
+    The default two-site topology puts the head node at the local
+    cluster when one exists, matching the paper's deployment; an
+    all-cloud configuration hosts it in the cloud (so env-cloud pays no
+    WAN for its global reduction).  Pass ``topology`` (any object with
+    the :class:`~repro.sim.topology.Topology` interface, e.g. a
+    :class:`~repro.sim.multisite.MultiSiteTopology`) for other layouts,
+    and ``site_sigmas`` to override per-site variability.
+    """
+    if not clusters:
+        raise ValueError("need at least one cluster")
+    env = SimEnv()
+    net = FlowNetwork(env)
+    if topology is not None:
+        topo = topology
+    else:
+        head_location = (
+            Topology.LOCAL
+            if any(c.location == Topology.LOCAL for c in clusters)
+            else Topology.CLOUD
+        )
+        topo = Topology(params, head_location)
+    scheduler = scheduler_factory(jobs_from_index(index))
+
+    # Map each failure spec to per-worker kill times (first n cores).
+    fail_times: dict[str, list[float]] = {}
+    for spec in failures or []:
+        if spec.cluster not in {c.name for c in clusters}:
+            raise ValueError(f"failure targets unknown cluster {spec.cluster!r}")
+        fail_times.setdefault(spec.cluster, []).extend([spec.at_s] * spec.n_workers)
+
+    # Map straggler specs to per-worker slowdown factors (last n cores,
+    # so failures and stragglers target disjoint cores by default).
+    slow_factors: dict[str, list[float]] = {}
+    for sspec in stragglers or []:
+        if sspec.cluster not in {c.name for c in clusters}:
+            raise ValueError(f"straggler targets unknown cluster {sspec.cluster!r}")
+        slow_factors.setdefault(sspec.cluster, []).extend(
+            [sspec.slowdown] * sspec.n_workers
+        )
+    spec_ctx = _SpeculationContext(enabled=speculation)
+
+    stats = RunStats()
+    cluster_events: list[Event] = []
+    masters: list[_SimMaster] = []
+    for ci, cluster in enumerate(clusters):
+        if site_sigmas is not None and cluster.location in site_sigmas:
+            sigma = site_sigmas[cluster.location]
+        elif cluster.location == Topology.LOCAL:
+            sigma = params.local_speed_sigma
+        else:
+            sigma = params.cloud_speed_sigma
+        varmodel = VariabilityModel(VariabilityParams(sigma=sigma), seed=seed * 1009 + ci)
+        master = _SimMaster(
+            env, scheduler, cluster.location, params.batch_size,
+            topo.refill_rtt(cluster.location),
+        )
+        masters.append(master)
+        cstats = ClusterStats(cluster.name, cluster.location)
+        stats.clusters[cluster.name] = cstats
+        kill_times = fail_times.get(cluster.name, [])
+        if len(kill_times) > cluster.n_cores:
+            raise ValueError(
+                f"cannot fail {len(kill_times)} workers of {cluster.name!r} "
+                f"({cluster.n_cores} cores)"
+            )
+        slows = slow_factors.get(cluster.name, [])
+        if len(slows) > cluster.n_cores:
+            raise ValueError(
+                f"cannot slow {len(slows)} workers of {cluster.name!r} "
+                f"({cluster.n_cores} cores)"
+            )
+        worker_events = []
+        for wid in range(cluster.n_cores):
+            wstats = WorkerStats()
+            cstats.workers.append(wstats)
+            speed = varmodel.core_speed_factor()
+            slow_idx = wid - (cluster.n_cores - len(slows))
+            if slow_idx >= 0:
+                speed *= slows[slow_idx]
+            fail_at = kill_times[wid] if wid < len(kill_times) else math.inf
+            worker_events.append(
+                env.process(
+                    _worker_proc(
+                        env, net, topo, master, cluster, profile,
+                        wstats, speed, varmodel, fail_at, spec_ctx,
+                        tracer, f"{cluster.name}/{wid}",
+                    )
+                )
+            )
+        cluster_events.append(
+            env.process(
+                _cluster_proc(
+                    env, net, topo, cluster, worker_events, cstats,
+                    profile.robj_nbytes, params, master,
+                )
+            )
+        )
+
+    for m in masters:
+        m.peers = masters
+
+    # Head: wait for every cluster's object, then merge them.
+    def _head_proc():
+        yield all_of(env, cluster_events)
+        merge = params.merge_fixed_s
+        merge += len(clusters) * profile.robj_nbytes * params.merge_s_per_byte
+        yield merge
+
+    env.process(_head_proc())
+    env.run()
+
+    if not scheduler.all_done:
+        raise RuntimeError(
+            "simulation ended with unprocessed jobs (did every worker fail?)"
+        )
+
+    end = env.now
+    stats.total_s = end
+    processing_end = max(c.finished_at for c in stats.clusters.values())
+    stats.processing_end_s = processing_end
+    stats.global_reduction_s = end - processing_end
+    for cstats in stats.clusters.values():
+        cstats.idle_s = max(0.0, processing_end - cstats.finished_at)
+        for w in cstats.workers:
+            w.sync_s = max(0.0, end - w.finished_at)
+    return SimRunResult(
+        stats=stats, end_time_s=end, wasted_executions=spec_ctx.wasted_executions
+    )

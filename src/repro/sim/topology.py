@@ -1,0 +1,97 @@
+"""Simulated network/storage topology.
+
+Two sites -- the local cluster and the cloud -- with:
+
+* a local storage node (finite disk/NIC bandwidth) serving the cluster;
+* the S3 service (aggregate bandwidth + per-connection caps) serving the
+  cloud internally at full speed;
+* a WAN between the sites, crossed by local workers stealing S3-resident
+  jobs, by cloud workers stealing locally-stored jobs, and by
+  reduction-object uploads from remote masters to the head node.
+
+``fetch_path`` returns the link set, request latency, and per-flow rate
+cap for a worker at one site reading data at another, so the simulator's
+worker loop stays topology-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.calibration import ResourceParams
+from repro.sim.flows import Link
+
+__all__ = ["FetchPath", "Topology"]
+
+
+@dataclass(frozen=True)
+class FetchPath:
+    """How one transfer must be routed."""
+
+    links: tuple[Link, ...]
+    latency_s: float
+    per_flow_cap: float  # bytes/s ceiling for this single transfer
+
+
+class Topology:
+    """Link objects and routing rules for the two-site environment."""
+
+    LOCAL = "local"
+    CLOUD = "cloud"
+
+    def __init__(self, params: ResourceParams, head_location: str) -> None:
+        if head_location not in (self.LOCAL, self.CLOUD):
+            raise ValueError(f"unknown head location {head_location!r}")
+        self.params = params
+        self.head_location = head_location
+        self.local_disk = Link("local-disk", params.local_disk_bw)
+        self.s3 = Link("s3-service", params.s3_aggregate_bw)
+        self.wan = Link("wan", params.wan_bw)
+
+    def fetch_path(self, worker_site: str, data_site: str, retrieval_threads: int) -> FetchPath:
+        """Route a chunk fetch by a worker at ``worker_site``.
+
+        Per-flow caps model per-connection ceilings multiplied by the
+        worker's retrieval-thread count (the paper's multi-threaded
+        retrieval optimization).
+        """
+        if retrieval_threads <= 0:
+            raise ValueError("retrieval_threads must be positive")
+        p = self.params
+        if data_site == self.LOCAL and worker_site == self.LOCAL:
+            return FetchPath((self.local_disk,), 0.0, p.local_per_worker_bw)
+        if data_site == self.CLOUD and worker_site == self.CLOUD:
+            return FetchPath(
+                (self.s3,),
+                p.s3_request_latency_s,
+                p.s3_per_connection_bw * retrieval_threads,
+            )
+        if data_site == self.CLOUD and worker_site == self.LOCAL:
+            # Ranged GETs from S3 across the WAN (job stealing by the cluster).
+            return FetchPath(
+                (self.s3, self.wan),
+                p.s3_request_latency_s + p.wan_latency_s,
+                p.wan_per_connection_bw * retrieval_threads,
+            )
+        if data_site == self.LOCAL and worker_site == self.CLOUD:
+            # Cloud instances reading the cluster's storage node.
+            return FetchPath(
+                (self.local_disk, self.wan),
+                p.wan_latency_s,
+                p.wan_per_connection_bw * retrieval_threads,
+            )
+        raise ValueError(f"no route from {worker_site!r} to {data_site!r}")
+
+    def robj_path(self, cluster_site: str) -> FetchPath:
+        """Route a reduction-object upload from a master to the head."""
+        if cluster_site == self.head_location:
+            # Intra-cluster: effectively free next to WAN costs.
+            return FetchPath((), 0.0, math.inf)
+        return FetchPath((self.wan,), self.params.wan_latency_s, math.inf)
+
+    def refill_rtt(self, cluster_site: str) -> float:
+        """Master <-> head control round-trip for a job-batch request."""
+        if cluster_site == self.head_location:
+            return self.params.local_refill_rtt_s
+        return self.params.cloud_refill_rtt_s

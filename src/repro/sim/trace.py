@@ -1,0 +1,125 @@
+"""Execution tracing and ASCII Gantt rendering.
+
+A :class:`Tracer` passed to :func:`repro.sim.simrun.simulate_run`
+records one span per worker activity (fetch / compute), giving a
+complete timeline of the run -- which worker fetched which chunk from
+which site, when, and for how long.  ``render_gantt`` draws the
+timeline as text (``.`` idle, ``=`` fetch, ``#`` compute, ``%`` stolen
+fetch), which is how the examples visualize scheduling behaviour
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["Span", "Tracer", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced activity interval."""
+
+    worker: str     # "cluster/worker-index"
+    kind: str       # "fetch" or "compute"
+    t0: float
+    t1: float
+    job_id: int
+    data_location: str
+    stolen: bool
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class Tracer:
+    """Collects spans during a simulated run."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def record(self, worker: str, kind: str, t0: float, t1: float,
+               job_id: int, data_location: str, stolen: bool) -> None:
+        if t1 < t0:
+            raise ValueError("span ends before it starts")
+        if kind not in ("fetch", "compute"):
+            raise ValueError(f"unknown span kind {kind!r}")
+        self.spans.append(Span(worker, kind, t0, t1, job_id, data_location, stolen))
+
+    @property
+    def end_time(self) -> float:
+        return max((s.t1 for s in self.spans), default=0.0)
+
+    def workers(self) -> list[str]:
+        seen: list[str] = []
+        for s in self.spans:
+            if s.worker not in seen:
+                seen.append(s.worker)
+        return seen
+
+    def busy_fraction(self, worker: str) -> float:
+        """Share of the run this worker spent fetching or computing."""
+        end = self.end_time
+        if end == 0:
+            return 0.0
+        busy = sum(s.duration for s in self.spans if s.worker == worker)
+        return busy / end
+
+    def utilization(self) -> float:
+        """Mean busy fraction over all traced workers."""
+        ws = self.workers()
+        if not ws:
+            return 0.0
+        return sum(self.busy_fraction(w) for w in ws) / len(ws)
+
+
+def render_gantt(
+    tracer: Tracer,
+    *,
+    width: int = 80,
+    workers: Iterable[str] | None = None,
+) -> str:
+    """Render the trace as an ASCII Gantt chart.
+
+    One row per worker; each column is ``end_time / width`` seconds.
+    ``#`` compute, ``=`` local-ish fetch, ``%`` stolen (cross-site)
+    fetch, ``.`` idle/waiting.  Each column shows the activity that
+    occupied the most time within it, so short spans are not
+    over-represented at coarse resolutions.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    end = tracer.end_time
+    rows = []
+    names = list(workers) if workers is not None else tracer.workers()
+    if end == 0 or not names:
+        return "(empty trace)"
+    col_s = end / width  # seconds per column
+    glyphs = ("=", "#", "%")
+    label_w = max(len(n) for n in names)
+    for name in names:
+        # Duration-weighted occupancy per column and activity.
+        occupancy = [dict.fromkeys(glyphs, 0.0) for _ in range(width)]
+        for s in tracer.spans:
+            if s.worker != name:
+                continue
+            glyph = "#" if s.kind == "compute" else ("%" if s.stolen else "=")
+            c0 = min(width - 1, int(s.t0 / col_s))
+            c1 = min(width - 1, int(s.t1 / col_s))
+            for c in range(c0, c1 + 1):
+                lo = max(s.t0, c * col_s)
+                hi = min(s.t1, (c + 1) * col_s)
+                if hi > lo:
+                    occupancy[c][glyph] += hi - lo
+        cells = []
+        for col in occupancy:
+            busy = sum(col.values())
+            if busy < col_s / 2:
+                cells.append(".")
+            else:
+                cells.append(max(glyphs, key=lambda g: col[g]))
+        rows.append(f"{name.ljust(label_w)} |{''.join(cells)}|")
+    legend = f"{'':{label_w}}  0s{' ' * (width - len(f'{end:.0f}s') - 2)}{end:.0f}s"
+    return "\n".join(rows + [legend, "  # compute   = fetch   % stolen fetch   . idle"])

@@ -1,0 +1,72 @@
+"""EC2 performance-variability model.
+
+"In our experience running experiments, the virtualized environment of
+EC2 can occasionally cause variability in performance."  We model two
+effects:
+
+* a **static per-core speed factor**, lognormally distributed around 1,
+  capturing heterogeneous placement (noisy neighbours, differing
+  underlying hardware) -- the cloud draws with a larger sigma than the
+  dedicated local cluster;
+* optional **transient slowdown episodes**: during an episode a core
+  runs at a reduced speed.  Episodes are sampled per core as alternating
+  ok/slow intervals, and queried as an *effective speed multiplier* over
+  a processing interval.
+
+The paper notes its pooling-based load balancing absorbs these
+fluctuations; the variability ablation benchmark shows exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VariabilityParams", "VariabilityModel"]
+
+
+@dataclass(frozen=True)
+class VariabilityParams:
+    """Distribution parameters for one site's cores."""
+
+    sigma: float = 0.0            # lognormal sigma of the static speed factor
+    episode_rate: float = 0.0     # slowdown episodes per simulated second
+    episode_duration_s: float = 30.0
+    episode_slowdown: float = 0.5  # speed multiplier while inside an episode
+
+
+class VariabilityModel:
+    """Deterministic (seeded) source of per-core speed factors."""
+
+    def __init__(self, params: VariabilityParams, seed: int = 0) -> None:
+        if params.sigma < 0 or params.episode_rate < 0:
+            raise ValueError("sigma and episode_rate must be non-negative")
+        if not 0 < params.episode_slowdown <= 1:
+            raise ValueError("episode_slowdown must be in (0, 1]")
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+
+    def core_speed_factor(self) -> float:
+        """Static speed multiplier for one core (mean approximately 1)."""
+        s = self.params.sigma
+        if s == 0:
+            return 1.0
+        # Mean-one lognormal: exp(N(-s^2/2, s^2)).
+        return float(np.exp(self._rng.normal(-0.5 * s * s, s)))
+
+    def effective_speed(self, duration_s: float) -> float:
+        """Mean speed multiplier over a processing interval.
+
+        Approximates episode overlap by the expected fraction of the
+        interval spent slowed down (memoryless episodes).
+        """
+        p = self.params
+        if p.episode_rate == 0 or duration_s <= 0:
+            return 1.0
+        busy_frac = min(1.0, p.episode_rate * p.episode_duration_s)
+        # Sample whether this interval hits an episode at all; longer
+        # intervals smooth toward the expectation.
+        expected = 1.0 - busy_frac * (1.0 - p.episode_slowdown)
+        jitter = float(self._rng.uniform(0.9, 1.1))
+        return float(np.clip(expected * jitter, p.episode_slowdown, 1.0))

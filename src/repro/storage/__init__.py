@@ -1,0 +1,21 @@
+"""Storage substrates: local disk/memory stores and a simulated S3."""
+
+from repro.storage.base import StorageBackend, StorageStats
+from repro.storage.bandwidth import Clock, RateCap, TokenBucket
+from repro.storage.local import LocalDiskStore, MemoryStore
+from repro.storage.s3 import S3Profile, SimulatedS3Store
+from repro.storage.transfer import ParallelFetcher, split_range
+
+__all__ = [
+    "StorageBackend",
+    "StorageStats",
+    "Clock",
+    "RateCap",
+    "TokenBucket",
+    "LocalDiskStore",
+    "MemoryStore",
+    "S3Profile",
+    "SimulatedS3Store",
+    "ParallelFetcher",
+    "split_range",
+]

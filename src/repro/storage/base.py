@@ -1,0 +1,95 @@
+"""Storage backend interface.
+
+Both the local cluster's storage node and the cloud object store expose
+the same minimal API: whole-object ``put`` and ranged ``get``.  Ranged
+reads matter because one job is a byte range (a chunk) of a larger file,
+and remote jobs are "retrieved in chunks" via range requests.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["StorageStats", "StorageBackend"]
+
+
+@dataclass
+class StorageStats:
+    """Counters a backend maintains about the traffic it served."""
+
+    n_puts: int = 0
+    n_gets: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_put(self, nbytes: int) -> None:
+        with self._lock:
+            self.n_puts += 1
+            self.bytes_written += nbytes
+
+    def record_get(self, nbytes: int) -> None:
+        with self._lock:
+            self.n_gets += 1
+            self.bytes_read += nbytes
+
+
+class StorageBackend(abc.ABC):
+    """Abstract object store holding named byte blobs.
+
+    Concrete backends must be safe for concurrent ``get`` from multiple
+    threads (slaves use several retrieval threads per chunk).
+    """
+
+    #: Site label ("local", "cloud", ...) used for locality decisions.
+    location: str = "local"
+
+    def __init__(self) -> None:
+        self.stats = StorageStats()
+
+    @abc.abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key``, replacing any existing object."""
+
+    @abc.abstractmethod
+    def get(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        """Read ``nbytes`` bytes of object ``key`` starting at ``offset``.
+
+        ``nbytes=None`` reads to the end of the object.  Reading past the
+        end raises ``ValueError``; a missing key raises ``KeyError``.
+        """
+
+    @abc.abstractmethod
+    def size(self, key: str) -> int:
+        """Size in bytes of object ``key`` (``KeyError`` if missing)."""
+
+    @abc.abstractmethod
+    def list_keys(self) -> list[str]:
+        """All object keys, sorted."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove object ``key`` (``KeyError`` if missing)."""
+
+    def exists(self, key: str) -> bool:
+        try:
+            self.size(key)
+            return True
+        except KeyError:
+            return False
+
+    def _check_range(self, key: str, total: int, offset: int, nbytes: int | None) -> int:
+        """Validate a range request; returns the resolved byte count."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        if nbytes is None:
+            nbytes = total - offset
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        if offset + nbytes > total:
+            raise ValueError(
+                f"range [{offset}, {offset + nbytes}) exceeds size {total} of {key!r}"
+            )
+        return nbytes

@@ -1,0 +1,125 @@
+"""Local stores: in-memory and on-disk.
+
+``MemoryStore`` backs tests and the simulated S3 service;
+``LocalDiskStore`` is the cluster storage-node equivalent, with ranged
+reads implemented via ``seek`` so a chunk fetch never touches the rest of
+the file.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.storage.base import StorageBackend
+
+__all__ = ["MemoryStore", "LocalDiskStore"]
+
+
+class MemoryStore(StorageBackend):
+    """Thread-safe in-memory object store."""
+
+    def __init__(self, location: str = "local") -> None:
+        super().__init__()
+        self.location = location
+        self._objects: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def put(self, key: str, data: bytes) -> None:
+        data = bytes(data)
+        with self._lock:
+            self._objects[key] = data
+        self.stats.record_put(len(data))
+
+    def get(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        with self._lock:
+            try:
+                obj = self._objects[key]
+            except KeyError:
+                raise KeyError(key) from None
+        nbytes = self._check_range(key, len(obj), offset, nbytes)
+        out = obj[offset : offset + nbytes]
+        self.stats.record_get(len(out))
+        return out
+
+    def size(self, key: str) -> int:
+        with self._lock:
+            try:
+                return len(self._objects[key])
+            except KeyError:
+                raise KeyError(key) from None
+
+    def list_keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._objects)
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            try:
+                del self._objects[key]
+            except KeyError:
+                raise KeyError(key) from None
+
+
+class LocalDiskStore(StorageBackend):
+    """Filesystem-backed store rooted at a directory.
+
+    Keys map to file paths under ``root``; nested keys ("a/b.bin") create
+    subdirectories.  Paths escaping the root are rejected.
+    """
+
+    def __init__(self, root: str, location: str = "local") -> None:
+        super().__init__()
+        self.location = location
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        path = os.path.abspath(os.path.join(self.root, key))
+        if not path.startswith(self.root + os.sep):
+            raise ValueError(f"key {key!r} escapes store root")
+        return path
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+        self.stats.record_put(len(data))
+
+    def get(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        path = self._path(key)
+        try:
+            total = os.path.getsize(path)
+        except OSError:
+            raise KeyError(key) from None
+        nbytes = self._check_range(key, total, offset, nbytes)
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            out = fh.read(nbytes)
+        self.stats.record_get(len(out))
+        return out
+
+    def size(self, key: str) -> int:
+        try:
+            return os.path.getsize(self._path(key))
+        except OSError:
+            raise KeyError(key) from None
+
+    def list_keys(self) -> list[str]:
+        keys = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fn in filenames:
+                if fn.endswith(".tmp"):
+                    continue
+                full = os.path.join(dirpath, fn)
+                keys.append(os.path.relpath(full, self.root))
+        return sorted(k.replace(os.sep, "/") for k in keys)
+
+    def delete(self, key: str) -> None:
+        try:
+            os.remove(self._path(key))
+        except OSError:
+            raise KeyError(key) from None

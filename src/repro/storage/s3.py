@@ -1,0 +1,98 @@
+"""Simulated cloud object store (Amazon S3 stand-in).
+
+The paper stores the remote fraction of each dataset in S3 and retrieves
+it with ranged GETs.  We reproduce the service's performance envelope:
+
+* fixed **request latency** per GET/PUT;
+* a **per-connection throughput cap** (single-stream GETs are slow, so
+  multi-threaded retrieval pays off -- the paper's env-cloud retrieval
+  beating env-local depends on this);
+* a shared **aggregate bandwidth** across all concurrent connections.
+
+Functionally it is just an object store (delegating to any inner
+backend), so the threaded middleware runs real data through it; the
+delays are only injected when a shaping profile is configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.base import StorageBackend
+from repro.storage.bandwidth import Clock, RateCap, TokenBucket
+from repro.storage.local import MemoryStore
+
+__all__ = ["S3Profile", "SimulatedS3Store"]
+
+
+@dataclass(frozen=True)
+class S3Profile:
+    """Performance envelope of the simulated service.
+
+    Rates are bytes/second.  ``None`` disables that mechanism.
+    """
+
+    request_latency_s: float = 0.0
+    per_connection_bw: float | None = None
+    aggregate_bw: float | None = None
+
+    @classmethod
+    def unthrottled(cls) -> "S3Profile":
+        return cls()
+
+
+class SimulatedS3Store(StorageBackend):
+    """Object store wrapper injecting S3-like latency and throughput."""
+
+    def __init__(
+        self,
+        inner: StorageBackend | None = None,
+        profile: S3Profile = S3Profile.unthrottled(),
+        clock: Clock | None = None,
+        location: str = "cloud",
+    ) -> None:
+        super().__init__()
+        self.location = location
+        self.inner = inner if inner is not None else MemoryStore(location=location)
+        self.profile = profile
+        self.clock = clock or Clock()
+        self._per_conn = (
+            RateCap(profile.per_connection_bw)
+            if profile.per_connection_bw is not None
+            else None
+        )
+        self._aggregate = (
+            TokenBucket(profile.aggregate_bw, self.clock)
+            if profile.aggregate_bw is not None
+            else None
+        )
+
+    def _delay(self, nbytes: int) -> None:
+        wait = self.profile.request_latency_s
+        if self._per_conn is not None:
+            wait += self._per_conn.duration(nbytes)
+        if wait > 0:
+            self.clock.sleep(wait)
+        if self._aggregate is not None:
+            self._aggregate.throttle(nbytes)
+
+    def put(self, key: str, data: bytes) -> None:
+        self._delay(len(data))
+        self.inner.put(key, data)
+        self.stats.record_put(len(data))
+
+    def get(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        out = self.inner.get(key, offset, nbytes)
+        self._delay(len(out))
+        self.stats.record_get(len(out))
+        return out
+
+    def size(self, key: str) -> int:
+        return self.inner.size(key)
+
+    def list_keys(self) -> list[str]:
+        return self.inner.list_keys()
+
+    def delete(self, key: str) -> None:
+        self._delay(0)
+        self.inner.delete(key)

@@ -1,0 +1,95 @@
+"""Unit tests for the kNN application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import KnnMapReduceSpec, KnnSpec, knn_exact
+from repro.core.api import run_local_pass
+from repro.data.units import iter_unit_groups
+
+
+@pytest.fixture
+def query():
+    return np.full(4, 0.5)
+
+
+class TestKnnSpec:
+    def test_matches_exact(self, points, query):
+        spec = KnnSpec(query, 9)
+        robj = run_local_pass(spec, iter_unit_groups(points, 77))
+        got = spec.finalize(robj)
+        ref = knn_exact(points, query, 9)
+        np.testing.assert_allclose([g[0] for g in got], [r[0] for r in ref])
+
+    def test_payloads_are_points(self, points, query):
+        spec = KnnSpec(query, 3)
+        robj = run_local_pass(spec, iter_unit_groups(points, 100))
+        for dist, pt in spec.finalize(robj):
+            d = float(((pt - query) ** 2).sum())
+            assert d == pytest.approx(dist)
+
+    def test_group_size_invariance(self, points, query):
+        spec = KnnSpec(query, 5)
+        r1 = spec.finalize(run_local_pass(spec, iter_unit_groups(points, 13)))
+        r2 = spec.finalize(run_local_pass(spec, iter_unit_groups(points, 500)))
+        np.testing.assert_allclose([x[0] for x in r1], [x[0] for x in r2])
+
+    def test_k_larger_than_data(self, query):
+        pts = np.zeros((3, 4))
+        spec = KnnSpec(query, 10)
+        got = spec.finalize(run_local_pass(spec, [pts]))
+        assert len(got) == 3
+
+    def test_merge_across_workers(self, points, query):
+        spec = KnnSpec(query, 6)
+        half = len(points) // 2
+        a = run_local_pass(spec, iter_unit_groups(points[:half], 64))
+        b = run_local_pass(spec, iter_unit_groups(points[half:], 64))
+        merged = spec.global_reduction([a, b])
+        ref = knn_exact(points, query, 6)
+        np.testing.assert_allclose(
+            [x[0] for x in spec.finalize(merged)], [r[0] for r in ref]
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            KnnSpec(np.zeros((2, 2)), 3)
+        with pytest.raises(ValueError):
+            KnnSpec(np.zeros(2), 0)
+
+    def test_robj_is_small(self, points, query):
+        """The paper's knn has a small reduction object regardless of n."""
+        spec = KnnSpec(query, 10)
+        robj = run_local_pass(spec, iter_unit_groups(points, 100))
+        assert robj.nbytes <= 10 * (8 + query.nbytes)
+
+
+class TestKnnMapReduce:
+    def test_matches_exact(self, points, query):
+        from repro.mapreduce.engine import MapReduceEngine
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import points_format
+        from repro.storage.local import MemoryStore
+
+        store = MemoryStore()
+        idx = write_dataset(points, points_format(4), store, n_files=2, chunk_units=256)
+        engine = MapReduceEngine({"local": store}, n_mappers=2, n_reducers=1)
+        res = engine.run(KnnMapReduceSpec(query, 4), idx)
+        ref = knn_exact(points, query, 4)
+        np.testing.assert_allclose([x[0] for x in res.result], [r[0] for r in ref])
+
+    def test_combiner_bounds_intermediate_pairs(self, points, query):
+        from repro.mapreduce.engine import MapReduceEngine
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import points_format
+        from repro.storage.local import MemoryStore
+
+        store = MemoryStore()
+        idx = write_dataset(points, points_format(4), store, n_files=2, chunk_units=256)
+        engine = MapReduceEngine(
+            {"local": store}, n_mappers=2, n_reducers=1, combine_flush_pairs=128
+        )
+        with_c = engine.run(KnnMapReduceSpec(query, 4, with_combiner=True), idx)
+        without = engine.run(KnnMapReduceSpec(query, 4, with_combiner=False), idx)
+        assert with_c.stats.intermediate_pairs < without.stats.intermediate_pairs
+        assert without.stats.intermediate_pairs == len(points)

@@ -1,0 +1,117 @@
+"""Unit tests for the PageRank application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import (
+    PageRankMapReduceSpec,
+    PageRankSpec,
+    out_degrees,
+    pagerank_reference,
+    pagerank_step,
+)
+from repro.core.api import run_local_pass
+from repro.data.units import iter_unit_groups
+
+N_PAGES = 300
+
+
+@pytest.fixture
+def state(edges):
+    outdeg = out_degrees(edges, N_PAGES)
+    ranks = np.full(N_PAGES, 1.0 / N_PAGES)
+    return ranks, outdeg
+
+
+class TestPageRankSpec:
+    def test_matches_reference_step(self, edges, state):
+        ranks, outdeg = state
+        spec = PageRankSpec(ranks, outdeg)
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(edges, 97)))
+        ref = pagerank_step(edges, ranks, outdeg)
+        np.testing.assert_allclose(got, ref)
+
+    def test_rank_mass_conserved(self, edges, state):
+        ranks, outdeg = state
+        spec = PageRankSpec(ranks, outdeg)
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(edges, 128)))
+        assert got.sum() == pytest.approx(1.0)
+
+    def test_group_size_invariance(self, edges, state):
+        ranks, outdeg = state
+        spec = PageRankSpec(ranks, outdeg)
+        r1 = spec.finalize(run_local_pass(spec, iter_unit_groups(edges, 7)))
+        r2 = spec.finalize(run_local_pass(spec, iter_unit_groups(edges, 5000)))
+        np.testing.assert_allclose(r1, r2)
+
+    def test_merge_across_workers(self, edges, state):
+        ranks, outdeg = state
+        spec = PageRankSpec(ranks, outdeg)
+        a = run_local_pass(spec, iter_unit_groups(edges[:2500], 500))
+        b = run_local_pass(spec, iter_unit_groups(edges[2500:], 500))
+        got = spec.finalize(spec.global_reduction([a, b]))
+        ref = pagerank_step(edges, ranks, outdeg)
+        np.testing.assert_allclose(got, ref)
+
+    def test_iterates_to_networkx_fixed_point(self, edges):
+        """Converged ranks must match networkx's PageRank."""
+        import networkx as nx
+
+        outdeg = out_degrees(edges, N_PAGES)
+        ranks = np.full(N_PAGES, 1.0 / N_PAGES)
+        for _ in range(100):
+            spec = PageRankSpec(ranks, outdeg)
+            new = spec.finalize(run_local_pass(spec, iter_unit_groups(edges, 1000)))
+            if np.abs(new - ranks).sum() < 1e-12:
+                break
+            ranks = new
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(range(N_PAGES))
+        g.add_edges_from(map(tuple, edges))
+        nx_ranks = nx.pagerank(g, alpha=0.85, tol=1e-12, max_iter=200)
+        np.testing.assert_allclose(
+            ranks, [nx_ranks[i] for i in range(N_PAGES)], atol=1e-6
+        )
+
+    def test_dangling_mass_redistributed(self):
+        # Page 2 has no outgoing edges.
+        edges = np.array([[0, 1], [1, 2]])
+        outdeg = out_degrees(edges, 3)
+        ranks = np.array([0.2, 0.3, 0.5])
+        spec = PageRankSpec(ranks, outdeg)
+        got = spec.finalize(run_local_pass(spec, [edges]))
+        ref = pagerank_step(edges, ranks, outdeg)
+        np.testing.assert_allclose(got, ref)
+        assert got.sum() == pytest.approx(1.0)
+
+    def test_robj_scales_with_pages(self, state):
+        ranks, outdeg = state
+        spec = PageRankSpec(ranks, outdeg)
+        assert spec.create_reduction_object().nbytes == N_PAGES * 8
+
+    def test_invalid_args(self, state):
+        ranks, outdeg = state
+        with pytest.raises(ValueError):
+            PageRankSpec(ranks, outdeg[:-1])
+        with pytest.raises(ValueError):
+            PageRankSpec(ranks, outdeg, damping=1.5)
+
+
+class TestReference:
+    def test_reference_converges_and_sums_to_one(self, edges):
+        ranks = pagerank_reference(edges, N_PAGES)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert (ranks > 0).all()
+
+
+class TestPageRankMapReduce:
+    def test_matches_reference(self, edges, state, local_store):
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import edges_format
+        from repro.mapreduce.engine import MapReduceEngine
+
+        ranks, outdeg = state
+        idx = write_dataset(edges, edges_format(), local_store, n_files=2, chunk_units=600)
+        engine = MapReduceEngine({"local": local_store}, n_mappers=2, n_reducers=3)
+        res = engine.run(PageRankMapReduceSpec(ranks, outdeg), idx)
+        np.testing.assert_allclose(res.result, pagerank_step(edges, ranks, outdeg))

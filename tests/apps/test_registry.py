@@ -1,0 +1,69 @@
+"""Unit tests for the application registry."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import APPLICATIONS, Application, get_application, register_application
+from repro.core.api import GeneralizedReductionSpec
+from repro.core.mapreduce_api import MapReduceSpec
+
+
+class TestRegistry:
+    def test_paper_apps_registered(self):
+        assert {"knn", "kmeans", "pagerank", "wordcount"} <= set(APPLICATIONS)
+
+    def test_get_application(self):
+        app = get_application("knn")
+        assert app.name == "knn"
+        assert app.profile == "io-bound"
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError):
+            get_application("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_application(APPLICATIONS["knn"])
+
+    def test_params_with_defaults(self):
+        app = get_application("kmeans")
+        p = app.params_with_defaults(k=25)
+        assert p["k"] == 25
+        assert p["dim"] == 8
+
+    def test_profiles_match_paper(self):
+        assert get_application("kmeans").profile == "cpu-bound"
+        assert get_application("pagerank").profile == "balanced"
+
+
+class TestFactories:
+    def test_generate_and_format_consistent(self):
+        for name in ("knn", "kmeans", "pagerank", "wordcount"):
+            app = get_application(name)
+            fmt = app.make_format(**app.default_params)
+            units = app.generate(100, seed=3, **app.default_params)
+            # Generated units must round-trip through the app's format.
+            decoded = fmt.decode(fmt.encode(units))
+            np.testing.assert_array_equal(decoded, units.astype(fmt.dtype))
+
+    def test_gr_spec_construction(self):
+        knn = get_application("knn")
+        spec = knn.make_gr_spec(np.zeros(8), k=5)
+        assert isinstance(spec, GeneralizedReductionSpec)
+
+        kmeans = get_application("kmeans")
+        spec = kmeans.make_gr_spec(np.zeros((3, 8)))
+        assert isinstance(spec, GeneralizedReductionSpec)
+
+        pr = get_application("pagerank")
+        spec = pr.make_gr_spec((np.full(10, 0.1), np.ones(10)))
+        assert isinstance(spec, GeneralizedReductionSpec)
+
+        wc = get_application("wordcount")
+        assert isinstance(wc.make_gr_spec(), GeneralizedReductionSpec)
+
+    def test_mr_spec_construction(self):
+        knn = get_application("knn")
+        assert isinstance(knn.make_mr_spec(np.zeros(8), k=5), MapReduceSpec)
+        wc = get_application("wordcount")
+        assert isinstance(wc.make_mr_spec(with_combiner=False), MapReduceSpec)

@@ -1,0 +1,91 @@
+"""Unit tests for distributed linear regression."""
+
+import numpy as np
+import pytest
+
+from repro.apps.regression import (
+    LinearRegressionMapReduceSpec,
+    LinearRegressionSpec,
+    generate_regression_rows,
+    regression_exact,
+)
+from repro.core.api import run_local_pass
+from repro.data.units import iter_unit_groups
+
+
+@pytest.fixture
+def rows():
+    return generate_regression_rows(3000, 5, noise=0.2, seed=101)
+
+
+class TestLinearRegressionSpec:
+    def test_matches_lstsq(self, rows):
+        spec = LinearRegressionSpec(5)
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(rows, 256)))
+        ref = regression_exact(rows)
+        np.testing.assert_allclose(got.coef, ref.coef, rtol=1e-8)
+        assert got.intercept == pytest.approx(ref.intercept, rel=1e-8)
+        assert got.r_squared == pytest.approx(ref.r_squared, rel=1e-8)
+        assert got.n_rows == 3000
+
+    def test_recovers_true_model_without_noise(self):
+        rows = generate_regression_rows(2000, 3, noise=0.0, seed=7)
+        spec = LinearRegressionSpec(3)
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(rows, 500)))
+        assert got.r_squared == pytest.approx(1.0)
+        # Residuals vanish: predictions reproduce y exactly.
+        pred = rows[:, :3] @ got.coef + got.intercept
+        np.testing.assert_allclose(pred, rows[:, 3], atol=1e-8)
+
+    def test_merge_across_workers(self, rows):
+        spec = LinearRegressionSpec(5)
+        a = run_local_pass(spec, iter_unit_groups(rows[:1000], 128))
+        b = run_local_pass(spec, iter_unit_groups(rows[1000:], 128))
+        got = spec.finalize(spec.global_reduction([a, b]))
+        ref = regression_exact(rows)
+        np.testing.assert_allclose(got.coef, ref.coef, rtol=1e-8)
+
+    def test_group_size_invariance(self, rows):
+        spec = LinearRegressionSpec(5)
+        g1 = spec.finalize(run_local_pass(spec, iter_unit_groups(rows, 13)))
+        g2 = spec.finalize(run_local_pass(spec, iter_unit_groups(rows, 3000)))
+        np.testing.assert_allclose(g1.coef, g2.coef, rtol=1e-10)
+
+    def test_zero_rows_rejected(self):
+        spec = LinearRegressionSpec(2)
+        robj = spec.create_reduction_object()
+        with pytest.raises(ValueError):
+            spec.finalize(robj)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LinearRegressionSpec(0)
+
+    def test_robj_size_independent_of_n(self, rows):
+        spec = LinearRegressionSpec(5)
+        robj = run_local_pass(spec, iter_unit_groups(rows, 512))
+        assert robj.nbytes == (5 + 3) ** 2 * 8
+
+    def test_threaded_end_to_end(self, rows):
+        from repro.bursting.driver import run_threaded_bursting
+        from repro.storage.local import MemoryStore
+
+        stores = {"local": MemoryStore("local"), "cloud": MemoryStore("cloud")}
+        rr = run_threaded_bursting(
+            LinearRegressionSpec(5), rows, stores, local_fraction=1 / 3
+        )
+        ref = regression_exact(rows)
+        np.testing.assert_allclose(rr.result.coef, ref.coef, rtol=1e-8)
+
+
+class TestLinearRegressionMapReduce:
+    def test_matches_gr(self, rows, local_store):
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import points_format
+        from repro.mapreduce.engine import MapReduceEngine
+
+        idx = write_dataset(rows, points_format(6), local_store, n_files=2, chunk_units=500)
+        engine = MapReduceEngine({"local": local_store}, n_mappers=2, n_reducers=1)
+        mr = engine.run(LinearRegressionMapReduceSpec(5), idx)
+        ref = regression_exact(rows)
+        np.testing.assert_allclose(mr.result.coef, ref.coef, rtol=1e-8)

@@ -1,0 +1,81 @@
+"""Unit tests for the stats application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stats import ColumnStatsMapReduceSpec, ColumnStatsSpec, column_stats_exact
+from repro.core.api import run_local_pass
+from repro.data.units import iter_unit_groups
+
+
+class TestColumnStatsSpec:
+    def test_matches_numpy(self, points):
+        spec = ColumnStatsSpec(4)
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(points, 128)))
+        ref = column_stats_exact(points)
+        assert got["count"] == ref["count"]
+        np.testing.assert_allclose(got["mean"], ref["mean"])
+        np.testing.assert_allclose(got["std"], ref["std"], rtol=1e-9)
+        np.testing.assert_allclose(got["min"], ref["min"])
+        np.testing.assert_allclose(got["max"], ref["max"])
+
+    def test_histogram_covers_all_samples(self, points):
+        spec = ColumnStatsSpec(4)
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(points, 128)))
+        h = got["histogram"]
+        assert h["counts"].sum() + h["underflow"] + h["overflow"] == len(points)
+
+    def test_group_size_invariance(self, points):
+        spec = ColumnStatsSpec(4)
+        a = spec.finalize(run_local_pass(spec, iter_unit_groups(points, 7)))
+        b = spec.finalize(run_local_pass(spec, iter_unit_groups(points, 2000)))
+        np.testing.assert_allclose(a["mean"], b["mean"])
+        np.testing.assert_allclose(a["std"], b["std"], atol=1e-9)
+        np.testing.assert_array_equal(a["histogram"]["counts"], b["histogram"]["counts"])
+
+    def test_merge_across_workers(self, points):
+        spec = ColumnStatsSpec(4)
+        a = run_local_pass(spec, iter_unit_groups(points[:900], 100))
+        b = run_local_pass(spec, iter_unit_groups(points[900:], 100))
+        got = spec.finalize(spec.global_reduction([a, b]))
+        ref = column_stats_exact(points)
+        np.testing.assert_allclose(got["std"], ref["std"], rtol=1e-9)
+
+    def test_threaded_end_to_end(self, points):
+        from repro.bursting.driver import run_threaded_bursting
+        from repro.storage.local import MemoryStore
+
+        stores = {"local": MemoryStore("local"), "cloud": MemoryStore("cloud")}
+        rr = run_threaded_bursting(
+            ColumnStatsSpec(4), points, stores, local_fraction=0.5
+        )
+        ref = column_stats_exact(points)
+        np.testing.assert_allclose(rr.result["mean"], ref["mean"])
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ColumnStatsSpec(0)
+        with pytest.raises(ValueError):
+            ColumnStatsSpec(2, hist_range=(1.0, 0.0))
+
+
+class TestColumnStatsMapReduce:
+    def test_matches_gr(self, points, local_store):
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import points_format
+        from repro.mapreduce.engine import MapReduceEngine
+
+        idx = write_dataset(points, points_format(4), local_store, n_files=2, chunk_units=300)
+        engine = MapReduceEngine({"local": local_store}, n_mappers=2, n_reducers=2)
+        mr = engine.run(ColumnStatsMapReduceSpec(4), idx)
+        ref = column_stats_exact(points)
+        np.testing.assert_allclose(mr.result["mean"], ref["mean"])
+        np.testing.assert_allclose(mr.result["std"], ref["std"], rtol=1e-6)
+
+    def test_registered(self):
+        from repro.apps.base import get_application
+
+        app = get_application("stats")
+        assert app.profile == "io-bound"
+        spec = app.make_gr_spec(dim=3)
+        assert isinstance(spec, ColumnStatsSpec)

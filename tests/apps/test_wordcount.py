@@ -1,0 +1,62 @@
+"""Unit tests for the wordcount application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.wordcount import WordCountMapReduceSpec, WordCountSpec, wordcount_exact
+from repro.core.api import run_local_pass
+from repro.data.units import iter_unit_groups
+
+
+class TestWordCountSpec:
+    def test_matches_exact(self, tokens):
+        spec = WordCountSpec()
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(tokens, 123)))
+        assert got == wordcount_exact(tokens)
+
+    def test_group_size_invariance(self, tokens):
+        spec = WordCountSpec()
+        r1 = spec.finalize(run_local_pass(spec, iter_unit_groups(tokens, 11)))
+        r2 = spec.finalize(run_local_pass(spec, iter_unit_groups(tokens, 4000)))
+        assert r1 == r2
+
+    def test_merge_across_workers(self, tokens):
+        spec = WordCountSpec()
+        a = run_local_pass(spec, iter_unit_groups(tokens[:3000], 512))
+        b = run_local_pass(spec, iter_unit_groups(tokens[3000:], 512))
+        got = spec.finalize(spec.global_reduction([a, b]))
+        assert got == wordcount_exact(tokens)
+
+    def test_total_count_conserved(self, tokens):
+        spec = WordCountSpec()
+        got = spec.finalize(run_local_pass(spec, iter_unit_groups(tokens, 256)))
+        assert sum(got.values()) == len(tokens)
+
+    def test_robj_bounded_by_vocab(self, tokens):
+        spec = WordCountSpec()
+        robj = run_local_pass(spec, iter_unit_groups(tokens, 256))
+        assert robj.nbytes <= 64 * 16  # vocab of 64, 16 bytes/entry
+
+
+class TestWordCountMapReduce:
+    def test_matches_exact_both_variants(self, tokens, local_store):
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import tokens_format
+        from repro.mapreduce.engine import MapReduceEngine
+
+        idx = write_dataset(tokens, tokens_format(), local_store, n_files=2, chunk_units=1000)
+        engine = MapReduceEngine({"local": local_store}, n_mappers=2, n_reducers=2)
+        exact = wordcount_exact(tokens)
+        assert engine.run(WordCountMapReduceSpec(True), idx).result == exact
+        assert engine.run(WordCountMapReduceSpec(False), idx).result == exact
+
+    def test_combine_shrinks_shuffle(self, tokens, local_store):
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import tokens_format
+        from repro.mapreduce.engine import MapReduceEngine
+
+        idx = write_dataset(tokens, tokens_format(), local_store, n_files=2, chunk_units=1000)
+        engine = MapReduceEngine({"local": local_store}, n_mappers=2, n_reducers=2)
+        with_c = engine.run(WordCountMapReduceSpec(True), idx).stats
+        without = engine.run(WordCountMapReduceSpec(False), idx).stats
+        assert with_c.intermediate_nbytes < without.intermediate_nbytes / 5

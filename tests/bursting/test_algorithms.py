@@ -1,0 +1,93 @@
+"""Unit tests for the library-level iterative drivers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import lloyd_step
+from repro.apps.pagerank import pagerank_reference
+from repro.bursting.algorithms import kmeans_distributed, pagerank_distributed
+from repro.bursting.session import BurstingSession
+from repro.data.formats import edges_format, points_format
+from repro.data.generator import generate_edges, generate_points
+from repro.storage.local import MemoryStore
+
+
+def make_session(units, fmt, local_fraction=0.5):
+    stores = {"local": MemoryStore("local"), "cloud": MemoryStore("cloud")}
+    return BurstingSession.from_units(units, fmt, stores, local_fraction=local_fraction)
+
+
+class TestKMeansDistributed:
+    def test_converges_to_single_machine_fixed_point(self):
+        points = generate_points(4000, 4, n_clusters=4, spread=0.05, seed=131)
+        init = generate_points(4, 4, seed=132)
+        run = kmeans_distributed(make_session(points, points_format(4)), init,
+                                 max_iters=40, tol=1e-12)
+        ref = init
+        for _ in range(run.iterations):
+            ref = lloyd_step(points, ref).centroids
+        np.testing.assert_allclose(run.centroids, ref)
+        assert run.counts.sum() == 4000
+
+    def test_converged_flag_and_history(self):
+        points = generate_points(2000, 3, n_clusters=3, spread=0.05, seed=133)
+        init = generate_points(3, 3, seed=134)
+        run = kmeans_distributed(make_session(points, points_format(3)), init,
+                                 max_iters=40, tol=1e-9)
+        assert run.converged
+        assert run.iterations == len(run.history)
+        assert [h.iteration for h in run.history] == list(range(1, run.iterations + 1))
+        # SSE history is non-increasing (deltas non-negative after warmup).
+        assert all(h.delta >= -1e-12 for h in run.history[1:])
+
+    def test_max_iters_caps(self):
+        points = generate_points(1000, 3, seed=135)
+        init = generate_points(5, 3, seed=136)
+        run = kmeans_distributed(make_session(points, points_format(3)), init,
+                                 max_iters=2, tol=0.0)
+        assert run.iterations == 2
+        assert not run.converged
+
+    def test_validation(self):
+        points = generate_points(100, 3, seed=1)
+        session = make_session(points, points_format(3))
+        with pytest.raises(ValueError):
+            kmeans_distributed(session, np.zeros((2, 3)), max_iters=0)
+
+
+class TestPageRankDistributed:
+    def test_matches_reference_fixed_point(self):
+        edges = generate_edges(400, 8000, seed=137)
+        run = pagerank_distributed(
+            make_session(edges, edges_format(), local_fraction=1 / 3),
+            n_pages=400, tol=1e-12, max_iters=200,
+        )
+        assert run.converged
+        np.testing.assert_allclose(run.ranks, pagerank_reference(edges, 400), atol=1e-9)
+
+    def test_rank_mass_conserved(self):
+        edges = generate_edges(200, 3000, seed=138)
+        run = pagerank_distributed(make_session(edges, edges_format()), n_pages=200)
+        assert run.ranks.sum() == pytest.approx(1.0)
+
+    def test_top_pages(self):
+        edges = generate_edges(300, 6000, seed=139)
+        run = pagerank_distributed(make_session(edges, edges_format()), n_pages=300)
+        top = run.top(5)
+        assert len(top) == 5
+        ranks = [r for _, r in top]
+        assert ranks == sorted(ranks, reverse=True)
+        assert ranks[0] == pytest.approx(run.ranks.max())
+
+    def test_deltas_decrease(self):
+        edges = generate_edges(200, 4000, seed=140)
+        run = pagerank_distributed(make_session(edges, edges_format()), n_pages=200,
+                                   max_iters=30)
+        deltas = [h.delta for h in run.history]
+        assert deltas[-1] < deltas[0]
+
+    def test_validation(self):
+        edges = generate_edges(50, 500, seed=1)
+        session = make_session(edges, edges_format())
+        with pytest.raises(ValueError):
+            pagerank_distributed(session, n_pages=0)

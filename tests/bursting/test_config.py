@@ -1,0 +1,73 @@
+"""Unit tests for environment configurations."""
+
+import pytest
+
+from repro.bursting.config import (
+    EnvironmentConfig,
+    paper_environments,
+    scalability_environments,
+)
+from repro.sim.calibration import APP_PROFILES, ResourceParams
+
+
+class TestEnvironmentConfig:
+    def test_data_fractions_hybrid(self):
+        env = EnvironmentConfig("x", 1 / 3, 16, 16)
+        f = env.data_fractions
+        assert f["local"] == pytest.approx(1 / 3)
+        assert f["cloud"] == pytest.approx(2 / 3)
+
+    def test_data_fractions_pure(self):
+        assert EnvironmentConfig("l", 1.0, 32, 0).data_fractions == {"local": 1.0}
+        assert EnvironmentConfig("c", 0.0, 0, 32).data_fractions == {"cloud": 1.0}
+
+    def test_clusters_built_with_speeds(self):
+        params = ResourceParams()
+        clusters = EnvironmentConfig("x", 0.5, 16, 22).clusters(params)
+        by_name = {c.name: c for c in clusters}
+        assert by_name["local"].core_speed == params.local_core_speed
+        assert by_name["cloud"].core_speed == params.cloud_core_speed
+        assert by_name["cloud"].n_cores == 22
+
+    def test_zero_core_cluster_omitted(self):
+        clusters = EnvironmentConfig("l", 1.0, 32, 0).clusters(ResourceParams())
+        assert [c.name for c in clusters] == ["local"]
+
+    def test_no_cores_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentConfig("x", 0.5, 0, 0).clusters(ResourceParams())
+
+
+class TestPaperEnvironments:
+    def test_five_configurations(self):
+        envs = paper_environments(APP_PROFILES["knn"])
+        assert [e.name for e in envs] == [
+            "env-local", "env-cloud", "env-50/50", "env-33/67", "env-17/83",
+        ]
+
+    def test_knn_core_counts_match_paper(self):
+        envs = {e.name: e for e in paper_environments(APP_PROFILES["knn"])}
+        assert (envs["env-local"].local_cores, envs["env-local"].cloud_cores) == (32, 0)
+        assert (envs["env-cloud"].local_cores, envs["env-cloud"].cloud_cores) == (0, 32)
+        assert (envs["env-50/50"].local_cores, envs["env-50/50"].cloud_cores) == (16, 16)
+
+    def test_kmeans_gets_extra_cloud_cores(self):
+        envs = {e.name: e for e in paper_environments(APP_PROFILES["kmeans"])}
+        assert envs["env-cloud"].cloud_cores == 44
+        assert envs["env-17/83"].cloud_cores == 22
+
+    def test_data_skew_progression(self):
+        envs = paper_environments(APP_PROFILES["knn"])
+        fractions = [e.local_data_fraction for e in envs[2:]]
+        assert fractions == sorted(fractions, reverse=True)
+
+
+class TestScalabilityEnvironments:
+    def test_core_doubling(self):
+        envs = scalability_environments()
+        assert [(e.local_cores, e.cloud_cores) for e in envs] == [
+            (4, 4), (8, 8), (16, 16), (32, 32),
+        ]
+
+    def test_all_data_in_s3(self):
+        assert all(e.local_data_fraction == 0.0 for e in scalability_environments())

@@ -1,0 +1,147 @@
+"""Unit tests for report/table builders."""
+
+import pytest
+
+from repro.bursting.report import (
+    average_slowdown_pct,
+    fig3_rows,
+    fig4_rows,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.sim.simrun import SimRunResult
+
+
+def make_result(total, clusters):
+    """clusters: dict name -> (processing, retrieval, sync, jobs, stolen)."""
+    rs = RunStats(total_s=total)
+    for name, (p, r, s, jobs, stolen) in clusters.items():
+        c = ClusterStats(name, name)
+        c.workers.append(
+            WorkerStats(processing_s=p, retrieval_s=r, sync_s=s,
+                        jobs_processed=jobs, jobs_stolen=stolen)
+        )
+        c.idle_s = s / 2
+        rs.clusters[name] = c
+    rs.global_reduction_s = 1.0
+    rs.processing_end_s = total - 1.0
+    return SimRunResult(stats=rs, end_time_s=total)
+
+
+@pytest.fixture
+def results():
+    return {
+        "env-local": make_result(100.0, {"local": (60, 38, 2, 96, 0)}),
+        "env-cloud": make_result(105.0, {"cloud": (60, 42, 3, 96, 0)}),
+        "env-50/50": make_result(
+            102.0,
+            {"local": (30, 19, 2, 50, 2), "cloud": (29, 20, 3, 46, 0)},
+        ),
+    }
+
+
+class TestFig3Rows:
+    def test_one_row_per_cluster(self, results):
+        rows = fig3_rows(results)
+        assert len(rows) == 4
+        hybrid = [r for r in rows if r["env"] == "env-50/50"]
+        assert {r["cluster"] for r in hybrid} == {"local", "cloud"}
+
+    def test_total_is_sum_of_components(self, results):
+        for r in fig3_rows(results):
+            assert r["total_s"] == pytest.approx(
+                r["processing_s"] + r["retrieval_s"] + r["sync_s"]
+            )
+
+
+class TestTable1Rows:
+    def test_job_counts(self, results):
+        rows = {r["env"]: r for r in table1_rows(results)}
+        assert rows["env-local"]["local_jobs"] == 96
+        assert rows["env-local"]["cloud_jobs"] == 0
+        assert rows["env-50/50"]["local_stolen"] == 2
+
+
+class TestTable2Rows:
+    def test_excludes_baselines(self, results):
+        rows = table2_rows(results)
+        assert [r["env"] for r in rows] == ["env-50/50"]
+
+    def test_slowdown_vs_local_baseline(self, results):
+        row = table2_rows(results)[0]
+        assert row["total_slowdown_s"] == pytest.approx(2.0)
+        assert row["slowdown_pct"] == pytest.approx(2.0)
+
+    def test_missing_baseline_raises(self, results):
+        del results["env-local"]
+        with pytest.raises(KeyError):
+            table2_rows(results)
+
+    def test_average_slowdown(self, results):
+        avg = average_slowdown_pct({"app": results})
+        assert avg == pytest.approx(2.0)
+
+    def test_average_requires_cells(self):
+        with pytest.raises(ValueError):
+            average_slowdown_pct({})
+
+
+class TestFig4Rows:
+    def test_efficiency_perfect_halving(self):
+        res = {
+            "(4,4)": make_result(100.0, {"local": (50, 48, 2, 48, 0)}),
+            "(8,8)": make_result(50.0, {"local": (25, 24, 1, 48, 0)}),
+        }
+        rows = fig4_rows(res)
+        assert rows[0]["efficiency_pct"] is None
+        assert rows[1]["efficiency_pct"] == pytest.approx(100.0)
+
+    def test_efficiency_sublinear(self):
+        res = {
+            "a": make_result(100.0, {"local": (50, 48, 2, 48, 0)}),
+            "b": make_result(80.0, {"local": (40, 38, 2, 48, 0)}),
+        }
+        assert fig4_rows(res)[1]["efficiency_pct"] == pytest.approx(62.5)
+
+
+class TestRowsToCsv:
+    def test_roundtrip(self, results, tmp_path):
+        import csv
+
+        from repro.bursting.report import rows_to_csv
+
+        rows = table1_rows(results)
+        path = str(tmp_path / "t1.csv")
+        rows_to_csv(rows, path)
+        with open(path, newline="") as fh:
+            back = list(csv.DictReader(fh))
+        assert len(back) == len(rows)
+        assert back[0]["env"] == rows[0]["env"]
+        assert int(back[0]["local_jobs"]) == rows[0]["local_jobs"]
+
+    def test_ragged_rows_union_headers(self, tmp_path):
+        import csv
+
+        from repro.bursting.report import rows_to_csv
+
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = str(tmp_path / "r.csv")
+        rows_to_csv(rows, path)
+        with open(path, newline="") as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["b"] == ""
+        assert back[1]["b"] == "3"
+
+
+class TestFormatTable:
+    def test_renders_alignment(self, results):
+        text = format_table(table1_rows(results), "Table I")
+        lines = text.splitlines()
+        assert lines[0] == "Table I"
+        assert "env" in lines[1]
+        assert len(lines) == 3 + len(results)
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], "T")

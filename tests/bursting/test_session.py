@@ -1,0 +1,116 @@
+"""Unit tests for BurstingSession (iterative workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansSpec, lloyd_step
+from repro.apps.pagerank import PageRankSpec, out_degrees, pagerank_reference
+from repro.bursting.session import BurstingSession
+from repro.data.formats import edges_format, points_format
+from repro.data.generator import generate_edges, generate_points
+from repro.storage.local import MemoryStore
+
+
+def make_stores():
+    return {"local": MemoryStore("local"), "cloud": MemoryStore("cloud")}
+
+
+class TestSessionBasics:
+    def test_from_units_distributes_once(self, points):
+        stores = make_stores()
+        session = BurstingSession.from_units(
+            points, points_format(4), stores, local_fraction=0.5
+        )
+        assert set(session.index.locations) == {"local", "cloud"}
+        assert stores["local"].list_keys() and stores["cloud"].list_keys()
+
+    def test_multiple_passes_same_data(self, points):
+        session = BurstingSession.from_units(
+            points, points_format(4), make_stores(), local_fraction=0.5
+        )
+        cents = generate_points(3, 4, seed=81)
+        r1 = session.run(KMeansSpec(cents))
+        r2 = session.run(KMeansSpec(cents))
+        np.testing.assert_allclose(r1.result.centroids, r2.result.centroids)
+        assert session.passes_run == 2
+
+    def test_requires_both_stores(self, points):
+        with pytest.raises(ValueError):
+            BurstingSession.from_units(
+                points, points_format(4), {"local": MemoryStore("local")}
+            )
+
+    def test_requires_workers(self, points):
+        with pytest.raises(ValueError):
+            BurstingSession.from_units(
+                points, points_format(4), make_stores(),
+                local_workers=0, cloud_workers=0,
+            )
+
+    def test_index_store_mismatch_rejected(self, points):
+        stores = make_stores()
+        session = BurstingSession.from_units(points, points_format(4), stores)
+        with pytest.raises(ValueError):
+            BurstingSession(session.index, {"local": stores["local"]})
+
+
+class TestIterate:
+    def test_kmeans_to_convergence_matches_reference(self, points):
+        session = BurstingSession.from_units(
+            points, points_format(4), make_stores(), local_fraction=1 / 3
+        )
+        init = generate_points(4, 4, seed=82)
+
+        def converged(old, new):
+            old_c = old if isinstance(old, np.ndarray) else old.centroids
+            return bool(np.abs(new.centroids - old_c).max() < 1e-12)
+
+        last = None
+        for it, rr, state in session.iterate(
+            lambda s: KMeansSpec(s if isinstance(s, np.ndarray) else s.centroids),
+            init,
+            max_iters=50,
+            converged=converged,
+        ):
+            last = state
+        # Single-machine Lloyd from the same init reaches the same point.
+        ref = init
+        for _ in range(it):
+            ref = lloyd_step(points, ref).centroids
+        np.testing.assert_allclose(last.centroids, ref)
+
+    def test_pagerank_fixed_point(self, edges):
+        n = 300
+        session = BurstingSession.from_units(
+            edges, edges_format(), make_stores(), local_fraction=0.5
+        )
+        outdeg = out_degrees(edges, n)
+        ranks = np.full(n, 1.0 / n)
+        for it, rr, new_ranks in session.iterate(
+            lambda r: PageRankSpec(r, outdeg),
+            ranks,
+            max_iters=150,
+            converged=lambda old, new: bool(
+                np.abs(new - (old if isinstance(old, np.ndarray) else old)).sum() < 1e-12
+            ),
+        ):
+            pass
+        np.testing.assert_allclose(new_ranks, pagerank_reference(edges, n), atol=1e-8)
+
+    def test_yields_iteration_numbers(self, points):
+        session = BurstingSession.from_units(points, points_format(4), make_stores())
+        init = generate_points(2, 4, seed=83)
+        its = [
+            it
+            for it, _, s in session.iterate(
+                lambda s: KMeansSpec(s if isinstance(s, np.ndarray) else s.centroids),
+                init,
+                max_iters=3,
+            )
+        ]
+        assert its == [1, 2, 3]
+
+    def test_invalid_max_iters(self, points):
+        session = BurstingSession.from_units(points, points_format(4), make_stores())
+        with pytest.raises(ValueError):
+            list(session.iterate(lambda s: KMeansSpec(s), np.zeros((2, 4)), max_iters=0))

@@ -1,0 +1,63 @@
+"""Shared fixtures: small deterministic datasets and stores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.formats import edges_format, points_format, tokens_format
+from repro.data.generator import generate_edges, generate_points, generate_tokens
+from repro.storage.local import MemoryStore
+
+
+@pytest.fixture
+def points():
+    """2000 x 4 Gaussian-mixture points."""
+    return generate_points(2000, 4, seed=11)
+
+
+@pytest.fixture
+def edges():
+    """5000 edges over 300 pages, every page with out-degree >= 1."""
+    return generate_edges(300, 5000, seed=12)
+
+
+@pytest.fixture
+def tokens():
+    """8000 Zipf tokens over a 64-word vocabulary."""
+    return generate_tokens(8000, 64, seed=13)
+
+
+@pytest.fixture
+def local_store():
+    return MemoryStore(location="local")
+
+
+@pytest.fixture
+def cloud_store():
+    return MemoryStore(location="cloud")
+
+
+@pytest.fixture
+def stores(local_store, cloud_store):
+    return {"local": local_store, "cloud": cloud_store}
+
+
+@pytest.fixture
+def pts_fmt():
+    return points_format(4)
+
+
+@pytest.fixture
+def edge_fmt():
+    return edges_format()
+
+
+@pytest.fixture
+def tok_fmt():
+    return tokens_format()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,78 @@
+"""Unit tests for the generalized-reduction API plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import GeneralizedReductionSpec, run_local_pass
+from repro.core.reduction_object import ArrayReductionObject
+from repro.data.formats import tokens_format
+from repro.data.units import iter_unit_groups
+
+
+class SumSpec(GeneralizedReductionSpec):
+    """Toy spec: sum of all token values."""
+
+    def __init__(self):
+        self.fmt = tokens_format()
+
+    def create_reduction_object(self):
+        return ArrayReductionObject((1,), np.float64, "add")
+
+    def local_reduction(self, robj, unit_group):
+        robj.data[0] += float(unit_group.sum())
+
+
+class TestRunLocalPass:
+    def test_sums_all_groups(self):
+        spec = SumSpec()
+        data = np.arange(100, dtype=np.int64)
+        robj = run_local_pass(spec, iter_unit_groups(data, 7))
+        assert robj.value()[0] == data.sum()
+
+    def test_accepts_existing_robj(self):
+        spec = SumSpec()
+        robj = spec.create_reduction_object()
+        robj.data[0] = 1000.0
+        run_local_pass(spec, [np.array([1, 2])], robj)
+        assert robj.value()[0] == 1003.0
+
+    def test_empty_input(self):
+        spec = SumSpec()
+        robj = run_local_pass(spec, [])
+        assert robj.value()[0] == 0.0
+
+
+class TestGlobalReduction:
+    def test_default_merges_pairwise(self):
+        spec = SumSpec()
+        robjs = []
+        for v in (1.0, 2.0, 3.0):
+            r = spec.create_reduction_object()
+            r.data[0] = v
+            robjs.append(r)
+        merged = spec.global_reduction(robjs)
+        assert merged.value()[0] == 6.0
+
+    def test_empty_list_returns_identity(self):
+        spec = SumSpec()
+        assert spec.global_reduction([]).value()[0] == 0.0
+
+    def test_single_object_passthrough(self):
+        spec = SumSpec()
+        r = spec.create_reduction_object()
+        r.data[0] = 42.0
+        assert spec.global_reduction([r]).value()[0] == 42.0
+
+    def test_finalize_defaults_to_value(self):
+        spec = SumSpec()
+        r = spec.create_reduction_object()
+        r.data[0] = 7.0
+        assert spec.finalize(r)[0] == 7.0
+
+    def test_order_independence(self):
+        """proc order must not change the result (API contract)."""
+        spec = SumSpec()
+        data = np.arange(50, dtype=np.int64)
+        fwd = run_local_pass(spec, iter_unit_groups(data, 6)).value()[0]
+        rev = run_local_pass(spec, iter_unit_groups(data[::-1].copy(), 11)).value()[0]
+        assert fwd == rev

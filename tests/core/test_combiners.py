@@ -1,0 +1,45 @@
+"""Unit tests for the combiner registry."""
+
+import pytest
+
+from repro.core.combiners import COMBINERS, get_combiner, register_combiner
+
+
+class TestBuiltins:
+    def test_sum(self):
+        assert get_combiner("sum")(2, 3) == 5
+
+    def test_min_max(self):
+        assert get_combiner("min")(2, 3) == 2
+        assert get_combiner("max")(2, 3) == 3
+
+    def test_concat(self):
+        assert get_combiner("concat")([1], [2, 3]) == [1, 2, 3]
+
+    def test_mean_pairs(self):
+        total, count = get_combiner("mean")((10.0, 2), (5.0, 3))
+        assert total == 15.0 and count == 5
+
+    def test_count(self):
+        assert get_combiner("count")(4, 6) == 10
+
+    def test_all_builtins_present(self):
+        assert {"sum", "min", "max", "concat", "mean", "count"} <= set(COMBINERS)
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_combiner("does-not-exist")
+
+    def test_register_and_use(self):
+        name = "test-xor-combiner"
+        try:
+            register_combiner(name, lambda a, b: a ^ b)
+            assert get_combiner(name)(0b1100, 0b1010) == 0b0110
+        finally:
+            COMBINERS.pop(name, None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_combiner("sum", lambda a, b: a)

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) on reduction-object invariants.
+
+The API contract (Section III-A): the final result must be independent
+of (a) the order data elements are processed in and (b) the shape of the
+merge tree.  These properties are what make work stealing and
+out-of-order job completion safe.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduction_object import (
+    ArrayReductionObject,
+    DictReductionObject,
+    TopKReductionObject,
+)
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64)
+
+
+@st.composite
+def float_arrays(draw, size=4):
+    vals = draw(st.lists(floats, min_size=size, max_size=size))
+    return np.array(vals)
+
+
+class TestArrayMergeProperties:
+    @given(a=float_arrays(), b=float_arrays())
+    def test_add_commutative(self, a, b):
+        x = ArrayReductionObject((4,), data=a.copy())
+        x.merge(ArrayReductionObject((4,), data=b.copy()))
+        y = ArrayReductionObject((4,), data=b.copy())
+        y.merge(ArrayReductionObject((4,), data=a.copy()))
+        np.testing.assert_allclose(x.value(), y.value())
+
+    @given(a=float_arrays(), b=float_arrays(), c=float_arrays())
+    def test_add_associative(self, a, b, c):
+        left = ArrayReductionObject((4,), data=a.copy())
+        left.merge(ArrayReductionObject((4,), data=b.copy()))
+        left.merge(ArrayReductionObject((4,), data=c.copy()))
+        bc = ArrayReductionObject((4,), data=b.copy())
+        bc.merge(ArrayReductionObject((4,), data=c.copy()))
+        right = ArrayReductionObject((4,), data=a.copy())
+        right.merge(bc)
+        np.testing.assert_allclose(left.value(), right.value(), rtol=1e-9, atol=1e-6)
+
+    @given(a=float_arrays(), op=st.sampled_from(["minimum", "maximum"]))
+    def test_identity_is_neutral(self, a, op):
+        x = ArrayReductionObject((4,), op=op, data=a.copy())
+        x.merge(ArrayReductionObject((4,), op=op))
+        np.testing.assert_array_equal(x.value(), a)
+
+
+class TestDictMergeProperties:
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(-100, 100)), max_size=50
+        ),
+        split=st.integers(0, 50),
+    )
+    def test_partitioning_invariance(self, items, split):
+        """Splitting the update stream across two objects then merging
+        gives the same counts as one object seeing everything."""
+        split = min(split, len(items))
+        one = DictReductionObject(lambda a, b: a + b)
+        for k, v in items:
+            one.update(k, v)
+        left = DictReductionObject(lambda a, b: a + b)
+        right = DictReductionObject(lambda a, b: a + b)
+        for k, v in items[:split]:
+            left.update(k, v)
+        for k, v in items[split:]:
+            right.update(k, v)
+        left.merge(right)
+        assert left.value() == one.value()
+
+    @given(
+        items=st.lists(
+            st.tuples(st.integers(0, 10), st.integers(-100, 100)), max_size=40
+        )
+    )
+    def test_merge_commutative(self, items):
+        half = len(items) // 2
+        def build(chunk):
+            d = DictReductionObject(lambda a, b: a + b)
+            for k, v in chunk:
+                d.update(k, v)
+            return d
+        ab = build(items[:half])
+        ab.merge(build(items[half:]))
+        ba = build(items[half:])
+        ba.merge(build(items[:half]))
+        assert ab.value() == ba.value()
+
+
+class TestTopKProperties:
+    @given(
+        scores=st.lists(floats, min_size=1, max_size=60, unique=True),
+        k=st.integers(1, 10),
+        split=st.integers(0, 60),
+    )
+    @settings(max_examples=60)
+    def test_matches_sorted_prefix(self, scores, k, split):
+        """top-k over any partitioning equals the k smallest overall."""
+        split = min(split, len(scores))
+        a = TopKReductionObject(k)
+        b = TopKReductionObject(k)
+        a.update_batch(np.array(scores[:split]), scores[:split])
+        b.update_batch(np.array(scores[split:]), scores[split:])
+        a.merge(b)
+        expect = sorted(scores)[:k]
+        got = [s for s, _ in a.value()]
+        np.testing.assert_allclose(got, expect)
+
+    @given(
+        scores=st.lists(floats, min_size=1, max_size=40, unique=True),
+        k=st.integers(1, 5),
+    )
+    @settings(max_examples=40)
+    def test_batch_order_irrelevant(self, scores, k):
+        fwd = TopKReductionObject(k)
+        for s in scores:
+            fwd.update_batch(np.array([s]), [s])
+        rev = TopKReductionObject(k)
+        rev.update_batch(np.array(scores[::-1]), scores[::-1])
+        assert [s for s, _ in fwd.value()] == [s for s, _ in rev.value()]

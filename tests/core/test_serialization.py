@@ -1,0 +1,66 @@
+"""Unit tests for reduction-object serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction_object import (
+    ArrayReductionObject,
+    DictReductionObject,
+    TopKReductionObject,
+)
+from repro.core.serialization import (
+    deserialize_robj,
+    serialize_robj,
+    serialized_nbytes,
+)
+
+
+class TestRoundtrips:
+    def test_array_roundtrip(self):
+        r = ArrayReductionObject((3,), np.float64, "add", data=np.array([1.0, 2.0, 3.0]))
+        back = deserialize_robj(serialize_robj(r))
+        assert isinstance(back, ArrayReductionObject)
+        assert np.array_equal(back.value(), r.value())
+        assert back.op == "add"
+
+    def test_dict_roundtrip(self):
+        from repro.core.combiners import get_combiner
+
+        r = DictReductionObject(get_combiner("sum"))
+        r.update("k", 5)
+        back = deserialize_robj(serialize_robj(r))
+        assert back.value() == {"k": 5}
+        back.update("k", 2)
+        assert back.value() == {"k": 7}
+
+    def test_topk_roundtrip(self):
+        r = TopKReductionObject(2)
+        r.update_batch(np.array([3.0, 1.0, 2.0]), ["a", "b", "c"])
+        back = deserialize_robj(serialize_robj(r))
+        assert back.value() == r.value()
+
+    def test_deserialized_merges_with_original(self):
+        a = ArrayReductionObject((2,), data=np.array([1.0, 1.0]))
+        b = deserialize_robj(serialize_robj(a))
+        a.merge(b)
+        assert np.array_equal(a.value(), [2.0, 2.0])
+
+
+class TestSizes:
+    def test_serialized_nbytes_positive_and_ge_payload(self):
+        r = ArrayReductionObject((1000,))
+        n = serialized_nbytes(r)
+        assert n >= r.nbytes  # pickle adds framing on top of the data
+
+    def test_large_object_dominated_by_data(self):
+        small = serialized_nbytes(ArrayReductionObject((10,)))
+        big = serialized_nbytes(ArrayReductionObject((100000,)))
+        assert big > 50 * small
+
+
+class TestValidation:
+    def test_non_robj_payload_rejected(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            deserialize_robj(pickle.dumps({"not": "a robj"}))

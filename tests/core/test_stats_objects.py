@@ -1,0 +1,156 @@
+"""Unit + property tests for histogram and moments reduction objects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats_objects import HistogramReductionObject, MomentsReductionObject
+
+finite = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, width=64)
+
+
+class TestHistogram:
+    def edges(self):
+        return np.linspace(0.0, 10.0, 11)
+
+    def test_counts_match_numpy(self):
+        rng = np.random.default_rng(1)
+        vals = rng.uniform(0, 10, size=1000)
+        h = HistogramReductionObject(self.edges())
+        h.update(vals)
+        expect, _ = np.histogram(vals, bins=self.edges())
+        # np.histogram's last bin is closed; ours is half-open with an
+        # overflow bin, and no value hits exactly 10.0 here.
+        np.testing.assert_array_equal(h.counts, expect)
+
+    def test_under_and_overflow(self):
+        h = HistogramReductionObject(self.edges())
+        h.update(np.array([-5.0, 0.0, 9.99, 10.0, 42.0]))
+        assert h.underflow == 1
+        assert h.overflow == 2
+        assert h.total == 5
+
+    def test_merge_sums_counts(self):
+        a = HistogramReductionObject(self.edges())
+        b = HistogramReductionObject(self.edges())
+        a.update(np.array([1.5, 2.5]))
+        b.update(np.array([1.7, 11.0]))
+        a.merge(b)
+        assert a.counts[1] == 2
+        assert a.overflow == 1
+        assert a.total == 4
+
+    def test_edges_must_match_to_merge(self):
+        a = HistogramReductionObject(self.edges())
+        b = HistogramReductionObject(np.linspace(0, 5, 6))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_invalid_edges(self):
+        with pytest.raises(ValueError):
+            HistogramReductionObject(np.array([1.0]))
+        with pytest.raises(ValueError):
+            HistogramReductionObject(np.array([1.0, 1.0, 2.0]))
+
+    def test_copy_empty(self):
+        h = HistogramReductionObject(self.edges())
+        h.update(np.array([3.0]))
+        assert h.copy_empty().total == 0
+
+    def test_empty_update(self):
+        h = HistogramReductionObject(self.edges())
+        h.update(np.array([]))
+        assert h.total == 0
+
+    @given(
+        vals=st.lists(finite, max_size=60),
+        split=st.integers(0, 60),
+    )
+    @settings(max_examples=50)
+    def test_partition_invariance(self, vals, split):
+        split = min(split, len(vals))
+        edges = np.linspace(-50, 50, 21)
+        one = HistogramReductionObject(edges)
+        one.update(np.array(vals))
+        a = HistogramReductionObject(edges)
+        b = HistogramReductionObject(edges)
+        a.update(np.array(vals[:split]))
+        b.update(np.array(vals[split:]))
+        a.merge(b)
+        np.testing.assert_array_equal(a.counts, one.counts)
+        assert a.underflow == one.underflow
+        assert a.overflow == one.overflow
+
+
+class TestMoments:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        rows = rng.normal(size=(500, 3))
+        m = MomentsReductionObject(3)
+        m.update(rows)
+        v = m.value()
+        assert v["count"] == 500
+        np.testing.assert_allclose(v["mean"], rows.mean(axis=0))
+        np.testing.assert_allclose(v["std"], rows.std(axis=0))
+        np.testing.assert_allclose(v["min"], rows.min(axis=0))
+        np.testing.assert_allclose(v["max"], rows.max(axis=0))
+
+    def test_merge_equals_single_pass(self):
+        rng = np.random.default_rng(3)
+        rows = rng.normal(loc=5.0, size=(400, 2))
+        one = MomentsReductionObject(2)
+        one.update(rows)
+        a = MomentsReductionObject(2)
+        b = MomentsReductionObject(2)
+        a.update(rows[:150])
+        b.update(rows[150:])
+        a.merge(b)
+        np.testing.assert_allclose(a.value()["mean"], one.value()["mean"])
+        np.testing.assert_allclose(a.value()["variance"], one.value()["variance"])
+
+    def test_merge_with_empty_is_identity(self):
+        m = MomentsReductionObject(2)
+        m.update(np.ones((5, 2)))
+        before = m.value()
+        m.merge(MomentsReductionObject(2))
+        after = m.value()
+        np.testing.assert_allclose(after["mean"], before["mean"])
+        assert after["count"] == before["count"]
+
+    def test_empty_variance_is_nan(self):
+        m = MomentsReductionObject(2)
+        assert np.isnan(m.variance).all()
+
+    def test_shape_validation(self):
+        m = MomentsReductionObject(3)
+        with pytest.raises(ValueError):
+            m.update(np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            MomentsReductionObject(0)
+
+    def test_merge_type_validation(self):
+        with pytest.raises(TypeError):
+            MomentsReductionObject(2).merge(MomentsReductionObject(3))
+
+    @given(
+        data=st.lists(st.tuples(finite, finite), min_size=1, max_size=50),
+        split=st.integers(0, 50),
+    )
+    @settings(max_examples=50)
+    def test_partition_invariance(self, data, split):
+        rows = np.array(data)
+        split = min(split, len(rows))
+        one = MomentsReductionObject(2)
+        one.update(rows)
+        a = MomentsReductionObject(2)
+        b = MomentsReductionObject(2)
+        a.update(rows[:split])
+        b.update(rows[split:])
+        a.merge(b)
+        np.testing.assert_allclose(a.value()["mean"], one.value()["mean"], atol=1e-9)
+        np.testing.assert_allclose(
+            a.value()["variance"], one.value()["variance"], atol=1e-7
+        )
+        np.testing.assert_array_equal(a.value()["min"], one.value()["min"])
+        np.testing.assert_array_equal(a.value()["max"], one.value()["max"])

@@ -1,0 +1,90 @@
+"""Unit tests for cost accounting of simulated runs."""
+
+import pytest
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import simulate_environment
+from repro.cost.accounting import cost_of_run
+from repro.cost.pricing import PricingModel
+from repro.sim.calibration import APP_PROFILES
+
+
+def run_and_cost(app, env, pricing=PricingModel()):
+    res = simulate_environment(app, env)
+    return res, cost_of_run(res, env, APP_PROFILES[app], pricing)
+
+
+class TestCostOfRun:
+    def test_all_local_costs_nothing_cloudside(self):
+        env = EnvironmentConfig("env-local", 1.0, 32, 0)
+        _, report = run_and_cost("knn", env)
+        assert report.compute_usd == 0.0
+        assert report.requests_usd == 0.0
+        assert report.egress_usd == 0.0
+
+    def test_all_cloud_pays_compute_and_requests_but_no_egress(self):
+        env = EnvironmentConfig("env-cloud", 0.0, 0, 32)
+        res, report = run_and_cost("knn", env)
+        assert report.compute_usd > 0
+        assert report.requests_usd > 0
+        # Intra-AWS: no bytes leave, and no local head exists.
+        assert report.egress_usd == 0.0
+
+    def test_hybrid_pays_egress_for_stolen_jobs_and_robj(self):
+        env = EnvironmentConfig("env-17/83", 1 / 6, 16, 16)
+        res, report = run_and_cost("knn", env)
+        stolen = res.stats.clusters["local"].jobs_stolen
+        assert stolen > 0
+        assert report.egress_usd > 0
+
+    def test_more_skew_more_egress(self):
+        e50 = EnvironmentConfig("a", 0.5, 16, 16)
+        e17 = EnvironmentConfig("b", 1 / 6, 16, 16)
+        _, r50 = run_and_cost("knn", e50)
+        _, r17 = run_and_cost("knn", e17)
+        assert r17.egress_usd > r50.egress_usd
+
+    def test_pagerank_robj_egress_visible(self):
+        """A 240 MB reduction object leaving AWS costs real money."""
+        env = EnvironmentConfig("h", 0.5, 16, 16)
+        _, pr = run_and_cost("pagerank", env)
+        _, knn = run_and_cost("knn", env)
+        # Same placement: pagerank's extra egress comes from the robj.
+        assert pr.egress_usd > knn.egress_usd
+
+    def test_total_is_sum(self):
+        env = EnvironmentConfig("h", 0.5, 16, 16)
+        _, report = run_and_cost("kmeans", env)
+        assert report.total_usd == pytest.approx(
+            report.compute_usd + report.requests_usd + report.egress_usd
+        )
+
+    def test_longer_runs_cost_more_compute(self):
+        # Per-minute billing so sub-hour runs differentiate (whole-hour
+        # billing would round both short runs up to the same hour).
+        pricing = PricingModel(billing_quantum_h=1 / 60)
+        env = EnvironmentConfig("c", 0.0, 0, 44)
+        _, knn = run_and_cost("knn", env, pricing)
+        _, km = run_and_cost("kmeans", env, pricing)
+        # kmeans runs ~9x longer -> strictly more instance-time.
+        assert km.compute_usd > knn.compute_usd
+
+    def test_retrieval_threads_scale_requests(self):
+        env = EnvironmentConfig("c", 0.0, 0, 32)
+        res = simulate_environment("knn", env)
+        profile = APP_PROFILES["knn"]
+        r1 = cost_of_run(res, env, profile, retrieval_threads=1)
+        r8 = cost_of_run(res, env, profile, retrieval_threads=8)
+        assert r8.requests_usd == pytest.approx(8 * r1.requests_usd)
+
+    def test_invalid_threads(self):
+        env = EnvironmentConfig("c", 0.0, 0, 32)
+        res = simulate_environment("knn", env)
+        with pytest.raises(ValueError):
+            cost_of_run(res, env, APP_PROFILES["knn"], retrieval_threads=0)
+
+    def test_to_dict_rounding(self):
+        env = EnvironmentConfig("h", 0.5, 16, 16)
+        _, report = run_and_cost("knn", env)
+        d = report.to_dict()
+        assert set(d) == {"compute_usd", "requests_usd", "egress_usd", "total_usd"}

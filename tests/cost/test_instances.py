@@ -1,0 +1,96 @@
+"""Unit tests for instance-type selection."""
+
+import pytest
+
+from repro.cost.instances import (
+    EC2_CATALOG_2011,
+    InstanceType,
+    cheapest_instances_for_deadline,
+    instance_tradeoff,
+)
+from repro.cost.pricing import PricingModel
+
+
+@pytest.fixture(scope="module")
+def choices():
+    return instance_tradeoff(
+        "kmeans",
+        local_cores=8,
+        local_data_fraction=0.5,
+        catalog=EC2_CATALOG_2011[:3],  # small / large / xlarge
+        counts=(2, 8),
+        pricing=PricingModel(billing_quantum_h=1 / 60),
+    )
+
+
+class TestInstanceType:
+    def test_catalog_sane(self):
+        names = [t.name for t in EC2_CATALOG_2011]
+        assert "m1.large" in names
+        for t in EC2_CATALOG_2011:
+            assert t.throughput > 0
+            assert t.usd_per_equiv_hour > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceType("bad", 0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            InstanceType("bad", 1, 0.0, 0.1)
+
+    def test_m1_large_matches_paper_calibration(self):
+        m1l = next(t for t in EC2_CATALOG_2011 if t.name == "m1.large")
+        assert m1l.cores == 2
+        assert m1l.core_speed == pytest.approx(16 / 22)
+
+
+class TestInstanceTradeoff:
+    def test_candidate_grid(self, choices):
+        assert len(choices) == 3 * 2
+        assert {c.itype.name for c in choices} == {"m1.small", "m1.large", "m1.xlarge"}
+
+    def test_more_instances_of_a_type_is_faster(self, choices):
+        by_type = {}
+        for c in choices:
+            by_type.setdefault(c.itype.name, []).append(c)
+        for cs in by_type.values():
+            cs.sort(key=lambda c: c.count)
+            assert cs[0].time_s > cs[-1].time_s
+
+    def test_equal_cores_faster_family_wins(self):
+        """8 m1.xlarge cores vs 8 c1.xlarge cores (faster ECUs): the
+        faster family finishes the compute-bound app sooner."""
+        out = instance_tradeoff(
+            "kmeans", local_cores=8, local_data_fraction=0.5,
+            catalog=(EC2_CATALOG_2011[2], EC2_CATALOG_2011[3]),  # m1.xl, c1.xl
+            counts=(2,),
+        )
+        by_name = {c.itype.name: c for c in out}
+        assert by_name["c1.xlarge"].time_s < by_name["m1.xlarge"].time_s
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            instance_tradeoff("knn", local_cores=4, local_data_fraction=0.5, catalog=())
+        with pytest.raises(ValueError):
+            instance_tradeoff("knn", local_cores=4, local_data_fraction=0.5, counts=())
+        with pytest.raises(ValueError):
+            instance_tradeoff("knn", local_cores=4, local_data_fraction=0.5, counts=(0,))
+
+
+class TestDeadlineChoice:
+    def test_picks_cheapest_feasible(self, choices):
+        pick = cheapest_instances_for_deadline(choices, deadline_s=1e9)
+        assert pick.compute_usd == min(c.compute_usd for c in choices)
+
+    def test_tight_deadline_forces_spend(self, choices):
+        loose = cheapest_instances_for_deadline(choices, 1e9)
+        fastest = min(c.time_s for c in choices)
+        tight = cheapest_instances_for_deadline(choices, fastest * 1.01)
+        assert tight is not None
+        assert tight.compute_usd >= loose.compute_usd
+
+    def test_infeasible_returns_none(self, choices):
+        assert cheapest_instances_for_deadline(choices, 0.001) is None
+
+    def test_invalid_deadline(self, choices):
+        with pytest.raises(ValueError):
+            cheapest_instances_for_deadline(choices, 0)

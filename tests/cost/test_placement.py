@@ -1,0 +1,67 @@
+"""Unit tests for the data-placement advisor."""
+
+import pytest
+
+from repro.cost.placement import best_placement, placement_curve
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return placement_curve(
+        "knn", local_cores=16, cloud_cores=16,
+        fractions=(0.0, 1 / 6, 1 / 3, 0.5, 2 / 3, 1.0),
+    )
+
+
+class TestPlacementCurve:
+    def test_one_point_per_fraction(self, curve):
+        assert len(curve) == 6
+        fracs = [p.local_fraction for p in curve]
+        assert fracs == sorted(fracs)
+
+    def test_balanced_placement_fast(self, curve):
+        """With symmetric compute, ~50/50 beats the extremes (the
+        paper's 'perfect distribution' observation)."""
+        by_frac = {round(p.local_fraction, 3): p.time_s for p in curve}
+        assert by_frac[0.5] < by_frac[0.0]
+        assert by_frac[0.5] <= by_frac[1.0] * 1.05
+
+    def test_egress_falls_with_local_fraction(self, curve):
+        """More data at the cluster -> fewer bytes ever leave AWS."""
+        egress = [p.cost.egress_usd for p in curve]
+        assert egress[0] >= egress[-1]
+        # All data local: only the tiny knn robj ever leaves AWS.
+        assert egress[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            placement_curve("knn", local_cores=4, cloud_cores=4, fractions=(1.5,))
+
+    def test_empty_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            placement_curve("knn", local_cores=4, cloud_cores=4, fractions=())
+
+
+class TestBestPlacement:
+    def test_time_objective(self, curve):
+        best = best_placement(curve, objective="time")
+        assert best.time_s == min(p.time_s for p in curve)
+
+    def test_cost_objective(self, curve):
+        best = best_placement(curve, objective="cost")
+        assert best.cost.total_usd == min(p.cost.total_usd for p in curve)
+
+    def test_objectives_can_disagree(self, curve):
+        """Fast placements keep data local; cheap ones may differ --
+        at minimum the advisor returns valid members of the curve."""
+        t = best_placement(curve, objective="time")
+        c = best_placement(curve, objective="cost")
+        assert t in curve and c in curve
+
+    def test_unknown_objective(self, curve):
+        with pytest.raises(ValueError):
+            best_placement(curve, objective="vibes")
+
+    def test_empty_points(self):
+        with pytest.raises(ValueError):
+            best_placement([])

@@ -1,0 +1,84 @@
+"""Unit tests for the pricing model."""
+
+import pytest
+
+from repro.cost.pricing import PricingModel
+
+
+class TestInstanceMath:
+    def test_instances_for_cores(self):
+        p = PricingModel(cores_per_instance=2)
+        assert p.instances_for(0) == 0
+        assert p.instances_for(1) == 1
+        assert p.instances_for(2) == 1
+        assert p.instances_for(3) == 2
+        assert p.instances_for(44) == 22
+
+    def test_negative_cores(self):
+        with pytest.raises(ValueError):
+            PricingModel().instances_for(-1)
+
+
+class TestComputeCost:
+    def test_bills_whole_hours(self):
+        p = PricingModel(instance_hour_usd=0.34, cores_per_instance=2)
+        # 2 cores = 1 instance; 10 minutes bills a full hour.
+        assert p.compute_cost(2, 600) == pytest.approx(0.34)
+        # 90 minutes bills two hours.
+        assert p.compute_cost(2, 5400) == pytest.approx(0.68)
+
+    def test_scales_with_instances(self):
+        p = PricingModel(instance_hour_usd=0.34, cores_per_instance=2)
+        assert p.compute_cost(32, 600) == pytest.approx(16 * 0.34)
+
+    def test_zero_cores_free(self):
+        assert PricingModel().compute_cost(0, 3600) == 0.0
+
+    def test_zero_duration_free(self):
+        assert PricingModel().compute_cost(8, 0) == 0.0
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            PricingModel().compute_cost(2, -1)
+
+    def test_custom_quantum(self):
+        p = PricingModel(instance_hour_usd=1.0, cores_per_instance=1,
+                         billing_quantum_h=0.25)
+        # 10 min bills one 15-min quantum.
+        assert p.compute_cost(1, 600) == pytest.approx(0.25)
+
+
+class TestRequestAndTransfer:
+    def test_request_cost(self):
+        p = PricingModel(s3_get_per_1k_usd=0.001)
+        assert p.request_cost(10_000) == pytest.approx(0.01)
+        assert p.request_cost(0) == 0.0
+
+    def test_egress_cost_per_gb(self):
+        p = PricingModel(egress_per_gb_usd=0.12)
+        assert p.egress_cost(1 << 30) == pytest.approx(0.12)
+        assert p.egress_cost(0) == 0.0
+
+    def test_storage_cost_prorated(self):
+        p = PricingModel(s3_storage_gb_month_usd=0.14)
+        assert p.storage_cost(1 << 30, 30) == pytest.approx(0.14)
+        assert p.storage_cost(1 << 30, 15) == pytest.approx(0.07)
+
+    def test_negative_inputs_rejected(self):
+        p = PricingModel()
+        with pytest.raises(ValueError):
+            p.request_cost(-1)
+        with pytest.raises(ValueError):
+            p.egress_cost(-1)
+        with pytest.raises(ValueError):
+            p.storage_cost(-1, 1)
+
+
+class TestValidation:
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            PricingModel(cores_per_instance=0)
+        with pytest.raises(ValueError):
+            PricingModel(instance_hour_usd=-1)
+        with pytest.raises(ValueError):
+            PricingModel(billing_quantum_h=0)

@@ -1,0 +1,109 @@
+"""Unit tests for time/cost provisioning."""
+
+import pytest
+
+from repro.cost.provisioning import (
+    ProvisioningPoint,
+    cheapest_meeting_deadline,
+    fastest_within_budget,
+    pareto_frontier,
+    tradeoff_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return tradeoff_curve(
+        "knn",
+        local_cores=16,
+        local_data_fraction=1 / 6,
+        cloud_core_options=(0, 8, 16, 32),
+    )
+
+
+class TestTradeoffCurve:
+    def test_one_point_per_option(self, curve):
+        assert [p.cloud_cores for p in curve] == [0, 8, 16, 32]
+
+    def test_more_cores_is_faster(self, curve):
+        times = [p.time_s for p in curve]
+        assert times == sorted(times, reverse=True)
+
+    def test_more_cores_costs_more_compute(self, curve):
+        compute = [p.cost.compute_usd for p in curve]
+        assert compute == sorted(compute)
+        assert compute[0] == 0.0
+
+    def test_faster_runs_steal_less_egress(self, curve):
+        """With more cloud cores, fewer jobs cross out of AWS."""
+        egress = [p.cost.egress_usd for p in curve]
+        assert egress == sorted(egress, reverse=True)
+
+    def test_no_options_rejected(self):
+        with pytest.raises(ValueError):
+            tradeoff_curve("knn", local_cores=0, local_data_fraction=0.5,
+                           cloud_core_options=(0,))
+
+
+class TestParetoFrontier:
+    def test_frontier_subset_sorted_by_time(self, curve):
+        frontier = pareto_frontier(curve)
+        assert set(id(p) for p in frontier) <= set(id(p) for p in curve)
+        times = [p.time_s for p in frontier]
+        assert times == sorted(times)
+
+    def test_no_dominated_points(self, curve):
+        frontier = pareto_frontier(curve)
+        for a in frontier:
+            for b in curve:
+                dominates = (
+                    b.time_s <= a.time_s and b.cost_usd < a.cost_usd
+                ) or (b.time_s < a.time_s and b.cost_usd <= a.cost_usd)
+                assert not dominates
+
+    def test_dominated_point_removed(self):
+        def pt(cores, t, cost):
+            from repro.bursting.config import EnvironmentConfig
+            from repro.cost.accounting import CostReport
+
+            return ProvisioningPoint(
+                cores, t, CostReport(cost, 0, 0), EnvironmentConfig("x", 0.5, 1, cores)
+            )
+
+        pts = [pt(0, 100, 1.0), pt(8, 50, 0.5), pt(16, 40, 2.0)]
+        frontier = pareto_frontier(pts)
+        # (0, 100, $1.0) is dominated by (8, 50, $0.5).
+        assert [p.cloud_cores for p in frontier] == [16, 8]
+
+
+class TestConstraints:
+    def test_deadline_picks_cheapest_feasible(self, curve):
+        loose = cheapest_meeting_deadline(curve, deadline_s=1e9)
+        assert loose.cost_usd == min(p.cost_usd for p in curve)
+        tight = cheapest_meeting_deadline(curve, deadline_s=curve[-1].time_s + 1)
+        assert tight.time_s <= curve[-1].time_s + 1
+
+    def test_impossible_deadline_returns_none(self, curve):
+        assert cheapest_meeting_deadline(curve, deadline_s=0.001) is None
+
+    def test_budget_picks_fastest_feasible(self, curve):
+        rich = fastest_within_budget(curve, budget_usd=1e9)
+        assert rich.time_s == min(p.time_s for p in curve)
+
+    def test_impossible_budget_returns_none(self, curve):
+        assert fastest_within_budget(curve, budget_usd=0.0001) is None
+
+    def test_invalid_constraints(self, curve):
+        with pytest.raises(ValueError):
+            cheapest_meeting_deadline(curve, 0)
+        with pytest.raises(ValueError):
+            fastest_within_budget(curve, -1)
+
+    def test_deadline_budget_tension(self, curve):
+        """Tighter deadlines can only cost more (frontier monotonicity)."""
+        frontier = pareto_frontier(curve)
+        deadlines = sorted(p.time_s for p in frontier)
+        costs = [
+            cheapest_meeting_deadline(curve, d + 1e-6).cost_usd for d in deadlines
+        ]
+        assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,65 @@
+"""Unit tests for spot-instance analysis."""
+
+import pytest
+
+from repro.bursting.config import EnvironmentConfig
+from repro.cost.spot import SpotMarket, spot_analysis
+
+
+@pytest.fixture(scope="module")
+def env():
+    return EnvironmentConfig("h", 0.5, 8, 8)
+
+
+class TestSpotMarket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpotMarket(discount=0.0)
+        with pytest.raises(ValueError):
+            SpotMarket(discount=1.5)
+        with pytest.raises(ValueError):
+            SpotMarket(revocation_rate_per_hour=-1)
+        with pytest.raises(ValueError):
+            SpotMarket(revocation_fraction=0.0)
+
+
+class TestSpotAnalysis:
+    def test_no_revocations_pure_discount(self, env):
+        market = SpotMarket(discount=0.3, revocation_rate_per_hour=0.0)
+        summary = spot_analysis("knn", env, market, n_trials=4, seed=1)
+        assert summary.revocation_frequency == 0.0
+        assert summary.mean_savings_pct == pytest.approx(70.0, abs=1.0)
+        assert summary.mean_slowdown_pct == pytest.approx(0.0, abs=2.0)
+
+    def test_aggressive_revocation_slows_but_still_saves(self, env):
+        # Revocations land mid-run with near certainty (kmeans ~ 650 s).
+        market = SpotMarket(discount=0.3, revocation_rate_per_hour=30.0,
+                            revocation_fraction=0.5)
+        summary = spot_analysis("kmeans", env, market, n_trials=6, seed=2)
+        assert summary.revocation_frequency > 0.5
+        assert summary.mean_time_s > summary.ondemand_time_s
+        # Revoked cores stop billing, so the discount still wins.
+        assert summary.mean_cost_usd < summary.ondemand_cost_usd
+
+    def test_all_jobs_survive_revocations(self, env):
+        market = SpotMarket(revocation_rate_per_hour=30.0)
+        summary = spot_analysis("kmeans", env, market, n_trials=4, seed=3)
+        # Completion is implicit: simulate_run raises when jobs strand.
+        assert all(t.time_s > 0 for t in summary.trials)
+
+    def test_p95_at_least_mean(self, env):
+        market = SpotMarket(revocation_rate_per_hour=20.0)
+        summary = spot_analysis("kmeans", env, market, n_trials=8, seed=4)
+        assert summary.p95_time_s >= summary.mean_time_s - 1e-9
+
+    def test_deterministic(self, env):
+        market = SpotMarket(revocation_rate_per_hour=10.0)
+        a = spot_analysis("knn", env, market, n_trials=5, seed=7)
+        b = spot_analysis("knn", env, market, n_trials=5, seed=7)
+        assert [t.time_s for t in a.trials] == [t.time_s for t in b.trials]
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            spot_analysis("knn", EnvironmentConfig("l", 1.0, 8, 0))
+        with pytest.raises(ValueError):
+            spot_analysis("knn", env, n_trials=0)

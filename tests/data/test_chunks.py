@@ -1,0 +1,54 @@
+"""Unit tests for chunk planning."""
+
+import pytest
+
+from repro.data.chunks import ChunkInfo, plan_file_chunks
+
+
+def plan(file_units, chunk_units, **kw):
+    defaults = dict(
+        file_id=0, key="part-00000.bin", file_units=file_units,
+        unit_nbytes=8, chunk_units=chunk_units, location="local",
+    )
+    defaults.update(kw)
+    return plan_file_chunks(**defaults)
+
+
+class TestPlanFileChunks:
+    def test_even_split(self):
+        chunks = plan(100, 25)
+        assert len(chunks) == 4
+        assert [c.n_units for c in chunks] == [25] * 4
+        assert [c.offset for c in chunks] == [0, 200, 400, 600]
+
+    def test_ragged_tail(self):
+        chunks = plan(10, 4)
+        assert [c.n_units for c in chunks] == [4, 4, 2]
+        assert chunks[-1].nbytes == 16
+
+    def test_chunk_ids_sequential_from_start(self):
+        chunks = plan(10, 4, first_chunk_id=7)
+        assert [c.chunk_id for c in chunks] == [7, 8, 9]
+
+    def test_offsets_are_byte_offsets(self):
+        chunks = plan(6, 2, unit_nbytes=32)
+        assert [c.offset for c in chunks] == [0, 64, 128]
+
+    def test_total_units_conserved(self):
+        chunks = plan(97, 10)
+        assert sum(c.n_units for c in chunks) == 97
+
+    def test_empty_file(self):
+        assert plan(0, 5) == []
+
+    def test_invalid_chunk_units(self):
+        with pytest.raises(ValueError):
+            plan(10, 0)
+
+    def test_negative_file_units(self):
+        with pytest.raises(ValueError):
+            plan(-1, 5)
+
+    def test_chunkinfo_dict_roundtrip(self):
+        c = plan(10, 4)[1]
+        assert ChunkInfo.from_dict(c.to_dict()) == c

@@ -1,0 +1,84 @@
+"""Unit tests for dataset writing, distribution, and chunk reads."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import (
+    distribute_dataset,
+    read_all_units,
+    read_chunk,
+    write_dataset,
+)
+from repro.data.formats import points_format
+
+
+class TestWriteDataset:
+    def test_roundtrip(self, points, pts_fmt, local_store):
+        idx = write_dataset(points, pts_fmt, local_store, n_files=4, chunk_units=100)
+        back = read_all_units(idx, {"local": local_store})
+        assert np.array_equal(back, points)
+
+    def test_file_sizes_nearly_equal(self, points, pts_fmt, local_store):
+        idx = write_dataset(points, pts_fmt, local_store, n_files=7, chunk_units=50)
+        sizes = [f.n_units for f in idx.files]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == len(points)
+
+    def test_files_exist_in_store(self, points, pts_fmt, local_store):
+        idx = write_dataset(points, pts_fmt, local_store, n_files=3, chunk_units=100)
+        assert local_store.list_keys() == sorted(f.key for f in idx.files)
+
+    def test_too_many_files_raises(self, pts_fmt, local_store):
+        with pytest.raises(ValueError):
+            write_dataset(np.zeros((2, 4)), pts_fmt, local_store, n_files=3, chunk_units=1)
+
+    def test_invalid_n_files(self, points, pts_fmt, local_store):
+        with pytest.raises(ValueError):
+            write_dataset(points, pts_fmt, local_store, n_files=0, chunk_units=10)
+
+
+class TestReadChunk:
+    def test_chunk_contents_match_slice(self, points, pts_fmt, local_store):
+        idx = write_dataset(points, pts_fmt, local_store, n_files=2, chunk_units=300)
+        # Chunk 1 of file 0 covers units [300, 600) of the first half.
+        chunk = idx.chunks[1]
+        got = read_chunk(idx, chunk.chunk_id, {"local": local_store})
+        assert np.array_equal(got, points[300:600])
+
+    def test_dense_id_check(self, points, pts_fmt, local_store):
+        idx = write_dataset(points, pts_fmt, local_store, n_files=2, chunk_units=300)
+        idx.chunks.pop(0)
+        with pytest.raises(ValueError):
+            read_chunk(idx, 0, {"local": local_store})
+
+
+class TestDistributeDataset:
+    def test_moves_files_and_preserves_data(self, points, pts_fmt, stores):
+        local = stores["local"]
+        idx = write_dataset(points, pts_fmt, local, n_files=8, chunk_units=100)
+        placed = distribute_dataset(idx, stores, {"local": 0.5, "cloud": 0.5}, local)
+        back = read_all_units(placed, stores)
+        assert np.array_equal(back, points)
+
+    def test_moved_files_deleted_from_source(self, points, pts_fmt, stores):
+        local = stores["local"]
+        idx = write_dataset(points, pts_fmt, local, n_files=4, chunk_units=100)
+        placed = distribute_dataset(idx, stores, {"local": 0.5, "cloud": 0.5}, local)
+        cloud_keys = {f.key for f in placed.files if f.location == "cloud"}
+        for key in cloud_keys:
+            assert not local.exists(key)
+            assert stores["cloud"].exists(key)
+
+    def test_all_cloud(self, points, pts_fmt, stores):
+        local = stores["local"]
+        idx = write_dataset(points, pts_fmt, local, n_files=4, chunk_units=100)
+        placed = distribute_dataset(idx, stores, {"cloud": 1.0}, local)
+        assert placed.locations == ["cloud"]
+        assert local.list_keys() == []
+
+    def test_read_all_units_empty_index(self, pts_fmt, stores):
+        from repro.data.index import build_index
+
+        idx = build_index(pts_fmt, [], chunk_units=5)
+        out = read_all_units(idx, stores)
+        assert out.shape[0] == 0

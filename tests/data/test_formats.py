@@ -1,0 +1,76 @@
+"""Unit tests for record formats."""
+
+import numpy as np
+import pytest
+
+from repro.data.formats import RecordFormat, edges_format, points_format, tokens_format
+
+
+class TestRecordFormat:
+    def test_unit_nbytes_points(self):
+        fmt = points_format(8)
+        assert fmt.unit_nbytes == 64
+        assert fmt.values_per_unit == 8
+
+    def test_unit_nbytes_scalar(self):
+        fmt = tokens_format()
+        assert fmt.unit_nbytes == 8
+        assert fmt.values_per_unit == 1
+
+    def test_unit_nbytes_edges(self):
+        assert edges_format().unit_nbytes == 16
+
+    def test_encode_decode_roundtrip_points(self):
+        fmt = points_format(3)
+        arr = np.arange(12, dtype=np.float64).reshape(4, 3)
+        assert np.array_equal(fmt.decode(fmt.encode(arr)), arr)
+
+    def test_encode_decode_roundtrip_scalar(self):
+        fmt = tokens_format()
+        arr = np.array([5, 1, 9], dtype=np.int64)
+        assert np.array_equal(fmt.decode(fmt.encode(arr)), arr)
+
+    def test_decode_is_view_not_copy(self):
+        fmt = tokens_format()
+        buf = fmt.encode(np.arange(10, dtype=np.int64))
+        out = fmt.decode(buf)
+        assert out.base is not None  # backed by the buffer, not copied
+
+    def test_encode_wrong_shape_raises(self):
+        fmt = points_format(3)
+        with pytest.raises(ValueError):
+            fmt.encode(np.zeros((4, 2)))
+
+    def test_decode_partial_unit_raises(self):
+        fmt = points_format(2)
+        with pytest.raises(ValueError):
+            fmt.decode(b"\x00" * 17)
+
+    def test_n_units(self):
+        fmt = points_format(2)  # 16-byte units
+        assert fmt.n_units(64) == 4
+        with pytest.raises(ValueError):
+            fmt.n_units(63)
+
+    def test_dict_roundtrip(self):
+        fmt = RecordFormat("custom", np.float32, (5,))
+        back = RecordFormat.from_dict(fmt.to_dict())
+        assert back == fmt
+        assert back.unit_nbytes == 20
+
+    def test_zero_dim_record_shape_rejected(self):
+        with pytest.raises(ValueError):
+            RecordFormat("bad", np.float64, (0,))
+
+    def test_encode_casts_dtype(self):
+        fmt = points_format(2, dtype=np.float32)
+        arr = np.ones((3, 2), dtype=np.float64)
+        decoded = fmt.decode(fmt.encode(arr))
+        assert decoded.dtype == np.float32
+        assert np.array_equal(decoded, arr.astype(np.float32))
+
+    def test_empty_array_roundtrip(self):
+        fmt = points_format(4)
+        arr = np.empty((0, 4))
+        out = fmt.decode(fmt.encode(arr))
+        assert out.shape == (0, 4)

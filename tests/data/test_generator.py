@@ -1,0 +1,76 @@
+"""Unit tests for synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_edges, generate_points, generate_tokens
+
+
+class TestGeneratePoints:
+    def test_shape_and_dtype(self):
+        pts = generate_points(100, 5, seed=1)
+        assert pts.shape == (100, 5)
+        assert pts.dtype == np.float64
+
+    def test_deterministic(self):
+        assert np.array_equal(generate_points(50, 3, seed=7), generate_points(50, 3, seed=7))
+
+    def test_seed_changes_output(self):
+        assert not np.array_equal(generate_points(50, 3, seed=1), generate_points(50, 3, seed=2))
+
+    def test_clustered_structure(self):
+        # With tiny spread, points concentrate near <= n_clusters centers.
+        pts = generate_points(500, 2, n_clusters=3, spread=1e-6, seed=4)
+        uniq = np.unique(pts.round(3), axis=0)
+        assert len(uniq) <= 3
+
+    def test_zero_points(self):
+        assert generate_points(0, 4, seed=0).shape == (0, 4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_points(10, 0)
+        with pytest.raises(ValueError):
+            generate_points(10, 2, n_clusters=0)
+
+
+class TestGenerateEdges:
+    def test_shape_and_range(self):
+        e = generate_edges(100, 1000, seed=2)
+        assert e.shape == (1000, 2)
+        assert e.min() >= 0 and e.max() < 100
+
+    def test_no_dangling_when_enough_edges(self):
+        e = generate_edges(50, 200, seed=3)
+        outdeg = np.bincount(e[:, 0], minlength=50)
+        assert (outdeg > 0).all()
+
+    def test_indegree_skew(self):
+        e = generate_edges(1000, 20000, seed=5)
+        indeg = np.bincount(e[:, 1], minlength=1000)
+        # Zipf destinations: the most popular page collects far more
+        # in-links than the median page.
+        assert indeg.max() > 10 * max(1, int(np.median(indeg)))
+
+    def test_deterministic(self):
+        assert np.array_equal(generate_edges(10, 50, seed=1), generate_edges(10, 50, seed=1))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_edges(0, 10)
+
+
+class TestGenerateTokens:
+    def test_shape_and_range(self):
+        t = generate_tokens(500, 20, seed=6)
+        assert t.shape == (500,)
+        assert t.min() >= 0 and t.max() < 20
+
+    def test_zipf_skew(self):
+        t = generate_tokens(20000, 100, seed=8)
+        counts = np.bincount(t, minlength=100)
+        assert counts.max() > 5 * np.median(counts)
+
+    def test_invalid_vocab(self):
+        with pytest.raises(ValueError):
+            generate_tokens(10, 0)

@@ -1,0 +1,51 @@
+"""Unit tests for data-unit grouping."""
+
+import numpy as np
+import pytest
+
+from repro.data.units import iter_unit_groups, units_per_group
+
+
+class TestUnitsPerGroup:
+    def test_exact_division(self):
+        assert units_per_group(1024, 64) == 16
+
+    def test_floor_division(self):
+        assert units_per_group(100, 64) == 1
+
+    def test_minimum_one(self):
+        assert units_per_group(8, 64) == 1
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            units_per_group(0, 64)
+
+    def test_invalid_unit_size(self):
+        with pytest.raises(ValueError):
+            units_per_group(64, 0)
+
+
+class TestIterUnitGroups:
+    def test_covers_all_units_in_order(self):
+        arr = np.arange(10)
+        groups = list(iter_unit_groups(arr, 3))
+        assert [len(g) for g in groups] == [3, 3, 3, 1]
+        assert np.array_equal(np.concatenate(groups), arr)
+
+    def test_exact_multiple(self):
+        arr = np.arange(9).reshape(3, 3)
+        groups = list(iter_unit_groups(arr, 3))
+        assert len(groups) == 1
+        assert np.array_equal(groups[0], arr)
+
+    def test_groups_are_views(self):
+        arr = np.arange(10.0)
+        g = next(iter_unit_groups(arr, 4))
+        assert g.base is arr
+
+    def test_empty_input_yields_nothing(self):
+        assert list(iter_unit_groups(np.empty((0, 2)), 5)) == []
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            list(iter_unit_groups(np.arange(3), 0))

@@ -1,0 +1,105 @@
+"""Integration with real on-disk storage.
+
+Everything else runs on MemoryStore for speed; this suite exercises the
+identical paths against LocalDiskStore (real files, ranged seeks,
+persistence) and a disk-backed SimulatedS3Store, including integrity
+verification against on-disk corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansSpec, lloyd_step
+from repro.apps.knn import KnnSpec, knn_exact
+from repro.data.dataset import distribute_dataset, read_all_units, write_dataset
+from repro.data.formats import points_format
+from repro.data.generator import generate_points
+from repro.data.index import DataIndex
+from repro.data.integrity import IntegrityError, attach_checksums
+from repro.runtime.engine import ClusterConfig, ThreadedEngine
+from repro.storage.local import LocalDiskStore
+from repro.storage.s3 import S3Profile, SimulatedS3Store
+
+
+@pytest.fixture
+def disk_stores(tmp_path):
+    return {
+        "local": LocalDiskStore(str(tmp_path / "cluster"), location="local"),
+        "cloud": SimulatedS3Store(
+            inner=LocalDiskStore(str(tmp_path / "s3"), location="cloud"),
+            profile=S3Profile.unthrottled(),
+        ),
+    }
+
+
+@pytest.fixture
+def dataset(disk_stores):
+    points = generate_points(3000, 4, seed=121)
+    idx = write_dataset(points, points_format(4), disk_stores["local"],
+                        n_files=6, chunk_units=250)
+    idx = distribute_dataset(idx, disk_stores, {"local": 0.5, "cloud": 0.5},
+                             disk_stores["local"])
+    return points, idx
+
+
+class TestDiskRoundtrip:
+    def test_distributed_read_back(self, disk_stores, dataset):
+        points, idx = dataset
+        assert np.array_equal(read_all_units(idx, disk_stores), points)
+
+    def test_index_persists_and_reloads(self, disk_stores, dataset, tmp_path):
+        points, idx = dataset
+        path = str(tmp_path / "index.json")
+        idx.save(path)
+        reloaded = DataIndex.load(path)
+        assert np.array_equal(read_all_units(reloaded, disk_stores), points)
+
+    def test_data_survives_store_reopen(self, dataset, tmp_path):
+        points, idx = dataset
+        fresh = {
+            "local": LocalDiskStore(str(tmp_path / "cluster"), location="local"),
+            "cloud": SimulatedS3Store(
+                inner=LocalDiskStore(str(tmp_path / "s3"), location="cloud")
+            ),
+        }
+        assert np.array_equal(read_all_units(idx, fresh), points)
+
+
+class TestDiskEngineRuns:
+    def test_knn_on_disk(self, disk_stores, dataset):
+        points, idx = dataset
+        engine = ThreadedEngine(
+            [ClusterConfig("local", "local", 2), ClusterConfig("cloud", "cloud", 2)],
+            disk_stores,
+        )
+        q = np.full(4, 0.5)
+        rr = engine.run(KnnSpec(q, 6), idx)
+        ref = knn_exact(points, q, 6)
+        np.testing.assert_allclose([x[0] for x in rr.result], [r[0] for r in ref])
+
+    def test_kmeans_on_disk_with_verification(self, disk_stores, dataset):
+        points, idx = dataset
+        idx = attach_checksums(idx, disk_stores)
+        cents = generate_points(3, 4, seed=122)
+        engine = ThreadedEngine(
+            [ClusterConfig("local", "local", 2), ClusterConfig("cloud", "cloud", 2)],
+            disk_stores, verify_chunks=True,
+        )
+        rr = engine.run(KMeansSpec(cents), idx)
+        np.testing.assert_allclose(rr.result.centroids, lloyd_step(points, cents).centroids)
+
+    def test_on_disk_corruption_caught(self, disk_stores, dataset, tmp_path):
+        points, idx = dataset
+        idx = attach_checksums(idx, disk_stores)
+        # Flip a byte in a cloud-resident file on disk, bypassing the API.
+        cloud_file = next(f for f in idx.files if f.location == "cloud")
+        path = tmp_path / "s3" / cloud_file.key
+        raw = bytearray(path.read_bytes())
+        raw[100] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        engine = ThreadedEngine(
+            [ClusterConfig("local", "local", 2), ClusterConfig("cloud", "cloud", 2)],
+            disk_stores, verify_chunks=True,
+        )
+        with pytest.raises(IntegrityError):
+            engine.run(KnnSpec(np.zeros(4), 3), idx)

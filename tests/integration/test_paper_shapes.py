@@ -1,0 +1,158 @@
+"""The paper's qualitative findings, asserted against the simulator.
+
+These are the reproduction's acceptance tests: each test pins one claim
+from Section IV (evaluated at the paper's scale -- 12 GB, 32 files, 960
+jobs, the paper's core counts) and asserts the simulator reproduces it.
+Exact seconds are not compared (our substrate is a model, not the 2011
+testbed); directions, orderings, and rough magnitudes are.
+"""
+
+import pytest
+
+from repro.bursting.driver import run_paper_sweep, run_scalability_sweep
+from repro.bursting.report import average_slowdown_pct, fig4_rows, table2_rows
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {app: run_paper_sweep(app) for app in ("knn", "kmeans", "pagerank")}
+
+
+@pytest.fixture(scope="module")
+def scal():
+    return {app: run_scalability_sweep(app) for app in ("knn", "kmeans", "pagerank")}
+
+
+class TestFigure3:
+    def test_average_slowdown_near_paper(self, sweeps):
+        """Paper: average hybrid slowdown over centralized is 15.55%."""
+        avg = average_slowdown_pct(sweeps)
+        assert 8.0 < avg < 25.0
+
+    def test_env_cloud_retrieval_beats_env_local_for_knn(self, sweeps):
+        """Paper: 'env-cloud configuration has shorter retrieval time
+        than env-local' (multi-threaded S3 retrieval)."""
+        res = sweeps["knn"]
+        cloud_ret = res["env-cloud"].stats.clusters["cloud"].retrieval_s
+        local_ret = res["env-local"].stats.clusters["local"].retrieval_s
+        assert cloud_ret < local_ret
+
+    def test_knn_retrieval_dominates(self, sweeps):
+        """Paper: knn is data-intensive; retrieval dominates processing."""
+        c = sweeps["knn"]["env-local"].stats.clusters["local"]
+        assert c.retrieval_s > 3 * c.processing_s
+
+    def test_kmeans_processing_dominates(self, sweeps):
+        """Paper: kmeans 'is dominated by computation'."""
+        c = sweeps["kmeans"]["env-local"].stats.clusters["local"]
+        assert c.processing_s > 3 * c.retrieval_s
+
+    def test_pagerank_balanced(self, sweeps):
+        """Paper: pagerank 'is quite balanced between computation and
+        data retrieval'."""
+        c = sweeps["pagerank"]["env-local"].stats.clusters["local"]
+        ratio = c.processing_s / c.retrieval_s
+        assert 0.4 < ratio < 2.5
+
+    def test_retrieval_grows_with_s3_share(self, sweeps):
+        """Paper: 'data retrieval times are increasing across the
+        varying data proportions' -- for every application."""
+        for app in ("knn", "kmeans", "pagerank"):
+            res = sweeps[app]
+            rets = [
+                res[env].stats.clusters["local"].retrieval_s
+                for env in ("env-50/50", "env-33/67", "env-17/83")
+            ]
+            assert rets[0] < rets[1] < rets[2]
+
+    def test_slowdown_grows_with_skew(self, sweeps):
+        for app in ("knn", "pagerank"):
+            rows = table2_rows(sweeps[app])
+            pcts = [r["slowdown_pct"] for r in rows]
+            assert pcts[0] < pcts[1] < pcts[2]
+
+    def test_kmeans_slowdowns_tiny(self, sweeps):
+        """Paper: kmeans worst-case slowdown is 1.4% -- compute-intensive
+        apps exploit bursting with very little penalty."""
+        rows = table2_rows(sweeps["kmeans"])
+        assert all(abs(r["slowdown_pct"]) < 5.0 for r in rows)
+
+    def test_knn_worst_case_large(self, sweeps):
+        """Paper: knn env-17/83 slows down by 45.9%."""
+        rows = {r["env"]: r for r in table2_rows(sweeps["knn"])}
+        assert rows["env-17/83"]["slowdown_pct"] > 25.0
+
+
+class TestTable1:
+    def test_stolen_jobs_grow_with_skew(self, sweeps):
+        for app in ("knn", "kmeans", "pagerank"):
+            res = sweeps[app]
+            stolen = [
+                res[env].stats.clusters["local"].jobs_stolen
+                for env in ("env-50/50", "env-33/67", "env-17/83")
+            ]
+            assert stolen[0] < stolen[1] < stolen[2]
+
+    def test_all_jobs_processed_every_env(self, sweeps):
+        for app, res in sweeps.items():
+            for env, r in res.items():
+                assert r.stats.jobs_processed == 960, (app, env)
+
+    def test_load_balanced_despite_skew(self, sweeps):
+        """Pooling balances work: at 17/83 both clusters still process
+        comparable job counts (the cluster steals from S3)."""
+        res = sweeps["knn"]["env-17/83"].stats
+        local = res.clusters["local"].jobs_processed
+        cloud = res.clusters["cloud"].jobs_processed
+        assert 0.4 < local / cloud < 2.5
+
+
+class TestTable2:
+    def test_pagerank_global_reduction_dominant_overhead(self, sweeps):
+        """Paper: pagerank's large robj makes inter-cluster reduction a
+        significant overhead; knn/kmeans global reduction is tiny."""
+        pr = table2_rows(sweeps["pagerank"])[0]["global_reduction_s"]
+        knn = table2_rows(sweeps["knn"])[0]["global_reduction_s"]
+        km = table2_rows(sweeps["kmeans"])[0]["global_reduction_s"]
+        assert pr > 10 * knn
+        assert pr > 10 * km
+
+
+class TestFigure4:
+    def test_scaling_efficiencies_in_paper_band(self, scal):
+        """Paper: the system scales at ~81% on average per doubling."""
+        effs = []
+        for app in ("knn", "kmeans", "pagerank"):
+            effs.extend(
+                r["efficiency_pct"] for r in fig4_rows(scal[app]) if r["efficiency_pct"]
+            )
+        avg = sum(effs) / len(effs)
+        assert 70.0 < avg < 95.0
+        assert all(e > 55.0 for e in effs)
+
+    def test_kmeans_scales_best(self, scal):
+        """Paper: compute-intensive apps dominate their overheads and
+        scale best; data-intensive apps are less scalable."""
+        def last_eff(app):
+            return fig4_rows(scal[app])[-1]["efficiency_pct"]
+
+        assert last_eff("kmeans") > last_eff("knn")
+        assert last_eff("kmeans") > last_eff("pagerank")
+
+    def test_pagerank_sync_grows_with_cores(self, scal):
+        """Paper: pagerank sync overhead rises from 3.3% to 13.3% as the
+        fixed robj exchange stops amortizing."""
+        rows = fig4_rows(scal["pagerank"])
+        sync = [r["sync_pct"] for r in rows]
+        assert sync[-1] > 2 * sync[0]
+        assert sync[-1] > 8.0
+
+    def test_knn_sync_small(self, scal):
+        """Paper: knn sync overheads are small at low core counts."""
+        rows = fig4_rows(scal["knn"])
+        assert rows[0]["sync_pct"] < 5.0
+
+    def test_total_time_decreases_with_cores(self, scal):
+        for app in ("knn", "kmeans", "pagerank"):
+            totals = [r["total_s"] for r in fig4_rows(scal[app])]
+            assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,94 @@
+"""Unit tests for the baseline MapReduce engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.wordcount import WordCountMapReduceSpec, wordcount_exact
+from repro.data.dataset import distribute_dataset, write_dataset
+from repro.data.formats import tokens_format
+from repro.mapreduce.engine import MapReduceEngine
+
+
+@pytest.fixture
+def idx(tokens, local_store):
+    return write_dataset(tokens, tokens_format(), local_store, n_files=3, chunk_units=700)
+
+
+@pytest.fixture
+def engine(local_store):
+    return MapReduceEngine({"local": local_store}, n_mappers=3, n_reducers=2)
+
+
+class TestCorrectness:
+    def test_wordcount(self, tokens, idx, engine):
+        assert engine.run(WordCountMapReduceSpec(), idx).result == wordcount_exact(tokens)
+
+    def test_result_invariant_to_mapper_count(self, tokens, idx, local_store):
+        r1 = MapReduceEngine({"local": local_store}, n_mappers=1, n_reducers=1).run(
+            WordCountMapReduceSpec(), idx
+        )
+        r8 = MapReduceEngine({"local": local_store}, n_mappers=8, n_reducers=5).run(
+            WordCountMapReduceSpec(), idx
+        )
+        assert r1.result == r8.result
+
+    def test_result_invariant_to_flush_threshold(self, tokens, idx, local_store):
+        small = MapReduceEngine(
+            {"local": local_store}, n_mappers=2, n_reducers=2, combine_flush_pairs=16
+        ).run(WordCountMapReduceSpec(), idx)
+        big = MapReduceEngine(
+            {"local": local_store}, n_mappers=2, n_reducers=2, combine_flush_pairs=10**6
+        ).run(WordCountMapReduceSpec(), idx)
+        assert small.result == big.result
+
+    def test_runs_on_distributed_data(self, tokens, stores):
+        idx = write_dataset(tokens, tokens_format(), stores["local"], n_files=4, chunk_units=500)
+        idx = distribute_dataset(idx, stores, {"local": 0.5, "cloud": 0.5}, stores["local"])
+        engine = MapReduceEngine(stores, n_mappers=2, n_reducers=2)
+        assert engine.run(WordCountMapReduceSpec(), idx).result == wordcount_exact(tokens)
+
+
+class TestShuffleAccounting:
+    def test_plain_pairs_equal_map_output(self, tokens, idx, engine):
+        res = engine.run(WordCountMapReduceSpec(with_combiner=False), idx)
+        assert res.stats.map_output_pairs == len(tokens)
+        assert res.stats.intermediate_pairs == len(tokens)
+        assert res.stats.peak_buffer_pairs == 0
+
+    def test_combine_reduces_intermediate_data(self, tokens, idx, engine):
+        with_c = engine.run(WordCountMapReduceSpec(True), idx).stats
+        without = engine.run(WordCountMapReduceSpec(False), idx).stats
+        assert with_c.intermediate_pairs < without.intermediate_pairs
+        assert with_c.intermediate_nbytes < without.intermediate_nbytes
+        assert with_c.combine_invocations > 0
+
+    def test_combine_still_buffers_pairs(self, tokens, idx, local_store):
+        """The paper's point: combine cuts communication but the mapper
+        still materializes (key, value) pairs in memory."""
+        engine = MapReduceEngine(
+            {"local": local_store}, n_mappers=1, n_reducers=1, combine_flush_pairs=512
+        )
+        res = engine.run(WordCountMapReduceSpec(True), idx)
+        assert res.stats.peak_buffer_pairs == 512
+
+    def test_flush_threshold_bounds_buffer(self, tokens, idx, local_store):
+        engine = MapReduceEngine(
+            {"local": local_store}, n_mappers=2, n_reducers=2, combine_flush_pairs=64
+        )
+        res = engine.run(WordCountMapReduceSpec(True), idx)
+        assert res.stats.peak_buffer_pairs <= 64
+
+    def test_intermediate_bytes_accounted(self, tokens, idx, engine):
+        res = engine.run(WordCountMapReduceSpec(False), idx)
+        # Each (int, int) pair is 8 (key) + 8 (value) bytes.
+        assert res.stats.intermediate_nbytes == 16 * len(tokens)
+
+
+class TestValidation:
+    def test_invalid_mappers(self, local_store):
+        with pytest.raises(ValueError):
+            MapReduceEngine({"local": local_store}, n_mappers=0)
+
+    def test_invalid_flush(self, local_store):
+        with pytest.raises(ValueError):
+            MapReduceEngine({"local": local_store}, combine_flush_pairs=0)

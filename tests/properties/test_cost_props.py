@@ -1,0 +1,89 @@
+"""Property-based tests for the pricing and cost-accounting layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.pricing import PricingModel
+
+rates = st.floats(min_value=0.001, max_value=100.0, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+cores = st.integers(0, 256)
+
+
+class TestPricingProperties:
+    @given(price=rates, c=cores, d1=durations, d2=durations)
+    @settings(max_examples=100)
+    def test_compute_cost_monotone_in_duration(self, price, c, d1, d2):
+        p = PricingModel(instance_hour_usd=price)
+        lo, hi = sorted((d1, d2))
+        assert p.compute_cost(c, lo) <= p.compute_cost(c, hi) + 1e-12
+
+    @given(price=rates, d=durations, c1=cores, c2=cores)
+    @settings(max_examples=100)
+    def test_compute_cost_monotone_in_cores(self, price, d, c1, c2):
+        p = PricingModel(instance_hour_usd=price)
+        lo, hi = sorted((c1, c2))
+        assert p.compute_cost(lo, d) <= p.compute_cost(hi, d) + 1e-12
+
+    @given(price=rates, c=st.integers(1, 256), d=st.floats(1.0, 1e6))
+    @settings(max_examples=100)
+    def test_billing_quantum_never_undercharges(self, price, c, d):
+        """Whole-hour billing is always >= exact per-second billing."""
+        hourly = PricingModel(instance_hour_usd=price, billing_quantum_h=1.0)
+        exact = price * hourly.instances_for(c) * (d / 3600.0)
+        assert hourly.compute_cost(c, d) >= exact - 1e-9
+
+    @given(c=cores)
+    @settings(max_examples=100)
+    def test_instances_cover_cores_without_waste(self, c):
+        p = PricingModel(cores_per_instance=2)
+        n = p.instances_for(c)
+        assert n * 2 >= c
+        assert (n - 1) * 2 < c or n == 0
+
+    @given(n1=st.integers(0, 10**6), n2=st.integers(0, 10**6))
+    @settings(max_examples=60)
+    def test_request_cost_additive(self, n1, n2):
+        p = PricingModel()
+        assert p.request_cost(n1) + p.request_cost(n2) == pytest.approx(
+            p.request_cost(n1 + n2)
+        )
+
+    @given(b1=st.floats(0, 1e12), b2=st.floats(0, 1e12))
+    @settings(max_examples=60)
+    def test_egress_cost_additive(self, b1, b2):
+        p = PricingModel()
+        assert p.egress_cost(b1) + p.egress_cost(b2) == pytest.approx(
+            p.egress_cost(b1 + b2)
+        )
+
+
+class TestMultiSiteRoutingProperties:
+    @given(threads=st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_caps_scale_linearly_with_threads(self, threads):
+        from repro.sim.multisite import default_three_site_topology
+
+        topo = default_three_site_topology()
+        one = topo.fetch_path("campus", "aws", 1).per_flow_cap
+        many = topo.fetch_path("campus", "aws", threads).per_flow_cap
+        assert many == pytest.approx(threads * one)
+
+    @given(
+        a=st.sampled_from(["campus", "aws", "azure"]),
+        b=st.sampled_from(["campus", "aws", "azure"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_routes_exist_and_are_bounded(self, a, b):
+        import math
+
+        from repro.sim.multisite import default_three_site_topology
+
+        topo = default_three_site_topology()
+        path = topo.fetch_path(a, b, 4)
+        # Every route is bounded by a finite link or a finite cap.
+        assert path.links or not math.isinf(path.per_flow_cap)
+        assert path.latency_s >= 0
+        if a != b:
+            assert len(path.links) == 2  # remote reads cross a WAN

@@ -1,0 +1,120 @@
+"""Property-based tests for the fluid flow network.
+
+Invariants of max-min fair sharing: no link is ever oversubscribed, no
+flow exceeds its cap, all flows complete, and total service time over a
+single shared link is exactly ``total_bytes / capacity`` when saturated.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.flows as flows_mod
+from repro.sim.events import SimEnv
+from repro.sim.flows import FlowNetwork, Link
+
+
+@st.composite
+def flow_scenarios(draw):
+    n_links = draw(st.integers(1, 3))
+    caps = [draw(st.floats(10.0, 1000.0)) for _ in range(n_links)]
+    n_flows = draw(st.integers(1, 8))
+    flows = []
+    for _ in range(n_flows):
+        link_ids = draw(
+            st.lists(st.integers(0, n_links - 1), min_size=1, max_size=n_links, unique=True)
+        )
+        nbytes = draw(st.floats(1.0, 5000.0))
+        cap = draw(st.one_of(st.none(), st.floats(5.0, 500.0)))
+        start = draw(st.floats(0.0, 5.0))
+        flows.append((link_ids, nbytes, cap, start))
+    return caps, flows
+
+
+def run_scenario(caps, flow_specs, monitor=None):
+    env = SimEnv()
+    net = FlowNetwork(env)
+    links = [Link(f"l{i}", c) for i, c in enumerate(caps)]
+    finished = []
+
+    def proc(link_ids, nbytes, cap, start):
+        if start:
+            yield start
+        ev = net.transfer([links[i] for i in link_ids], nbytes,
+                          cap if cap is not None else math.inf)
+        yield ev
+        finished.append(env.now)
+
+    for spec in flow_specs:
+        env.process(proc(*spec))
+    if monitor is not None:
+        orig = net._allocate_rates
+
+        def wrapped():
+            orig()
+            monitor(net, links)
+
+        net._allocate_rates = wrapped
+    env.run()
+    return finished, env.now
+
+
+class TestFlowProperties:
+    @given(scenario=flow_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_all_flows_complete(self, scenario):
+        caps, specs = scenario
+        finished, _ = run_scenario(caps, specs)
+        assert len(finished) == len(specs)
+
+    @given(scenario=flow_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_links_never_oversubscribed(self, scenario):
+        caps, specs = scenario
+
+        def monitor(net, links):
+            load = {l: 0.0 for l in links}
+            for f in net.flows:
+                for l in f.links:
+                    load[l] += f.rate
+            for l, total in load.items():
+                assert total <= l.capacity * (1 + 1e-9)
+
+        run_scenario(caps, specs, monitor)
+
+    @given(scenario=flow_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_flow_caps_respected(self, scenario):
+        caps, specs = scenario
+
+        def monitor(net, links):
+            for f in net.flows:
+                assert f.rate <= f.max_rate * (1 + 1e-9)
+
+        run_scenario(caps, specs, monitor)
+
+    @given(
+        cap=st.floats(10.0, 500.0),
+        sizes=st.lists(st.floats(1.0, 2000.0), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_saturated_link_conserves_bytes(self, cap, sizes):
+        """All flows start at t=0 on one link: finish = sum(bytes)/cap."""
+        specs = [([0], n, None, 0.0) for n in sizes]
+        finished, end = run_scenario([cap], specs)
+        assert end == max(finished)
+        expect = sum(sizes) / cap
+        assert abs(max(finished) - expect) < expect * 1e-6 + 1e-6
+
+    @given(
+        cap=st.floats(10.0, 500.0),
+        nbytes=st.floats(1.0, 2000.0),
+        flow_cap=st.floats(1.0, 1000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_flow_exact_duration(self, cap, nbytes, flow_cap):
+        specs = [([0], nbytes, flow_cap, 0.0)]
+        finished, _ = run_scenario([cap], specs)
+        expect = nbytes / min(cap, flow_cap)
+        assert abs(finished[0] - expect) < expect * 1e-6 + 1e-6

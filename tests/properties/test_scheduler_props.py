@@ -1,0 +1,111 @@
+"""Property-based tests for the head scheduler.
+
+Invariants: every job is assigned exactly once regardless of the
+interleaving of cluster requests; locality is strict (no stealing while
+local jobs remain); accounting always balances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.formats import tokens_format
+from repro.data.index import build_index
+from repro.runtime.jobs import jobs_from_index
+from repro.runtime.scheduler import HeadScheduler
+
+
+@st.composite
+def scheduler_scenarios(draw):
+    n_files = draw(st.integers(1, 6))
+    units_per_file = draw(st.integers(1, 20))
+    chunk_units = draw(st.integers(1, 8))
+    local_frac = draw(st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]))
+    idx = build_index(tokens_format(), [units_per_file] * n_files, chunk_units=chunk_units)
+    fractions = {}
+    if local_frac > 0:
+        fractions["local"] = local_frac
+    if local_frac < 1:
+        fractions["cloud"] = 1 - local_frac
+    jobs = jobs_from_index(idx.with_placement(fractions))
+    # Random interleaving of requesters and batch sizes.
+    requests = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["local", "cloud"]), st.integers(1, 5)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    return jobs, requests
+
+
+class TestSchedulerProperties:
+    @given(scenario=scheduler_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_every_job_assigned_exactly_once(self, scenario):
+        jobs, requests = scenario
+        sched = HeadScheduler(jobs)
+        assigned = []
+        for cluster, batch in requests:
+            got = sched.request_jobs(cluster, batch)
+            assigned.extend(got)
+            for j in got:
+                sched.complete(j)
+        # Drain whatever the random interleaving left over.
+        while True:
+            got = sched.request_jobs("local", 3)
+            if not got:
+                break
+            assigned.extend(got)
+            for j in got:
+                sched.complete(j)
+        assert sorted(j.job_id for j in assigned) == sorted(j.job_id for j in jobs)
+        assert len(assigned) == len(set(j.job_id for j in assigned))
+        assert sched.all_done
+
+    @given(scenario=scheduler_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_no_stealing_while_local_jobs_remain(self, scenario):
+        jobs, requests = scenario
+        sched = HeadScheduler(jobs)
+        for cluster, batch in requests:
+            remaining_local = {
+                j.job_id
+                for q in sched._by_file.values()
+                for j in q
+                if j.location == cluster
+            }
+            got = sched.request_jobs(cluster, batch)
+            if remaining_local:
+                assert all(j.location == cluster for j in got)
+            for j in got:
+                sched.complete(j)
+
+    @given(scenario=scheduler_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_batches_are_single_file_consecutive(self, scenario):
+        jobs, requests = scenario
+        sched = HeadScheduler(jobs)
+        for cluster, batch in requests:
+            got = sched.request_jobs(cluster, batch)
+            if got:
+                assert len({j.file_id for j in got}) == 1
+                ids = [j.job_id for j in got]
+                assert ids == list(range(ids[0], ids[0] + len(ids)))
+            for j in got:
+                sched.complete(j)
+
+    @given(scenario=scheduler_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_counters_balance(self, scenario):
+        jobs, requests = scenario
+        sched = HeadScheduler(jobs)
+        total_assigned = 0
+        for cluster, batch in requests:
+            got = sched.request_jobs(cluster, batch)
+            total_assigned += len(got)
+            assert sched.remaining + sched.outstanding + (
+                total_assigned - sched.outstanding
+            ) == len(jobs)
+            for j in got:
+                sched.complete(j)
+        assert sum(sched.assigned_counts.values()) == total_assigned

@@ -1,0 +1,81 @@
+"""Property-based tests on whole simulated runs.
+
+For arbitrary environment shapes (data skew, core counts, seeds) the
+simulator must uphold its accounting invariants: every job processed
+exactly once, timers internally consistent, and runs reproducible.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import simulate_environment
+from repro.sim.calibration import PAPER_N_JOBS
+
+
+@st.composite
+def environments(draw):
+    local_frac = draw(st.sampled_from([0.0, 1 / 6, 1 / 3, 0.5, 2 / 3, 1.0]))
+    local = draw(st.sampled_from([0, 2, 4, 8]))
+    cloud = draw(st.sampled_from([0, 2, 4, 8]))
+    if local == 0 and cloud == 0:
+        local = 4
+    return EnvironmentConfig("prop", local_frac, local, cloud)
+
+
+@st.composite
+def runs(draw):
+    env = draw(environments())
+    app = draw(st.sampled_from(["knn", "kmeans", "pagerank"]))
+    seed = draw(st.integers(0, 50))
+    return app, env, seed
+
+
+class TestSimulationInvariants:
+    @given(scenario=runs())
+    @settings(max_examples=25, deadline=None)
+    def test_every_job_processed_exactly_once(self, scenario):
+        app, env, seed = scenario
+        res = simulate_environment(app, env, seed=seed)
+        assert res.stats.jobs_processed == PAPER_N_JOBS
+        per_cluster = sum(c.jobs_processed for c in res.stats.clusters.values())
+        assert per_cluster == PAPER_N_JOBS
+
+    @given(scenario=runs())
+    @settings(max_examples=25, deadline=None)
+    def test_timer_consistency(self, scenario):
+        app, env, seed = scenario
+        res = simulate_environment(app, env, seed=seed)
+        assert res.total_s >= res.stats.processing_end_s >= 0
+        assert res.stats.global_reduction_s == pytest.approx(
+            res.total_s - res.stats.processing_end_s
+        )
+        for c in res.stats.clusters.values():
+            assert 0 <= c.idle_s <= res.total_s
+            assert c.finished_at <= res.stats.processing_end_s + 1e-9
+            for w in c.workers:
+                assert w.jobs_stolen <= w.jobs_processed
+                # Busy time fits inside the worker's active span.
+                assert w.busy_s <= w.finished_at + 1e-9
+                assert w.sync_s == pytest.approx(res.total_s - w.finished_at)
+
+    @given(scenario=runs())
+    @settings(max_examples=10, deadline=None)
+    def test_reproducible(self, scenario):
+        app, env, seed = scenario
+        a = simulate_environment(app, env, seed=seed)
+        b = simulate_environment(app, env, seed=seed)
+        assert a.total_s == b.total_s
+        assert a.stats.jobs_stolen == b.stats.jobs_stolen
+
+    @given(scenario=runs())
+    @settings(max_examples=20, deadline=None)
+    def test_stealing_only_without_local_data(self, scenario):
+        """A cluster co-located with ALL the data never steals."""
+        app, env, seed = scenario
+        res = simulate_environment(app, env, seed=seed)
+        if env.local_data_fraction == 1.0 and "local" in res.stats.clusters:
+            assert res.stats.clusters["local"].jobs_stolen == 0
+        if env.local_data_fraction == 0.0 and "cloud" in res.stats.clusters:
+            assert res.stats.clusters["cloud"].jobs_stolen == 0

@@ -1,0 +1,109 @@
+"""Unit/integration tests for the actor-based (message-passing) engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansSpec, lloyd_step
+from repro.apps.knn import KnnSpec, knn_exact
+from repro.apps.wordcount import WordCountSpec, wordcount_exact
+from repro.data.dataset import distribute_dataset, write_dataset
+from repro.data.formats import points_format, tokens_format
+from repro.data.generator import generate_points
+from repro.runtime.actors import ActorEngine
+from repro.runtime.engine import ClusterConfig, ThreadedEngine
+
+
+def split_dataset(units, fmt, stores, local_frac=0.5):
+    idx = write_dataset(units, fmt, stores["local"], n_files=6, chunk_units=max(1, len(units) // 18))
+    fractions = {}
+    if local_frac > 0:
+        fractions["local"] = local_frac
+    if local_frac < 1:
+        fractions["cloud"] = 1 - local_frac
+    return distribute_dataset(idx, stores, fractions, stores["local"])
+
+
+@pytest.fixture
+def clusters():
+    return [
+        ClusterConfig("local", "local", n_workers=2),
+        ClusterConfig("cloud", "cloud", n_workers=2, link_latency_s=0.002),
+    ]
+
+
+class TestCorrectness:
+    def test_knn(self, points, stores, clusters):
+        idx = split_dataset(points, points_format(4), stores)
+        q = np.full(4, 0.3)
+        rr = ActorEngine(clusters, stores).run(KnnSpec(q, 6), idx)
+        ref = knn_exact(points, q, 6)
+        np.testing.assert_allclose([x[0] for x in rr.result], [r[0] for r in ref])
+
+    def test_kmeans(self, points, stores, clusters):
+        idx = split_dataset(points, points_format(4), stores, local_frac=1 / 3)
+        cents = generate_points(4, 4, seed=91)
+        rr = ActorEngine(clusters, stores).run(KMeansSpec(cents), idx)
+        ref = lloyd_step(points, cents)
+        np.testing.assert_allclose(rr.result.centroids, ref.centroids)
+
+    def test_wordcount_single_cluster(self, tokens, stores):
+        idx = split_dataset(tokens, tokens_format(), stores, local_frac=1.0)
+        engine = ActorEngine([ClusterConfig("local", "local", 3)], stores)
+        rr = engine.run(WordCountSpec(), idx)
+        assert rr.result == wordcount_exact(tokens)
+
+    def test_agrees_with_threaded_engine(self, points, stores, clusters):
+        idx = split_dataset(points, points_format(4), stores)
+        cents = generate_points(3, 4, seed=92)
+        actor = ActorEngine(clusters, stores).run(KMeansSpec(cents), idx)
+        threaded = ThreadedEngine(clusters, stores).run(KMeansSpec(cents), idx)
+        np.testing.assert_allclose(
+            actor.result.centroids, threaded.result.centroids
+        )
+        assert actor.result.sse == pytest.approx(threaded.result.sse)
+
+
+class TestProtocol:
+    def test_all_jobs_processed_once(self, points, stores, clusters):
+        idx = split_dataset(points, points_format(4), stores)
+        rr = ActorEngine(clusters, stores).run(KnnSpec(np.zeros(4), 3), idx)
+        assert rr.stats.jobs_processed == len(idx.chunks)
+
+    def test_stats_populated(self, points, stores, clusters):
+        idx = split_dataset(points, points_format(4), stores)
+        rr = ActorEngine(clusters, stores).run(KnnSpec(np.zeros(4), 3), idx)
+        assert set(rr.stats.clusters) == {"local", "cloud"}
+        for c in rr.stats.clusters.values():
+            assert c.robj_nbytes > 0
+            assert c.n_workers == 2
+        assert rr.stats.total_s > 0
+
+    def test_channel_latency_slows_refills(self, points, stores):
+        idx = split_dataset(points, points_format(4), stores, local_frac=1.0)
+        fast = ActorEngine(
+            [ClusterConfig("local", "local", 2)], stores, batch_size=1
+        ).run(KnnSpec(np.zeros(4), 3), idx)
+        slow = ActorEngine(
+            [ClusterConfig("local", "local", 2, link_latency_s=0.01)],
+            stores, batch_size=1,
+        ).run(KnnSpec(np.zeros(4), 3), idx)
+        assert slow.stats.total_s > fast.stats.total_s
+
+    def test_worker_error_propagates(self, points, stores, clusters):
+        idx = split_dataset(points, points_format(4), stores)
+
+        class Broken(KnnSpec):
+            def local_reduction(self, robj, group):
+                raise RuntimeError("actor boom")
+
+        with pytest.raises(RuntimeError, match="actor boom"):
+            ActorEngine(clusters, stores).run(Broken(np.zeros(4), 3), idx)
+
+    def test_validation(self, stores):
+        with pytest.raises(ValueError):
+            ActorEngine([], stores)
+        with pytest.raises(ValueError):
+            ActorEngine(
+                [ClusterConfig("x", "local", 1), ClusterConfig("x", "cloud", 1)],
+                stores,
+            )

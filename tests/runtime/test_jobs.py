@@ -1,0 +1,52 @@
+"""Unit tests for jobs and pools."""
+
+import pytest
+
+from repro.data.formats import tokens_format
+from repro.data.index import build_index
+from repro.runtime.jobs import Job, LocalJobPool, jobs_from_index
+
+
+@pytest.fixture
+def index():
+    return build_index(tokens_format(), [10, 10], chunk_units=4).with_placement(
+        {"local": 0.5, "cloud": 0.5}
+    )
+
+
+class TestJobsFromIndex:
+    def test_one_job_per_chunk(self, index):
+        jobs = jobs_from_index(index)
+        assert len(jobs) == len(index.chunks)
+        assert [j.job_id for j in jobs] == [c.chunk_id for c in index.chunks]
+
+    def test_job_properties_delegate_to_chunk(self, index):
+        job = jobs_from_index(index)[0]
+        chunk = index.chunks[0]
+        assert job.location == chunk.location
+        assert job.file_id == chunk.file_id
+        assert job.nbytes == chunk.nbytes
+        assert job.n_units == chunk.n_units
+
+    def test_locations_follow_placement(self, index):
+        jobs = jobs_from_index(index)
+        assert {j.location for j in jobs} == {"local", "cloud"}
+
+
+class TestLocalJobPool:
+    def test_fifo_order(self, index):
+        jobs = jobs_from_index(index)
+        pool = LocalJobPool()
+        pool.add(jobs[:3])
+        assert pool.try_get() is jobs[0]
+        assert pool.try_get() is jobs[1]
+
+    def test_empty_returns_none(self):
+        assert LocalJobPool().try_get() is None
+
+    def test_len(self, index):
+        pool = LocalJobPool()
+        pool.add(jobs_from_index(index)[:4])
+        assert len(pool) == 4
+        pool.try_get()
+        assert len(pool) == 3

@@ -1,0 +1,62 @@
+"""Unit tests for control-plane channels and message types."""
+
+import threading
+import time
+
+from repro.runtime.jobs import Job
+from repro.runtime.messages import AssignJobs, Channel, RequestJobs, RobjUpload, Shutdown
+
+
+class TestChannel:
+    def test_fifo_delivery(self):
+        ch = Channel()
+        ch.send("a")
+        ch.send("b")
+        assert ch.recv() == "a"
+        assert ch.recv() == "b"
+
+    def test_latency_delays_delivery(self):
+        ch = Channel(latency_s=0.05)
+        t0 = time.monotonic()
+        ch.send("msg")
+        assert ch.recv() == "msg"
+        assert time.monotonic() - t0 >= 0.045
+
+    def test_zero_latency_immediate(self):
+        ch = Channel()
+        t0 = time.monotonic()
+        ch.send("msg")
+        ch.recv()
+        assert time.monotonic() - t0 < 0.05
+
+    def test_cross_thread(self):
+        ch = Channel()
+        got = []
+
+        def consumer():
+            got.append(ch.recv(timeout=2))
+
+        th = threading.Thread(target=consumer)
+        th.start()
+        ch.send(Shutdown())
+        th.join()
+        assert isinstance(got[0], Shutdown)
+
+    def test_len(self):
+        ch = Channel()
+        ch.send(1)
+        ch.send(2)
+        assert len(ch) == 2
+
+
+class TestMessageTypes:
+    def test_request_jobs_fields(self):
+        msg = RequestJobs(cluster="c", location="cloud", max_jobs=4)
+        assert msg.location == "cloud"
+
+    def test_assign_jobs_empty_means_done(self):
+        assert AssignJobs(jobs=()).jobs == ()
+
+    def test_robj_upload(self):
+        msg = RobjUpload(cluster="c", payload=b"xyz", nbytes=3)
+        assert msg.nbytes == len(msg.payload)

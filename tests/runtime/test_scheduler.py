@@ -1,0 +1,177 @@
+"""Unit tests for the head scheduler's assignment policy."""
+
+import pytest
+
+from repro.data.formats import tokens_format
+from repro.data.index import build_index
+from repro.runtime.jobs import jobs_from_index
+from repro.runtime.scheduler import HeadScheduler, RandomScheduler, StaticScheduler
+
+
+def make_jobs(n_files=4, units_per_file=12, chunk_units=3, local_frac=0.5):
+    idx = build_index(tokens_format(), [units_per_file] * n_files, chunk_units=chunk_units)
+    fractions = {}
+    if local_frac > 0:
+        fractions["local"] = local_frac
+    if local_frac < 1:
+        fractions["cloud"] = 1 - local_frac
+    return jobs_from_index(idx.with_placement(fractions))
+
+
+class TestLocality:
+    def test_local_jobs_first(self):
+        sched = HeadScheduler(make_jobs())
+        batch = sched.request_jobs("local", 4)
+        assert all(j.location == "local" for j in batch)
+
+    def test_cloud_cluster_gets_cloud_jobs_first(self):
+        sched = HeadScheduler(make_jobs())
+        batch = sched.request_jobs("cloud", 4)
+        assert all(j.location == "cloud" for j in batch)
+
+    def test_batch_is_consecutive_chunks_of_one_file(self):
+        sched = HeadScheduler(make_jobs())
+        batch = sched.request_jobs("local", 3)
+        assert len({j.file_id for j in batch}) == 1
+        ids = [j.job_id for j in batch]
+        assert ids == list(range(ids[0], ids[0] + len(ids)))
+
+
+class TestStealing:
+    def test_steals_only_after_local_exhausted(self):
+        sched = HeadScheduler(make_jobs())
+        local_jobs = []
+        while True:
+            batch = sched.request_jobs("local", 4)
+            if not batch or batch[0].location != "local":
+                break
+            local_jobs.extend(batch)
+        # First non-local batch is stolen from the cloud.
+        assert all(j.location == "cloud" for j in batch)
+        assert sched.stolen_counts.get("local", 0) >= len(batch)
+
+    def test_steal_prefers_least_contended_file(self):
+        jobs = make_jobs(n_files=2, local_frac=0.0)  # all cloud
+        sched = HeadScheduler(jobs)
+        # Cloud grabs from file 0 and holds it active (not completed).
+        b0 = sched.request_jobs("cloud", 2)
+        assert {j.file_id for j in b0} == {0}
+        # Local steals: must pick file 1 (0 active readers) over file 0.
+        b1 = sched.request_jobs("local", 2)
+        assert {j.file_id for j in b1} == {1}
+
+    def test_completion_releases_contention(self):
+        jobs = make_jobs(n_files=2, local_frac=0.0)
+        sched = HeadScheduler(jobs)
+        b0 = sched.request_jobs("cloud", 2)
+        for j in b0:
+            sched.complete(j)
+        # With file 0 released, both files have 0 readers; tie-break by id.
+        b1 = sched.request_jobs("local", 1)
+        assert b1[0].file_id == 0
+
+
+class TestAccounting:
+    def test_every_job_assigned_exactly_once(self):
+        jobs = make_jobs()
+        sched = HeadScheduler(jobs)
+        seen = []
+        while True:
+            batch = sched.request_jobs("local", 3)
+            if not batch:
+                break
+            seen.extend(batch)
+            for j in batch:
+                sched.complete(j)
+        assert sorted(j.job_id for j in seen) == sorted(j.job_id for j in jobs)
+        assert sched.all_done
+
+    def test_remaining_and_outstanding(self):
+        sched = HeadScheduler(make_jobs())
+        total = sched.remaining
+        batch = sched.request_jobs("local", 3)
+        assert sched.remaining == total - 3
+        assert sched.outstanding == 3
+        sched.complete(batch[0])
+        assert sched.outstanding == 2
+
+    def test_empty_when_exhausted(self):
+        sched = HeadScheduler(make_jobs(n_files=1, units_per_file=3, chunk_units=3, local_frac=1.0))
+        assert len(sched.request_jobs("local", 10)) == 1
+        assert sched.request_jobs("local", 1) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            HeadScheduler(make_jobs()).request_jobs("local", 0)
+
+    def test_complete_without_assignment_raises(self):
+        jobs = make_jobs()
+        sched = HeadScheduler(jobs)
+        with pytest.raises(RuntimeError):
+            sched.complete(jobs[0])
+
+    def test_assigned_counts_tracked(self):
+        sched = HeadScheduler(make_jobs())
+        sched.request_jobs("local", 4)
+        sched.request_jobs("cloud", 4)
+        assert sched.assigned_counts == {"local": 4, "cloud": 4}
+
+
+class TestStaticScheduler:
+    def test_never_steals(self):
+        sched = StaticScheduler(make_jobs())
+        seen = []
+        while True:
+            batch = sched.request_jobs("local", 4)
+            if not batch:
+                break
+            seen.extend(batch)
+            for j in batch:
+                sched.complete(j)
+        assert seen and all(j.location == "local" for j in seen)
+        # Cloud-resident jobs remain for the cloud cluster.
+        assert sched.remaining > 0
+
+    def test_both_sites_drain_their_own_jobs(self):
+        jobs = make_jobs()
+        sched = StaticScheduler(jobs)
+        for loc in ("local", "cloud"):
+            while True:
+                batch = sched.request_jobs(loc, 4)
+                if not batch:
+                    break
+                for j in batch:
+                    sched.complete(j)
+        assert sched.all_done
+
+    def test_empty_for_dataless_site(self):
+        jobs = make_jobs(local_frac=1.0)
+        sched = StaticScheduler(jobs)
+        assert sched.request_jobs("cloud", 4) == []
+
+
+class TestRandomScheduler:
+    def test_assigns_all_jobs_once(self):
+        jobs = make_jobs()
+        sched = RandomScheduler(jobs, seed=3)
+        seen = []
+        while True:
+            batch = sched.request_jobs("local", 3)
+            if not batch:
+                break
+            seen.extend(batch)
+            for j in batch:
+                sched.complete(j)
+        assert sorted(j.job_id for j in seen) == sorted(j.job_id for j in jobs)
+
+    def test_ignores_locality(self):
+        # With a 50/50 split and a fixed seed, the first few random
+        # batches mix locations (overwhelmingly likely; seed pinned).
+        sched = RandomScheduler(make_jobs(n_files=8, units_per_file=12), seed=0)
+        locations = {j.location for j in sched.request_jobs("local", 10)}
+        assert locations == {"local", "cloud"}
+
+    def test_deterministic_for_seed(self):
+        a = RandomScheduler(make_jobs(), seed=5).request_jobs("local", 6)
+        b = RandomScheduler(make_jobs(), seed=5).request_jobs("local", 6)
+        assert [j.job_id for j in a] == [j.job_id for j in b]

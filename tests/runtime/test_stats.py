@@ -1,0 +1,59 @@
+"""Unit tests for execution-time accounting."""
+
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+
+
+def make_cluster():
+    c = ClusterStats("local", "local")
+    c.workers.append(WorkerStats(processing_s=10.0, retrieval_s=4.0, sync_s=1.0,
+                                 jobs_processed=3, jobs_stolen=1))
+    c.workers.append(WorkerStats(processing_s=14.0, retrieval_s=6.0, sync_s=3.0,
+                                 jobs_processed=5, jobs_stolen=0))
+    return c
+
+
+class TestClusterStats:
+    def test_means_are_per_worker(self):
+        c = make_cluster()
+        assert c.processing_s == 12.0
+        assert c.retrieval_s == 5.0
+        assert c.sync_s == 2.0
+        assert c.total_s == 19.0
+
+    def test_job_counts_sum(self):
+        c = make_cluster()
+        assert c.jobs_processed == 8
+        assert c.jobs_stolen == 1
+
+    def test_empty_cluster_zeroes(self):
+        c = ClusterStats("x", "local")
+        assert c.processing_s == 0.0
+        assert c.total_s == 0.0
+        assert c.n_workers == 0
+
+    def test_worker_busy(self):
+        w = WorkerStats(processing_s=2.0, retrieval_s=3.0)
+        assert w.busy_s == 5.0
+
+
+class TestRunStats:
+    def test_aggregates_across_clusters(self):
+        rs = RunStats()
+        rs.clusters["a"] = make_cluster()
+        rs.clusters["b"] = make_cluster()
+        assert rs.jobs_processed == 16
+        assert rs.jobs_stolen == 2
+
+    def test_breakdown_rows(self):
+        rs = RunStats()
+        rs.clusters["a"] = make_cluster()
+        rows = rs.breakdown_rows()
+        assert rows == [
+            {
+                "cluster": "local",
+                "processing_s": 12.0,
+                "retrieval_s": 5.0,
+                "sync_s": 2.0,
+                "total_s": 19.0,
+            }
+        ]

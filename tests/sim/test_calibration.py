@@ -1,0 +1,79 @@
+"""Unit tests for cost-model calibration constants."""
+
+import pytest
+
+from repro.sim.calibration import (
+    APP_PROFILES,
+    PAPER_DATASET_NBYTES,
+    PAPER_N_FILES,
+    PAPER_N_JOBS,
+    ResourceParams,
+)
+
+
+class TestPaperLayout:
+    def test_dataset_is_12gb(self):
+        assert PAPER_DATASET_NBYTES == 12 * (1 << 30)
+
+    def test_files_and_jobs(self):
+        assert PAPER_N_FILES == 32
+        assert PAPER_N_JOBS % PAPER_N_FILES == 0
+
+    def test_chunk_size_about_12mb(self):
+        chunk = PAPER_DATASET_NBYTES / PAPER_N_JOBS
+        assert 10 * (1 << 20) < chunk < 16 * (1 << 20)
+
+
+class TestAppProfiles:
+    def test_three_paper_apps(self):
+        assert set(APP_PROFILES) == {"knn", "kmeans", "pagerank"}
+
+    def test_compute_intensity_ordering(self):
+        """kmeans is compute-heavy, knn light (paper characterization)."""
+        assert (
+            APP_PROFILES["kmeans"].compute_s_per_unit
+            > APP_PROFILES["pagerank"].compute_s_per_unit * 4
+        )
+        assert (
+            APP_PROFILES["pagerank"].compute_s_per_unit
+            > APP_PROFILES["knn"].compute_s_per_unit
+        )
+
+    def test_robj_sizes(self):
+        """pagerank's robj is orders of magnitude larger (the paper's
+        'very large reduction object')."""
+        assert APP_PROFILES["pagerank"].robj_nbytes > 1000 * APP_PROFILES["knn"].robj_nbytes
+        assert APP_PROFILES["kmeans"].robj_nbytes < 10_000
+
+    def test_kmeans_needs_more_cloud_cores(self):
+        assert APP_PROFILES["kmeans"].hybrid_cloud_cores == 22
+        assert APP_PROFILES["kmeans"].cloud_only_cores == 44
+        assert APP_PROFILES["knn"].hybrid_cloud_cores == 16
+
+    def test_units_per_job_consistent(self):
+        for p in APP_PROFILES.values():
+            assert p.units_per_job * p.unit_nbytes == pytest.approx(
+                PAPER_DATASET_NBYTES / PAPER_N_JOBS, rel=0.01
+            )
+
+
+class TestResourceParams:
+    def test_cloud_cores_slower(self):
+        p = ResourceParams()
+        assert p.cloud_core_speed < p.local_core_speed
+        assert p.cloud_core_speed == pytest.approx(16 / 22)
+
+    def test_scaled_override(self):
+        p = ResourceParams().scaled(wan_bw=1.0)
+        assert p.wan_bw == 1.0
+        assert p.s3_aggregate_bw == ResourceParams().s3_aggregate_bw
+
+    def test_cloud_more_variable(self):
+        p = ResourceParams()
+        assert p.cloud_speed_sigma > p.local_speed_sigma
+
+    def test_multithreaded_s3_beats_local_single_worker(self):
+        """Calibration invariant behind 'env-cloud retrieval < env-local':
+        8 S3 connections outrun one local worker's NIC share."""
+        p = ResourceParams()
+        assert 8 * p.s3_per_connection_bw > p.local_per_worker_bw

@@ -1,0 +1,123 @@
+"""Tests for deadline-driven elastic provisioning."""
+
+import pytest
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import paper_index
+from repro.sim.calibration import APP_PROFILES, PAPER_N_JOBS, ResourceParams
+from repro.sim.elastic import ElasticPolicy, simulate_elastic_run
+from repro.sim.simrun import simulate_run
+
+
+@pytest.fixture(scope="module")
+def setup():
+    env = EnvironmentConfig("h", 0.5, 8, 8)
+    profile = APP_PROFILES["kmeans"]
+    params = ResourceParams()
+    index = paper_index(profile, env)
+    clusters = env.clusters(params)
+    base = simulate_run(index, clusters, profile, params, seed=0)
+    return index, clusters, profile, params, base
+
+
+class TestElasticPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticPolicy(deadline_s=0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(deadline_s=10, check_interval_s=0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(deadline_s=10, startup_latency_s=-1)
+        with pytest.raises(ValueError):
+            ElasticPolicy(deadline_s=10, step_cores=0)
+
+    def test_requires_cloud_cluster(self, setup):
+        index, _, profile, params, base = setup
+        local_only = EnvironmentConfig("l", 0.5, 8, 0).clusters(params)
+        with pytest.raises(ValueError):
+            simulate_elastic_run(
+                index, local_only, profile, ElasticPolicy(deadline_s=100), params
+            )
+
+
+class TestScaleOut:
+    def test_loose_deadline_leases_nothing(self, setup):
+        index, clusters, profile, params, base = setup
+        policy = ElasticPolicy(deadline_s=base.total_s * 10)
+        res = simulate_elastic_run(index, clusters, profile, policy, params, seed=0)
+        assert res.extra_cores_leased == 0
+        assert res.total_s == pytest.approx(base.total_s)
+        assert res.met_deadline
+
+    def test_tight_deadline_leases_and_speeds_up(self, setup):
+        index, clusters, profile, params, base = setup
+        policy = ElasticPolicy(
+            deadline_s=base.total_s * 0.7,
+            check_interval_s=base.total_s / 20,
+            startup_latency_s=base.total_s / 20,
+            step_cores=4,
+            max_extra_cores=16,
+        )
+        res = simulate_elastic_run(index, clusters, profile, policy, params, seed=0)
+        assert res.extra_cores_leased > 0
+        assert res.total_s < base.total_s
+        assert res.result.stats.jobs_processed == PAPER_N_JOBS
+
+    def test_elastic_workers_start_after_boot(self, setup):
+        index, clusters, profile, params, base = setup
+        policy = ElasticPolicy(
+            deadline_s=base.total_s * 0.7,
+            check_interval_s=base.total_s / 20,
+            startup_latency_s=base.total_s / 10,
+        )
+        res = simulate_elastic_run(index, clusters, profile, policy, params, seed=0)
+        elastic = [
+            c for name, c in res.result.stats.clusters.items()
+            if name.startswith("cloud-elastic")
+        ]
+        assert elastic
+        for c, lease_t in zip(elastic, res.lease_times_s):
+            boot_done = lease_t + policy.startup_latency_s
+            for w in c.workers:
+                # Busy time can only accrue after the boot window.
+                assert w.busy_s <= res.total_s - boot_done + 1e-6
+
+    def test_lease_cap_respected(self, setup):
+        index, clusters, profile, params, base = setup
+        policy = ElasticPolicy(
+            deadline_s=1.0,  # hopeless: would lease forever without the cap
+            check_interval_s=base.total_s / 50,
+            step_cores=4,
+            max_extra_cores=8,
+        )
+        res = simulate_elastic_run(index, clusters, profile, policy, params, seed=0)
+        assert res.extra_cores_leased == 8
+
+    def test_more_budget_more_speed(self, setup):
+        index, clusters, profile, params, base = setup
+        kw = dict(
+            deadline_s=base.total_s * 0.5,
+            check_interval_s=base.total_s / 30,
+            startup_latency_s=base.total_s / 30,
+            step_cores=4,
+        )
+        small = simulate_elastic_run(
+            index, clusters, profile, ElasticPolicy(max_extra_cores=4, **kw),
+            params, seed=0,
+        )
+        big = simulate_elastic_run(
+            index, clusters, profile, ElasticPolicy(max_extra_cores=24, **kw),
+            params, seed=0,
+        )
+        assert big.extra_cores_leased > small.extra_cores_leased
+        assert big.total_s < small.total_s
+
+    def test_deterministic(self, setup):
+        index, clusters, profile, params, base = setup
+        policy = ElasticPolicy(
+            deadline_s=base.total_s * 0.7, check_interval_s=base.total_s / 20
+        )
+        a = simulate_elastic_run(index, clusters, profile, policy, params, seed=0)
+        b = simulate_elastic_run(index, clusters, profile, policy, params, seed=0)
+        assert a.total_s == b.total_s
+        assert a.lease_times_s == b.lease_times_s

@@ -1,0 +1,174 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.sim.events import Event, SimEnv, all_of
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        env = SimEnv()
+        log = []
+        env.call_in(2.0, lambda: log.append("b"))
+        env.call_in(1.0, lambda: log.append("a"))
+        env.call_in(3.0, lambda: log.append("c"))
+        env.run()
+        assert log == ["a", "b", "c"]
+        assert env.now == 3.0
+
+    def test_ties_break_by_scheduling_order(self):
+        env = SimEnv()
+        log = []
+        env.call_in(1.0, lambda: log.append(1))
+        env.call_in(1.0, lambda: log.append(2))
+        env.run()
+        assert log == [1, 2]
+
+    def test_run_until_stops_clock(self):
+        env = SimEnv()
+        log = []
+        env.call_in(5.0, lambda: log.append("late"))
+        env.run(until=2.0)
+        assert log == []
+        assert env.now == 2.0
+        env.run()
+        assert log == ["late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimEnv().call_in(-1.0, lambda: None)
+
+    def test_past_schedule_rejected(self):
+        env = SimEnv()
+        env.call_in(1.0, lambda: env.call_at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            env.run()
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = SimEnv()
+        ev = env.event()
+        got = []
+        ev.add_callback(got.append)
+        ev.succeed("payload")
+        env.run()
+        assert got == ["payload"]
+
+    def test_callback_after_trigger_fires(self):
+        env = SimEnv()
+        ev = env.event()
+        ev.succeed(7)
+        got = []
+        ev.add_callback(got.append)
+        env.run()
+        assert got == [7]
+
+    def test_double_succeed_rejected(self):
+        env = SimEnv()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+
+class TestProcesses:
+    def test_timeouts_advance_clock(self):
+        env = SimEnv()
+        trace = []
+
+        def proc():
+            yield 1.5
+            trace.append(env.now)
+            yield 0.5
+            trace.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert trace == [1.5, 2.0]
+
+    def test_return_value_on_done_event(self):
+        env = SimEnv()
+
+        def proc():
+            yield 1.0
+            return "result"
+
+        done = env.process(proc())
+        env.run()
+        assert done.triggered
+        assert done.value == "result"
+
+    def test_wait_on_event(self):
+        env = SimEnv()
+        gate = env.event()
+        trace = []
+
+        def waiter():
+            value = yield gate
+            trace.append((env.now, value))
+
+        def opener():
+            yield 3.0
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert trace == [(3.0, "open")]
+
+    def test_yield_from_subgenerator(self):
+        env = SimEnv()
+
+        def inner():
+            yield 1.0
+            return 42
+
+        def outer():
+            value = yield from inner()
+            return value + 1
+
+        done = env.process(outer())
+        env.run()
+        assert done.value == 43
+
+    def test_bad_yield_type_raises(self):
+        env = SimEnv()
+
+        def proc():
+            yield "nope"
+
+        # The first step runs eagerly, so the bad yield surfaces here.
+        with pytest.raises(TypeError):
+            env.process(proc())
+
+    def test_negative_process_delay(self):
+        env = SimEnv()
+
+        def proc():
+            yield -1.0
+
+        with pytest.raises(ValueError):
+            env.process(proc())
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = SimEnv()
+
+        def sleeper(dt):
+            yield dt
+            return dt
+
+        done = all_of(env, [env.process(sleeper(d)) for d in (3.0, 1.0, 2.0)])
+        env.run()
+        assert done.triggered
+        assert done.value == [3.0, 1.0, 2.0]
+        assert env.now == 3.0
+
+    def test_empty_list_triggers_immediately(self):
+        env = SimEnv()
+        done = all_of(env, [])
+        env.run()
+        assert done.triggered
+        assert done.value == []

@@ -1,0 +1,153 @@
+"""Unit tests for the fluid flow network (max-min fair sharing)."""
+
+import math
+
+import pytest
+
+from repro.sim.events import SimEnv
+from repro.sim.flows import FlowNetwork, Link
+
+
+def run_transfers(specs):
+    """specs: list of (name, links, nbytes, max_rate, start_time)."""
+    env = SimEnv()
+    net = FlowNetwork(env)
+    done_times = {}
+
+    def proc(name, links, nbytes, max_rate, start):
+        if start:
+            yield start
+        yield net.transfer(links, nbytes, max_rate)
+        done_times[name] = env.now
+
+    for spec in specs:
+        env.process(proc(*spec))
+    env.run()
+    return done_times
+
+
+class TestSingleFlow:
+    def test_link_limited(self):
+        link = Link("l", 100.0)
+        t = run_transfers([("f", [link], 250, math.inf, 0.0)])
+        assert t["f"] == pytest.approx(2.5)
+
+    def test_max_rate_limited(self):
+        link = Link("l", 1000.0)
+        t = run_transfers([("f", [link], 100, 10.0, 0.0)])
+        assert t["f"] == pytest.approx(10.0)
+
+    def test_multi_link_min_capacity(self):
+        a, b = Link("a", 100.0), Link("b", 25.0)
+        t = run_transfers([("f", [a, b], 100, math.inf, 0.0)])
+        assert t["f"] == pytest.approx(4.0)
+
+    def test_zero_bytes_completes_immediately(self):
+        env = SimEnv()
+        net = FlowNetwork(env)
+        ev = net.transfer([Link("l", 10.0)], 0)
+        assert ev.triggered
+
+    def test_unbounded_flow_rejected(self):
+        env = SimEnv()
+        net = FlowNetwork(env)
+        with pytest.raises(ValueError):
+            net.transfer([], 100, math.inf)
+
+    def test_negative_bytes_rejected(self):
+        env = SimEnv()
+        with pytest.raises(ValueError):
+            FlowNetwork(env).transfer([Link("l", 1.0)], -1)
+
+    def test_linkless_flow_with_cap(self):
+        env = SimEnv()
+        net = FlowNetwork(env)
+        times = {}
+
+        def proc():
+            yield net.transfer([], 100, 10.0)
+            times["f"] = env.now
+
+        env.process(proc())
+        env.run()
+        assert times["f"] == pytest.approx(10.0)
+
+
+class TestFairSharing:
+    def test_equal_share(self):
+        link = Link("l", 100.0)
+        t = run_transfers([
+            ("a", [link], 100, math.inf, 0.0),
+            ("b", [link], 100, math.inf, 0.0),
+        ])
+        assert t["a"] == pytest.approx(2.0)
+        assert t["b"] == pytest.approx(2.0)
+
+    def test_rate_recomputed_on_join_and_leave(self):
+        link = Link("l", 100.0)
+        t = run_transfers([
+            ("a", [link], 100, math.inf, 0.0),
+            ("b", [link], 100, math.inf, 0.5),
+        ])
+        # a: 50 B alone, then 50 B at 50 B/s -> 1.5; b: 50 B shared + 50 B alone -> 2.0
+        assert t["a"] == pytest.approx(1.5)
+        assert t["b"] == pytest.approx(2.0)
+
+    def test_capped_flow_leaves_capacity_for_others(self):
+        link = Link("l", 100.0)
+        t = run_transfers([
+            ("capped", [link], 100, 10.0, 0.0),
+            ("open", [link], 90, math.inf, 0.0),
+        ])
+        assert t["capped"] == pytest.approx(10.0)
+        assert t["open"] == pytest.approx(1.0)
+
+    def test_max_min_across_two_links(self):
+        # Flow X crosses both links; Y only the narrow one.  Max-min:
+        # both get 15 on the narrow link; X is not limited by the wide one.
+        wide, narrow = Link("wide", 100.0), Link("narrow", 30.0)
+        t = run_transfers([
+            ("x", [wide, narrow], 30, math.inf, 0.0),
+            ("y", [narrow], 30, math.inf, 0.0),
+        ])
+        assert t["x"] == pytest.approx(2.0)
+        assert t["y"] == pytest.approx(2.0)
+
+    def test_bottleneck_freed_capacity_redistributed(self):
+        # Flow A on link1 only; B crosses link1+link2 but link2 caps it
+        # at 10, so A should get the remaining 90 (true max-min).
+        l1, l2 = Link("l1", 100.0), Link("l2", 10.0)
+        t = run_transfers([
+            ("a", [l1], 90, math.inf, 0.0),
+            ("b", [l1, l2], 10, math.inf, 0.0),
+        ])
+        assert t["a"] == pytest.approx(1.0)
+        assert t["b"] == pytest.approx(1.0)
+
+    def test_three_way_share(self):
+        link = Link("l", 90.0)
+        t = run_transfers([(f"f{i}", [link], 30, math.inf, 0.0) for i in range(3)])
+        for i in range(3):
+            assert t[f"f{i}"] == pytest.approx(1.0)
+
+
+class TestConservation:
+    def test_aggregate_throughput_never_exceeds_capacity(self):
+        """Total bytes moved over a saturated link == capacity * time."""
+        link = Link("l", 50.0)
+        t = run_transfers([
+            ("a", [link], 100, math.inf, 0.0),
+            ("b", [link], 100, math.inf, 0.0),
+            ("c", [link], 100, math.inf, 0.0),
+        ])
+        finish = max(t.values())
+        assert finish == pytest.approx(300 / 50.0)
+
+    def test_numeric_robustness_tiny_remainder(self):
+        """Very large transfers complete despite float cancellation."""
+        link = Link("l", 60 * (1 << 20))
+        t = run_transfers([
+            ("big", [link], 240 * (1 << 20), math.inf, 0.0),
+            ("other", [link], 10 * (1 << 20), math.inf, 0.3),
+        ])
+        assert t["big"] < 10.0  # terminates (regression: robj-flow stall)

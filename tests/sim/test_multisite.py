@@ -1,0 +1,210 @@
+"""Unit/integration tests for multi-site topologies (>= 2 providers)."""
+
+import math
+
+import pytest
+
+from repro.data.formats import RecordFormat
+from repro.data.index import build_index
+from repro.sim.calibration import APP_PROFILES, MB, PAPER_N_JOBS
+from repro.sim.multisite import (
+    InterSiteLink,
+    MultiSiteTopology,
+    SiteSpec,
+    default_three_site_topology,
+    simulate_multisite,
+)
+import numpy as np
+
+from repro.bursting.driver import paper_index
+from repro.bursting.config import EnvironmentConfig
+
+
+def three_site_index(fracs=(0.34, 0.33, 0.33)):
+    profile = APP_PROFILES["knn"]
+    fmt = RecordFormat("sim", np.uint8, (profile.unit_nbytes,))
+    units_per_file = profile.dataset_units // 32
+    idx = build_index(fmt, [units_per_file] * 32, chunk_units=-(-units_per_file // 30))
+    return idx.with_placement(
+        {"campus": fracs[0], "aws": fracs[1], "azure": fracs[2]}
+    )
+
+
+class TestTopologyValidation:
+    def test_duplicate_sites_rejected(self):
+        s = SiteSpec("x", storage_bw=1.0)
+        with pytest.raises(ValueError):
+            MultiSiteTopology([s, s], [], "x")
+
+    def test_unknown_head_rejected(self):
+        s = SiteSpec("x", storage_bw=1.0)
+        with pytest.raises(ValueError):
+            MultiSiteTopology([s], [], "y")
+
+    def test_link_to_unknown_site_rejected(self):
+        s = SiteSpec("x", storage_bw=1.0)
+        with pytest.raises(ValueError):
+            MultiSiteTopology([s], [InterSiteLink("x", "y", 1.0)], "x")
+
+    def test_duplicate_link_rejected(self):
+        a, b = SiteSpec("a", storage_bw=1.0), SiteSpec("b", storage_bw=1.0)
+        links = [InterSiteLink("a", "b", 1.0), InterSiteLink("b", "a", 2.0)]
+        with pytest.raises(ValueError):
+            MultiSiteTopology([a, b], links, "a")
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            InterSiteLink("a", "a", 1.0)
+
+    def test_invalid_site_params(self):
+        with pytest.raises(ValueError):
+            SiteSpec("x", storage_bw=0)
+        with pytest.raises(ValueError):
+            SiteSpec("x", storage_bw=1.0, core_speed=0)
+
+
+class TestRouting:
+    @pytest.fixture
+    def topo(self):
+        return default_three_site_topology()
+
+    def test_intra_site_path(self, topo):
+        p = topo.fetch_path("campus", "campus", 8)
+        assert [l.name for l in p.links] == ["campus-storage"]
+        assert p.per_flow_cap == 12.5 * MB
+
+    def test_cross_provider_path(self, topo):
+        p = topo.fetch_path("aws", "azure", 4)
+        assert {l.name for l in p.links} == {"azure-storage", "wan-aws-azure"}
+        assert p.per_flow_cap == 4 * 1.5 * MB
+
+    def test_missing_link_raises(self):
+        sites = [SiteSpec("a", storage_bw=1.0), SiteSpec("b", storage_bw=1.0)]
+        topo = MultiSiteTopology(sites, [], "a")
+        with pytest.raises(ValueError):
+            topo.fetch_path("a", "b", 1)
+
+    def test_robj_routing(self, topo):
+        assert topo.robj_path("campus").links == ()
+        assert [l.name for l in topo.robj_path("azure").links] == ["wan-campus-azure"]
+
+    def test_refill_rtt_includes_wan(self, topo):
+        assert topo.refill_rtt("aws") > topo.refill_rtt("campus")
+
+    def test_site_sigmas(self, topo):
+        sig = topo.site_sigmas()
+        assert sig["azure"] > sig["campus"]
+
+
+class TestSimulateMultisite:
+    def test_three_sites_complete_all_jobs(self):
+        topo = default_three_site_topology()
+        res = simulate_multisite(
+            three_site_index(), topo,
+            cores={"campus": 8, "aws": 8, "azure": 8},
+            profile=APP_PROFILES["knn"],
+        )
+        assert res.stats.jobs_processed == PAPER_N_JOBS
+        assert set(res.stats.clusters) == {"campus", "aws", "azure"}
+
+    def test_site_without_compute_gets_drained_by_others(self):
+        """Data on a provider with no rented cores is stolen remotely."""
+        topo = default_three_site_topology()
+        res = simulate_multisite(
+            three_site_index((0.5, 0.0, 0.5)), topo,
+            cores={"campus": 8, "aws": 8},  # nothing on azure
+            profile=APP_PROFILES["knn"],
+        )
+        assert res.stats.jobs_processed == PAPER_N_JOBS
+        stolen = res.stats.jobs_stolen
+        assert stolen > 0
+
+    def test_deterministic(self):
+        topo = default_three_site_topology()
+        kw = dict(
+            cores={"campus": 4, "aws": 4, "azure": 4},
+            profile=APP_PROFILES["knn"], seed=5,
+        )
+        a = simulate_multisite(three_site_index(), topo, **kw)
+        b = simulate_multisite(three_site_index(), topo, **kw)
+        assert a.total_s == b.total_s
+
+    def test_two_cloud_providers_no_campus(self):
+        """The paper's claim: data/compute across two cloud providers."""
+        topo = default_three_site_topology(head="aws")
+        res = simulate_multisite(
+            three_site_index((0.0, 0.5, 0.5)), topo,
+            cores={"aws": 16, "azure": 16},
+            profile=APP_PROFILES["knn"],
+        )
+        assert res.stats.jobs_processed == PAPER_N_JOBS
+        # azure's robj crosses the aws-azure link; aws's is free.
+        assert res.stats.clusters["azure"].robj_transfer_s > 0
+        assert res.stats.clusters["aws"].robj_transfer_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_data_site_rejected(self):
+        topo = default_three_site_topology()
+        idx = three_site_index().with_placement({"mars": 1.0})
+        with pytest.raises(ValueError):
+            simulate_multisite(idx, topo, cores={"campus": 4},
+                               profile=APP_PROFILES["knn"])
+
+    def test_cores_on_unknown_site_rejected(self):
+        topo = default_three_site_topology()
+        with pytest.raises(ValueError):
+            simulate_multisite(
+                three_site_index(), topo, cores={"mars": 4},
+                profile=APP_PROFILES["knn"],
+            )
+
+    def test_two_site_special_case_matches_paper_shape(self):
+        """A two-site MultiSiteTopology behaves like the built-in one:
+        retrieval grows with the remote data share."""
+        topo = default_three_site_topology()
+        near = simulate_multisite(
+            three_site_index((0.5, 0.5, 0.0)), topo,
+            cores={"campus": 16, "aws": 16}, profile=APP_PROFILES["knn"],
+        )
+        far = simulate_multisite(
+            three_site_index((1 / 6, 5 / 6, 0.0)), topo,
+            cores={"campus": 16, "aws": 16}, profile=APP_PROFILES["knn"],
+        )
+        assert (
+            far.stats.clusters["campus"].retrieval_s
+            > near.stats.clusters["campus"].retrieval_s
+        )
+
+
+class TestThreadedEngineMultisite:
+    def test_three_store_threaded_run(self, points):
+        """The real engine is site-count agnostic too."""
+        from repro.apps.knn import KnnSpec, knn_exact
+        from repro.data.dataset import distribute_dataset, write_dataset
+        from repro.data.formats import points_format
+        from repro.runtime.engine import ClusterConfig, ThreadedEngine
+        from repro.storage.local import MemoryStore
+
+        stores = {
+            "campus": MemoryStore("campus"),
+            "aws": MemoryStore("aws"),
+            "azure": MemoryStore("azure"),
+        }
+        idx = write_dataset(points, points_format(4), stores["campus"],
+                            n_files=6, chunk_units=200)
+        idx = distribute_dataset(
+            idx, stores, {"campus": 0.34, "aws": 0.33, "azure": 0.33},
+            stores["campus"],
+        )
+        engine = ThreadedEngine(
+            [
+                ClusterConfig("campus", "campus", 2),
+                ClusterConfig("aws", "aws", 1),
+                ClusterConfig("azure", "azure", 1),
+            ],
+            stores,
+        )
+        q = np.full(4, 0.5)
+        rr = engine.run(KnnSpec(q, 5), idx)
+        ref = knn_exact(points, q, 5)
+        np.testing.assert_allclose([x[0] for x in rr.result], [r[0] for r in ref])
+        assert set(rr.stats.clusters) == {"campus", "aws", "azure"}

@@ -1,0 +1,92 @@
+"""Tests for stragglers and speculative (backup) execution."""
+
+import pytest
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import paper_index
+from repro.sim.calibration import APP_PROFILES, PAPER_N_JOBS, ResourceParams
+from repro.sim.simrun import StragglerSpec, simulate_run
+
+
+def run(app="kmeans", stragglers=None, speculation=False, seed=0,
+        local=8, cloud=8, local_frac=0.5):
+    env = EnvironmentConfig("h", local_frac, local, cloud)
+    profile = APP_PROFILES[app]
+    params = ResourceParams()
+    return simulate_run(
+        paper_index(profile, env), env.clusters(params), profile, params,
+        seed=seed, stragglers=stragglers, speculation=speculation,
+    )
+
+
+class TestStragglerSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StragglerSpec("local", 0, 0.5)
+        with pytest.raises(ValueError):
+            StragglerSpec("local", 1, 0.0)
+        with pytest.raises(ValueError):
+            StragglerSpec("local", 1, 1.0)
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            run(stragglers=[StragglerSpec("mars", 1, 0.5)])
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            run(stragglers=[StragglerSpec("local", 99, 0.5)])
+
+
+class TestStragglerImpact:
+    def test_stragglers_extend_the_run(self):
+        base = run()
+        slow = run(stragglers=[StragglerSpec("local", 2, 0.2)])
+        assert slow.total_s > base.total_s
+
+    def test_pull_scheduling_absorbs_most_of_it(self):
+        """On-demand pulls feed the slow cores fewer jobs: the total
+        slowdown stays far below the 5x slowdown of the affected cores."""
+        base = run()
+        slow = run(stragglers=[StragglerSpec("local", 2, 0.2)])
+        assert slow.total_s < 2.0 * base.total_s
+        slow_workers = slow.stats.clusters["local"].workers[-2:]
+        fast_workers = slow.stats.clusters["local"].workers[:-2]
+        assert max(w.jobs_processed for w in slow_workers) < min(
+            w.jobs_processed for w in fast_workers
+        )
+
+    def test_all_jobs_still_processed(self):
+        slow = run(stragglers=[StragglerSpec("local", 2, 0.2)])
+        assert slow.stats.jobs_processed == PAPER_N_JOBS
+
+
+class TestSpeculation:
+    def test_speculation_cuts_straggler_tail(self):
+        # A 20x straggler turns one 8 s job into 168 s; idle workers
+        # back it up and win long before the straggler would finish.
+        stragglers = [StragglerSpec("local", 2, 0.05)]
+        plain = run(stragglers=stragglers, speculation=False)
+        spec = run(stragglers=stragglers, speculation=True)
+        assert spec.total_s < plain.total_s - 30.0
+
+    def test_exactly_once_despite_backups(self):
+        spec = run(stragglers=[StragglerSpec("local", 2, 0.1)], speculation=True)
+        assert spec.stats.jobs_processed == PAPER_N_JOBS
+
+    def test_wasted_executions_counted(self):
+        spec = run(stragglers=[StragglerSpec("local", 2, 0.1)], speculation=True)
+        # Some copy (original or backup) lost the race at least once.
+        assert spec.wasted_executions >= 1
+        # And at most one backup per job was ever launched.
+        assert spec.wasted_executions <= PAPER_N_JOBS
+
+    def test_no_stragglers_speculation_near_noop(self):
+        base = run(speculation=False)
+        spec = run(speculation=True)
+        # Homogeneous cores: backups barely change the outcome.
+        assert abs(spec.total_s - base.total_s) / base.total_s < 0.1
+        assert spec.stats.jobs_processed == PAPER_N_JOBS
+
+    def test_deterministic(self):
+        kw = dict(stragglers=[StragglerSpec("local", 2, 0.1)], speculation=True, seed=4)
+        assert run(**kw).total_s == run(**kw).total_s

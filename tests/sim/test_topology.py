@@ -1,0 +1,75 @@
+"""Unit tests for topology routing."""
+
+import math
+
+import pytest
+
+from repro.sim.calibration import ResourceParams
+from repro.sim.topology import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology(ResourceParams(), head_location="local")
+
+
+class TestFetchPaths:
+    def test_local_to_local_hits_disk_only(self, topo):
+        p = topo.fetch_path("local", "local", retrieval_threads=8)
+        assert [l.name for l in p.links] == ["local-disk"]
+        assert p.latency_s == 0.0
+        assert p.per_flow_cap == ResourceParams().local_per_worker_bw
+
+    def test_cloud_to_s3_internal(self, topo):
+        p = topo.fetch_path("cloud", "cloud", retrieval_threads=8)
+        assert [l.name for l in p.links] == ["s3-service"]
+        assert p.per_flow_cap == 8 * ResourceParams().s3_per_connection_bw
+
+    def test_local_stealing_crosses_wan(self, topo):
+        p = topo.fetch_path("local", "cloud", retrieval_threads=4)
+        assert {l.name for l in p.links} == {"s3-service", "wan"}
+        assert p.latency_s > 0
+        assert p.per_flow_cap == 4 * ResourceParams().wan_per_connection_bw
+
+    def test_cloud_stealing_crosses_wan_and_disk(self, topo):
+        p = topo.fetch_path("cloud", "local", retrieval_threads=4)
+        assert {l.name for l in p.links} == {"local-disk", "wan"}
+
+    def test_retrieval_threads_scale_cap(self, topo):
+        p1 = topo.fetch_path("cloud", "cloud", retrieval_threads=1)
+        p8 = topo.fetch_path("cloud", "cloud", retrieval_threads=8)
+        assert p8.per_flow_cap == pytest.approx(8 * p1.per_flow_cap)
+
+    def test_invalid_threads(self, topo):
+        with pytest.raises(ValueError):
+            topo.fetch_path("local", "local", retrieval_threads=0)
+
+    def test_unknown_site(self, topo):
+        with pytest.raises(ValueError):
+            topo.fetch_path("mars", "local", retrieval_threads=1)
+
+
+class TestRobjPaths:
+    def test_head_colocated_cluster_free(self, topo):
+        p = topo.robj_path("local")
+        assert p.links == ()
+        assert p.latency_s == 0.0
+
+    def test_remote_cluster_crosses_wan(self, topo):
+        p = topo.robj_path("cloud")
+        assert [l.name for l in p.links] == ["wan"]
+        assert p.latency_s > 0
+
+    def test_head_in_cloud(self):
+        topo = Topology(ResourceParams(), head_location="cloud")
+        assert topo.robj_path("cloud").links == ()
+        assert [l.name for l in topo.robj_path("local").links] == ["wan"]
+
+    def test_invalid_head_location(self):
+        with pytest.raises(ValueError):
+            Topology(ResourceParams(), head_location="mars")
+
+
+class TestControlPlane:
+    def test_refill_rtt_local_vs_remote(self, topo):
+        assert topo.refill_rtt("local") < topo.refill_rtt("cloud")

@@ -1,0 +1,115 @@
+"""Unit tests for execution tracing and Gantt rendering."""
+
+import pytest
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import paper_index
+from repro.sim.calibration import APP_PROFILES, PAPER_N_JOBS, ResourceParams
+from repro.sim.simrun import simulate_run
+from repro.sim.trace import Span, Tracer, render_gantt
+
+
+def traced_run(app="knn", local=4, cloud=4, frac=0.5, seed=0):
+    env = EnvironmentConfig("t", frac, local, cloud)
+    profile = APP_PROFILES[app]
+    params = ResourceParams()
+    tracer = Tracer()
+    res = simulate_run(
+        paper_index(profile, env), env.clusters(params), profile, params,
+        seed=seed, tracer=tracer,
+    )
+    return res, tracer
+
+
+class TestTracer:
+    def test_records_fetch_and_compute_per_job(self):
+        res, tracer = traced_run()
+        fetches = [s for s in tracer.spans if s.kind == "fetch"]
+        computes = [s for s in tracer.spans if s.kind == "compute"]
+        assert len(fetches) == PAPER_N_JOBS
+        assert len(computes) == PAPER_N_JOBS
+
+    def test_spans_well_formed(self):
+        res, tracer = traced_run()
+        for s in tracer.spans:
+            assert s.t1 >= s.t0 >= 0
+            assert s.duration >= 0
+            assert s.data_location in ("local", "cloud")
+
+    def test_worker_names_cover_all_cores(self):
+        res, tracer = traced_run(local=3, cloud=2)
+        names = set(tracer.workers())
+        assert names == {f"local/{i}" for i in range(3)} | {f"cloud/{i}" for i in range(2)}
+
+    def test_stolen_flags_match_stats(self):
+        res, tracer = traced_run(frac=1 / 6)
+        traced_stolen = sum(
+            1 for s in tracer.spans if s.kind == "compute" and s.stolen
+        )
+        assert traced_stolen == res.stats.jobs_stolen
+
+    def test_span_times_within_run(self):
+        res, tracer = traced_run()
+        assert tracer.end_time <= res.total_s + 1e-9
+
+    def test_timer_agreement(self):
+        """Traced durations reproduce the stats timers exactly."""
+        res, tracer = traced_run()
+        for cname, c in res.stats.clusters.items():
+            traced_fetch = sum(
+                s.duration for s in tracer.spans
+                if s.kind == "fetch" and s.worker.startswith(cname + "/")
+            )
+            assert traced_fetch == pytest.approx(
+                sum(w.retrieval_s for w in c.workers)
+            )
+
+    def test_utilization_bounds(self):
+        res, tracer = traced_run()
+        u = tracer.utilization()
+        assert 0.0 < u <= 1.0
+
+    def test_validation(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.record("w", "fetch", 2.0, 1.0, 0, "local", False)
+        with pytest.raises(ValueError):
+            t.record("w", "nap", 0.0, 1.0, 0, "local", False)
+
+
+class TestRenderGantt:
+    def test_renders_one_row_per_worker(self):
+        res, tracer = traced_run(local=2, cloud=2)
+        text = render_gantt(tracer, width=60)
+        lines = text.splitlines()
+        assert sum(1 for l in lines if "|" in l) == 4
+        assert "# compute" in lines[-1]
+
+    def test_rows_have_requested_width(self):
+        res, tracer = traced_run(local=2, cloud=2)
+        for line in render_gantt(tracer, width=40).splitlines():
+            if "|" in line:
+                inner = line.split("|")[1]
+                assert len(inner) == 40
+
+    def test_contains_activity_glyphs(self):
+        res, tracer = traced_run()
+        text = render_gantt(tracer, width=60)
+        assert "#" in text and "=" in text
+
+    def test_stolen_glyph_when_stealing(self):
+        res, tracer = traced_run(frac=0.0)  # local cluster steals everything
+        text = render_gantt(tracer, width=60)
+        assert "%" in text
+
+    def test_empty_trace(self):
+        assert render_gantt(Tracer()) == "(empty trace)"
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_gantt(Tracer(), width=0)
+
+    def test_worker_subset(self):
+        res, tracer = traced_run(local=2, cloud=2)
+        text = render_gantt(tracer, width=30, workers=["local/0"])
+        assert sum(1 for l in text.splitlines() if "|" in l) == 1

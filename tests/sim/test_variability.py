@@ -1,0 +1,62 @@
+"""Unit tests for the EC2 variability model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.variability import VariabilityModel, VariabilityParams
+
+
+class TestCoreSpeedFactor:
+    def test_zero_sigma_is_exactly_one(self):
+        model = VariabilityModel(VariabilityParams(sigma=0.0), seed=1)
+        assert all(model.core_speed_factor() == 1.0 for _ in range(10))
+
+    def test_deterministic_per_seed(self):
+        a = VariabilityModel(VariabilityParams(sigma=0.1), seed=5)
+        b = VariabilityModel(VariabilityParams(sigma=0.1), seed=5)
+        assert [a.core_speed_factor() for _ in range(5)] == [
+            b.core_speed_factor() for _ in range(5)
+        ]
+
+    def test_mean_near_one(self):
+        model = VariabilityModel(VariabilityParams(sigma=0.1), seed=2)
+        factors = [model.core_speed_factor() for _ in range(4000)]
+        assert np.mean(factors) == pytest.approx(1.0, rel=0.02)
+
+    def test_larger_sigma_more_spread(self):
+        lo = VariabilityModel(VariabilityParams(sigma=0.02), seed=3)
+        hi = VariabilityModel(VariabilityParams(sigma=0.2), seed=3)
+        s_lo = np.std([lo.core_speed_factor() for _ in range(2000)])
+        s_hi = np.std([hi.core_speed_factor() for _ in range(2000)])
+        assert s_hi > 3 * s_lo
+
+    def test_factors_positive(self):
+        model = VariabilityModel(VariabilityParams(sigma=0.3), seed=4)
+        assert all(model.core_speed_factor() > 0 for _ in range(100))
+
+
+class TestEpisodes:
+    def test_no_episodes_means_full_speed(self):
+        model = VariabilityModel(VariabilityParams(episode_rate=0.0), seed=1)
+        assert model.effective_speed(100.0) == 1.0
+
+    def test_episodes_slow_execution(self):
+        model = VariabilityModel(
+            VariabilityParams(episode_rate=0.02, episode_duration_s=30, episode_slowdown=0.5),
+            seed=1,
+        )
+        speeds = [model.effective_speed(100.0) for _ in range(200)]
+        assert all(0.5 <= s <= 1.0 for s in speeds)
+        assert np.mean(speeds) < 0.95
+
+    def test_zero_duration_interval(self):
+        model = VariabilityModel(VariabilityParams(episode_rate=0.5), seed=1)
+        assert model.effective_speed(0.0) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VariabilityModel(VariabilityParams(sigma=-1))
+        with pytest.raises(ValueError):
+            VariabilityModel(VariabilityParams(episode_slowdown=0.0))
+        with pytest.raises(ValueError):
+            VariabilityModel(VariabilityParams(episode_slowdown=1.5))

@@ -1,0 +1,78 @@
+"""Unit tests for bandwidth shaping primitives."""
+
+import pytest
+
+from repro.storage.bandwidth import Clock, FakeClock, RateCap, TokenBucket
+
+
+class TestFakeClock:
+    def test_sleep_advances_time(self):
+        clock = FakeClock()
+        assert clock.now() == 0.0
+        clock.sleep(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().sleep(-1)
+
+
+class TestTokenBucket:
+    def test_first_acquire_from_idle_waits_for_duration(self):
+        clock = FakeClock()
+        tb = TokenBucket(rate=100.0, clock=clock)
+        assert tb.acquire(50) == pytest.approx(0.5)
+
+    def test_sequential_acquires_accumulate(self):
+        clock = FakeClock()
+        tb = TokenBucket(rate=100.0, clock=clock)
+        w1 = tb.acquire(100)  # available at t=1
+        w2 = tb.acquire(100)  # available at t=2
+        assert w1 == pytest.approx(1.0)
+        assert w2 == pytest.approx(2.0)
+
+    def test_idle_time_resets_availability(self):
+        clock = FakeClock()
+        tb = TokenBucket(rate=100.0, clock=clock)
+        tb.throttle(100)  # sleeps to t=1
+        clock.sleep(10)   # t=11, bucket long idle
+        assert tb.acquire(100) == pytest.approx(1.0)
+
+    def test_throttle_sleeps(self):
+        clock = FakeClock()
+        tb = TokenBucket(rate=10.0, clock=clock)
+        waited = tb.throttle(20)
+        assert waited == pytest.approx(2.0)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_zero_bytes_no_wait(self):
+        tb = TokenBucket(rate=10.0, clock=FakeClock())
+        assert tb.acquire(0) == 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, clock=FakeClock()).acquire(-1)
+
+
+class TestRateCap:
+    def test_duration(self):
+        assert RateCap(100.0).duration(250) == pytest.approx(2.5)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            RateCap(0)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            RateCap(1.0).duration(-5)
+
+
+class TestClock:
+    def test_default_clock_monotonic(self):
+        clock = Clock()
+        t0 = clock.now()
+        assert clock.now() >= t0

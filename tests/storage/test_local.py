@@ -1,0 +1,111 @@
+"""Unit tests for MemoryStore and LocalDiskStore."""
+
+import threading
+
+import pytest
+
+from repro.storage.local import LocalDiskStore, MemoryStore
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return LocalDiskStore(str(tmp_path / "store"))
+
+
+class TestStoreBasics:
+    def test_put_get_roundtrip(self, store):
+        store.put("a.bin", b"hello world")
+        assert store.get("a.bin") == b"hello world"
+
+    def test_range_read(self, store):
+        store.put("a.bin", b"0123456789")
+        assert store.get("a.bin", offset=2, nbytes=3) == b"234"
+
+    def test_read_to_end(self, store):
+        store.put("a.bin", b"0123456789")
+        assert store.get("a.bin", offset=7) == b"789"
+
+    def test_overwrite(self, store):
+        store.put("a.bin", b"one")
+        store.put("a.bin", b"two!")
+        assert store.get("a.bin") == b"two!"
+        assert store.size("a.bin") == 4
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope")
+        with pytest.raises(KeyError):
+            store.size("nope")
+        with pytest.raises(KeyError):
+            store.delete("nope")
+
+    def test_range_past_end_raises(self, store):
+        store.put("a.bin", b"abc")
+        with pytest.raises(ValueError):
+            store.get("a.bin", offset=1, nbytes=5)
+
+    def test_negative_offset_raises(self, store):
+        store.put("a.bin", b"abc")
+        with pytest.raises(ValueError):
+            store.get("a.bin", offset=-1)
+
+    def test_list_keys_sorted(self, store):
+        store.put("b.bin", b"x")
+        store.put("a.bin", b"y")
+        assert store.list_keys() == ["a.bin", "b.bin"]
+
+    def test_delete(self, store):
+        store.put("a.bin", b"x")
+        store.delete("a.bin")
+        assert not store.exists("a.bin")
+
+    def test_exists(self, store):
+        assert not store.exists("a.bin")
+        store.put("a.bin", b"x")
+        assert store.exists("a.bin")
+
+    def test_stats_counters(self, store):
+        store.put("a.bin", b"abcd")
+        store.get("a.bin", 0, 2)
+        assert store.stats.n_puts == 1
+        assert store.stats.bytes_written == 4
+        assert store.stats.n_gets == 1
+        assert store.stats.bytes_read == 2
+
+    def test_concurrent_reads(self, store):
+        store.put("a.bin", bytes(range(256)) * 64)
+        errors = []
+
+        def reader(off):
+            try:
+                for _ in range(50):
+                    assert store.get("a.bin", off, 64) == (bytes(range(256)) * 64)[off : off + 64]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i * 64,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestLocalDiskStore:
+    def test_nested_keys(self, tmp_path):
+        store = LocalDiskStore(str(tmp_path / "s"))
+        store.put("sub/dir/file.bin", b"data")
+        assert store.get("sub/dir/file.bin") == b"data"
+        assert store.list_keys() == ["sub/dir/file.bin"]
+
+    def test_key_escape_rejected(self, tmp_path):
+        store = LocalDiskStore(str(tmp_path / "s"))
+        with pytest.raises(ValueError):
+            store.put("../evil.bin", b"x")
+
+    def test_persistence_across_instances(self, tmp_path):
+        root = str(tmp_path / "s")
+        LocalDiskStore(root).put("a.bin", b"persist")
+        assert LocalDiskStore(root).get("a.bin") == b"persist"

@@ -1,0 +1,81 @@
+"""Unit tests for the simulated S3 store."""
+
+import pytest
+
+from repro.storage.bandwidth import FakeClock
+from repro.storage.local import MemoryStore
+from repro.storage.s3 import S3Profile, SimulatedS3Store
+
+
+class TestFunctional:
+    def test_put_get_roundtrip(self):
+        s3 = SimulatedS3Store()
+        s3.put("obj", b"payload")
+        assert s3.get("obj") == b"payload"
+
+    def test_range_get(self):
+        s3 = SimulatedS3Store()
+        s3.put("obj", b"0123456789")
+        assert s3.get("obj", 3, 4) == b"3456"
+
+    def test_wraps_existing_inner_store(self):
+        inner = MemoryStore(location="cloud")
+        inner.put("pre", b"existing")
+        s3 = SimulatedS3Store(inner=inner)
+        assert s3.get("pre") == b"existing"
+
+    def test_list_and_delete(self):
+        s3 = SimulatedS3Store()
+        s3.put("a", b"1")
+        s3.put("b", b"2")
+        assert s3.list_keys() == ["a", "b"]
+        s3.delete("a")
+        assert s3.list_keys() == ["b"]
+
+    def test_location_default_cloud(self):
+        assert SimulatedS3Store().location == "cloud"
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            SimulatedS3Store().get("nope")
+
+
+class TestShaping:
+    def test_request_latency_charged(self):
+        clock = FakeClock()
+        s3 = SimulatedS3Store(profile=S3Profile(request_latency_s=0.25), clock=clock)
+        s3.put("o", b"x")
+        t0 = clock.now()
+        s3.get("o")
+        assert clock.now() - t0 == pytest.approx(0.25)
+
+    def test_per_connection_cap(self):
+        clock = FakeClock()
+        s3 = SimulatedS3Store(profile=S3Profile(per_connection_bw=100.0), clock=clock)
+        s3.put("o", b"x" * 200)
+        t0 = clock.now()
+        s3.get("o")
+        assert clock.now() - t0 == pytest.approx(2.0)
+
+    def test_aggregate_bucket_serializes(self):
+        clock = FakeClock()
+        s3 = SimulatedS3Store(profile=S3Profile(aggregate_bw=100.0), clock=clock)
+        s3.put("o", b"x" * 100)
+        s3.get("o")
+        s3.get("o")
+        # put(100) + two gets(100 each) = 3 seconds of aggregate service.
+        assert clock.now() == pytest.approx(3.0)
+
+    def test_unthrottled_is_instant(self):
+        clock = FakeClock()
+        s3 = SimulatedS3Store(clock=clock)
+        s3.put("o", b"x" * 10000)
+        s3.get("o")
+        assert clock.now() == 0.0
+
+    def test_stats_tracked(self):
+        s3 = SimulatedS3Store()
+        s3.put("o", b"abcd")
+        s3.get("o", 0, 2)
+        assert s3.stats.bytes_written == 4
+        assert s3.stats.bytes_read == 2

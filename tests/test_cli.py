@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--app", "nosuch"])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["sweep", "--app", "knn"],
+            ["scalability", "--app", "kmeans"],
+            ["simulate", "--app", "pagerank"],
+            ["provision", "--app", "knn", "--deadline", "60"],
+            ["evaluate"],
+            ["demo"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestCommands:
+    def test_sweep_prints_tables(self, capsys):
+        assert main(["sweep", "--app", "knn"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "env-17/83" in out
+
+    def test_scalability_prints_efficiencies(self, capsys):
+        assert main(["scalability", "--app", "knn"]) == 0
+        out = capsys.readouterr().out
+        assert "(32,32)" in out
+        assert "efficiency_pct" in out
+
+    def test_simulate_custom_config(self, capsys):
+        rc = main([
+            "simulate", "--app", "knn",
+            "--local-cores", "4", "--cloud-cores", "4",
+            "--local-fraction", "0.25",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 local + 4 cloud cores" in out
+        assert "total:" in out
+
+    def test_simulate_invalid_fraction(self, capsys):
+        assert main(["simulate", "--app", "knn", "--local-fraction", "1.5"]) == 2
+
+    def test_simulate_no_cores(self, capsys):
+        rc = main([
+            "simulate", "--app", "knn",
+            "--local-cores", "0", "--cloud-cores", "0",
+        ])
+        assert rc == 2
+
+    def test_provision_with_deadline(self, capsys):
+        rc = main([
+            "provision", "--app", "knn", "--local-cores", "16",
+            "--deadline", "1000000", "--options", "0", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "deadline" in out
+
+    def test_provision_infeasible_deadline(self, capsys):
+        rc = main([
+            "provision", "--app", "knn", "--deadline", "0.001",
+            "--options", "0", "8",
+        ])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_provision_with_budget(self, capsys):
+        rc = main([
+            "provision", "--app", "knn", "--budget", "1000",
+            "--options", "0", "8",
+        ])
+        assert rc == 0
+        assert "budget" in capsys.readouterr().out
+
+    def test_demo_runs_real_middleware(self, capsys):
+        rc = main(["demo", "--tokens", "5000", "--vocab", "100"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_place_advisor(self, capsys):
+        rc = main(["place", "--app", "knn", "--local-cores", "8",
+                   "--cloud-cores", "8", "--objective", "time"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "placement sweep" in out
+        assert "best (time)" in out
+
+    def test_trace_gantt(self, capsys):
+        rc = main(["trace", "--app", "knn", "--local-cores", "4",
+                   "--cloud-cores", "4", "--width", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# compute" in out
+        assert "|" in out

@@ -1,0 +1,25 @@
+"""Smoke test for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+
+def test_module_entry_point_runs():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "simulate", "--app", "knn",
+         "--local-cores", "4", "--cloud-cores", "4"],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert out.returncode == 0, out.stderr
+    assert "total:" in out.stdout
+
+
+def test_module_entry_point_help():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert out.returncode == 0
+    for cmd in ("sweep", "scalability", "simulate", "provision", "place",
+                "trace", "evaluate", "demo"):
+        assert cmd in out.stdout
