@@ -1,0 +1,189 @@
+"""Ablation: pipelined prefetching + the cross-iteration chunk cache.
+
+Three claims, demonstrated end-to-end in both engines:
+
+* **prefetch** -- on an I/O-bound knn in the threaded engine, double
+  buffering hides fetch latency under compute: wall clock drops, and
+  ``retrieval_s + overlap_s`` of the pipelined run reproduces the serial
+  run's retrieval bar (the cost didn't vanish, it moved off the critical
+  path);
+* **cache** -- a warmed :class:`ChunkCache` makes iteration 2+ of an
+  iterative workload much faster than iteration 1 (every remote chunk is
+  fetched exactly once per session);
+* **model** -- the discrete-event simulator reports the same
+  overlap/cache decomposition for the same policies, so sweeps can
+  predict the win at paper scale.
+
+Both optimizations are result-invariant: the ablation asserts
+bit-identical outputs with the pipeline on and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansSpec
+from repro.apps.knn import KnnSpec
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import simulate_environment
+from repro.bursting.report import format_table
+from repro.bursting.session import BurstingSession
+from repro.data.dataset import write_dataset
+from repro.data.formats import points_format
+from repro.data.generator import generate_points
+from repro.runtime.engine import ClusterConfig, ThreadedEngine
+from repro.storage.local import MemoryStore
+from repro.storage.s3 import S3Profile, SimulatedS3Store
+
+PAPER_NOTES = """\
+Context (Section II-B of the paper):
+  - 'each slave retrieves jobs using multiple retrieval threads' -- the
+    retrieval path is the dominant cost for cloud-resident data;
+  - prefetching and caching attack the same term: prefetch hides the
+    per-job latency under compute, the chunk cache removes repeat
+    transfers entirely for iterative workloads (k-means, PageRank)."""
+
+GB = 1 << 30
+
+
+def _knn_dataset(latency_s: float):
+    """An I/O-bound knn workload: per-chunk compute ~= per-chunk fetch."""
+    dims, chunk_units, n_files, chunks_per_file = 32, 8000, 16, 4
+    pts = generate_points(chunk_units * chunks_per_file, dims, seed=9)
+    units = np.tile(pts, (n_files, 1))
+    store = SimulatedS3Store(profile=S3Profile(request_latency_s=latency_s))
+    idx = write_dataset(
+        units, points_format(dims), store,
+        n_files=n_files, chunk_units=chunk_units,
+    )
+    return {"cloud": store}, idx, KnnSpec(np.zeros(dims), 16)
+
+
+def test_ablation_prefetch(benchmark, record_table):
+    rows = []
+
+    def run_all():
+        # -- (a) threaded engine: prefetch on vs off ---------------------
+        stores, idx, spec = _knn_dataset(latency_s=0.0007)
+        cluster = [ClusterConfig("cloud", "cloud", 1, retrieval_threads=1)]
+        serial = ThreadedEngine(cluster, stores).run(spec, idx)
+        pipelined = ThreadedEngine(cluster, stores, prefetch=True).run(spec, idx)
+        s_c, p_c = serial.stats.clusters["cloud"], pipelined.stats.clusters["cloud"]
+        rows.append({
+            "case": "threaded knn serial",
+            "wall_s": round(serial.stats.total_s, 4),
+            "retrieval_s": round(s_c.retrieval_s, 4),
+            "overlap_s": 0.0,
+            "cache_hit_rate": "-",
+        })
+        rows.append({
+            "case": "threaded knn prefetch",
+            "wall_s": round(pipelined.stats.total_s, 4),
+            "retrieval_s": round(p_c.retrieval_s, 4),
+            "overlap_s": round(p_c.overlap_s, 4),
+            "cache_hit_rate": "-",
+        })
+
+        # -- (b) session: cold vs warmed chunk cache ---------------------
+        lat_stores = {
+            "local": MemoryStore("local"),
+            "cloud": SimulatedS3Store(
+                profile=S3Profile(request_latency_s=0.002)
+            ),
+        }
+        pts = generate_points(4000, 8, seed=21)
+        session = BurstingSession.from_units(
+            pts, points_format(8), lat_stores,
+            local_fraction=0.25, prefetch=True, cache_mb=64,
+        )
+        cents = generate_points(8, 8, seed=22)
+        cold = session.run(KMeansSpec(cents))
+        warm = session.run(KMeansSpec(cents))
+        rows.append({
+            "case": "session pass 1 (cold cache)",
+            "wall_s": round(cold.stats.total_s, 4),
+            "retrieval_s": round(
+                sum(c.retrieval_s for c in cold.stats.clusters.values()), 4
+            ),
+            "overlap_s": round(
+                sum(c.overlap_s for c in cold.stats.clusters.values()), 4
+            ),
+            "cache_hit_rate": round(cold.stats.cache_hit_rate, 3),
+        })
+        rows.append({
+            "case": "session pass 2 (warm cache)",
+            "wall_s": round(warm.stats.total_s, 4),
+            "retrieval_s": round(
+                sum(c.retrieval_s for c in warm.stats.clusters.values()), 4
+            ),
+            "overlap_s": round(
+                sum(c.overlap_s for c in warm.stats.clusters.values()), 4
+            ),
+            "cache_hit_rate": round(warm.stats.cache_hit_rate, 3),
+        })
+
+        # -- (c) DES: same policies at paper scale -----------------------
+        env = EnvironmentConfig("hybrid", 0.5, 8, 8)
+        sim_serial = simulate_environment("kmeans", env)
+        sim_pre = simulate_environment("kmeans", env, prefetch=True)
+        sim_it1 = simulate_environment("kmeans", env, prefetch=True,
+                                       cache_nbytes=16 * GB)
+        sim_it2 = simulate_environment("kmeans", env, prefetch=True,
+                                       caches=sim_it1.caches)
+        for name, res in [("sim kmeans serial", sim_serial),
+                          ("sim kmeans prefetch", sim_pre),
+                          ("sim kmeans iter2 warm cache", sim_it2)]:
+            rows.append({
+                "case": name,
+                "wall_s": round(res.total_s, 2),
+                "retrieval_s": round(
+                    sum(c.retrieval_s for c in res.stats.clusters.values()), 2
+                ),
+                "overlap_s": round(
+                    sum(c.overlap_s for c in res.stats.clusters.values()), 2
+                ),
+                "cache_hit_rate": round(res.stats.cache_hit_rate, 3),
+            })
+        return (serial, pipelined, s_c, p_c, cold, warm,
+                sim_serial, sim_pre, sim_it1, sim_it2)
+
+    (serial, pipelined, s_c, p_c, cold, warm,
+     sim_serial, sim_pre, sim_it1, sim_it2) = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    record_table(
+        "ablation_prefetch",
+        format_table(rows, "Ablation -- prefetch pipeline + chunk cache")
+        + "\n\n" + PAPER_NOTES,
+    )
+
+    # (a) prefetch wins on the I/O-bound workload...
+    assert pipelined.stats.total_s < 0.85 * serial.stats.total_s
+    assert p_c.overlap_s > 0
+    assert p_c.prefetch_hits + p_c.prefetch_misses > 0
+    # ...and the hidden fetch time is conserved, not lost:
+    recovered = p_c.retrieval_s + p_c.overlap_s
+    assert recovered > 0.7 * s_c.retrieval_s
+    # determinism: identical results with the pipeline on.
+    np.testing.assert_array_equal(
+        [d for d, _ in serial.result], [d for d, _ in pipelined.result]
+    )
+
+    # (b) the warmed cache removes the retrieval term from pass 2.
+    assert warm.stats.total_s < 0.6 * cold.stats.total_s
+    assert warm.stats.cache_hit_rate == 1.0
+    # Multi-worker fold order varies run to run (fp summation), so the
+    # passes agree to tolerance; bit-identity is asserted on the
+    # single-worker case above.
+    np.testing.assert_allclose(
+        cold.result.centroids, warm.result.centroids
+    )
+
+    # (c) the DES shows the same decomposition at paper scale.
+    assert sim_pre.total_s < sim_serial.total_s
+    for name, sc in sim_serial.stats.clusters.items():
+        pc = sim_pre.stats.clusters[name]
+        assert pc.retrieval_s + pc.overlap_s == pytest.approx(
+            sc.retrieval_s, rel=0.15
+        )
+    assert sim_it2.stats.cache_hit_rate > 0.8
+    assert sim_it2.total_s < sim_it1.total_s

@@ -127,6 +127,7 @@ from repro.sim import (
     simulate_run,
 )
 from repro.storage import (
+    ChunkCache,
     LocalDiskStore,
     MemoryStore,
     ParallelFetcher,
@@ -242,6 +243,7 @@ __all__ = [
     "StragglerSpec",
     "simulate_run",
     # storage
+    "ChunkCache",
     "LocalDiskStore",
     "MemoryStore",
     "ParallelFetcher",

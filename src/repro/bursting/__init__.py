@@ -26,6 +26,7 @@ from repro.bursting.report import (
     fig3_rows,
     fig4_rows,
     format_table,
+    pipeline_rows,
     table1_rows,
     table2_rows,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "fig3_rows",
     "fig4_rows",
     "format_table",
+    "pipeline_rows",
     "table1_rows",
     "table2_rows",
 ]

@@ -78,15 +78,27 @@ def simulate_environment(
     *,
     seed: int = 0,
     scheduler_factory=None,
+    prefetch: bool = False,
+    cache_nbytes: int = 0,
+    caches=None,
 ) -> SimRunResult:
-    """Simulate one application under one environment configuration."""
+    """Simulate one application under one environment configuration.
+
+    ``prefetch``/``cache_nbytes``/``caches`` model the engines' data
+    pipeline (see :func:`repro.sim.simrun.simulate_run`); pass the
+    previous result's ``.caches`` as ``caches`` to model iteration 2+
+    of an iterative workload against warmed per-cluster caches.
+    """
     profile = APP_PROFILES[app]
     params = params or ResourceParams()
     index = paper_index(profile, env)
     kwargs: dict[str, Any] = {"seed": seed}
     if scheduler_factory is not None:
         kwargs["scheduler_factory"] = scheduler_factory
-    return simulate_run(index, env.clusters(params), profile, params, **kwargs)
+    return simulate_run(
+        index, env.clusters(params), profile, params,
+        prefetch=prefetch, cache_nbytes=cache_nbytes, caches=caches, **kwargs,
+    )
 
 
 def run_paper_sweep(
@@ -128,13 +140,17 @@ def run_threaded_bursting(
     chunk_units: int | None = None,
     batch_size: int = 2,
     retrieval_threads: int = 2,
+    prefetch: bool = False,
+    chunk_cache=None,
 ) -> RunResult:
     """Run a real dataset through the threaded middleware, split across sites.
 
     ``stores`` must contain ``"local"`` and ``"cloud"`` backends.  The
     dataset is written to the local store, distributed according to
     ``local_fraction``, and processed by workers at both sites with the
-    full scheduling/stealing protocol.
+    full scheduling/stealing protocol.  ``prefetch`` double-buffers the
+    workers; ``chunk_cache`` (a :class:`~repro.storage.cache.ChunkCache`)
+    serves repeat fetches from memory.
     """
     if "local" not in stores or "cloud" not in stores:
         raise ValueError('stores must provide "local" and "cloud" backends')
@@ -158,5 +174,8 @@ def run_threaded_bursting(
         clusters.append(
             ClusterConfig("cloud", "cloud", cloud_workers, retrieval_threads)
         )
-    engine = ThreadedEngine(clusters, stores, batch_size=batch_size)
+    engine = ThreadedEngine(
+        clusters, stores, batch_size=batch_size,
+        prefetch=prefetch, chunk_cache=chunk_cache,
+    )
     return engine.run(spec, index)

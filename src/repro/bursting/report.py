@@ -10,6 +10,8 @@ Each function turns sweep results into the rows of one paper artifact:
   retrieval, and total slowdown vs env-local, Table II;
 * :func:`fig4_rows` -- scalability breakdowns with per-doubling
   efficiency, Figure 4;
+* :func:`pipeline_rows` -- prefetch/cache decomposition (residual stall,
+  overlapped fetch time, hit counters) per environment and cluster;
 * :func:`format_table` -- aligned plain-text rendering of any row list.
 """
 
@@ -24,6 +26,7 @@ __all__ = [
     "table1_rows",
     "table2_rows",
     "fig4_rows",
+    "pipeline_rows",
     "average_slowdown_pct",
     "format_table",
     "rows_to_csv",
@@ -148,6 +151,22 @@ def fig4_rows(results: Mapping[str, SimRunResult]) -> list[dict]:
             row[f"{cname}_sync_s"] = round(c.sync_s, 2)
         rows.append(row)
         prev_total = total
+    return rows
+
+
+def pipeline_rows(results: Mapping[str, SimRunResult]) -> list[dict]:
+    """Prefetch/cache decomposition per environment and cluster.
+
+    ``retrieval_s`` is the residual stall of the pipelined workers and
+    ``overlap_s`` the fetch time hidden under computation; their sum is
+    the serial engine's retrieval bar, so the two columns show exactly
+    how much of the retrieval cost the pipeline removed from the
+    critical path.
+    """
+    rows: list[dict] = []
+    for env_name, res in results.items():
+        for row in res.stats.pipeline_rows():
+            rows.append({"env": env_name, **row})
     return rows
 
 

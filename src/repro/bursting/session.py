@@ -27,12 +27,22 @@ from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex
 from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
 from repro.storage.base import StorageBackend
+from repro.storage.cache import ChunkCache
 
 __all__ = ["BurstingSession"]
 
+_MB = 1 << 20
+
 
 class BurstingSession:
-    """Holds a distributed dataset plus an engine, for repeated passes."""
+    """Holds a distributed dataset plus an engine, for repeated passes.
+
+    ``prefetch=True`` double-buffers every worker (fetch of job N+1
+    overlapped with processing of job N); ``cache_mb`` adds a session-
+    wide byte-budgeted :class:`ChunkCache`, so an iterative workload
+    fetches each remote chunk once and every later pass hits the cache
+    (see :attr:`cache` / :meth:`cache_stats`).
+    """
 
     def __init__(
         self,
@@ -44,12 +54,15 @@ class BurstingSession:
         batch_size: int = 2,
         retrieval_threads: int = 2,
         scheduler_factory=None,
+        prefetch: bool = False,
+        cache_mb: float | None = None,
     ) -> None:
         missing = set(index.locations) - set(stores)
         if missing:
             raise ValueError(f"index references unknown stores: {sorted(missing)}")
         self.index = index
         self.stores = stores
+        self.cache = ChunkCache(int(cache_mb * _MB)) if cache_mb else None
         clusters = []
         if local_workers > 0:
             clusters.append(
@@ -64,7 +77,9 @@ class BurstingSession:
         kwargs: dict[str, Any] = {"batch_size": batch_size}
         if scheduler_factory is not None:
             kwargs["scheduler_factory"] = scheduler_factory
-        self.engine = ThreadedEngine(clusters, stores, **kwargs)
+        self.engine = ThreadedEngine(
+            clusters, stores, prefetch=prefetch, chunk_cache=self.cache, **kwargs
+        )
         self.passes_run = 0
 
     @classmethod
@@ -100,6 +115,10 @@ class BurstingSession:
         result = self.engine.run(spec, self.index)
         self.passes_run += 1
         return result
+
+    def cache_stats(self) -> dict | None:
+        """Snapshot of the session chunk cache (None when disabled)."""
+        return self.cache.snapshot() if self.cache is not None else None
 
     def iterate(
         self,

@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--local-fraction", type=float, default=0.5,
                    help="fraction of dataset bytes stored locally (0..1)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prefetch", action="store_true",
+                   help="pipeline each core: fetch job N+1 under compute of job N")
+    p.add_argument("--cache-mb", type=float, default=0.0,
+                   help="per-cluster chunk-cache budget in MB (0 = no cache)")
+    p.add_argument("--iterations", type=int, default=1,
+                   help="iterative passes; 2+ reuse the chunk caches across passes")
 
     p = sub.add_parser("provision", help="time/cost-aware cloud-core sizing")
     p.add_argument("--app", choices=PAPER_APPS, required=True)
@@ -122,15 +128,36 @@ def _cmd_simulate(args) -> int:
     if args.local_cores <= 0 and args.cloud_cores <= 0:
         print("error: need at least one core somewhere", file=sys.stderr)
         return 2
+    if args.iterations <= 0:
+        print("error: --iterations must be positive", file=sys.stderr)
+        return 2
+    if args.cache_mb < 0:
+        print("error: --cache-mb must be non-negative", file=sys.stderr)
+        return 2
     env = EnvironmentConfig(
         "custom", args.local_fraction, args.local_cores, args.cloud_cores
     )
-    res = simulate_environment(args.app, env, seed=args.seed)
+    cache_nbytes = int(args.cache_mb * (1 << 20))
+    caches = None
+    res = None
+    for it in range(1, args.iterations + 1):
+        res = simulate_environment(
+            args.app, env, seed=args.seed, prefetch=args.prefetch,
+            cache_nbytes=cache_nbytes, caches=caches,
+        )
+        caches = res.caches
+        if args.iterations > 1:
+            hit = res.stats.cache_hit_rate
+            print(f"iteration {it}: {res.total_s:.2f}s"
+                  f"   cache hit rate: {hit:.0%}")
     print(format_table(
         res.stats.breakdown_rows(),
         f"{args.app}: {args.local_cores} local + {args.cloud_cores} cloud cores, "
         f"{args.local_fraction:.0%} of data local",
     ))
+    if args.prefetch or cache_nbytes:
+        print()
+        print(format_table(res.stats.pipeline_rows(), "pipeline decomposition"))
     print(f"total: {res.total_s:.2f}s   "
           f"global reduction: {res.stats.global_reduction_s:.2f}s   "
           f"jobs stolen: {res.stats.jobs_stolen}")

@@ -6,6 +6,20 @@ shared head scheduler, fetch chunk byte ranges (multi-threaded) from
 whichever store holds them, fold unit groups into per-worker reduction
 objects, and the head performs the final global reduction.
 
+Two data-pipeline optimizations sit on the fetch path:
+
+* **prefetching** (``prefetch=True``): a worker reserves job *N+1* from
+  its master before processing job *N* and retrieves its bytes on a
+  background thread, overlapping data movement with computation (the
+  double-buffered slave of data-cloud engines like Sector/Sphere);
+* a **chunk cache** (``chunk_cache=...``): a shared byte-budgeted LRU
+  consulted before any store traffic, so iterative workloads re-reading
+  the same remote chunks pay the retrieval cost once.
+
+Both are result-invariant -- a worker folds exactly the same unit groups
+in the same order -- and both are accounted in :class:`WorkerStats`
+(``overlap_s``, ``prefetch_hits``, ``cache_hits``).
+
 This engine demonstrates functional correctness of the middleware at any
 scale that fits in memory; the discrete-event simulator in
 :mod:`repro.sim` executes the same policy code against a resource model
@@ -16,7 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.api import GeneralizedReductionSpec
@@ -28,7 +42,8 @@ from repro.runtime.jobs import Job, LocalJobPool, jobs_from_index
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 from repro.storage.base import StorageBackend
-from repro.storage.transfer import ParallelFetcher
+from repro.storage.cache import ChunkCache
+from repro.storage.transfer import ParallelFetcher, PrefetchHandle
 
 __all__ = ["ClusterConfig", "RunResult", "ThreadedEngine"]
 
@@ -77,15 +92,22 @@ class _Master:
             job = self.pool.try_get()
             if job is not None:
                 return job
+            if self.done:
+                return None
+            # Pay the master <-> head round-trip *outside* the refill
+            # lock: concurrent requesters overlap their RTTs instead of
+            # queueing a full round-trip each behind one sleeping
+            # refiller (only the scheduler interaction is serialized).
+            if self.cluster.link_latency_s > 0:
+                time.sleep(self.cluster.link_latency_s)
             with self._refill_lock:
-                # Re-check: another worker may have refilled while we waited.
+                # Re-check: another worker may have refilled while we
+                # paid the round-trip or waited for the lock.
                 job = self.pool.try_get()
                 if job is not None:
                     return job
                 if self.done:
                     return None
-                if self.cluster.link_latency_s > 0:
-                    time.sleep(self.cluster.link_latency_s)
                 with self.scheduler_lock:
                     jobs = self.scheduler.request_jobs(
                         self.cluster.location, self.batch_size
@@ -95,6 +117,16 @@ class _Master:
                     return None
                 self.pool.add(jobs[1:])
                 return jobs[0]
+
+    def reserve_next(self) -> Job | None:
+        """Reserve the job a worker will process after its current one.
+
+        Identical contract to :meth:`get_job`; the separate name marks
+        the prefetch pipeline's protocol at the call site: the worker
+        learns job *N+1* (and can start retrieving it) before job *N*'s
+        processing finishes.
+        """
+        return self.get_job()
 
 
 class ThreadedEngine:
@@ -109,6 +141,8 @@ class ThreadedEngine:
         group_nbytes: int = 1 << 20,
         scheduler_factory=HeadScheduler,
         verify_chunks: bool = False,
+        prefetch: bool = False,
+        chunk_cache: ChunkCache | None = None,
     ) -> None:
         if not clusters:
             raise ValueError("need at least one cluster")
@@ -121,6 +155,8 @@ class ThreadedEngine:
         self.group_nbytes = group_nbytes
         self.scheduler_factory = scheduler_factory
         self.verify_chunks = verify_chunks
+        self.prefetch = prefetch
+        self.chunk_cache = chunk_cache
 
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
         """Execute ``spec`` over the dataset described by ``index``."""
@@ -137,6 +173,7 @@ class ThreadedEngine:
         threads: list[threading.Thread] = []
         fetchers: dict[str, dict[str, ParallelFetcher]] = {}
         errors: list[BaseException] = []
+        stop = threading.Event()
 
         for cluster in self.clusters:
             master = _Master(cluster, scheduler, scheduler_lock, self.batch_size)
@@ -144,7 +181,12 @@ class ThreadedEngine:
             stats.clusters[cluster.name] = cstats
             cluster_robjs[cluster.name] = []
             fetchers[cluster.name] = {
-                loc: ParallelFetcher(store, cluster.retrieval_threads)
+                loc: ParallelFetcher(
+                    store,
+                    cluster.retrieval_threads,
+                    cache=self.chunk_cache,
+                    prefetch_workers=max(1, cluster.n_workers),
+                )
                 for loc, store in self.stores.items()
             }
             for wid in range(cluster.n_workers):
@@ -157,7 +199,7 @@ class ThreadedEngine:
                         cluster, master, spec, index, group_units,
                         fetchers[cluster.name], wstats,
                         cluster_robjs[cluster.name], scheduler, scheduler_lock,
-                        t_start, errors,
+                        t_start, errors, stop,
                     ),
                     daemon=True,
                 )
@@ -212,6 +254,55 @@ class ThreadedEngine:
                 w.sync_s = max(0.0, stats.total_s - w.finished_at)
         return RunResult(spec.finalize(final), stats, final)
 
+    # -- worker loop ---------------------------------------------------------
+
+    def _fetch_now(
+        self,
+        job: Job,
+        cluster_fetchers: dict[str, ParallelFetcher],
+        wstats: WorkerStats,
+    ) -> bytes:
+        """Synchronous fetch of one job's bytes, fully accounted as stall."""
+        t0 = time.monotonic()
+        raw, cache_hit = cluster_fetchers[job.location].fetch_with_info(
+            job.chunk.key, job.chunk.offset, job.chunk.nbytes
+        )
+        wstats.retrieval_s += time.monotonic() - t0
+        if cache_hit:
+            wstats.cache_hits += 1
+        else:
+            wstats.cache_misses += 1
+        return raw
+
+    def _process(
+        self,
+        spec: GeneralizedReductionSpec,
+        index: DataIndex,
+        group_units: int,
+        robj: ReductionObject,
+        job: Job,
+        raw: bytes,
+        cluster: ClusterConfig,
+        wstats: WorkerStats,
+        scheduler: HeadScheduler,
+        scheduler_lock: threading.Lock,
+    ) -> None:
+        """Decode, reduce, and complete one job."""
+        if self.verify_chunks:
+            from repro.data.integrity import verify_chunk_bytes
+
+            verify_chunk_bytes(job.chunk, raw)
+        t0 = time.monotonic()
+        units = index.fmt.decode(raw)
+        for group in iter_unit_groups(units, group_units):
+            spec.local_reduction(robj, group)
+        wstats.processing_s += time.monotonic() - t0
+        wstats.jobs_processed += 1
+        if job.location != cluster.location:
+            wstats.jobs_stolen += 1
+        with scheduler_lock:
+            scheduler.complete(job)
+
     def _worker_loop(
         self,
         cluster: ClusterConfig,
@@ -226,35 +317,61 @@ class ThreadedEngine:
         scheduler_lock: threading.Lock,
         t_start: float,
         errors: list[BaseException],
+        stop: threading.Event,
     ) -> None:
+        pending: PrefetchHandle | None = None
         try:
             robj = spec.create_reduction_object()
-            while True:
-                job = master.get_job()
-                if job is None:
-                    break
-                t0 = time.monotonic()
-                raw = cluster_fetchers[job.location].fetch(
-                    job.chunk.key, job.chunk.offset, job.chunk.nbytes
-                )
-                if self.verify_chunks:
-                    from repro.data.integrity import verify_chunk_bytes
-
-                    verify_chunk_bytes(job.chunk, raw)
-                t1 = time.monotonic()
-                wstats.retrieval_s += t1 - t0
-                units = index.fmt.decode(raw)
-                for group in iter_unit_groups(units, group_units):
-                    spec.local_reduction(robj, group)
-                wstats.processing_s += time.monotonic() - t1
-                wstats.jobs_processed += 1
-                if job.location != cluster.location:
-                    wstats.jobs_stolen += 1
-                with scheduler_lock:
-                    scheduler.complete(job)
+            job = master.get_job()
+            if job is not None and self.prefetch:
+                # Pipelined path: the first fetch is unavoidably serial;
+                # every later fetch overlaps the previous job's compute.
+                raw = self._fetch_now(job, cluster_fetchers, wstats)
+                while job is not None and not stop.is_set():
+                    next_job = master.reserve_next()
+                    t_submit = time.monotonic()
+                    if next_job is not None:
+                        pending = cluster_fetchers[next_job.location].fetch_async(
+                            next_job.chunk.key,
+                            next_job.chunk.offset,
+                            next_job.chunk.nbytes,
+                        )
+                    self._process(
+                        spec, index, group_units, robj, job, raw,
+                        cluster, wstats, scheduler, scheduler_lock,
+                    )
+                    if next_job is None:
+                        break
+                    ready = pending.done()
+                    t_need = time.monotonic()
+                    raw = pending.result()
+                    stall = time.monotonic() - t_need
+                    wstats.retrieval_s += stall
+                    wstats.overlap_s += max(0.0, pending.fetch_s - stall)
+                    if ready:
+                        wstats.prefetch_hits += 1
+                    else:
+                        wstats.prefetch_misses += 1
+                    if pending.cache_hit:
+                        wstats.cache_hits += 1
+                    else:
+                        wstats.cache_misses += 1
+                    pending = None
+                    job = next_job
+            else:
+                # Serial path: fetch then process, one job at a time.
+                while job is not None and not stop.is_set():
+                    raw = self._fetch_now(job, cluster_fetchers, wstats)
+                    self._process(
+                        spec, index, group_units, robj, job, raw,
+                        cluster, wstats, scheduler, scheduler_lock,
+                    )
+                    job = master.get_job()
             wstats.finished_at = time.monotonic() - t_start
             robjs_out.append(robj)
         except BaseException as exc:  # surfaced by run()
             errors.append(exc)
+            stop.set()  # fail fast: abort every other worker promptly
         finally:
-            pass
+            if pending is not None:
+                pending.cancel()

@@ -25,6 +25,15 @@ class WorkerStats:
     jobs_stolen: int = 0        # jobs whose data lived at another site
     finished_at: float = 0.0    # when this worker ran out of work
     failed: bool = False        # worker died before the run finished
+    # Pipelined-retrieval accounting.  With prefetching, ``retrieval_s``
+    # counts only the *stall* (time the worker actually waited for data);
+    # ``overlap_s`` is the fetch time hidden under processing, so
+    # retrieval_s + overlap_s recovers the serial engine's retrieval bar.
+    overlap_s: float = 0.0
+    prefetch_hits: int = 0      # prefetched data ready before it was needed
+    prefetch_misses: int = 0    # worker stalled waiting for the prefetch
+    cache_hits: int = 0         # fetches served from the chunk cache
+    cache_misses: int = 0       # fetches that went to the store
 
     @property
     def busy_s(self) -> float:
@@ -81,6 +90,33 @@ class ClusterStats:
     def workers_failed(self) -> int:
         return sum(1 for w in self.workers if w.failed)
 
+    @property
+    def overlap_s(self) -> float:
+        """Mean per-worker fetch time hidden under processing."""
+        return self._mean("overlap_s")
+
+    @property
+    def prefetch_hits(self) -> int:
+        return sum(w.prefetch_hits for w in self.workers)
+
+    @property
+    def prefetch_misses(self) -> int:
+        return sum(w.prefetch_misses for w in self.workers)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(w.cache_hits for w in self.workers)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(w.cache_misses for w in self.workers)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this cluster's fetches served by the chunk cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
 
 @dataclass
 class RunStats:
@@ -99,6 +135,23 @@ class RunStats:
     def jobs_stolen(self) -> int:
         return sum(c.jobs_stolen for c in self.clusters.values())
 
+    @property
+    def prefetch_hits(self) -> int:
+        return sum(c.prefetch_hits for c in self.clusters.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(c.cache_hits for c in self.clusters.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(c.cache_misses for c in self.clusters.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
     def breakdown_rows(self) -> list[dict]:
         """Rows for the Figure-3-style stacked breakdown."""
         return [
@@ -108,6 +161,27 @@ class RunStats:
                 "retrieval_s": round(c.retrieval_s, 4),
                 "sync_s": round(c.sync_s, 4),
                 "total_s": round(c.total_s, 4),
+            }
+            for c in self.clusters.values()
+        ]
+
+    def pipeline_rows(self) -> list[dict]:
+        """Rows decomposing the prefetch/cache pipeline per cluster.
+
+        ``retrieval_s`` is the residual stall, ``overlap_s`` the fetch
+        time hidden under computation; their sum is what a serial
+        (non-pipelined) run would have shown as its retrieval bar.
+        """
+        return [
+            {
+                "cluster": c.name,
+                "retrieval_s": round(c.retrieval_s, 4),
+                "overlap_s": round(c.overlap_s, 4),
+                "prefetch_hits": c.prefetch_hits,
+                "prefetch_misses": c.prefetch_misses,
+                "cache_hits": c.cache_hits,
+                "cache_misses": c.cache_misses,
+                "cache_hit_rate": round(c.cache_hit_rate, 4),
             }
             for c in self.clusters.values()
         ]

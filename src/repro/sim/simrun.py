@@ -14,6 +14,19 @@ The accounting mirrors the paper exactly:
   inter-cluster wait + reduction-object exchange);
 * per-cluster **idle time** and the run's **global reduction time** for
   Table II.
+
+The threaded engine's data-pipeline optimizations are modelled here with
+the same policies and accounting (so sweeps can quantify the win):
+
+* ``prefetch=True`` runs each core pipelined -- the fetch of job *N+1*
+  proceeds as its own simulated flow while job *N* computes, and
+  ``retrieval_s`` records only the residual stall (``overlap_s`` the
+  hidden fetch time);
+* ``cache_nbytes``/``caches`` give each cluster a byte-budgeted
+  :class:`~repro.storage.cache.ChunkCache` (size-only placeholders): a
+  hit skips the storage/WAN links entirely, so a warmed cache makes
+  iteration 2+ of an iterative workload cheaper, exactly as in the
+  threaded engine.
 """
 
 from __future__ import annotations
@@ -31,6 +44,7 @@ from repro.sim.events import Event, SimEnv, all_of
 from repro.sim.flows import FlowNetwork
 from repro.sim.topology import Topology
 from repro.sim.variability import VariabilityModel, VariabilityParams
+from repro.storage.cache import ChunkCache
 
 __all__ = [
     "SimClusterConfig",
@@ -157,6 +171,10 @@ class SimRunResult:
     end_time_s: float
     #: Redundant speculative executions whose primary won the race.
     wasted_executions: int = 0
+    #: Per-cluster chunk caches (when caching was enabled); pass them
+    #: back into the next ``simulate_run`` call to model iteration 2+ of
+    #: an iterative workload against a warmed cache.
+    caches: dict[str, ChunkCache] | None = None
 
     @property
     def total_s(self) -> float:
@@ -216,6 +234,53 @@ class _SimMaster:
         self.done = False
 
 
+def _fetch_gen(
+    env: SimEnv,
+    net: FlowNetwork,
+    topo: Topology,
+    cluster: SimClusterConfig,
+    job: Job,
+    cache: ChunkCache | None,
+    wstats: WorkerStats,
+    info: dict,
+    tracer=None,
+    worker_name: str = "",
+):
+    """Fetch one job's bytes (cache first, then links); fills ``info``.
+
+    ``info["fetch_s"]`` is the simulated duration, ``info["cache_hit"]``
+    whether the cluster's chunk cache served it (in which case no link
+    is touched at all -- the bytes are already resident at the site).
+    """
+    t0 = env.now
+    chunk = job.chunk
+    hit = cache is not None and cache.get(
+        job.location, chunk.key, chunk.offset, chunk.nbytes
+    ) is not None
+    if hit:
+        wstats.cache_hits += 1
+    else:
+        path = topo.fetch_path(
+            cluster.location, job.location, cluster.retrieval_threads
+        )
+        if path.latency_s > 0:
+            yield path.latency_s
+        yield net.transfer(path.links, job.nbytes, path.per_flow_cap)
+        if cache is not None:
+            # The simulator never materializes bytes: charge the cache
+            # at the chunk's true size with a placeholder value.
+            cache.put(
+                job.location, chunk.key, chunk.offset, chunk.nbytes,
+                b"", charge_nbytes=job.nbytes,
+            )
+        wstats.cache_misses += 1
+        if tracer is not None:
+            tracer.record(worker_name, "fetch", t0, env.now, job.job_id,
+                          job.location, job.location != cluster.location)
+    info["fetch_s"] = env.now - t0
+    info["cache_hit"] = hit
+
+
 def _worker_proc(
     env: SimEnv,
     net: FlowNetwork,
@@ -230,6 +295,7 @@ def _worker_proc(
     spec_ctx: _SpeculationContext | None = None,
     tracer=None,
     worker_name: str = "",
+    cache: ChunkCache | None = None,
 ):
     """One simulated core: pull, fetch, process, repeat.
 
@@ -243,16 +309,11 @@ def _worker_proc(
 
     def execute(job: Job, is_backup: bool):
         # -- retrieval ------------------------------------------------------
-        t0 = env.now
-        path = topo.fetch_path(cluster.location, job.location, cluster.retrieval_threads)
-        if path.latency_s > 0:
-            yield path.latency_s
-        yield net.transfer(path.links, job.nbytes, path.per_flow_cap)
-        wstats.retrieval_s += env.now - t0
+        info: dict = {}
+        yield from _fetch_gen(env, net, topo, cluster, job, cache, wstats,
+                              info, tracer, worker_name)
+        wstats.retrieval_s += info["fetch_s"]
         stolen = job.location != cluster.location
-        if tracer is not None:
-            tracer.record(worker_name, "fetch", t0, env.now, job.job_id,
-                          job.location, stolen)
         # -- processing -----------------------------------------------------
         t0 = env.now
         base = job.n_units * profile.compute_s_per_unit
@@ -316,6 +377,81 @@ def _worker_proc(
     wstats.finished_at = min(env.now, fail_at_s) if wstats.failed else env.now
 
 
+def _pipelined_worker_proc(
+    env: SimEnv,
+    net: FlowNetwork,
+    topo: Topology,
+    master: _SimMaster,
+    cluster: SimClusterConfig,
+    profile: AppSimProfile,
+    wstats: WorkerStats,
+    speed_factor: float,
+    varmodel: VariabilityModel,
+    cache: ChunkCache | None = None,
+    tracer=None,
+    worker_name: str = "",
+):
+    """One simulated core with double-buffered prefetching.
+
+    Mirrors the threaded engine's pipelined worker loop exactly: the
+    core reserves job *N+1* from its master before processing job *N*
+    and runs its fetch as a concurrent simulated process, so the fetch
+    occupies the storage/WAN links while the core occupies its CPU.
+    ``retrieval_s`` records only the residual stall; ``overlap_s`` the
+    fetch time hidden under computation (their sum is the serial
+    engine's retrieval bar).
+    """
+
+    def compute(job: Job):
+        t0 = env.now
+        base = job.n_units * profile.compute_s_per_unit
+        base /= cluster.core_speed * speed_factor
+        base /= varmodel.effective_speed(base)
+        yield base
+        wstats.processing_s += env.now - t0
+        if tracer is not None:
+            tracer.record(worker_name, "compute", t0, env.now, job.job_id,
+                          job.location, job.location != cluster.location)
+        wstats.jobs_processed += 1
+        if job.location != cluster.location:
+            wstats.jobs_stolen += 1
+        master.complete(job)
+
+    job = yield from master.get_job()
+    if job is None:
+        wstats.finished_at = env.now
+        return
+    # The first fetch is unavoidably serial.
+    info: dict = {}
+    yield from _fetch_gen(env, net, topo, cluster, job, cache, wstats,
+                          info, tracer, worker_name)
+    wstats.retrieval_s += info["fetch_s"]
+    while True:
+        next_job = yield from master.get_job()
+        prefetch_done: Event | None = None
+        next_info: dict = {}
+        if next_job is not None:
+            prefetch_done = env.process(
+                _fetch_gen(env, net, topo, cluster, next_job, cache, wstats,
+                           next_info, tracer, worker_name)
+            )
+        yield from compute(job)
+        if next_job is None:
+            break
+        if prefetch_done.triggered:
+            wstats.prefetch_hits += 1
+            stall = 0.0
+        else:
+            wstats.prefetch_misses += 1
+            t_wait = env.now
+            yield prefetch_done
+            stall = env.now - t_wait
+            wstats.retrieval_s += stall
+        wstats.overlap_s += max(0.0, next_info["fetch_s"] - stall)
+        job = next_job
+    wstats.finished_at = env.now
+
+
 def _cluster_proc(
     env: SimEnv,
     net: FlowNetwork,
@@ -371,6 +507,9 @@ def simulate_run(
     topology=None,
     site_sigmas: dict[str, float] | None = None,
     tracer=None,
+    prefetch: bool = False,
+    cache_nbytes: int = 0,
+    caches: dict[str, ChunkCache] | None = None,
 ) -> SimRunResult:
     """Simulate one complete cloud-bursting execution.
 
@@ -381,9 +520,29 @@ def simulate_run(
     the :class:`~repro.sim.topology.Topology` interface, e.g. a
     :class:`~repro.sim.multisite.MultiSiteTopology`) for other layouts,
     and ``site_sigmas`` to override per-site variability.
+
+    ``prefetch=True`` pipelines every core (double-buffered fetch of job
+    N+1 under the compute of job N); ``cache_nbytes`` gives each cluster
+    a byte-budgeted chunk cache, or pass ``caches`` (e.g. the previous
+    iteration's :attr:`SimRunResult.caches`) to start warmed.  Prefetch
+    cannot be combined with failures or speculation -- the pipelined
+    worker models the optimized steady-state path, not the recovery
+    protocol.
     """
     if not clusters:
         raise ValueError("need at least one cluster")
+    if prefetch and (failures or speculation):
+        raise ValueError(
+            "prefetch cannot be combined with failures or speculation"
+        )
+    run_caches: dict[str, ChunkCache] | None = None
+    if caches is not None:
+        run_caches = caches
+        if cache_nbytes > 0:
+            for c in clusters:
+                run_caches.setdefault(c.name, ChunkCache(cache_nbytes))
+    elif cache_nbytes > 0:
+        run_caches = {c.name: ChunkCache(cache_nbytes) for c in clusters}
     env = SimEnv()
     net = FlowNetwork(env)
     if topology is not None:
@@ -445,6 +604,7 @@ def simulate_run(
                 f"cannot slow {len(slows)} workers of {cluster.name!r} "
                 f"({cluster.n_cores} cores)"
             )
+        cache = run_caches.get(cluster.name) if run_caches is not None else None
         worker_events = []
         for wid in range(cluster.n_cores):
             wstats = WorkerStats()
@@ -454,15 +614,19 @@ def simulate_run(
             if slow_idx >= 0:
                 speed *= slows[slow_idx]
             fail_at = kill_times[wid] if wid < len(kill_times) else math.inf
-            worker_events.append(
-                env.process(
-                    _worker_proc(
-                        env, net, topo, master, cluster, profile,
-                        wstats, speed, varmodel, fail_at, spec_ctx,
-                        tracer, f"{cluster.name}/{wid}",
-                    )
+            if prefetch:
+                proc = _pipelined_worker_proc(
+                    env, net, topo, master, cluster, profile,
+                    wstats, speed, varmodel, cache,
+                    tracer, f"{cluster.name}/{wid}",
                 )
-            )
+            else:
+                proc = _worker_proc(
+                    env, net, topo, master, cluster, profile,
+                    wstats, speed, varmodel, fail_at, spec_ctx,
+                    tracer, f"{cluster.name}/{wid}", cache,
+                )
+            worker_events.append(env.process(proc))
         cluster_events.append(
             env.process(
                 _cluster_proc(
@@ -500,5 +664,6 @@ def simulate_run(
         for w in cstats.workers:
             w.sync_s = max(0.0, end - w.finished_at)
     return SimRunResult(
-        stats=stats, end_time_s=end, wasted_executions=spec_ctx.wasted_executions
+        stats=stats, end_time_s=end,
+        wasted_executions=spec_ctx.wasted_executions, caches=run_caches,
     )

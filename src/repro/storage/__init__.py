@@ -2,13 +2,15 @@
 
 from repro.storage.base import StorageBackend, StorageStats
 from repro.storage.bandwidth import Clock, RateCap, TokenBucket
+from repro.storage.cache import ChunkCache
 from repro.storage.local import LocalDiskStore, MemoryStore
 from repro.storage.s3 import S3Profile, SimulatedS3Store
-from repro.storage.transfer import ParallelFetcher, split_range
+from repro.storage.transfer import ParallelFetcher, PrefetchHandle, split_range
 
 __all__ = [
     "StorageBackend",
     "StorageStats",
+    "ChunkCache",
     "Clock",
     "RateCap",
     "TokenBucket",
@@ -17,5 +19,6 @@ __all__ = [
     "S3Profile",
     "SimulatedS3Store",
     "ParallelFetcher",
+    "PrefetchHandle",
     "split_range",
 ]

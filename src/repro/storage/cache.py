@@ -1,0 +1,133 @@
+"""Cross-iteration chunk cache.
+
+Iterative applications (k-means, PageRank) run many passes over the
+*same* distributed dataset, and every pass of the naive runtime re-pays
+the remote-retrieval cost for every S3-resident chunk.  Cutting that
+repeated inter-site movement is the point of this cache (compare
+Meta-MapReduce's "avoid moving the same data twice" argument): the first
+pass fetches a chunk once, later passes hit memory.
+
+:class:`ChunkCache` is a byte-budgeted, thread-safe LRU keyed by the
+full identity of a ranged read -- ``(location, key, offset, nbytes)`` --
+so distinct sub-ranges of one object never alias.  It maintains
+hit/miss/eviction counters that the engines surface in their run stats.
+
+The discrete-event simulator reuses the same class for its cache-policy
+model; since the simulator never materializes bytes, ``put`` accepts an
+explicit ``charge_nbytes`` so a placeholder value can be charged at the
+chunk's true size (keeping eviction behaviour identical to a real run).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["ChunkCache"]
+
+#: A cache key: (location, object key, offset, nbytes).
+CacheKey = tuple[str, str, int, int]
+
+
+class ChunkCache:
+    """Byte-budgeted, thread-safe LRU over chunk byte ranges."""
+
+    def __init__(self, capacity_nbytes: int) -> None:
+        if capacity_nbytes <= 0:
+            raise ValueError("capacity_nbytes must be positive")
+        self.capacity_nbytes = int(capacity_nbytes)
+        self._entries: "OrderedDict[CacheKey, tuple[bytes, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Puts skipped because the value alone exceeds the byte budget.
+        self.rejected = 0
+
+    # -- core operations -----------------------------------------------------
+
+    def get(self, location: str, key: str, offset: int, nbytes: int) -> bytes | None:
+        """Cached bytes for the range, or ``None`` (counts a hit/miss)."""
+        k = (location, key, offset, nbytes)
+        with self._lock:
+            entry = self._entries.get(k)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(k)
+            self.hits += 1
+            return entry[0]
+
+    def put(
+        self,
+        location: str,
+        key: str,
+        offset: int,
+        nbytes: int,
+        data: bytes,
+        *,
+        charge_nbytes: int | None = None,
+    ) -> bool:
+        """Insert a range, evicting LRU entries until it fits.
+
+        ``charge_nbytes`` overrides the budgeted size (the simulator
+        caches size-only placeholders); it defaults to ``len(data)``.
+        Returns False when the value exceeds the whole budget and was
+        not cached.
+        """
+        size = len(data) if charge_nbytes is None else int(charge_nbytes)
+        if size < 0:
+            raise ValueError("charge_nbytes must be non-negative")
+        k = (location, key, offset, nbytes)
+        with self._lock:
+            if size > self.capacity_nbytes:
+                self.rejected += 1
+                return False
+            old = self._entries.pop(k, None)
+            if old is not None:
+                self.current_nbytes -= old[1]
+            while self.current_nbytes + size > self.capacity_nbytes:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self.current_nbytes -= evicted_size
+                self.evictions += 1
+            self._entries[k] = (data, size)
+            self.current_nbytes += size
+            return True
+
+    def contains(self, location: str, key: str, offset: int, nbytes: int) -> bool:
+        """Membership probe that does not touch LRU order or counters."""
+        with self._lock:
+            return (location, key, offset, nbytes) in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self.current_nbytes = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Counters and occupancy as a plain dict (for reports)."""
+        with self._lock:
+            return {
+                "capacity_nbytes": self.capacity_nbytes,
+                "current_nbytes": self.current_nbytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "hit_rate": round(self.hit_rate, 4),
+            }

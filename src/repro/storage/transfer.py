@@ -4,15 +4,26 @@
 capitalize on the fast network interconnects."  Per-connection caps make
 a single GET stream slow; splitting a chunk's byte range across parallel
 sub-range GETs recovers the aggregate bandwidth.
+
+On top of the ranged fetch this module provides the two mechanisms of
+the engines' data pipeline:
+
+* an optional :class:`~repro.storage.cache.ChunkCache` consulted before
+  any store traffic (cross-iteration reuse);
+* :meth:`ParallelFetcher.fetch_async`, which runs a whole fetch on a
+  background thread so a worker can overlap the retrieval of its *next*
+  job with the processing of the current one (double buffering).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.storage.base import StorageBackend
+from repro.storage.cache import ChunkCache
 
-__all__ = ["split_range", "ParallelFetcher"]
+__all__ = ["split_range", "PrefetchHandle", "ParallelFetcher"]
 
 
 def split_range(offset: int, nbytes: int, n_parts: int) -> list[tuple[int, int]]:
@@ -36,31 +47,155 @@ def split_range(offset: int, nbytes: int, n_parts: int) -> list[tuple[int, int]]
     return parts
 
 
-class ParallelFetcher:
-    """Fetch byte ranges from a store with ``n_threads`` connections."""
+class PrefetchHandle:
+    """One in-flight asynchronous fetch.
 
-    def __init__(self, store: StorageBackend, n_threads: int = 1) -> None:
+    ``fetch_s`` (wall seconds the fetch spent) and ``cache_hit`` are
+    populated by the background thread and are valid once ``done()``
+    returns True or ``result()`` has returned.
+    """
+
+    __slots__ = ("_future", "fetch_s", "cache_hit")
+
+    def __init__(self) -> None:
+        self._future: Future = Future()
+        self.fetch_s = 0.0
+        self.cache_hit = False
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self) -> bytes:
+        """Block until the fetch completes; re-raises fetch errors."""
+        return self._future.result()
+
+    def cancel(self) -> None:
+        """Cancel if not started; otherwise absorb the outcome."""
+        if not self._future.cancel():
+            try:
+                self._future.result()
+            except BaseException:
+                pass
+
+
+class ParallelFetcher:
+    """Fetch byte ranges from a store with ``n_threads`` connections.
+
+    ``cache`` (a shared :class:`ChunkCache`) short-circuits fetches of
+    ranges already resident; ``prefetch_workers`` sizes the background
+    pool serving :meth:`fetch_async` (lazily created on first use).
+    """
+
+    def __init__(
+        self,
+        store: StorageBackend,
+        n_threads: int = 1,
+        *,
+        cache: ChunkCache | None = None,
+        prefetch_workers: int = 1,
+    ) -> None:
         if n_threads <= 0:
             raise ValueError("n_threads must be positive")
+        if prefetch_workers <= 0:
+            raise ValueError("prefetch_workers must be positive")
         self.store = store
         self.n_threads = n_threads
+        self.cache = cache
+        self.prefetch_workers = prefetch_workers
         self._pool = (
             ThreadPoolExecutor(max_workers=n_threads, thread_name_prefix="fetch")
             if n_threads > 1
             else None
         )
+        self._prefetch_pool: ThreadPoolExecutor | None = None
 
     def fetch(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
         """Retrieve ``[offset, offset+nbytes)`` of ``key``, reassembled in order."""
+        data, _ = self.fetch_with_info(key, offset, nbytes)
+        return data
+
+    def fetch_with_info(
+        self, key: str, offset: int = 0, nbytes: int | None = None
+    ) -> tuple[bytes, bool]:
+        """Like :meth:`fetch`, also reporting whether the cache served it."""
         if nbytes is None:
             nbytes = self.store.size(key) - offset
+        location = self.store.location
+        if self.cache is not None:
+            cached = self.cache.get(location, key, offset, nbytes)
+            if cached is not None:
+                return cached, True
+        data = self._fetch_direct(key, offset, nbytes)
+        if self.cache is not None:
+            self.cache.put(location, key, offset, nbytes, data)
+        return data, False
+
+    def _fetch_direct(self, key: str, offset: int, nbytes: int) -> bytes:
         if self._pool is None or nbytes < self.n_threads:
             return self.store.get(key, offset, nbytes)
         parts = split_range(offset, nbytes, self.n_threads)
         futures = [self._pool.submit(self.store.get, key, off, n) for off, n in parts]
-        return b"".join(f.result() for f in futures)
+        chunks: list[bytes] = []
+        error: BaseException | None = None
+        # Collect in part order so a failure surfaces the *earliest*
+        # failing sub-range deterministically; once one part fails,
+        # cancel the queued siblings and absorb the running ones rather
+        # than leaving them racing against the pool shutdown.
+        for f in futures:
+            if error is not None:
+                f.cancel()
+                continue
+            try:
+                chunks.append(f.result())
+            except BaseException as exc:
+                error = exc
+        if error is not None:
+            for f in futures:
+                if not f.cancelled():
+                    try:
+                        f.result()
+                    except BaseException:
+                        pass
+            raise error
+        return b"".join(chunks)
+
+    def fetch_async(
+        self, key: str, offset: int = 0, nbytes: int | None = None
+    ) -> PrefetchHandle:
+        """Start a fetch on a background thread and return its handle.
+
+        The handle's ``result()`` blocks until the bytes are available;
+        ``fetch_s``/``cache_hit`` record how long the fetch actually ran
+        and whether the cache served it, which the engine uses to
+        account overlapped (hidden) retrieval time.
+        """
+        if self._prefetch_pool is None:
+            self._prefetch_pool = ThreadPoolExecutor(
+                max_workers=self.prefetch_workers, thread_name_prefix="prefetch"
+            )
+        handle = PrefetchHandle()
+
+        def work() -> None:
+            if not handle._future.set_running_or_notify_cancel():
+                return
+            t0 = time.monotonic()
+            try:
+                data, hit = self.fetch_with_info(key, offset, nbytes)
+            except BaseException as exc:
+                handle.fetch_s = time.monotonic() - t0
+                handle._future.set_exception(exc)
+                return
+            handle.fetch_s = time.monotonic() - t0
+            handle.cache_hit = hit
+            handle._future.set_result(data)
+
+        self._prefetch_pool.submit(work)
+        return handle
 
     def close(self) -> None:
+        if self._prefetch_pool is not None:
+            self._prefetch_pool.shutdown(wait=True)
+            self._prefetch_pool = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 

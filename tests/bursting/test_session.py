@@ -114,3 +114,43 @@ class TestIterate:
         session = BurstingSession.from_units(points, points_format(4), make_stores())
         with pytest.raises(ValueError):
             list(session.iterate(lambda s: KMeansSpec(s), np.zeros((2, 4)), max_iters=0))
+
+
+class TestSessionPipeline:
+    def test_cache_warms_across_passes(self, points):
+        session = BurstingSession.from_units(
+            points, points_format(4), make_stores(),
+            local_fraction=0.5, cache_mb=64,
+        )
+        cents = generate_points(3, 4, seed=81)
+        r1 = session.run(KMeansSpec(cents))
+        assert r1.stats.cache_hits == 0
+        r2 = session.run(KMeansSpec(cents))
+        np.testing.assert_allclose(r1.result.centroids, r2.result.centroids)
+        assert r2.stats.cache_hits == len(session.index.chunks)
+        assert r2.stats.cache_hit_rate == 1.0
+        snap = session.cache_stats()
+        assert snap["entries"] == len(session.index.chunks)
+        assert snap["hits"] > 0
+
+    def test_cache_disabled_by_default(self, points):
+        session = BurstingSession.from_units(
+            points, points_format(4), make_stores()
+        )
+        assert session.cache is None
+        assert session.cache_stats() is None
+        r = session.run(KMeansSpec(generate_points(3, 4, seed=81)))
+        assert r.stats.cache_hits == 0
+
+    def test_prefetch_session_matches_serial(self, points):
+        cents = generate_points(3, 4, seed=81)
+        serial = BurstingSession.from_units(
+            points, points_format(4), make_stores(), local_fraction=0.5
+        ).run(KMeansSpec(cents))
+        pipelined = BurstingSession.from_units(
+            points, points_format(4), make_stores(),
+            local_fraction=0.5, prefetch=True, cache_mb=64,
+        ).run(KMeansSpec(cents))
+        np.testing.assert_allclose(
+            serial.result.centroids, pipelined.result.centroids
+        )

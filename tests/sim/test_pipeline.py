@@ -1,0 +1,111 @@
+"""Tests for the simulated prefetch pipeline and chunk-cache model."""
+
+import pytest
+
+from repro.bursting.config import EnvironmentConfig
+from repro.bursting.driver import paper_index, simulate_environment
+from repro.sim.calibration import APP_PROFILES, ResourceParams
+from repro.sim.simrun import FailureSpec, StragglerSpec, simulate_run
+
+
+GB = 1 << 30
+
+
+def env(local=4, cloud=4, frac=0.5):
+    return EnvironmentConfig("test", frac, local, cloud)
+
+
+def run_sim(app, environment, **kwargs):
+    profile = APP_PROFILES[app]
+    params = ResourceParams()
+    return simulate_run(
+        paper_index(profile, environment), environment.clusters(params),
+        profile, params, **kwargs,
+    )
+
+
+class TestSimPrefetch:
+    def test_prefetch_reduces_total(self):
+        serial = simulate_environment("kmeans", env())
+        pipelined = simulate_environment("kmeans", env(), prefetch=True)
+        assert pipelined.total_s < serial.total_s
+        assert pipelined.stats.jobs_processed == serial.stats.jobs_processed
+
+    def test_stall_plus_overlap_recovers_serial_retrieval(self):
+        """retrieval_s + overlap_s of the pipelined run tracks the serial
+        engine's retrieval bar (same fetches, just hidden)."""
+        serial = simulate_environment("kmeans", env())
+        pipelined = simulate_environment("kmeans", env(), prefetch=True)
+        for name, sc in serial.stats.clusters.items():
+            pc = pipelined.stats.clusters[name]
+            recovered = pc.retrieval_s + pc.overlap_s
+            assert recovered == pytest.approx(sc.retrieval_s, rel=0.15)
+
+    def test_prefetch_counters(self):
+        res = simulate_environment("knn", env(), prefetch=True)
+        for c in res.stats.clusters.values():
+            # Each worker pays one serial first fetch; the rest pipeline.
+            assert c.prefetch_hits + c.prefetch_misses == c.jobs_processed - c.n_workers
+
+    def test_prefetch_deterministic(self):
+        a = simulate_environment("knn", env(), seed=4, prefetch=True)
+        b = simulate_environment("knn", env(), seed=4, prefetch=True)
+        assert a.total_s == b.total_s
+
+    def test_prefetch_rejects_failures(self):
+        with pytest.raises(ValueError, match="prefetch"):
+            run_sim(
+                "knn", env(), prefetch=True,
+                failures=[FailureSpec("local", 1, 10.0)],
+            )
+
+    def test_prefetch_rejects_speculation(self):
+        with pytest.raises(ValueError, match="prefetch"):
+            run_sim("knn", env(), prefetch=True, speculation=True)
+
+    def test_prefetch_composes_with_stragglers(self):
+        res = run_sim(
+            "knn", env(), prefetch=True,
+            stragglers=[StragglerSpec("cloud", 1, 0.5)],
+        )
+        assert res.stats.jobs_processed > 0
+
+
+class TestSimCache:
+    def test_cache_created_and_returned(self):
+        res = simulate_environment("kmeans", env(), cache_nbytes=16 * GB)
+        assert res.caches is not None
+        assert set(res.caches) == set(res.stats.clusters)
+        assert all(len(c) > 0 for c in res.caches.values())
+
+    def test_no_cache_by_default(self):
+        res = simulate_environment("kmeans", env())
+        assert res.caches is None
+        assert res.stats.cache_hits == 0
+
+    def test_warmed_cache_speeds_up_second_iteration(self):
+        it1 = simulate_environment("kmeans", env(), cache_nbytes=16 * GB)
+        it2 = simulate_environment("kmeans", env(), caches=it1.caches)
+        assert it1.stats.cache_hits == 0
+        assert it2.stats.cache_hit_rate > 0.8
+        assert it2.total_s < it1.total_s
+
+    def test_cache_hits_skip_links(self):
+        """A fully warmed cache leaves (almost) no retrieval time."""
+        it1 = simulate_environment("kmeans", env(), prefetch=True,
+                                   cache_nbytes=16 * GB)
+        it2 = simulate_environment("kmeans", env(), prefetch=True,
+                                   caches=it1.caches)
+        for name, c2 in it2.stats.clusters.items():
+            c1 = it1.stats.clusters[name]
+            assert c2.retrieval_s + c2.overlap_s < 0.25 * (
+                c1.retrieval_s + c1.overlap_s
+            )
+
+    def test_budgeted_cache_evicts(self):
+        """A cache smaller than the working set keeps evicting."""
+        res = simulate_environment("kmeans", env(), cache_nbytes=1 * GB)
+        assert any(c.evictions > 0 for c in res.caches.values())
+        assert all(
+            c.current_nbytes <= c.capacity_nbytes for c in res.caches.values()
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for the byte-budgeted LRU chunk cache."""
+
+import threading
+
+import pytest
+
+from repro.storage.cache import ChunkCache
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChunkCache(0)
+        with pytest.raises(ValueError):
+            ChunkCache(-5)
+
+    def test_put_get_roundtrip(self):
+        cache = ChunkCache(100)
+        assert cache.put("cloud", "a", 0, 4, b"data")
+        assert cache.get("cloud", "a", 0, 4) == b"data"
+        assert cache.hits == 1
+        assert cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = ChunkCache(100)
+        assert cache.get("cloud", "a", 0, 4) is None
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+
+    def test_key_is_full_range_identity(self):
+        """Distinct sub-ranges of one object never alias."""
+        cache = ChunkCache(100)
+        cache.put("cloud", "a", 0, 4, b"head")
+        cache.put("cloud", "a", 4, 4, b"tail")
+        cache.put("local", "a", 0, 4, b"loca")
+        assert cache.get("cloud", "a", 0, 4) == b"head"
+        assert cache.get("cloud", "a", 4, 4) == b"tail"
+        assert cache.get("local", "a", 0, 4) == b"loca"
+        assert len(cache) == 3
+
+    def test_replace_same_key_updates_budget(self):
+        cache = ChunkCache(10)
+        cache.put("c", "k", 0, 8, b"x" * 8)
+        cache.put("c", "k", 0, 8, b"y" * 8)
+        assert cache.current_nbytes == 8
+        assert len(cache) == 1
+        assert cache.get("c", "k", 0, 8) == b"y" * 8
+
+    def test_contains_does_not_touch_lru_or_counters(self):
+        cache = ChunkCache(8)
+        cache.put("c", "a", 0, 4, b"aaaa")
+        cache.put("c", "b", 0, 4, b"bbbb")
+        assert cache.contains("c", "a", 0, 4)
+        assert cache.hits == 0 and cache.misses == 0
+        # "a" is still LRU despite the probe: adding "c" evicts it.
+        cache.put("c", "c", 0, 4, b"cccc")
+        assert not cache.contains("c", "a", 0, 4)
+
+    def test_clear_preserves_counters(self):
+        cache = ChunkCache(100)
+        cache.put("c", "a", 0, 4, b"aaaa")
+        cache.get("c", "a", 0, 4)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_nbytes == 0
+        assert cache.hits == 1
+
+
+class TestEviction:
+    def test_evicts_least_recently_used_first(self):
+        cache = ChunkCache(12)
+        cache.put("c", "a", 0, 4, b"aaaa")
+        cache.put("c", "b", 0, 4, b"bbbb")
+        cache.put("c", "c", 0, 4, b"cccc")
+        # Touch "a" so "b" becomes the LRU victim.
+        assert cache.get("c", "a", 0, 4) is not None
+        cache.put("c", "d", 0, 4, b"dddd")
+        assert cache.get("c", "b", 0, 4) is None
+        assert cache.get("c", "a", 0, 4) is not None
+        assert cache.evictions == 1
+
+    def test_byte_budget_never_exceeded(self):
+        cache = ChunkCache(10)
+        for i in range(20):
+            cache.put("c", f"k{i}", 0, 3, b"xyz")
+            assert cache.current_nbytes <= cache.capacity_nbytes
+        assert cache.evictions > 0
+
+    def test_large_entry_evicts_many(self):
+        cache = ChunkCache(10)
+        for i in range(3):
+            cache.put("c", f"k{i}", 0, 3, b"xyz")
+        cache.put("c", "big", 0, 9, b"x" * 9)
+        assert len(cache) == 1
+        assert cache.evictions == 3
+
+    def test_oversized_value_rejected(self):
+        cache = ChunkCache(4)
+        assert not cache.put("c", "big", 0, 8, b"x" * 8)
+        assert cache.rejected == 1
+        assert len(cache) == 0
+
+    def test_charge_nbytes_placeholder(self):
+        """Simulator idiom: empty payloads charged at their true size."""
+        cache = ChunkCache(100)
+        cache.put("c", "a", 0, 64, b"", charge_nbytes=64)
+        cache.put("c", "b", 0, 64, b"", charge_nbytes=64)
+        assert cache.current_nbytes == 64
+        assert cache.evictions == 1
+        with pytest.raises(ValueError):
+            cache.put("c", "d", 0, 1, b"", charge_nbytes=-1)
+
+    def test_snapshot(self):
+        cache = ChunkCache(16)
+        cache.put("c", "a", 0, 4, b"aaaa")
+        cache.get("c", "a", 0, 4)
+        cache.get("c", "zz", 0, 4)
+        snap = cache.snapshot()
+        assert snap["capacity_nbytes"] == 16
+        assert snap["current_nbytes"] == 4
+        assert snap["entries"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put(self):
+        """Hammer one small cache from many threads; invariants hold."""
+        cache = ChunkCache(64)
+        errors = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(300):
+                    key = f"k{(tid + i) % 16}"
+                    cache.put("c", key, 0, 4, b"abcd")
+                    got = cache.get("c", key, 0, 4)
+                    assert got is None or got == b"abcd"
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        assert cache.current_nbytes <= cache.capacity_nbytes
+        assert cache.current_nbytes == 4 * len(cache)
+        assert cache.hits + cache.misses == 8 * 300

