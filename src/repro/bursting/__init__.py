@@ -23,6 +23,7 @@ from repro.bursting.driver import (
 )
 from repro.bursting.report import (
     average_slowdown_pct,
+    fault_rows,
     fig3_rows,
     fig4_rows,
     format_table,
@@ -47,6 +48,7 @@ __all__ = [
     "run_threaded_bursting",
     "simulate_environment",
     "average_slowdown_pct",
+    "fault_rows",
     "fig3_rows",
     "fig4_rows",
     "format_table",

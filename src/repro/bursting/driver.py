@@ -81,6 +81,7 @@ def simulate_environment(
     prefetch: bool = False,
     cache_nbytes: int = 0,
     caches=None,
+    failures=None,
 ) -> SimRunResult:
     """Simulate one application under one environment configuration.
 
@@ -88,6 +89,8 @@ def simulate_environment(
     pipeline (see :func:`repro.sim.simrun.simulate_run`); pass the
     previous result's ``.caches`` as ``caches`` to model iteration 2+
     of an iterative workload against warmed per-cluster caches.
+    ``failures`` (a list of :class:`~repro.sim.simrun.FailureSpec`)
+    kills workers mid-run; the head reassigns their in-flight jobs.
     """
     profile = APP_PROFILES[app]
     params = params or ResourceParams()
@@ -97,7 +100,8 @@ def simulate_environment(
         kwargs["scheduler_factory"] = scheduler_factory
     return simulate_run(
         index, env.clusters(params), profile, params,
-        prefetch=prefetch, cache_nbytes=cache_nbytes, caches=caches, **kwargs,
+        prefetch=prefetch, cache_nbytes=cache_nbytes, caches=caches,
+        failures=failures, **kwargs,
     )
 
 
@@ -142,6 +146,8 @@ def run_threaded_bursting(
     retrieval_threads: int = 2,
     prefetch: bool = False,
     chunk_cache=None,
+    retry=None,
+    crash_plan: dict[str, int] | None = None,
 ) -> RunResult:
     """Run a real dataset through the threaded middleware, split across sites.
 
@@ -150,7 +156,10 @@ def run_threaded_bursting(
     ``local_fraction``, and processed by workers at both sites with the
     full scheduling/stealing protocol.  ``prefetch`` double-buffers the
     workers; ``chunk_cache`` (a :class:`~repro.storage.cache.ChunkCache`)
-    serves repeat fetches from memory.
+    serves repeat fetches from memory.  ``retry`` (a
+    :class:`~repro.storage.retry.RetryPolicy`) and ``crash_plan``
+    (worker name -> jobs before an injected crash) exercise the fault
+    tolerance layer; see :class:`~repro.runtime.engine.ThreadedEngine`.
     """
     if "local" not in stores or "cloud" not in stores:
         raise ValueError('stores must provide "local" and "cloud" backends')
@@ -177,5 +186,6 @@ def run_threaded_bursting(
     engine = ThreadedEngine(
         clusters, stores, batch_size=batch_size,
         prefetch=prefetch, chunk_cache=chunk_cache,
+        retry=retry, crash_plan=crash_plan,
     )
     return engine.run(spec, index)

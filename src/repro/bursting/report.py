@@ -12,6 +12,9 @@ Each function turns sweep results into the rows of one paper artifact:
   efficiency, Figure 4;
 * :func:`pipeline_rows` -- prefetch/cache decomposition (residual stall,
   overlapped fetch time, hit counters) per environment and cluster;
+* :func:`fault_rows` -- fault-tolerance decomposition (fetch retries,
+  surfaced errors, failed workers, recovered jobs) per environment and
+  cluster;
 * :func:`format_table` -- aligned plain-text rendering of any row list.
 """
 
@@ -27,6 +30,7 @@ __all__ = [
     "table2_rows",
     "fig4_rows",
     "pipeline_rows",
+    "fault_rows",
     "average_slowdown_pct",
     "format_table",
     "rows_to_csv",
@@ -166,6 +170,20 @@ def pipeline_rows(results: Mapping[str, SimRunResult]) -> list[dict]:
     rows: list[dict] = []
     for env_name, res in results.items():
         for row in res.stats.pipeline_rows():
+            rows.append({"env": env_name, **row})
+    return rows
+
+
+def fault_rows(results: Mapping[str, SimRunResult]) -> list[dict]:
+    """Fault-tolerance decomposition per environment and cluster.
+
+    Fetch retries/errors, failed workers, requeued-job re-executions,
+    and the compute overhead those re-executions cost -- the columns of
+    a chaos experiment's report (all zeros for a fault-free run).
+    """
+    rows: list[dict] = []
+    for env_name, res in results.items():
+        for row in res.stats.fault_rows():
             rows.append({"env": env_name, **row})
     return rows
 

@@ -28,6 +28,7 @@ from repro.data.index import DataIndex
 from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
+from repro.storage.retry import RetryPolicy
 
 __all__ = ["BurstingSession"]
 
@@ -42,6 +43,13 @@ class BurstingSession:
     wide byte-budgeted :class:`ChunkCache`, so an iterative workload
     fetches each remote chunk once and every later pass hits the cache
     (see :attr:`cache` / :meth:`cache_stats`).
+
+    ``retry`` (a :class:`~repro.storage.retry.RetryPolicy`) makes the
+    fetch path survive transient store errors, and ``crash_plan``
+    (worker name -> jobs processed before dying, e.g.
+    ``{"cloud-w0": 2}``) injects worker crashes that the engine
+    contains and recovers from -- see
+    :class:`~repro.runtime.engine.ThreadedEngine`.
     """
 
     def __init__(
@@ -56,6 +64,8 @@ class BurstingSession:
         scheduler_factory=None,
         prefetch: bool = False,
         cache_mb: float | None = None,
+        retry: RetryPolicy | None = None,
+        crash_plan: dict[str, int] | None = None,
     ) -> None:
         missing = set(index.locations) - set(stores)
         if missing:
@@ -78,7 +88,8 @@ class BurstingSession:
         if scheduler_factory is not None:
             kwargs["scheduler_factory"] = scheduler_factory
         self.engine = ThreadedEngine(
-            clusters, stores, prefetch=prefetch, chunk_cache=self.cache, **kwargs
+            clusters, stores, prefetch=prefetch, chunk_cache=self.cache,
+            retry=retry, crash_plan=crash_plan, **kwargs
         )
         self.passes_run = 0
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.bursting.config import EnvironmentConfig
 from repro.bursting.driver import (
@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-cluster chunk-cache budget in MB (0 = no cache)")
     p.add_argument("--iterations", type=int, default=1,
                    help="iterative passes; 2+ reuse the chunk caches across passes")
+    p.add_argument("--fail", action="append", default=[], metavar="CLUSTER:N@T",
+                   help="kill N workers of CLUSTER at simulated time T seconds "
+                        "(repeatable); their in-flight jobs are reassigned")
 
     p = sub.add_parser("provision", help="time/cost-aware cloud-core sizing")
     p.add_argument("--app", choices=PAPER_APPS, required=True)
@@ -102,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="run the threaded wordcount quickstart")
     p.add_argument("--tokens", type=int, default=100_000)
     p.add_argument("--vocab", type=int, default=2_000)
+    p.add_argument("--inject-fault", metavar="SPEC", default=None,
+                   help="wrap the cloud store in a deterministic fault injector, "
+                        'e.g. "transient:p=0.3,seed=7", "permanent:key=f3", '
+                        '"latency:p=0.1,s=0.05" (clauses joined by +)')
+    p.add_argument("--retry", metavar="SPEC", default=None,
+                   help="retry policy for the fetch path, "
+                        'e.g. "max=5,base=0.01,deadline=30"')
+    p.add_argument("--crash-worker", action="append", default=[],
+                   metavar="NAME:N",
+                   help="crash worker NAME (e.g. cloud-w0) after it has "
+                        "processed N jobs (repeatable); the engine contains "
+                        "the crash and re-executes its in-flight job")
     return parser
 
 
@@ -121,6 +136,24 @@ def _cmd_scalability(args) -> int:
     return 0
 
 
+def _parse_failures(specs: list[str]):
+    """Parse repeated ``CLUSTER:N@T`` flags into FailureSpec objects."""
+    from repro.sim.simrun import FailureSpec
+
+    failures = []
+    for text in specs:
+        try:
+            cluster, _, rest = text.partition(":")
+            n_text, _, t_text = rest.partition("@")
+            failures.append(FailureSpec(cluster, int(n_text), float(t_text)))
+        except ValueError as exc:
+            raise ValueError(
+                f"bad --fail spec {text!r} (expected CLUSTER:N@T, "
+                f"e.g. cloud:2@40): {exc}"
+            ) from None
+    return failures
+
+
 def _cmd_simulate(args) -> int:
     if not 0.0 <= args.local_fraction <= 1.0:
         print("error: --local-fraction must be in [0, 1]", file=sys.stderr)
@@ -134,6 +167,11 @@ def _cmd_simulate(args) -> int:
     if args.cache_mb < 0:
         print("error: --cache-mb must be non-negative", file=sys.stderr)
         return 2
+    try:
+        failures = _parse_failures(args.fail)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     env = EnvironmentConfig(
         "custom", args.local_fraction, args.local_cores, args.cloud_cores
     )
@@ -144,6 +182,7 @@ def _cmd_simulate(args) -> int:
         res = simulate_environment(
             args.app, env, seed=args.seed, prefetch=args.prefetch,
             cache_nbytes=cache_nbytes, caches=caches,
+            failures=failures or None,
         )
         caches = res.caches
         if args.iterations > 1:
@@ -158,6 +197,11 @@ def _cmd_simulate(args) -> int:
     if args.prefetch or cache_nbytes:
         print()
         print(format_table(res.stats.pipeline_rows(), "pipeline decomposition"))
+    if failures:
+        print()
+        print(format_table(res.stats.fault_rows(), "fault recovery"))
+        print(f"workers failed: {res.stats.n_failed_workers}   "
+              f"jobs requeued: {res.stats.n_requeued_jobs}")
     print(f"total: {res.total_s:.2f}s   "
           f"global reduction: {res.stats.global_reduction_s:.2f}s   "
           f"jobs stolen: {res.stats.jobs_stolen}")
@@ -248,17 +292,57 @@ def _cmd_demo(args) -> int:
     from repro.apps.wordcount import WordCountSpec, wordcount_exact
     from repro.bursting.driver import run_threaded_bursting
     from repro.data.generator import generate_tokens
+    from repro.storage.faults import FaultInjectingStore, FaultSpec
     from repro.storage.local import MemoryStore
+    from repro.storage.retry import RetryPolicy
     from repro.storage.s3 import SimulatedS3Store
 
+    try:
+        fault_spec = (
+            FaultSpec.parse(args.inject_fault) if args.inject_fault else None
+        )
+        retry = RetryPolicy.parse(args.retry) if args.retry else None
+        crash_plan: dict[str, int] = {}
+        for text in args.crash_worker:
+            name, _, n_text = text.rpartition(":")
+            if not name:
+                raise ValueError(
+                    f"bad --crash-worker spec {text!r} (expected NAME:N, "
+                    f"e.g. cloud-w0:2)"
+                )
+            crash_plan[name] = int(n_text)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     tokens = generate_tokens(args.tokens, args.vocab, seed=7)
-    stores = {"local": MemoryStore("local"), "cloud": SimulatedS3Store()}
-    rr = run_threaded_bursting(WordCountSpec(), tokens, stores, local_fraction=0.5)
+    cloud: Any = SimulatedS3Store()
+    if fault_spec is not None:
+        cloud = FaultInjectingStore(cloud, fault_spec)
+    stores = {"local": MemoryStore("local"), "cloud": cloud}
+    rr = run_threaded_bursting(
+        WordCountSpec(), tokens, stores, local_fraction=0.5,
+        retry=retry, crash_plan=crash_plan or None,
+    )
     ok = rr.result == wordcount_exact(tokens)
     print(f"wordcount over {args.tokens} tokens across 2 sites: "
           f"{'OK' if ok else 'MISMATCH'}; "
           f"{rr.stats.jobs_processed} jobs ({rr.stats.jobs_stolen} stolen), "
           f"{rr.stats.total_s:.3f}s wall")
+    if fault_spec is not None or retry is not None or crash_plan:
+        parts = [
+            f"retries: {rr.stats.n_retries}",
+            f"giveups: {rr.stats.n_errors}",
+            f"requeued jobs: {rr.stats.n_requeued_jobs}",
+            f"failed workers: {rr.stats.n_failed_workers}",
+        ]
+        if fault_spec is not None:
+            inj = cloud.injection_counts()
+            parts.append(
+                "injected: "
+                + "/".join(f"{k}={v}" for k, v in sorted(inj.items()))
+            )
+        print("fault tolerance: " + "   ".join(parts))
     return 0 if ok else 1
 
 

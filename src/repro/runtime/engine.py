@@ -20,6 +20,21 @@ Both are result-invariant -- a worker folds exactly the same unit groups
 in the same order -- and both are accounted in :class:`WorkerStats`
 (``overlap_s``, ``prefetch_hits``, ``cache_hits``).
 
+The engine is fault tolerant on the WAN fetch path:
+
+* a **retry policy** (``retry=RetryPolicy(...)``) makes every store
+  ``get`` retry transient errors with jittered exponential backoff, so
+  a flaky link costs latency, not correctness;
+* **worker-crash containment**: a worker killed by the crash-injection
+  plan (``crash_plan``) or whose fetch exhausts its retries no longer
+  aborts the run.  Its in-flight job goes back to the head via
+  :meth:`HeadScheduler.reassign` and is re-executed by a survivor,
+  while its partially-folded reduction object -- which already holds
+  every job it *completed* -- is preserved and included in the global
+  reduction (the cheap robj-checkpoint recovery the Generalized
+  Reduction model affords).  Non-retryable errors (a permanent fault,
+  a bug in user code) still fail the whole run fast.
+
 This engine demonstrates functional correctness of the middleware at any
 scale that fits in memory; the discrete-event simulator in
 :mod:`repro.sim` executes the same policy code against a resource model
@@ -43,6 +58,8 @@ from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
+from repro.storage.faults import WorkerCrash
+from repro.storage.retry import RetryExhausted, RetryPolicy
 from repro.storage.transfer import ParallelFetcher, PrefetchHandle
 
 __all__ = ["ClusterConfig", "RunResult", "ThreadedEngine"]
@@ -69,7 +86,19 @@ class RunResult:
 
 
 class _Master:
-    """Cluster-local job pool that refills from the head on demand."""
+    """Cluster-local job pool that refills from the head on demand.
+
+    A master never *latches* an empty refill as "done": while the head
+    still has outstanding jobs, one of them may yet be requeued by a
+    crashed worker, so :meth:`get_job` keeps re-checking the scheduler
+    until the run is truly drained (no unassigned *and* no outstanding
+    jobs), the stop event fires, or -- for the non-blocking reserve
+    path -- immediately reports nothing available.
+    """
+
+    #: Poll interval while waiting for outstanding jobs to complete or
+    #: be requeued (only reached at the tail of a run).
+    POLL_S = 0.001
 
     def __init__(
         self,
@@ -77,22 +106,34 @@ class _Master:
         scheduler: HeadScheduler,
         scheduler_lock: threading.Lock,
         batch_size: int,
+        stop: threading.Event | None = None,
+        n_workers: int = 1,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.scheduler_lock = scheduler_lock
         self.batch_size = batch_size
+        self.stop = stop if stop is not None else threading.Event()
         self.pool = LocalJobPool()
-        self.done = False
         self._refill_lock = threading.Lock()
+        self._alive = n_workers
+        self._alive_lock = threading.Lock()
 
-    def get_job(self) -> Job | None:
-        """Next job for a worker, refilling from the head when depleted."""
+    def get_job(self, wait: bool = True) -> Job | None:
+        """Next job for a worker, refilling from the head when depleted.
+
+        Returns ``None`` when every job everywhere is assigned *and*
+        completed (or the stop event fired).  With ``wait=False`` it
+        instead returns ``None`` as soon as nothing is immediately
+        available -- required by the prefetch reserve path, where the
+        caller still holds its own outstanding job and blocking here
+        would deadlock the tail of the run.
+        """
         while True:
             job = self.pool.try_get()
             if job is not None:
                 return job
-            if self.done:
+            if self.stop.is_set():
                 return None
             # Pay the master <-> head round-trip *outside* the refill
             # lock: concurrent requesters overlap their RTTs instead of
@@ -106,27 +147,48 @@ class _Master:
                 job = self.pool.try_get()
                 if job is not None:
                     return job
-                if self.done:
-                    return None
                 with self.scheduler_lock:
                     jobs = self.scheduler.request_jobs(
                         self.cluster.location, self.batch_size
                     )
-                if not jobs:
-                    self.done = True
-                    return None
-                self.pool.add(jobs[1:])
-                return jobs[0]
+                    outstanding = self.scheduler.outstanding
+                if jobs:
+                    self.pool.add(jobs[1:])
+                    return jobs[0]
+            if outstanding == 0:
+                return None  # truly drained: nothing left to requeue
+            if not wait:
+                return None
+            time.sleep(self.POLL_S)
 
     def reserve_next(self) -> Job | None:
         """Reserve the job a worker will process after its current one.
 
-        Identical contract to :meth:`get_job`; the separate name marks
-        the prefetch pipeline's protocol at the call site: the worker
-        learns job *N+1* (and can start retrieving it) before job *N*'s
-        processing finishes.
+        Same contract as :meth:`get_job` but non-blocking: the caller's
+        *current* job is still outstanding, so waiting for the head to
+        drain would deadlock (every pipelined worker parked on its own
+        unfinished job).  The worker loops back to a blocking
+        :meth:`get_job` after finishing its current job, so a late
+        requeue is still picked up.
         """
-        return self.get_job()
+        return self.get_job(wait=False)
+
+    def worker_died(self) -> list[Job]:
+        """Mark one worker dead; the last death surrenders the pool.
+
+        While any worker of the cluster survives, pooled jobs stay (a
+        survivor will drain them).  When the *last* worker dies, the
+        pooled-but-unstarted jobs are pulled out and returned so the
+        caller can hand them back to the head for the other cluster.
+        """
+        with self._alive_lock:
+            self._alive -= 1
+            if self._alive > 0:
+                return []
+        drained: list[Job] = []
+        while (job := self.pool.try_get()) is not None:
+            drained.append(job)
+        return drained
 
 
 class ThreadedEngine:
@@ -143,12 +205,25 @@ class ThreadedEngine:
         verify_chunks: bool = False,
         prefetch: bool = False,
         chunk_cache: ChunkCache | None = None,
+        retry: RetryPolicy | None = None,
+        crash_plan: dict[str, int] | None = None,
     ) -> None:
         if not clusters:
             raise ValueError("need at least one cluster")
         names = [c.name for c in clusters]
         if len(set(names)) != len(names):
             raise ValueError("cluster names must be unique")
+        if crash_plan:
+            worker_names = {
+                f"{c.name}-w{wid}" for c in clusters for wid in range(c.n_workers)
+            }
+            unknown = set(crash_plan) - worker_names
+            if unknown:
+                raise ValueError(
+                    f"crash_plan targets unknown workers: {sorted(unknown)}"
+                )
+            if any(n < 0 for n in crash_plan.values()):
+                raise ValueError("crash_plan job counts must be non-negative")
         self.clusters = clusters
         self.stores = stores
         self.batch_size = batch_size
@@ -157,6 +232,8 @@ class ThreadedEngine:
         self.verify_chunks = verify_chunks
         self.prefetch = prefetch
         self.chunk_cache = chunk_cache
+        self.retry = retry
+        self.crash_plan = dict(crash_plan) if crash_plan else {}
 
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
         """Execute ``spec`` over the dataset described by ``index``."""
@@ -176,7 +253,10 @@ class ThreadedEngine:
         stop = threading.Event()
 
         for cluster in self.clusters:
-            master = _Master(cluster, scheduler, scheduler_lock, self.batch_size)
+            master = _Master(
+                cluster, scheduler, scheduler_lock, self.batch_size,
+                stop=stop, n_workers=cluster.n_workers,
+            )
             cstats = ClusterStats(cluster.name, cluster.location)
             stats.clusters[cluster.name] = cstats
             cluster_robjs[cluster.name] = []
@@ -186,6 +266,7 @@ class ThreadedEngine:
                     cluster.retrieval_threads,
                     cache=self.chunk_cache,
                     prefetch_workers=max(1, cluster.n_workers),
+                    retry=self.retry,
                 )
                 for loc, store in self.stores.items()
             }
@@ -212,12 +293,23 @@ class ThreadedEngine:
         for cfs in fetchers.values():
             for f in cfs.values():
                 f.close()
+        # Fetch-path fault accounting, summed over each cluster's fetchers.
+        for cluster in self.clusters:
+            cstats = stats.clusters[cluster.name]
+            for f in fetchers[cluster.name].values():
+                cstats.n_retries += f.n_retries
+                cstats.n_errors += f.n_giveups
+                cstats.bytes_retried += f.bytes_retried
+        stats.n_requeued_jobs = scheduler.n_reassigned
         if errors:
             raise errors[0]
         if not scheduler.all_done:
+            failed = stats.n_failed_workers
             raise RuntimeError(
                 f"run ended with {scheduler.remaining} unassigned / "
                 f"{scheduler.outstanding} outstanding jobs"
+                + (f" ({failed} workers failed, none left to recover)"
+                   if failed else "")
             )
 
         # Per-cluster combination, then inter-cluster global reduction.
@@ -296,12 +388,56 @@ class ThreadedEngine:
         units = index.fmt.decode(raw)
         for group in iter_unit_groups(units, group_units):
             spec.local_reduction(robj, group)
-        wstats.processing_s += time.monotonic() - t0
+        elapsed = time.monotonic() - t0
+        wstats.processing_s += elapsed
         wstats.jobs_processed += 1
         if job.location != cluster.location:
             wstats.jobs_stolen += 1
         with scheduler_lock:
             scheduler.complete(job)
+            recovered = job.job_id in scheduler.requeued_ids
+        if recovered:
+            # This execution replaced one lost to a failed worker; its
+            # compute time is the recovery overhead (the re-fetch is in
+            # retrieval_s like any other fetch).
+            wstats.jobs_recovered += 1
+            wstats.recovery_s += elapsed
+
+    def _contain_failure(
+        self,
+        exc: BaseException,
+        inflight: list[Job | None],
+        pending: PrefetchHandle | None,
+        master: _Master,
+        scheduler: HeadScheduler,
+        scheduler_lock: threading.Lock,
+        wstats: WorkerStats,
+        robjs_out: list[ReductionObject],
+        robj: ReductionObject,
+        t_start: float,
+    ) -> None:
+        """Absorb one worker's death without aborting the run.
+
+        The worker's in-flight jobs (current and reserved-next) return
+        to the head for reassignment; if it was its cluster's last
+        worker, the master's pooled jobs go back too.  The partially
+        folded reduction object is preserved -- it holds exactly the
+        jobs this worker *completed*, so folding it plus re-executing
+        the requeued jobs yields each job exactly once.
+        """
+        if pending is not None:
+            pending.cancel()
+        requeue: list[Job] = []
+        for j in inflight:
+            if j is not None and all(j.job_id != q.job_id for q in requeue):
+                requeue.append(j)
+        requeue.extend(master.worker_died())
+        with scheduler_lock:
+            for j in requeue:
+                scheduler.reassign(j)
+        wstats.failed = True
+        wstats.finished_at = time.monotonic() - t_start
+        robjs_out.append(robj)
 
     def _worker_loop(
         self,
@@ -320,55 +456,88 @@ class ThreadedEngine:
         stop: threading.Event,
     ) -> None:
         pending: PrefetchHandle | None = None
+        # Containment bookkeeping: the job being fetched/processed and
+        # the reserved-next job whose prefetch is in flight.  Both are
+        # outstanding at the head until completed, so both must be
+        # requeued if this worker dies.
+        cur_job: Job | None = None
+        next_job: Job | None = None
+        crash_after = self.crash_plan.get(threading.current_thread().name)
+        jobs_done = 0
+        robj = spec.create_reduction_object()
+
+        def maybe_crash() -> None:
+            if crash_after is not None and jobs_done >= crash_after:
+                raise WorkerCrash(
+                    f"injected crash in {threading.current_thread().name} "
+                    f"after {jobs_done} jobs"
+                )
+
         try:
-            robj = spec.create_reduction_object()
-            job = master.get_job()
-            if job is not None and self.prefetch:
-                # Pipelined path: the first fetch is unavoidably serial;
-                # every later fetch overlaps the previous job's compute.
-                raw = self._fetch_now(job, cluster_fetchers, wstats)
-                while job is not None and not stop.is_set():
-                    next_job = master.reserve_next()
-                    t_submit = time.monotonic()
-                    if next_job is not None:
-                        pending = cluster_fetchers[next_job.location].fetch_async(
-                            next_job.chunk.key,
-                            next_job.chunk.offset,
-                            next_job.chunk.nbytes,
+            while not stop.is_set():
+                cur_job = master.get_job()
+                if cur_job is None:
+                    break
+                if self.prefetch:
+                    # Pipelined path: the first fetch is unavoidably
+                    # serial; every later fetch overlaps the previous
+                    # job's compute.  When the reserve runs dry the
+                    # outer loop re-checks the head, so jobs requeued by
+                    # a late failure are still picked up.
+                    maybe_crash()
+                    raw = self._fetch_now(cur_job, cluster_fetchers, wstats)
+                    while cur_job is not None and not stop.is_set():
+                        maybe_crash()
+                        next_job = master.reserve_next()
+                        if next_job is not None:
+                            pending = cluster_fetchers[next_job.location].fetch_async(
+                                next_job.chunk.key,
+                                next_job.chunk.offset,
+                                next_job.chunk.nbytes,
+                            )
+                        self._process(
+                            spec, index, group_units, robj, cur_job, raw,
+                            cluster, wstats, scheduler, scheduler_lock,
                         )
+                        jobs_done += 1
+                        cur_job = None
+                        if next_job is None:
+                            break
+                        ready = pending.done()
+                        t_need = time.monotonic()
+                        raw = pending.result()
+                        stall = time.monotonic() - t_need
+                        wstats.retrieval_s += stall
+                        wstats.overlap_s += max(0.0, pending.fetch_s - stall)
+                        if ready:
+                            wstats.prefetch_hits += 1
+                        else:
+                            wstats.prefetch_misses += 1
+                        if pending.cache_hit:
+                            wstats.cache_hits += 1
+                        else:
+                            wstats.cache_misses += 1
+                        pending = None
+                        cur_job, next_job = next_job, None
+                else:
+                    # Serial path: fetch then process, one job at a time.
+                    maybe_crash()
+                    raw = self._fetch_now(cur_job, cluster_fetchers, wstats)
                     self._process(
-                        spec, index, group_units, robj, job, raw,
+                        spec, index, group_units, robj, cur_job, raw,
                         cluster, wstats, scheduler, scheduler_lock,
                     )
-                    if next_job is None:
-                        break
-                    ready = pending.done()
-                    t_need = time.monotonic()
-                    raw = pending.result()
-                    stall = time.monotonic() - t_need
-                    wstats.retrieval_s += stall
-                    wstats.overlap_s += max(0.0, pending.fetch_s - stall)
-                    if ready:
-                        wstats.prefetch_hits += 1
-                    else:
-                        wstats.prefetch_misses += 1
-                    if pending.cache_hit:
-                        wstats.cache_hits += 1
-                    else:
-                        wstats.cache_misses += 1
-                    pending = None
-                    job = next_job
-            else:
-                # Serial path: fetch then process, one job at a time.
-                while job is not None and not stop.is_set():
-                    raw = self._fetch_now(job, cluster_fetchers, wstats)
-                    self._process(
-                        spec, index, group_units, robj, job, raw,
-                        cluster, wstats, scheduler, scheduler_lock,
-                    )
-                    job = master.get_job()
+                    jobs_done += 1
+                    cur_job = None
             wstats.finished_at = time.monotonic() - t_start
             robjs_out.append(robj)
+        except (WorkerCrash, RetryExhausted) as exc:
+            # Recoverable: this worker is lost, the run is not.
+            self._contain_failure(
+                exc, [cur_job, next_job], pending, master, scheduler,
+                scheduler_lock, wstats, robjs_out, robj, t_start,
+            )
+            pending = None
         except BaseException as exc:  # surfaced by run()
             errors.append(exc)
             stop.set()  # fail fast: abort every other worker promptly

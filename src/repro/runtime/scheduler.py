@@ -44,6 +44,8 @@ class HeadScheduler:
         self._outstanding = 0  # assigned but not yet completed
         self.assigned_counts: dict[str, int] = {}
         self.stolen_counts: dict[str, int] = {}
+        self.n_reassigned = 0          # reassign() calls (requeued jobs)
+        self.requeued_ids: set[int] = set()  # job ids ever requeued
 
     # -- queries -------------------------------------------------------------
 
@@ -138,6 +140,8 @@ class HeadScheduler:
             raise RuntimeError(f"file {job.file_id} has no active readers")
         self._active_readers[job.file_id] = readers - 1
         self._by_file[job.file_id].appendleft(job)
+        self.n_reassigned += 1
+        self.requeued_ids.add(job.job_id)
 
 
 class StaticScheduler(HeadScheduler):

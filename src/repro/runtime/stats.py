@@ -34,6 +34,11 @@ class WorkerStats:
     prefetch_misses: int = 0    # worker stalled waiting for the prefetch
     cache_hits: int = 0         # fetches served from the chunk cache
     cache_misses: int = 0       # fetches that went to the store
+    # Fault-recovery accounting: jobs this worker re-executed after a
+    # failed worker returned them to the head, and the compute time
+    # those re-executions cost (the re-fetch lands in ``retrieval_s``).
+    jobs_recovered: int = 0
+    recovery_s: float = 0.0
 
     @property
     def busy_s(self) -> float:
@@ -51,6 +56,10 @@ class ClusterStats:
     robj_transfer_s: float = 0.0    # time to send it to the head
     finished_at: float = 0.0        # when the last worker finished jobs
     idle_s: float = 0.0             # waiting for the other cluster, unable to steal
+    # Fetch-path fault counters, filled from this cluster's fetchers.
+    n_retries: int = 0              # sub-range retries issued
+    n_errors: int = 0               # fetches that failed past the retry policy
+    bytes_retried: int = 0          # bytes re-requested by those retries
 
     @property
     def n_workers(self) -> int:
@@ -117,6 +126,15 @@ class ClusterStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def jobs_recovered(self) -> int:
+        return sum(w.jobs_recovered for w in self.workers)
+
+    @property
+    def recovery_s(self) -> float:
+        """Total compute time spent re-executing requeued jobs."""
+        return sum(w.recovery_s for w in self.workers)
+
 
 @dataclass
 class RunStats:
@@ -126,6 +144,7 @@ class RunStats:
     total_s: float = 0.0              # wall-clock (sim or real) of the run
     global_reduction_s: float = 0.0   # robj exchange + final merge
     processing_end_s: float = 0.0     # when the last cluster finished jobs
+    n_requeued_jobs: int = 0          # jobs returned to the head by reassign()
 
     @property
     def jobs_processed(self) -> int:
@@ -152,6 +171,30 @@ class RunStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def n_retries(self) -> int:
+        return sum(c.n_retries for c in self.clusters.values())
+
+    @property
+    def n_errors(self) -> int:
+        return sum(c.n_errors for c in self.clusters.values())
+
+    @property
+    def bytes_retried(self) -> int:
+        return sum(c.bytes_retried for c in self.clusters.values())
+
+    @property
+    def n_failed_workers(self) -> int:
+        return sum(c.workers_failed for c in self.clusters.values())
+
+    @property
+    def jobs_recovered(self) -> int:
+        return sum(c.jobs_recovered for c in self.clusters.values())
+
+    @property
+    def recovery_s(self) -> float:
+        return sum(c.recovery_s for c in self.clusters.values())
+
     def breakdown_rows(self) -> list[dict]:
         """Rows for the Figure-3-style stacked breakdown."""
         return [
@@ -161,6 +204,31 @@ class RunStats:
                 "retrieval_s": round(c.retrieval_s, 4),
                 "sync_s": round(c.sync_s, 4),
                 "total_s": round(c.total_s, 4),
+                "n_retries": c.n_retries,
+                "n_errors": c.n_errors,
+                "bytes_retried": c.bytes_retried,
+            }
+            for c in self.clusters.values()
+        ]
+
+    def fault_rows(self) -> list[dict]:
+        """Rows decomposing fault injection and recovery per cluster.
+
+        ``n_retries``/``n_errors``/``bytes_retried`` come off the fetch
+        path; ``workers_failed``/``jobs_recovered``/``recovery_s``
+        account the crash-containment protocol (dead workers, requeued
+        jobs re-executed by survivors, and the compute those
+        re-executions cost).
+        """
+        return [
+            {
+                "cluster": c.name,
+                "n_retries": c.n_retries,
+                "n_errors": c.n_errors,
+                "bytes_retried": c.bytes_retried,
+                "workers_failed": c.workers_failed,
+                "jobs_recovered": c.jobs_recovered,
+                "recovery_s": round(c.recovery_s, 4),
             }
             for c in self.clusters.values()
         ]

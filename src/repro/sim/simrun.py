@@ -226,8 +226,13 @@ class _SimMaster:
             ev, self._inflight = self._inflight, None
             ev.succeed()
 
-    def complete(self, job: Job) -> None:
+    def complete(self, job: Job, wstats=None, work_s: float = 0.0) -> None:
         self.scheduler.complete(job)
+        if wstats is not None and job.job_id in getattr(
+            self.scheduler, "requeued_ids", ()
+        ):
+            wstats.jobs_recovered += 1
+            wstats.recovery_s += work_s
 
     def reopen(self) -> None:
         """A reassigned job re-entered the head pool: ask again."""
@@ -352,7 +357,7 @@ def _worker_proc(
             wstats.jobs_processed += 1
             if stolen:
                 wstats.jobs_stolen += 1
-            master.complete(job)
+            master.complete(job, wstats, env.now - t0 + info["fetch_s"])
         return True
 
     while env.now < fail_at_s:
@@ -390,6 +395,7 @@ def _pipelined_worker_proc(
     cache: ChunkCache | None = None,
     tracer=None,
     worker_name: str = "",
+    fail_at_s: float = math.inf,
 ):
     """One simulated core with double-buffered prefetching.
 
@@ -400,14 +406,35 @@ def _pipelined_worker_proc(
     ``retrieval_s`` records only the residual stall; ``overlap_s`` the
     fetch time hidden under computation (their sum is the serial
     engine's retrieval bar).
+
+    A finite ``fail_at_s`` kills the core at that instant, matching the
+    serial worker's failure semantics: every job it holds uncompleted
+    (the one being computed *and* the reserved, prefetching next job)
+    returns to the head for reassignment; completed jobs stay folded
+    into the preserved reduction object.
     """
 
+    def die(jobs):
+        requeued = False
+        for j in jobs:
+            if j is not None:
+                master.scheduler.reassign(j)
+                requeued = True
+        if requeued:
+            for m in master.peers:
+                m.reopen()
+        wstats.failed = True
+        wstats.finished_at = fail_at_s
+
     def compute(job: Job):
+        """Returns True if the job completed, False if the core died."""
         t0 = env.now
         base = job.n_units * profile.compute_s_per_unit
         base /= cluster.core_speed * speed_factor
         base /= varmodel.effective_speed(base)
         yield base
+        if env.now > fail_at_s:
+            return False
         wstats.processing_s += env.now - t0
         if tracer is not None:
             tracer.record(worker_name, "compute", t0, env.now, job.job_id,
@@ -415,7 +442,8 @@ def _pipelined_worker_proc(
         wstats.jobs_processed += 1
         if job.location != cluster.location:
             wstats.jobs_stolen += 1
-        master.complete(job)
+        master.complete(job, wstats, env.now - t0)
+        return True
 
     job = yield from master.get_job()
     if job is None:
@@ -425,17 +453,26 @@ def _pipelined_worker_proc(
     info: dict = {}
     yield from _fetch_gen(env, net, topo, cluster, job, cache, wstats,
                           info, tracer, worker_name)
+    if env.now > fail_at_s:
+        die([job])
+        return
     wstats.retrieval_s += info["fetch_s"]
     while True:
         next_job = yield from master.get_job()
         prefetch_done: Event | None = None
         next_info: dict = {}
         if next_job is not None:
+            # The orphaned fetch process keeps draining its links if the
+            # core dies mid-compute; it never touches the scheduler, so
+            # reassigning next_job below stays safe.
             prefetch_done = env.process(
                 _fetch_gen(env, net, topo, cluster, next_job, cache, wstats,
                            next_info, tracer, worker_name)
             )
-        yield from compute(job)
+        completed = yield from compute(job)
+        if not completed:
+            die([job, next_job])
+            return
         if next_job is None:
             break
         if prefetch_done.triggered:
@@ -446,7 +483,10 @@ def _pipelined_worker_proc(
             t_wait = env.now
             yield prefetch_done
             stall = env.now - t_wait
-            wstats.retrieval_s += stall
+        if env.now > fail_at_s:
+            die([next_job])
+            return
+        wstats.retrieval_s += stall
         wstats.overlap_s += max(0.0, next_info["fetch_s"] - stall)
         job = next_job
     wstats.finished_at = env.now
@@ -525,15 +565,19 @@ def simulate_run(
     N+1 under the compute of job N); ``cache_nbytes`` gives each cluster
     a byte-budgeted chunk cache, or pass ``caches`` (e.g. the previous
     iteration's :attr:`SimRunResult.caches`) to start warmed.  Prefetch
-    cannot be combined with failures or speculation -- the pipelined
-    worker models the optimized steady-state path, not the recovery
-    protocol.
+    composes with ``failures`` (a dying pipelined core returns both its
+    current and its reserved-next job to the head, matching the live
+    engine's crash containment) and with ``stragglers``; it cannot be
+    combined with ``speculation``, because the pipelined worker has no
+    backup-copy protocol -- a reserved-next job is owned by exactly one
+    core, so LATE-style redundant execution does not apply to it.
     """
     if not clusters:
         raise ValueError("need at least one cluster")
-    if prefetch and (failures or speculation):
+    if prefetch and speculation:
         raise ValueError(
-            "prefetch cannot be combined with failures or speculation"
+            "prefetch cannot be combined with speculation: the pipelined "
+            "worker has no backup-copy protocol (failures are supported)"
         )
     run_caches: dict[str, ChunkCache] | None = None
     if caches is not None:
@@ -618,7 +662,7 @@ def simulate_run(
                 proc = _pipelined_worker_proc(
                     env, net, topo, master, cluster, profile,
                     wstats, speed, varmodel, cache,
-                    tracer, f"{cluster.name}/{wid}",
+                    tracer, f"{cluster.name}/{wid}", fail_at,
                 )
             else:
                 proc = _worker_proc(
@@ -656,6 +700,7 @@ def simulate_run(
 
     end = env.now
     stats.total_s = end
+    stats.n_requeued_jobs = getattr(scheduler, "n_reassigned", 0)
     processing_end = max(c.finished_at for c in stats.clusters.values())
     stats.processing_end_s = processing_end
     stats.global_reduction_s = end - processing_end

@@ -3,7 +3,15 @@
 from repro.storage.base import StorageBackend, StorageStats
 from repro.storage.bandwidth import Clock, RateCap, TokenBucket
 from repro.storage.cache import ChunkCache
+from repro.storage.faults import (
+    FaultInjectingStore,
+    FaultSpec,
+    PermanentStorageError,
+    TransientStorageError,
+    WorkerCrash,
+)
 from repro.storage.local import LocalDiskStore, MemoryStore
+from repro.storage.retry import RetryExhausted, RetryPolicy
 from repro.storage.s3 import S3Profile, SimulatedS3Store
 from repro.storage.transfer import ParallelFetcher, PrefetchHandle, split_range
 
@@ -14,6 +22,13 @@ __all__ = [
     "Clock",
     "RateCap",
     "TokenBucket",
+    "FaultInjectingStore",
+    "FaultSpec",
+    "PermanentStorageError",
+    "TransientStorageError",
+    "WorkerCrash",
+    "RetryExhausted",
+    "RetryPolicy",
     "LocalDiskStore",
     "MemoryStore",
     "S3Profile",

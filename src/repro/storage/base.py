@@ -23,6 +23,12 @@ class StorageStats:
     n_gets: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    # Fault-path counters: retries the fetch layer issued against this
+    # backend, bytes those retries re-requested, and errors that
+    # surfaced past the retry policy (gave up or not retryable).
+    n_errors: int = 0
+    n_retries: int = 0
+    bytes_retried: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_put(self, nbytes: int) -> None:
@@ -34,6 +40,15 @@ class StorageStats:
         with self._lock:
             self.n_gets += 1
             self.bytes_read += nbytes
+
+    def record_retry(self, nbytes: int) -> None:
+        with self._lock:
+            self.n_retries += 1
+            self.bytes_retried += nbytes
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.n_errors += 1
 
 
 class StorageBackend(abc.ABC):

@@ -1,0 +1,249 @@
+"""Deterministic fault injection for storage backends.
+
+WAN-separated object stores fail in mundane ways: transient request
+errors, objects that become unreadable, latency spikes on a congested
+link.  :class:`FaultInjectingStore` wraps any
+:class:`~repro.storage.base.StorageBackend` and injects exactly those
+faults on the ``get`` path, so the retry/recovery machinery of the live
+engine can be exercised end-to-end.
+
+Injection is **fully deterministic given a seed**: every probabilistic
+decision is a pure hash of ``(seed, key, offset, attempt)``, never a
+draw from shared RNG state.  Thread interleaving therefore cannot change
+which fetch attempts fail -- two runs with the same seed inject the same
+faults and produce identical retry counters, which is what makes chaos
+tests reproducible.
+
+The exception taxonomy drives the retry policy
+(:mod:`repro.storage.retry`):
+
+* :class:`TransientStorageError` -- retryable; a later attempt on the
+  same range may succeed;
+* :class:`PermanentStorageError` -- not retryable; the object is gone
+  and every attempt will fail, so callers fail fast;
+* :class:`WorkerCrash` -- raised by the engine's crash-injection hook
+  (not by stores) to model the loss of a compute worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.storage.base import StorageBackend
+
+__all__ = [
+    "TransientStorageError",
+    "PermanentStorageError",
+    "WorkerCrash",
+    "seeded_uniform",
+    "FaultSpec",
+    "FaultInjectingStore",
+]
+
+
+class TransientStorageError(IOError):
+    """A request failed in a way that retrying may fix."""
+
+
+class PermanentStorageError(IOError):
+    """A request failed in a way no retry can fix."""
+
+
+class WorkerCrash(RuntimeError):
+    """A compute worker died (injected by the engine's crash plan)."""
+
+
+def seeded_uniform(seed: int, *parts: object) -> float:
+    """Deterministic uniform in ``[0, 1)`` from ``seed`` and ``parts``.
+
+    A pure function of its arguments (blake2b over the rendered parts),
+    so concurrent callers get identical values regardless of scheduling
+    -- the foundation of reproducible fault injection and jitter.
+    """
+    text = ":".join([str(seed), *(str(p) for p in parts)])
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What faults to inject, parseable from a CLI string.
+
+    ``transient_p`` fails a ``get`` attempt with that probability
+    (decided per ``(key, offset, attempt)``, so a retried range rolls a
+    fresh, but predetermined, die).  ``permanent_keys`` are substrings:
+    any key containing one always raises
+    :class:`PermanentStorageError`.  ``latency_p``/``latency_s`` inject
+    a sleep before that fraction of requests.  ``fail_nth`` fails the
+    listed 1-based global ``get`` call numbers -- a call-count schedule
+    for scripted single-threaded tests (under concurrency the global
+    call order, unlike the hash-based modes, depends on scheduling).
+
+    String form (clauses joined by ``+``)::
+
+        transient:p=0.3,seed=7
+        permanent:key=f3
+        latency:p=0.1,s=0.05
+        transient:nth=3|7
+        transient:p=0.2+latency:p=0.1,s=0.01,seed=3
+    """
+
+    transient_p: float = 0.0
+    permanent_keys: tuple[str, ...] = ()
+    latency_p: float = 0.0
+    latency_s: float = 0.0
+    fail_nth: tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("transient_p", "latency_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if any(n <= 0 for n in self.fail_nth):
+            raise ValueError("fail_nth entries are 1-based call numbers")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI string form (see class docstring)."""
+        kwargs: dict = {}
+        permanent: list[str] = []
+        fail_nth: list[int] = []
+        for clause in text.split("+"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, rest = clause.partition(":")
+            kind = kind.strip()
+            if kind not in ("transient", "permanent", "latency"):
+                raise ValueError(
+                    f"unknown fault kind {kind!r} "
+                    "(expected transient, permanent, or latency)"
+                )
+            opts: dict[str, str] = {}
+            for pair in filter(None, rest.split(",")):
+                k, sep, v = pair.partition("=")
+                if not sep:
+                    raise ValueError(f"malformed option {pair!r} in {clause!r}")
+                opts[k.strip()] = v.strip()
+            if "seed" in opts:
+                kwargs["seed"] = int(opts.pop("seed"))
+            if kind == "transient":
+                if "p" in opts:
+                    kwargs["transient_p"] = float(opts.pop("p"))
+                if "nth" in opts:
+                    fail_nth.extend(int(n) for n in opts.pop("nth").split("|"))
+            elif kind == "permanent":
+                if "key" in opts:
+                    permanent.append(opts.pop("key"))
+            elif kind == "latency":
+                if "p" in opts:
+                    kwargs["latency_p"] = float(opts.pop("p"))
+                if "s" in opts:
+                    kwargs["latency_s"] = float(opts.pop("s"))
+            if opts:
+                raise ValueError(
+                    f"unknown option(s) {sorted(opts)} for fault kind {kind!r}"
+                )
+        return cls(
+            permanent_keys=tuple(permanent), fail_nth=tuple(fail_nth), **kwargs
+        )
+
+
+class FaultInjectingStore(StorageBackend):
+    """Wraps a backend, injecting the faults described by a spec.
+
+    Only ``get`` is fault-injected (the engines' hot path); writes and
+    metadata calls pass straight through.  Injection counters
+    (``n_transient``, ``n_permanent``, ``n_latency``) record what was
+    actually injected, so tests can assert the chaos really happened.
+    """
+
+    def __init__(self, inner: StorageBackend, spec: FaultSpec) -> None:
+        super().__init__()
+        self.inner = inner
+        self.spec = spec
+        self.location = inner.location
+        self.n_transient = 0
+        self.n_permanent = 0
+        self.n_latency = 0
+        self._calls = 0
+        self._attempts: dict[tuple[str, int], int] = {}
+        self._lock = threading.Lock()
+
+    def _next_attempt(self, key: str, offset: int) -> tuple[int, int]:
+        with self._lock:
+            self._calls += 1
+            call_no = self._calls
+            attempt = self._attempts.get((key, offset), 0)
+            self._attempts[(key, offset)] = attempt + 1
+        return call_no, attempt
+
+    def _inject(self, key: str, offset: int) -> None:
+        call_no, attempt = self._next_attempt(key, offset)
+        for sub in self.spec.permanent_keys:
+            if sub in key:
+                with self._lock:
+                    self.n_permanent += 1
+                self.stats.record_error()
+                raise PermanentStorageError(
+                    f"injected permanent fault: object {key!r} is unreadable"
+                )
+        if call_no in self.spec.fail_nth:
+            with self._lock:
+                self.n_transient += 1
+            raise TransientStorageError(
+                f"injected transient fault (call #{call_no}, {key!r}@{offset})"
+            )
+        if self.spec.transient_p > 0 and (
+            seeded_uniform(self.spec.seed, "t", key, offset, attempt)
+            < self.spec.transient_p
+        ):
+            with self._lock:
+                self.n_transient += 1
+            raise TransientStorageError(
+                f"injected transient fault ({key!r}@{offset}, attempt {attempt})"
+            )
+        if self.spec.latency_p > 0 and (
+            seeded_uniform(self.spec.seed, "l", key, offset, attempt)
+            < self.spec.latency_p
+        ):
+            with self._lock:
+                self.n_latency += 1
+            if self.spec.latency_s > 0:
+                time.sleep(self.spec.latency_s)
+
+    # -- StorageBackend ------------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        self.inner.put(key, data)
+        self.stats.record_put(len(data))
+
+    def get(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
+        self._inject(key, offset)
+        out = self.inner.get(key, offset, nbytes)
+        self.stats.record_get(len(out))
+        return out
+
+    def size(self, key: str) -> int:
+        return self.inner.size(key)
+
+    def list_keys(self) -> list[str]:
+        return self.inner.list_keys()
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def injection_counts(self) -> dict[str, int]:
+        """Snapshot of what has been injected so far."""
+        with self._lock:
+            return {
+                "transient": self.n_transient,
+                "permanent": self.n_permanent,
+                "latency": self.n_latency,
+            }

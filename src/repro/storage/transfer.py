@@ -17,11 +17,13 @@ the engines' data pipeline:
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
+from repro.storage.retry import RetryExhausted, RetryPolicy
 
 __all__ = ["split_range", "PrefetchHandle", "ParallelFetcher"]
 
@@ -84,6 +86,14 @@ class ParallelFetcher:
     ``cache`` (a shared :class:`ChunkCache`) short-circuits fetches of
     ranges already resident; ``prefetch_workers`` sizes the background
     pool serving :meth:`fetch_async` (lazily created on first use).
+
+    ``retry`` (a :class:`~repro.storage.retry.RetryPolicy`) makes every
+    store ``get`` -- including each parallel sub-range -- retry
+    transient errors with backoff instead of failing the whole fetch.
+    A failing sub-range therefore no longer cancels its siblings unless
+    it exhausts the policy.  Retries are counted on the fetcher
+    (``n_retries``/``n_giveups``/``bytes_retried``) and mirrored into
+    the backend's :class:`~repro.storage.base.StorageStats`.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class ParallelFetcher:
         *,
         cache: ChunkCache | None = None,
         prefetch_workers: int = 1,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if n_threads <= 0:
             raise ValueError("n_threads must be positive")
@@ -102,6 +113,11 @@ class ParallelFetcher:
         self.n_threads = n_threads
         self.cache = cache
         self.prefetch_workers = prefetch_workers
+        self.retry = retry
+        self.n_retries = 0
+        self.n_giveups = 0
+        self.bytes_retried = 0
+        self._counter_lock = threading.Lock()
         self._pool = (
             ThreadPoolExecutor(max_workers=n_threads, thread_name_prefix="fetch")
             if n_threads > 1
@@ -130,17 +146,48 @@ class ParallelFetcher:
             self.cache.put(location, key, offset, nbytes, data)
         return data, False
 
+    def _get_with_retry(self, key: str, offset: int, nbytes: int) -> bytes:
+        """One store ``get`` under the retry policy, with accounting."""
+        if self.retry is None:
+            return self.store.get(key, offset, nbytes)
+
+        def on_retry(_exc: BaseException, _attempt: int) -> None:
+            with self._counter_lock:
+                self.n_retries += 1
+                self.bytes_retried += nbytes
+            self.store.stats.record_retry(nbytes)
+
+        try:
+            return self.retry.call(
+                lambda: self.store.get(key, offset, nbytes),
+                token=f"{key}@{offset}+{nbytes}",
+                on_retry=on_retry,
+            )
+        except RetryExhausted:
+            with self._counter_lock:
+                self.n_giveups += 1
+            self.store.stats.record_error()
+            raise
+        except Exception:
+            self.store.stats.record_error()
+            raise
+
     def _fetch_direct(self, key: str, offset: int, nbytes: int) -> bytes:
         if self._pool is None or nbytes < self.n_threads:
-            return self.store.get(key, offset, nbytes)
+            return self._get_with_retry(key, offset, nbytes)
         parts = split_range(offset, nbytes, self.n_threads)
-        futures = [self._pool.submit(self.store.get, key, off, n) for off, n in parts]
+        futures = [
+            self._pool.submit(self._get_with_retry, key, off, n) for off, n in parts
+        ]
         chunks: list[bytes] = []
         error: BaseException | None = None
-        # Collect in part order so a failure surfaces the *earliest*
-        # failing sub-range deterministically; once one part fails,
-        # cancel the queued siblings and absorb the running ones rather
-        # than leaving them racing against the pool shutdown.
+        # Each sub-range retries transient errors internally (when a
+        # policy is set), so only an *exhausted or non-retryable* part
+        # reaches this collection loop.  Collect in part order so such a
+        # failure surfaces the earliest failing sub-range
+        # deterministically; once one part fails, cancel the queued
+        # siblings and absorb the running ones rather than leaving them
+        # racing against the pool shutdown.
         for f in futures:
             if error is not None:
                 f.cancel()

@@ -117,6 +117,99 @@ class TestAccounting:
         assert sched.assigned_counts == {"local": 4, "cloud": 4}
 
 
+class TestReassign:
+    def test_reassigned_job_returns_to_pool(self):
+        sched = HeadScheduler(make_jobs())
+        total = sched.remaining
+        batch = sched.request_jobs("local", 3)
+        sched.reassign(batch[0])
+        assert sched.remaining == total - 2
+        assert sched.outstanding == 2
+        assert sched.n_reassigned == 1
+        assert batch[0].job_id in sched.requeued_ids
+
+    def test_reassigned_job_is_next_from_its_file(self):
+        """Requeued at the *front* of its file, so the next batch from
+        that file starts with it (keeps reads contiguous)."""
+        sched = HeadScheduler(make_jobs(n_files=1, local_frac=1.0))
+        batch = sched.request_jobs("local", 2)
+        sched.reassign(batch[1])
+        again = sched.request_jobs("local", 1)
+        assert again[0].job_id == batch[1].job_id
+
+    def test_reassigned_job_stealable_by_other_cluster(self):
+        """A dead local worker's job can be recovered by the cloud."""
+        sched = HeadScheduler(make_jobs())
+        # Drain every unassigned job first.
+        held = []
+        for loc in ("local", "cloud"):
+            while True:
+                b = sched.request_jobs(loc, 4)
+                if not b:
+                    break
+                held.extend(b)
+        victim = held.pop(0)
+        assert victim.location == "local"
+        sched.reassign(victim)
+        recovered = sched.request_jobs("cloud", 4)
+        assert [j.job_id for j in recovered] == [victim.job_id]
+        assert sched.stolen_counts.get("cloud", 0) >= 1
+        for j in held + recovered:
+            sched.complete(j)
+        assert sched.all_done
+
+    def test_reassign_releases_file_contention(self):
+        jobs = make_jobs(n_files=2, local_frac=0.0)
+        sched = HeadScheduler(jobs)
+        b0 = sched.request_jobs("cloud", 2)
+        assert {j.file_id for j in b0} == {0}
+        for j in b0:
+            sched.reassign(j)
+        # File 0 has no active readers again; tie-break picks it first.
+        b1 = sched.request_jobs("local", 1)
+        assert b1[0].file_id == 0
+
+    def test_reassign_without_outstanding_raises(self):
+        jobs = make_jobs()
+        with pytest.raises(RuntimeError):
+            HeadScheduler(jobs).reassign(jobs[0])
+
+    def test_reassign_then_complete_counts_once(self):
+        """A requeued job completes exactly once: outstanding returns to
+        zero and a second complete() is rejected."""
+        sched = HeadScheduler(make_jobs(n_files=1, local_frac=1.0))
+        batch = sched.request_jobs("local", 1)
+        sched.reassign(batch[0])
+        again = sched.request_jobs("local", 1)
+        sched.complete(again[0])
+        while True:
+            b = sched.request_jobs("local", 4)
+            if not b:
+                break
+            for j in b:
+                sched.complete(j)
+        assert sched.all_done
+        with pytest.raises(RuntimeError):
+            sched.complete(batch[0])
+
+    def test_random_scheduler_reassign_keeps_order_coherent(self):
+        jobs = make_jobs()
+        sched = RandomScheduler(jobs, seed=1)
+        batch = sched.request_jobs("local", 4)
+        for j in batch:
+            sched.reassign(j)
+        seen = []
+        while True:
+            b = sched.request_jobs("cloud", 4)
+            if not b:
+                break
+            seen.extend(b)
+            for j in b:
+                sched.complete(j)
+        assert sorted(j.job_id for j in seen) == sorted(j.job_id for j in jobs)
+        assert sched.all_done
+
+
 class TestStaticScheduler:
     def test_never_steals(self):
         sched = StaticScheduler(make_jobs())

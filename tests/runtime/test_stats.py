@@ -55,5 +55,38 @@ class TestRunStats:
                 "retrieval_s": 5.0,
                 "sync_s": 2.0,
                 "total_s": 19.0,
+                "n_retries": 0,
+                "n_errors": 0,
+                "bytes_retried": 0,
+            }
+        ]
+
+    def test_fault_rows_and_aggregates(self):
+        rs = RunStats()
+        c = make_cluster()
+        c.n_retries = 3
+        c.n_errors = 1
+        c.bytes_retried = 512
+        c.workers[0].failed = True
+        c.workers[1].jobs_recovered = 2
+        c.workers[1].recovery_s = 1.5
+        rs.clusters["a"] = c
+        rs.n_requeued_jobs = 2
+        assert rs.n_retries == 3
+        assert rs.n_errors == 1
+        assert rs.bytes_retried == 512
+        assert rs.n_failed_workers == 1
+        assert rs.jobs_recovered == 2
+        assert rs.recovery_s == 1.5
+        rows = rs.fault_rows()
+        assert rows == [
+            {
+                "cluster": "local",
+                "n_retries": 3,
+                "n_errors": 1,
+                "bytes_retried": 512,
+                "workers_failed": 1,
+                "jobs_recovered": 2,
+                "recovery_s": 1.5,
             }
         ]

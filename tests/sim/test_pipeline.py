@@ -52,15 +52,30 @@ class TestSimPrefetch:
         b = simulate_environment("knn", env(), seed=4, prefetch=True)
         assert a.total_s == b.total_s
 
-    def test_prefetch_rejects_failures(self):
-        with pytest.raises(ValueError, match="prefetch"):
-            run_sim(
-                "knn", env(), prefetch=True,
-                failures=[FailureSpec("local", 1, 10.0)],
-            )
+    def test_prefetch_composes_with_failures(self):
+        """Pipelined workers die cleanly: their in-flight and prefetched
+        jobs are reassigned and every job still completes exactly once."""
+        baseline = run_sim("knn", env())
+        res = run_sim(
+            "knn", env(), prefetch=True,
+            failures=[FailureSpec("local", 1, 10.0)],
+        )
+        assert res.stats.jobs_processed == baseline.stats.jobs_processed
+        assert res.stats.n_failed_workers == 1
+        assert res.stats.n_requeued_jobs >= 1
+        assert res.stats.jobs_recovered >= 1
+
+    def test_prefetch_failures_deterministic(self):
+        kwargs = dict(
+            prefetch=True, failures=[FailureSpec("cloud", 2, 20.0)], seed=3
+        )
+        a = run_sim("knn", env(), **kwargs)
+        b = run_sim("knn", env(), **kwargs)
+        assert a.total_s == b.total_s
+        assert a.stats.n_requeued_jobs == b.stats.n_requeued_jobs
 
     def test_prefetch_rejects_speculation(self):
-        with pytest.raises(ValueError, match="prefetch"):
+        with pytest.raises(ValueError, match="prefetch.*speculation"):
             run_sim("knn", env(), prefetch=True, speculation=True)
 
     def test_prefetch_composes_with_stragglers(self):

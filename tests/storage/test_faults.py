@@ -1,0 +1,136 @@
+"""Unit tests for deterministic fault injection."""
+
+import pytest
+
+from repro.storage.faults import (
+    FaultInjectingStore,
+    FaultSpec,
+    PermanentStorageError,
+    TransientStorageError,
+    seeded_uniform,
+)
+from repro.storage.local import MemoryStore
+
+
+def make_store(spec: FaultSpec) -> FaultInjectingStore:
+    inner = MemoryStore("cloud")
+    inner.put("f0", b"a" * 100)
+    inner.put("f3", b"b" * 100)
+    return FaultInjectingStore(inner, spec)
+
+
+class TestSeededUniform:
+    def test_range_and_determinism(self):
+        vals = [seeded_uniform(7, "t", "k", i, 0) for i in range(200)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        assert vals == [seeded_uniform(7, "t", "k", i, 0) for i in range(200)]
+
+    def test_seed_changes_stream(self):
+        a = [seeded_uniform(1, "t", "k", i) for i in range(50)]
+        b = [seeded_uniform(2, "t", "k", i) for i in range(50)]
+        assert a != b
+
+    def test_roughly_uniform(self):
+        vals = [seeded_uniform(0, "u", i) for i in range(2000)]
+        assert 0.45 < sum(vals) / len(vals) < 0.55
+
+
+class TestFaultSpecParse:
+    def test_transient(self):
+        spec = FaultSpec.parse("transient:p=0.3,seed=7")
+        assert spec.transient_p == 0.3
+        assert spec.seed == 7
+
+    def test_permanent_and_latency_clauses_compose(self):
+        spec = FaultSpec.parse("permanent:key=f3+latency:p=0.1,s=0.05")
+        assert spec.permanent_keys == ("f3",)
+        assert spec.latency_p == 0.1
+        assert spec.latency_s == 0.05
+
+    def test_nth_schedule(self):
+        spec = FaultSpec.parse("transient:nth=3|7")
+        assert spec.fail_nth == (3, 7)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec.parse("bitflip:p=0.1")
+
+    def test_rejects_unknown_option(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            FaultSpec.parse("transient:q=0.1")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="transient_p"):
+            FaultSpec(transient_p=1.5)
+
+
+class TestFaultInjection:
+    def test_no_spec_is_transparent(self):
+        store = make_store(FaultSpec())
+        assert store.get("f0", 0, 10) == b"a" * 10
+        assert store.injection_counts() == {
+            "transient": 0, "permanent": 0, "latency": 0,
+        }
+
+    def test_permanent_key_always_fails(self):
+        store = make_store(FaultSpec(permanent_keys=("f3",)))
+        for _ in range(3):
+            with pytest.raises(PermanentStorageError):
+                store.get("f3", 0, 10)
+        assert store.get("f0", 0, 10) == b"a" * 10
+        assert store.n_permanent == 3
+        assert store.stats.n_errors == 3
+
+    def test_transient_probability_deterministic(self):
+        def run():
+            store = make_store(FaultSpec(transient_p=0.4, seed=11))
+            outcomes = []
+            for off in range(0, 100, 10):
+                try:
+                    store.get("f0", off, 10)
+                    outcomes.append("ok")
+                except TransientStorageError:
+                    outcomes.append("fail")
+            return outcomes, store.n_transient
+
+        a, na = run()
+        b, nb = run()
+        assert a == b
+        assert na == nb
+        assert "fail" in a and "ok" in a  # p=0.4 over 10 ranges: both occur
+
+    def test_retried_range_rolls_fresh_die(self):
+        """Attempt number feeds the hash, so a range that failed once is
+        not doomed to fail forever."""
+        store = make_store(FaultSpec(transient_p=0.5, seed=0))
+        ok = 0
+        for off in range(0, 100, 10):
+            for _ in range(20):  # retry until success
+                try:
+                    store.get("f0", off, 10)
+                    ok += 1
+                    break
+                except TransientStorageError:
+                    pass
+        assert ok == 10
+
+    def test_nth_call_schedule(self):
+        store = make_store(FaultSpec(fail_nth=(2,)))
+        store.get("f0", 0, 10)
+        with pytest.raises(TransientStorageError):
+            store.get("f0", 10, 10)
+        store.get("f0", 20, 10)
+        assert store.n_transient == 1
+
+    def test_latency_injection_counted(self):
+        store = make_store(FaultSpec(latency_p=1.0, latency_s=0.0))
+        store.get("f0", 0, 10)
+        assert store.n_latency == 1
+
+    def test_put_and_metadata_pass_through(self):
+        store = make_store(FaultSpec(transient_p=1.0))
+        store.put("new", b"xyz")
+        assert store.size("new") == 3
+        assert "new" in store.list_keys()
+        store.delete("new")
+        assert "new" not in store.list_keys()
