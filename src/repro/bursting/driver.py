@@ -27,7 +27,8 @@ from repro.core.api import GeneralizedReductionSpec
 from repro.data.dataset import distribute_dataset, write_dataset
 from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex, build_index
-from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
+from repro.runtime import make_engine
+from repro.runtime.engine import ClusterConfig, RunResult
 from repro.sim.calibration import (
     APP_PROFILES,
     PAPER_N_FILES,
@@ -137,6 +138,7 @@ def run_threaded_bursting(
     units: np.ndarray,
     stores: dict[str, StorageBackend],
     *,
+    engine: str = "threaded",
     local_fraction: float = 0.5,
     local_workers: int = 2,
     cloud_workers: int = 2,
@@ -149,12 +151,15 @@ def run_threaded_bursting(
     retry=None,
     crash_plan: dict[str, int] | None = None,
 ) -> RunResult:
-    """Run a real dataset through the threaded middleware, split across sites.
+    """Run a real dataset through the middleware, split across sites.
 
     ``stores`` must contain ``"local"`` and ``"cloud"`` backends.  The
     dataset is written to the local store, distributed according to
     ``local_fraction``, and processed by workers at both sites with the
-    full scheduling/stealing protocol.  ``prefetch`` double-buffers the
+    full scheduling/stealing protocol.  ``engine`` selects the executor:
+    ``"threaded"`` (default), ``"process"`` (one OS process per slave,
+    shared-memory data handoff), or ``"actor"`` (message-passing; takes
+    no pipeline/fault options).  ``prefetch`` double-buffers the
     workers; ``chunk_cache`` (a :class:`~repro.storage.cache.ChunkCache`)
     serves repeat fetches from memory.  ``retry`` (a
     :class:`~repro.storage.retry.RetryPolicy`) and ``crash_plan``
@@ -183,9 +188,21 @@ def run_threaded_bursting(
         clusters.append(
             ClusterConfig("cloud", "cloud", cloud_workers, retrieval_threads)
         )
-    engine = ThreadedEngine(
-        clusters, stores, batch_size=batch_size,
-        prefetch=prefetch, chunk_cache=chunk_cache,
-        retry=retry, crash_plan=crash_plan,
-    )
-    return engine.run(spec, index)
+    kwargs: dict[str, Any] = {"batch_size": batch_size}
+    if engine == "actor":
+        given = sorted(
+            name
+            for name, val in (
+                ("prefetch", prefetch), ("chunk_cache", chunk_cache),
+                ("retry", retry), ("crash_plan", crash_plan),
+            )
+            if val
+        )
+        if given:
+            raise ValueError(f"engine 'actor' does not support options: {given}")
+    else:
+        kwargs.update(
+            prefetch=prefetch, chunk_cache=chunk_cache,
+            retry=retry, crash_plan=crash_plan,
+        )
+    return make_engine(engine, clusters, stores, **kwargs).run(spec, index)

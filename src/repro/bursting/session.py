@@ -25,7 +25,8 @@ from repro.core.api import GeneralizedReductionSpec
 from repro.data.dataset import distribute_dataset, write_dataset
 from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex
-from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
+from repro.runtime import make_engine
+from repro.runtime.engine import ClusterConfig, RunResult
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
 from repro.storage.retry import RetryPolicy
@@ -50,6 +51,12 @@ class BurstingSession:
     ``{"cloud-w0": 2}``) injects worker crashes that the engine
     contains and recovers from -- see
     :class:`~repro.runtime.engine.ThreadedEngine`.
+
+    ``engine`` selects the execution engine: ``"threaded"`` (default,
+    worker threads), ``"process"`` (one OS process per slave with
+    shared-memory data handoff -- see
+    :class:`~repro.runtime.process_engine.ProcessEngine`), or
+    ``"actor"`` (message-passing; takes no pipeline/fault options).
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class BurstingSession:
         index: DataIndex,
         stores: dict[str, StorageBackend],
         *,
+        engine: str = "threaded",
         local_workers: int = 2,
         cloud_workers: int = 2,
         batch_size: int = 2,
@@ -87,10 +95,26 @@ class BurstingSession:
         kwargs: dict[str, Any] = {"batch_size": batch_size}
         if scheduler_factory is not None:
             kwargs["scheduler_factory"] = scheduler_factory
-        self.engine = ThreadedEngine(
-            clusters, stores, prefetch=prefetch, chunk_cache=self.cache,
-            retry=retry, crash_plan=crash_plan, **kwargs
-        )
+        if engine == "actor":
+            given = sorted(
+                name
+                for name, val in (
+                    ("prefetch", prefetch), ("cache_mb", cache_mb),
+                    ("retry", retry), ("crash_plan", crash_plan),
+                )
+                if val
+            )
+            if given:
+                raise ValueError(
+                    f"engine 'actor' does not support options: {given}"
+                )
+        else:
+            kwargs.update(
+                prefetch=prefetch, chunk_cache=self.cache,
+                retry=retry, crash_plan=crash_plan,
+            )
+        self.engine_name = engine
+        self.engine = make_engine(engine, clusters, stores, **kwargs)
         self.passes_run = 0
 
     @classmethod

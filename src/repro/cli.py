@@ -102,9 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("evaluate", help="regenerate every paper table and figure")
 
-    p = sub.add_parser("demo", help="run the threaded wordcount quickstart")
+    p = sub.add_parser("demo", help="run the wordcount quickstart")
     p.add_argument("--tokens", type=int, default=100_000)
     p.add_argument("--vocab", type=int, default=2_000)
+    p.add_argument("--engine", choices=("threaded", "process", "actor"),
+                   default="threaded",
+                   help="execution engine: worker threads (default), one OS "
+                        "process per slave with shared-memory data handoff, "
+                        "or message-passing actors")
     p.add_argument("--inject-fault", metavar="SPEC", default=None,
                    help="wrap the cloud store in a deterministic fault injector, "
                         'e.g. "transient:p=0.3,seed=7", "permanent:key=f3", '
@@ -320,15 +325,24 @@ def _cmd_demo(args) -> int:
     if fault_spec is not None:
         cloud = FaultInjectingStore(cloud, fault_spec)
     stores = {"local": MemoryStore("local"), "cloud": cloud}
-    rr = run_threaded_bursting(
-        WordCountSpec(), tokens, stores, local_fraction=0.5,
-        retry=retry, crash_plan=crash_plan or None,
-    )
+    try:
+        rr = run_threaded_bursting(
+            WordCountSpec(), tokens, stores, engine=args.engine,
+            local_fraction=0.5, retry=retry, crash_plan=crash_plan or None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     ok = rr.result == wordcount_exact(tokens)
-    print(f"wordcount over {args.tokens} tokens across 2 sites: "
+    print(f"wordcount over {args.tokens} tokens across 2 sites "
+          f"({args.engine} engine): "
           f"{'OK' if ok else 'MISMATCH'}; "
           f"{rr.stats.jobs_processed} jobs ({rr.stats.jobs_stolen} stolen), "
           f"{rr.stats.total_s:.3f}s wall")
+    if args.engine == "process":
+        from repro.bursting.report import format_table
+
+        print(format_table(rr.stats.ipc_rows(), "cross-process data movement"))
     if fault_spec is not None or retry is not None or crash_plan:
         parts = [
             f"retries: {rr.stats.n_retries}",

@@ -1,6 +1,11 @@
 """Core processing APIs: generalized reduction and MapReduce specs."""
 
-from repro.core.api import GeneralizedReductionSpec, run_local_pass
+from repro.core.api import (
+    GeneralizedReductionSpec,
+    run_local_pass,
+    tree_global_reduction,
+    uses_default_global_reduction,
+)
 from repro.core.combiners import COMBINERS, get_combiner, register_combiner
 from repro.core.mapreduce_api import MapReduceSpec
 from repro.core.reduction_object import (
@@ -10,11 +15,19 @@ from repro.core.reduction_object import (
     TopKReductionObject,
 )
 from repro.core.stats_objects import HistogramReductionObject, MomentsReductionObject
-from repro.core.serialization import deserialize_robj, serialize_robj, serialized_nbytes
+from repro.core.serialization import (
+    deserialize_robj,
+    deserialize_robj_oob,
+    serialize_robj,
+    serialize_robj_oob,
+    serialized_nbytes,
+)
 
 __all__ = [
     "GeneralizedReductionSpec",
     "run_local_pass",
+    "tree_global_reduction",
+    "uses_default_global_reduction",
     "COMBINERS",
     "get_combiner",
     "register_combiner",
@@ -26,6 +39,8 @@ __all__ = [
     "HistogramReductionObject",
     "MomentsReductionObject",
     "deserialize_robj",
+    "deserialize_robj_oob",
     "serialize_robj",
+    "serialize_robj_oob",
     "serialized_nbytes",
 ]

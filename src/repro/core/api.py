@@ -25,7 +25,12 @@ import numpy as np
 from repro.core.reduction_object import ReductionObject
 from repro.data.formats import RecordFormat
 
-__all__ = ["GeneralizedReductionSpec", "run_local_pass"]
+__all__ = [
+    "GeneralizedReductionSpec",
+    "run_local_pass",
+    "tree_global_reduction",
+    "uses_default_global_reduction",
+]
 
 
 class GeneralizedReductionSpec(abc.ABC):
@@ -51,11 +56,16 @@ class GeneralizedReductionSpec(abc.ABC):
 
         The default pairwise-merge suits any commutative/associative
         ``merge``; applications may override (e.g. to renormalize).
+
+        The merge folds into a *fresh* identity object, never into a
+        caller-owned one: per-worker objects survive the global
+        reduction intact, which the stats and fault-recovery paths rely
+        on (they inspect worker objects afterwards), and which lets
+        process engines merge objects whose payloads alias read-only
+        shared memory.
         """
-        if not robjs:
-            return self.create_reduction_object()
-        result = robjs[0]
-        for other in robjs[1:]:
+        result = self.create_reduction_object()
+        for other in robjs:
             result.merge(other)
         return result
 
@@ -69,6 +79,67 @@ class GeneralizedReductionSpec(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} fmt={getattr(self, 'fmt', None)!r}>"
+
+
+def uses_default_global_reduction(spec: GeneralizedReductionSpec) -> bool:
+    """True when ``spec`` inherits the default pairwise global reduction.
+
+    The parallel tree merge below is only valid for the default
+    commutative/associative pairwise merge; a spec that overrides
+    :meth:`GeneralizedReductionSpec.global_reduction` (e.g. to
+    renormalize) must be called through its own implementation.
+    """
+    return (
+        type(spec).global_reduction is GeneralizedReductionSpec.global_reduction
+    )
+
+
+def tree_global_reduction(
+    spec: GeneralizedReductionSpec,
+    robjs: Sequence[ReductionObject],
+    max_workers: int = 4,
+) -> ReductionObject:
+    """Parallel tree-merge of reduction objects (default merge only).
+
+    Where the sequential left-fold performs ``n-1`` dependent merges,
+    the tree performs ``ceil(log2 n)`` rounds of independent pairwise
+    merges, each into a fresh identity object.  Pair merges of one round
+    run concurrently on a thread pool -- the heavy merges are numpy
+    ufuncs that release the GIL, so wide reductions (many workers, large
+    objects) finish in logarithmic critical-path time.  Inputs are never
+    mutated, so objects whose payloads alias (possibly read-only) shared
+    memory merge safely.
+
+    Callers should check :func:`uses_default_global_reduction` first and
+    defer to ``spec.global_reduction`` when it is overridden.
+    """
+    if len(robjs) <= 1:
+        # Fold through a fresh identity even for 0/1 inputs so the
+        # result never aliases a caller-owned (or shared-memory) object.
+        result = spec.create_reduction_object()
+        for other in robjs:
+            result.merge(other)
+        return result
+
+    def merge_pair(a: ReductionObject, b: ReductionObject) -> ReductionObject:
+        out = spec.create_reduction_object()
+        out.merge(a)
+        out.merge(b)
+        return out
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    level = list(robjs)
+    with ThreadPoolExecutor(
+        max_workers=max(1, max_workers), thread_name_prefix="tree-merge"
+    ) as pool:
+        while len(level) > 1:
+            pairs = [
+                (level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+            ]
+            carry = [level[-1]] if len(level) % 2 else []
+            level = list(pool.map(lambda p: merge_pair(*p), pairs)) + carry
+    return level[0]
 
 
 def run_local_pass(

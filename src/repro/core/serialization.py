@@ -5,6 +5,18 @@ each master to the head node, so serialized size is a first-class
 quantity (it is the whole reason PageRank's sync time balloons).  The
 threaded runtime ships real pickled bytes; the simulator charges
 ``robj.nbytes`` against the WAN model.
+
+Two transports are provided:
+
+* :func:`serialize_robj` / :func:`deserialize_robj` -- one in-band
+  pickle blob, exactly what a WAN link would carry between clusters;
+* :func:`serialize_robj_oob` / :func:`deserialize_robj_oob` -- pickle
+  protocol 5 with **out-of-band buffers**, for same-machine IPC.  The
+  metadata pickle stays tiny while the numpy payloads of the object
+  travel as raw buffers, so a process-based engine can place them in
+  shared memory and reconstruct the object on the other side without
+  copying them through a pipe (see
+  :class:`~repro.runtime.process_engine.ProcessEngine`).
 """
 
 from __future__ import annotations
@@ -13,9 +25,18 @@ import pickle
 
 from repro.core.reduction_object import ReductionObject
 
-__all__ = ["serialize_robj", "deserialize_robj", "serialized_nbytes"]
+__all__ = [
+    "serialize_robj",
+    "deserialize_robj",
+    "serialized_nbytes",
+    "serialize_robj_oob",
+    "deserialize_robj_oob",
+]
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Out-of-band buffers require protocol 5 (the first to support them).
+_OOB_PROTOCOL = 5
 
 
 def serialize_robj(robj: ReductionObject) -> bytes:
@@ -31,6 +52,66 @@ def deserialize_robj(data: bytes) -> ReductionObject:
     return obj
 
 
+def serialize_robj_oob(
+    robj: ReductionObject,
+) -> tuple[bytes, list[memoryview]]:
+    """Pickle with protocol-5 out-of-band buffers for zero-copy IPC.
+
+    Returns ``(meta, buffers)``: ``meta`` is the small in-band pickle and
+    ``buffers`` are flat, contiguous byte views over the object's large
+    payloads (numpy arrays), still backed by the object's own memory --
+    nothing is copied here.  Ship the views however is cheapest (e.g.
+    straight into a shared-memory segment) and rebuild with
+    :func:`deserialize_robj_oob`.
+
+    Objects without buffer-exporting payloads (e.g. a dict-backed
+    counter) simply return an empty buffer list with everything in-band.
+    """
+    raw: list[pickle.PickleBuffer] = []
+    meta = pickle.dumps(robj, protocol=_OOB_PROTOCOL, buffer_callback=raw.append)
+    return meta, [pb.raw() for pb in raw]
+
+
+def deserialize_robj_oob(
+    meta: bytes, buffers: list[memoryview] | list[bytes]
+) -> ReductionObject:
+    """Inverse of :func:`serialize_robj_oob`.
+
+    ``buffers`` must be the same number of buffers, in the same order, as
+    produced by serialization.  When they are views over shared memory
+    the reconstructed numpy payloads alias that memory (zero-copy) --
+    keep the segment mapped until the object is merged or copied.
+    """
+    obj = pickle.loads(meta, buffers=buffers)
+    if not isinstance(obj, ReductionObject):
+        raise TypeError(f"payload is {type(obj).__name__}, not a ReductionObject")
+    return obj
+
+
+class _CountingWriter:
+    """Length-only file object: counts bytes, stores nothing."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+
+    def write(self, data) -> int:
+        try:
+            n = len(data)
+        except TypeError:
+            # Large payloads arrive as PickleBuffer objects (no __len__).
+            n = memoryview(data).nbytes
+        self.nbytes += n
+        return n
+
+
 def serialized_nbytes(robj: ReductionObject) -> int:
-    """Actual wire size of the object (may exceed ``robj.nbytes``)."""
-    return len(serialize_robj(robj))
+    """Actual wire size of the object (may exceed ``robj.nbytes``).
+
+    Streams the pickle through a counting writer, so measuring the sync
+    cost of a large object never materializes a second copy of it.
+    """
+    writer = _CountingWriter()
+    pickle.Pickler(writer, protocol=_PROTOCOL).dump(robj)
+    return writer.nbytes

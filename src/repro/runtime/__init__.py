@@ -1,17 +1,53 @@
-"""Runtime: jobs, scheduling policy, stats, and the threaded engine."""
+"""Runtime: jobs, scheduling policy, stats, and the execution engines."""
 
 from repro.runtime.actors import ActorEngine
 from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
 from repro.runtime.jobs import Job, LocalJobPool, jobs_from_index
 from repro.runtime.messages import AssignJobs, Channel, RequestJobs, RobjUpload, Shutdown
+from repro.runtime.process_engine import ProcessEngine
 from repro.runtime.scheduler import HeadScheduler, RandomScheduler, StaticScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+
+#: The three execution engines, keyed by their CLI / driver name.
+#:
+#: * ``threaded`` -- worker threads in one process; the reference
+#:   implementation of the head/master/slave protocol.
+#: * ``process`` -- one real OS process per slave; chunk bytes cross via
+#:   shared memory, reduction objects via pickle-5 out-of-band buffers.
+#: * ``actor`` -- message-passing actors over explicit channels; the
+#:   protocol-fidelity engine.
+ENGINES = {
+    "threaded": ThreadedEngine,
+    "process": ProcessEngine,
+    "actor": ActorEngine,
+}
+
+
+def make_engine(name: str, clusters, stores, **kwargs):
+    """Construct an execution engine by name.
+
+    ``kwargs`` is the shared engine configuration surface (batch size,
+    prefetch, cache, retry policy, crash plan, ...); options a given
+    engine does not take (e.g. ``start_method`` for the threaded
+    engine) must not be passed for that engine.
+    """
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {sorted(ENGINES)}"
+        ) from None
+    return cls(clusters, stores, **kwargs)
+
 
 __all__ = [
     "ActorEngine",
     "ClusterConfig",
     "RunResult",
     "ThreadedEngine",
+    "ProcessEngine",
+    "ENGINES",
+    "make_engine",
     "Job",
     "LocalJobPool",
     "jobs_from_index",

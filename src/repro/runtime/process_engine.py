@@ -1,0 +1,695 @@
+"""Process-based execution engine: true multi-core local reduction.
+
+:class:`~repro.runtime.engine.ThreadedEngine` reproduces the paper's
+protocol faithfully but runs every slave under one Python GIL, so the
+"heavy computation" applications (k-means, PageRank) serialize their
+compute on one core.  The paper's slaves are multi-threaded *native*
+processes; this engine restores that: each slave is a real
+``multiprocessing`` worker process, and the local reduction of N workers
+genuinely occupies N cores.
+
+The policy layer is untouched -- the same :class:`HeadScheduler`, the
+same ``_Master`` refill protocol, the same :class:`RunStats` -- only the
+data plane changes:
+
+* **chunk bytes cross through shared memory.**  The parent (which owns
+  the stores, the chunk cache, and the retry policy) fetches each job's
+  byte range directly into a :class:`~repro.storage.shm.SharedSegment`
+  (``ParallelFetcher.fetch_into`` writes sub-range GETs straight into
+  the segment), and the worker decodes with a zero-copy
+  ``np.frombuffer`` off the mapped pages.  No per-chunk pickle of
+  payloads ever crosses a pipe; the task message is a few dozen bytes.
+* **one feeder thread per worker** pulls jobs from the master and keeps
+  up to two fetches in flight, so data movement overlaps worker compute
+  (the double-buffered slave, now across a process boundary).
+* **reduction objects return via pickle protocol-5 out-of-band
+  buffers** (:func:`~repro.core.serialization.serialize_robj_oob`):
+  the worker sends a tiny metadata pickle, the parent allocates one
+  segment for the payload buffers, the worker copies them in, and the
+  parent reconstructs the object aliasing the segment -- numpy-backed
+  objects cross the boundary with a single copy, dict-backed ones fall
+  back to in-band bytes automatically.
+* **global reduction is a parallel tree-merge**
+  (:func:`~repro.core.api.tree_global_reduction`) instead of a
+  sequential left-fold, unless the spec overrides
+  ``global_reduction`` (then its implementation is authoritative).
+
+Lifecycle: the parent creates *and* unlinks every shared-memory segment
+through one :class:`SharedSegmentPool`; workers only attach and close.
+``run()`` verifies the pool is empty on success and force-releases it on
+every error path, so no ``/dev/shm`` entry outlives a run -- including
+runs where a worker was killed by the crash-injection plan
+(``crash_plan``, same containment semantics as the threaded engine: the
+partial reduction object is preserved, in-flight jobs are requeued).
+
+Cross-process overheads are accounted first-class: ``ipc_s`` (segment
+copies and queue round-trips), ``ser_s`` (reduction-object
+(de)serialization), and ``shm_nbytes`` flow into
+``RunStats.breakdown_rows()`` / ``ipc_rows()`` so the overlap of fetch,
+IPC, and compute is visible next to processing and retrieval.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.api import (
+    GeneralizedReductionSpec,
+    tree_global_reduction,
+    uses_default_global_reduction,
+)
+from repro.core.reduction_object import ReductionObject
+from repro.core.serialization import (
+    deserialize_robj,
+    deserialize_robj_oob,
+    serialize_robj,
+    serialize_robj_oob,
+)
+from repro.data.index import DataIndex
+from repro.data.units import iter_unit_groups, units_per_group
+from repro.runtime.engine import ClusterConfig, RunResult, _Master
+from repro.runtime.jobs import Job, jobs_from_index
+from repro.runtime.scheduler import HeadScheduler
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.storage.base import StorageBackend
+from repro.storage.cache import ChunkCache
+from repro.storage.faults import WorkerCrash
+from repro.storage.retry import RetryExhausted, RetryPolicy
+from repro.storage.shm import (
+    SharedSegment,
+    SharedSegmentPool,
+    attach_segment,
+    close_quietly,
+)
+from repro.storage.transfer import ParallelFetcher
+
+__all__ = ["ProcessEngine"]
+
+
+# -- worker-process side ------------------------------------------------------
+
+
+def _ship_robj(task_q, result_q, robj, status: str, crashed_job_id) -> None:
+    """Send this worker's reduction object to the parent, zero-copy.
+
+    Protocol: put the ``("robj", ...)`` header carrying the in-band
+    metadata pickle and out-of-band buffer sizes; the parent replies
+    ``("ship", segment_name | None)``; copy the buffers into the
+    segment; acknowledge with ``("shipped", copy_s)``.  Any ``("job",
+    ...)`` messages that raced a crash are skipped here -- the parent
+    requeues those jobs, so processing them would break exactly-once.
+    """
+    t0 = time.monotonic()
+    meta, buffers = serialize_robj_oob(robj)
+    ser_s = time.monotonic() - t0
+    result_q.put(
+        ("robj", status, crashed_job_id, meta, [b.nbytes for b in buffers], ser_s)
+    )
+    while True:
+        msg = task_q.get()
+        if msg[0] == "ship":
+            break
+    seg_name = msg[1]
+    t0 = time.monotonic()
+    if seg_name is not None:
+        shm = attach_segment(seg_name)
+        offset = 0
+        for buf in buffers:
+            shm.buf[offset : offset + buf.nbytes] = buf
+            offset += buf.nbytes
+        close_quietly(shm)
+    result_q.put(("shipped", time.monotonic() - t0))
+
+
+def _fold_chunk(spec, fmt, group_units: int, robj, shm, nbytes: int) -> float:
+    """Decode a mapped chunk zero-copy and fold it; returns compute seconds.
+
+    Isolated in a function so every view into the mapping (the decoded
+    unit array, the last group slice) dies on return, letting the caller
+    close the segment without numpy pinning the pages.
+    """
+    t0 = time.monotonic()
+    units = fmt.decode(memoryview(shm.buf)[:nbytes])
+    for group in iter_unit_groups(units, group_units):
+        spec.local_reduction(robj, group)
+    return time.monotonic() - t0
+
+
+def _worker_main(
+    name: str,
+    spec: GeneralizedReductionSpec,
+    fmt,
+    group_units: int,
+    task_q,
+    result_q,
+    crash_after: int | None,
+) -> None:
+    """Slave process: decode shared-memory chunks, fold, ship the robj."""
+    robj = spec.create_reduction_object()
+    jobs_done = 0
+    try:
+        while True:
+            msg = task_q.get()
+            if msg[0] == "finish":
+                _ship_robj(task_q, result_q, robj, "ok", None)
+                return
+            _, job_id, seg_name, nbytes = msg
+            if crash_after is not None and jobs_done >= crash_after:
+                raise WorkerCrash(
+                    f"injected crash in {name} after {jobs_done} jobs", job_id
+                )
+            shm = attach_segment(seg_name)
+            try:
+                proc_s = _fold_chunk(spec, fmt, group_units, robj, shm, nbytes)
+            finally:
+                close_quietly(shm)
+            jobs_done += 1
+            result_q.put(("done", job_id, proc_s))
+    except WorkerCrash as exc:
+        crashed_job_id = exc.args[1] if len(exc.args) > 1 else None
+        _ship_robj(task_q, result_q, robj, "crashed", crashed_job_id)
+    except BaseException:
+        result_q.put(("error", traceback.format_exc()))
+
+
+# -- parent side --------------------------------------------------------------
+
+
+class _WorkerCrashed(Exception):
+    """Raised in a feeder when its worker reports an injected crash."""
+
+    def __init__(self, msg: tuple) -> None:
+        super().__init__("worker reported crash")
+        self.msg = msg
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side endpoints of one worker process."""
+
+    name: str
+    proc: Any
+    task_q: Any
+    result_q: Any
+    wstats: WorkerStats
+    inflight: deque = field(default_factory=deque)  # (Job, SharedSegment)
+
+
+class ProcessEngine:
+    """Multi-cluster engine with one real process per slave.
+
+    Accepts the same configuration surface as
+    :class:`~repro.runtime.engine.ThreadedEngine` (scheduling, caching,
+    retries, crash injection); ``prefetch`` controls whether each feeder
+    keeps a second fetch in flight (double buffering) or runs strictly
+    fetch-then-compute.  ``start_method`` picks the multiprocessing
+    start method (default ``fork`` where available -- workers are forked
+    before any engine thread starts, so the fork is safe);
+    ``merge_threads`` bounds the parallel tree-merge width.
+    """
+
+    def __init__(
+        self,
+        clusters: list[ClusterConfig],
+        stores: dict[str, StorageBackend],
+        *,
+        batch_size: int = 4,
+        group_nbytes: int = 1 << 20,
+        scheduler_factory=HeadScheduler,
+        verify_chunks: bool = False,
+        prefetch: bool = True,
+        chunk_cache: ChunkCache | None = None,
+        retry: RetryPolicy | None = None,
+        crash_plan: dict[str, int] | None = None,
+        start_method: str | None = None,
+        merge_threads: int = 4,
+    ) -> None:
+        if not clusters:
+            raise ValueError("need at least one cluster")
+        names = [c.name for c in clusters]
+        if len(set(names)) != len(names):
+            raise ValueError("cluster names must be unique")
+        if crash_plan:
+            worker_names = {
+                f"{c.name}-w{wid}" for c in clusters for wid in range(c.n_workers)
+            }
+            unknown = set(crash_plan) - worker_names
+            if unknown:
+                raise ValueError(
+                    f"crash_plan targets unknown workers: {sorted(unknown)}"
+                )
+            if any(n < 0 for n in crash_plan.values()):
+                raise ValueError("crash_plan job counts must be non-negative")
+        if merge_threads <= 0:
+            raise ValueError("merge_threads must be positive")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.clusters = clusters
+        self.stores = stores
+        self.batch_size = batch_size
+        self.group_nbytes = group_nbytes
+        self.scheduler_factory = scheduler_factory
+        self.verify_chunks = verify_chunks
+        self.prefetch = prefetch
+        self.chunk_cache = chunk_cache
+        self.retry = retry
+        self.crash_plan = dict(crash_plan) if crash_plan else {}
+        self.start_method = start_method
+        self.merge_threads = merge_threads
+
+    # -- top level -----------------------------------------------------------
+
+    def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
+        """Execute ``spec`` over the dataset described by ``index``."""
+        missing = set(index.locations) - set(self.stores)
+        if missing:
+            raise ValueError(f"index references unknown stores: {sorted(missing)}")
+        ctx = multiprocessing.get_context(self.start_method)
+        # Start the resource tracker *now*, while no engine thread or
+        # segment exists: forked workers then inherit (and spawn-started
+        # ones are handed) the one shared tracker, whose register/
+        # unregister set stays balanced because only the parent ever
+        # creates or unlinks segments.  Without this, each child's first
+        # shm attach would lazily spawn a private tracker that warns
+        # about "leaked" segments it never owned at exit.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        scheduler = self.scheduler_factory(jobs_from_index(index))
+        scheduler_lock = threading.Lock()
+        group_units = units_per_group(self.group_nbytes, index.fmt.unit_nbytes)
+        segments = SharedSegmentPool()
+
+        t_start = time.monotonic()
+        stats = RunStats()
+        # Per cluster: (robj, backing segment or None) per surviving worker.
+        cluster_robjs: dict[str, list[tuple[ReductionObject, SharedSegment | None]]] = {}
+        handles: list[_WorkerHandle] = []
+        feeders: list[threading.Thread] = []
+        fetchers: dict[str, dict[str, ParallelFetcher]] = {}
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        try:
+            # Spawn every worker process *before* starting any thread in
+            # this process, so a fork start method never snapshots a
+            # parent mid-lock.
+            for cluster in self.clusters:
+                master = _Master(
+                    cluster, scheduler, scheduler_lock, self.batch_size,
+                    stop=stop, n_workers=cluster.n_workers,
+                )
+                cstats = ClusterStats(cluster.name, cluster.location)
+                stats.clusters[cluster.name] = cstats
+                cluster_robjs[cluster.name] = []
+                fetchers[cluster.name] = {
+                    loc: ParallelFetcher(
+                        store,
+                        cluster.retrieval_threads,
+                        cache=self.chunk_cache,
+                        retry=self.retry,
+                    )
+                    for loc, store in self.stores.items()
+                }
+                for wid in range(cluster.n_workers):
+                    wname = f"{cluster.name}-w{wid}"
+                    wstats = WorkerStats()
+                    cstats.workers.append(wstats)
+                    task_q = ctx.SimpleQueue()
+                    result_q = ctx.Queue()
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        name=wname,
+                        args=(
+                            wname, spec, index.fmt, group_units,
+                            task_q, result_q, self.crash_plan.get(wname),
+                        ),
+                        daemon=True,
+                    )
+                    handle = _WorkerHandle(wname, proc, task_q, result_q, wstats)
+                    handles.append(handle)
+                    feeders.append(
+                        threading.Thread(
+                            target=self._feed_worker,
+                            name=f"feeder-{wname}",
+                            args=(
+                                cluster, master, handle, fetchers[cluster.name],
+                                segments, scheduler, scheduler_lock,
+                                cluster_robjs[cluster.name], t_start, errors, stop,
+                            ),
+                            daemon=True,
+                        )
+                    )
+            for handle in handles:
+                handle.proc.start()
+            for th in feeders:
+                th.start()
+            for th in feeders:
+                th.join()
+
+            for cfs in fetchers.values():
+                for f in cfs.values():
+                    f.close()
+            for cluster in self.clusters:
+                cstats = stats.clusters[cluster.name]
+                for f in fetchers[cluster.name].values():
+                    cstats.n_retries += f.n_retries
+                    cstats.n_errors += f.n_giveups
+                    cstats.bytes_retried += f.bytes_retried
+            stats.n_requeued_jobs = scheduler.n_reassigned
+            if errors:
+                raise errors[0]
+            if not scheduler.all_done:
+                failed = stats.n_failed_workers
+                raise RuntimeError(
+                    f"run ended with {scheduler.remaining} unassigned / "
+                    f"{scheduler.outstanding} outstanding jobs"
+                    + (f" ({failed} workers failed, none left to recover)"
+                       if failed else "")
+                )
+
+            for cstats in stats.clusters.values():
+                cstats.finished_at = max(
+                    (w.finished_at for w in cstats.workers), default=0.0
+                )
+            processing_end = max(
+                (c.finished_at for c in stats.clusters.values()), default=0.0
+            )
+            stats.processing_end_s = processing_end
+
+            t_reduce0 = time.monotonic()
+            uploads: list[ReductionObject] = []
+            for cluster in self.clusters:
+                cstats = stats.clusters[cluster.name]
+                entries = cluster_robjs[cluster.name]
+                merged = self._combine(spec, [robj for robj, _ in entries])
+                # The merge folded into fresh objects; the worker robjs
+                # (and their shared-memory backing) are no longer needed.
+                for _, seg in entries:
+                    if seg is not None:
+                        segments.release(seg)
+                t0 = time.monotonic()
+                payload = serialize_robj(merged)
+                if cluster.link_latency_s > 0:
+                    time.sleep(cluster.link_latency_s)
+                uploads.append(deserialize_robj(payload))
+                cstats.robj_nbytes = len(payload)
+                cstats.robj_transfer_s = time.monotonic() - t0
+            final = self._combine(spec, uploads)
+            t_end = time.monotonic()
+
+            stats.total_s = t_end - t_start
+            stats.global_reduction_s = t_end - t_reduce0
+            for cstats in stats.clusters.values():
+                cstats.idle_s = max(0.0, processing_end - cstats.finished_at)
+                for w in cstats.workers:
+                    w.sync_s = max(0.0, stats.total_s - w.finished_at)
+
+            leaked = segments.active_count
+            if leaked:  # pragma: no cover - lifecycle bug guard
+                segments.close_all()
+                raise RuntimeError(
+                    f"shared-memory lifecycle bug: {leaked} segments still "
+                    f"live after a successful run"
+                )
+            return RunResult(spec.finalize(final), stats, final)
+        finally:
+            stop.set()
+            self._shutdown_workers(handles)
+            segments.close_all()
+
+    def _combine(
+        self, spec: GeneralizedReductionSpec, robjs: list[ReductionObject]
+    ) -> ReductionObject:
+        """Global reduction: parallel tree for the default merge."""
+        if uses_default_global_reduction(spec):
+            return tree_global_reduction(spec, robjs, self.merge_threads)
+        return spec.global_reduction(robjs)
+
+    def _shutdown_workers(self, handles: list[_WorkerHandle]) -> None:
+        """Reap worker processes; force-kill stragglers on error paths."""
+        for handle in handles:
+            if handle.proc.pid is None:
+                continue  # never started
+            handle.proc.join(timeout=0.1)
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+                handle.proc.join(timeout=5.0)
+        for handle in handles:
+            # Release queue pipe fds promptly (a long pytest session
+            # would otherwise accumulate them until GC).
+            handle.task_q.close()
+            handle.result_q.close()
+            handle.result_q.cancel_join_thread()
+
+    # -- feeder (one thread per worker process) ------------------------------
+
+    def _recv(self, handle: _WorkerHandle) -> tuple:
+        """Next message from the worker, failing fast if it died hard."""
+        while True:
+            try:
+                return handle.result_q.get(timeout=0.5)
+            except queue_mod.Empty:
+                if not handle.proc.is_alive():
+                    raise RuntimeError(
+                        f"worker process {handle.name} died unexpectedly "
+                        f"(exit code {handle.proc.exitcode})"
+                    ) from None
+
+    def _drain_one(
+        self,
+        cluster: ClusterConfig,
+        handle: _WorkerHandle,
+        segments: SharedSegmentPool,
+        scheduler: HeadScheduler,
+        scheduler_lock: threading.Lock,
+    ) -> None:
+        """Consume one completion; release its segment; account it."""
+        msg = self._recv(handle)
+        kind = msg[0]
+        if kind == "robj":
+            raise _WorkerCrashed(msg)
+        if kind == "error":
+            raise RuntimeError(f"worker {handle.name} failed:\n{msg[1]}")
+        if kind != "done":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected message from {handle.name}: {msg[0]!r}")
+        _, job_id, proc_s = msg
+        job, seg = handle.inflight.popleft()
+        if job.job_id != job_id:  # pragma: no cover - protocol guard
+            raise RuntimeError(
+                f"completion order violated: expected job {job.job_id}, "
+                f"got {job_id}"
+            )
+        segments.release(seg)
+        wstats = handle.wstats
+        wstats.processing_s += proc_s
+        wstats.jobs_processed += 1
+        if job.location != cluster.location:
+            wstats.jobs_stolen += 1
+        with scheduler_lock:
+            scheduler.complete(job)
+            recovered = job.job_id in scheduler.requeued_ids
+        if recovered:
+            wstats.jobs_recovered += 1
+            wstats.recovery_s += proc_s
+
+    def _collect_robj(
+        self, handle: _WorkerHandle, segments: SharedSegmentPool
+    ) -> tuple[ReductionObject, SharedSegment | None, str]:
+        """Run the ship handshake; returns (robj, backing segment, status)."""
+        msg = self._recv(handle)
+        if msg[0] == "error":
+            raise RuntimeError(f"worker {handle.name} failed:\n{msg[1]}")
+        if msg[0] != "robj":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unexpected message from {handle.name}: {msg[0]!r}")
+        robj, seg = self._finish_ship(handle, segments, msg)
+        return robj, seg, msg[1]
+
+    def _finish_ship(
+        self, handle: _WorkerHandle, segments: SharedSegmentPool, msg: tuple
+    ) -> tuple[ReductionObject, SharedSegment | None]:
+        """Parent half of the out-of-band reduction-object transfer."""
+        _, _status, _crashed_job_id, meta, buf_lens, child_ser_s = msg
+        total = sum(buf_lens)
+        seg = segments.create(total) if total else None
+        handle.task_q.put(("ship", seg.name if seg else None))
+        reply = self._recv(handle)
+        if reply[0] == "error":
+            raise RuntimeError(f"worker {handle.name} failed:\n{reply[1]}")
+        if reply[0] != "shipped":  # pragma: no cover - protocol guard
+            raise RuntimeError(
+                f"unexpected message from {handle.name}: {reply[0]!r}"
+            )
+        t0 = time.monotonic()
+        if seg is not None:
+            base = seg.buf
+            views: list[memoryview] = []
+            offset = 0
+            for n in buf_lens:
+                views.append(base[offset : offset + n])
+                offset += n
+            robj = deserialize_robj_oob(meta, views)
+        else:
+            robj = deserialize_robj_oob(meta, [])
+        wstats = handle.wstats
+        wstats.ser_s += child_ser_s + (time.monotonic() - t0)
+        wstats.ipc_s += reply[1]  # the worker's copy into the segment
+        wstats.shm_nbytes += total
+        return robj, seg
+
+    def _requeue(
+        self,
+        jobs: list[Job],
+        master: _Master,
+        scheduler: HeadScheduler,
+        scheduler_lock: threading.Lock,
+    ) -> None:
+        """Return a dead worker's jobs (and its master's pool) to the head."""
+        requeue = list(jobs)
+        requeue.extend(master.worker_died())
+        with scheduler_lock:
+            for job in requeue:
+                scheduler.reassign(job)
+
+    def _feed_worker(
+        self,
+        cluster: ClusterConfig,
+        master: _Master,
+        handle: _WorkerHandle,
+        cluster_fetchers: dict[str, ParallelFetcher],
+        segments: SharedSegmentPool,
+        scheduler: HeadScheduler,
+        scheduler_lock: threading.Lock,
+        robjs_out: list[tuple[ReductionObject, SharedSegment | None]],
+        t_start: float,
+        errors: list[BaseException],
+        stop: threading.Event,
+    ) -> None:
+        wstats = handle.wstats
+        depth = 2 if self.prefetch else 1
+        failed_job: Job | None = None  # job whose fetch exhausted retries
+        try:
+            try:
+                while not stop.is_set():
+                    # Block at the head only when this worker has nothing
+                    # in flight: its inflight jobs are outstanding, and
+                    # only this feeder can complete them, so a blocking
+                    # wait here would deadlock the tail of the run
+                    # (same contract as the threaded engine's
+                    # ``reserve_next``).
+                    job = master.get_job(wait=not handle.inflight)
+                    if job is None:
+                        if handle.inflight:
+                            self._drain_one(
+                                cluster, handle, segments,
+                                scheduler, scheduler_lock,
+                            )
+                            continue
+                        break
+                    try:
+                        seg, cache_hit, fetch_s = self._fetch_segment(
+                            job, cluster_fetchers, segments
+                        )
+                    except RetryExhausted:
+                        failed_job = job
+                        raise
+                    if handle.inflight:
+                        # The worker was computing while we fetched: this
+                        # retrieval hid under processing.
+                        wstats.overlap_s += fetch_s
+                        wstats.prefetch_hits += 1
+                    else:
+                        wstats.retrieval_s += fetch_s
+                        if self.prefetch:
+                            wstats.prefetch_misses += 1
+                    if cache_hit:
+                        wstats.cache_hits += 1
+                    else:
+                        wstats.cache_misses += 1
+                    t0 = time.monotonic()
+                    handle.task_q.put(
+                        ("job", job.job_id, seg.name, job.chunk.nbytes)
+                    )
+                    wstats.ipc_s += time.monotonic() - t0
+                    wstats.shm_nbytes += job.chunk.nbytes
+                    handle.inflight.append((job, seg))
+                    while len(handle.inflight) >= depth:
+                        self._drain_one(
+                            cluster, handle, segments, scheduler, scheduler_lock
+                        )
+                while handle.inflight:
+                    self._drain_one(
+                        cluster, handle, segments, scheduler, scheduler_lock
+                    )
+                handle.task_q.put(("finish",))
+                robj, seg, _status = self._collect_robj(handle, segments)
+                wstats.finished_at = time.monotonic() - t_start
+                robjs_out.append((robj, seg))
+            except _WorkerCrashed as crashed:
+                # Injected crash: the worker already sent its partial
+                # object header.  Requeue everything it had in flight
+                # (the worker skips those task messages), keep what it
+                # completed.
+                inflight_jobs = [job for job, _ in handle.inflight]
+                for _, seg in handle.inflight:
+                    segments.release(seg)
+                handle.inflight.clear()
+                self._requeue(inflight_jobs, master, scheduler, scheduler_lock)
+                robj, seg = self._finish_ship(handle, segments, crashed.msg)
+                wstats.failed = True
+                wstats.finished_at = time.monotonic() - t_start
+                robjs_out.append((robj, seg))
+            except RetryExhausted:
+                # The fetch path gave up on ``failed_job`` (never sent to
+                # the worker).  The worker itself is healthy: let it
+                # finish the jobs it already holds, collect its partial
+                # object, and requeue only the failed job.
+                while handle.inflight:
+                    self._drain_one(
+                        cluster, handle, segments, scheduler, scheduler_lock
+                    )
+                self._requeue(
+                    [failed_job] if failed_job is not None else [],
+                    master, scheduler, scheduler_lock,
+                )
+                handle.task_q.put(("finish",))
+                robj, seg, _status = self._collect_robj(handle, segments)
+                wstats.failed = True
+                wstats.finished_at = time.monotonic() - t_start
+                robjs_out.append((robj, seg))
+        except BaseException as exc:  # surfaced by run()
+            for _, seg in handle.inflight:
+                segments.release(seg)
+            handle.inflight.clear()
+            errors.append(exc)
+            stop.set()  # fail fast: abort every other feeder promptly
+
+    def _fetch_segment(
+        self,
+        job: Job,
+        cluster_fetchers: dict[str, ParallelFetcher],
+        segments: SharedSegmentPool,
+    ) -> tuple[SharedSegment, bool, float]:
+        """Fetch one job's bytes straight into a fresh shared segment."""
+        t0 = time.monotonic()
+        seg = segments.create(job.chunk.nbytes)
+        try:
+            _, cache_hit = cluster_fetchers[job.location].fetch_into(
+                job.chunk.key, job.chunk.offset, job.chunk.nbytes, seg.buf
+            )
+            if self.verify_chunks:
+                from repro.data.integrity import verify_chunk_bytes
+
+                verify_chunk_bytes(job.chunk, seg.buf)
+        except BaseException:
+            segments.release(seg)
+            raise
+        return seg, cache_hit, time.monotonic() - t0

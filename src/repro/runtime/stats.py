@@ -39,6 +39,15 @@ class WorkerStats:
     # those re-executions cost (the re-fetch lands in ``retrieval_s``).
     jobs_recovered: int = 0
     recovery_s: float = 0.0
+    # Cross-process accounting (ProcessEngine).  ``ipc_s`` is time spent
+    # moving data across the process boundary (copying chunk bytes into
+    # shared memory, queue round-trips); ``ser_s`` is reduction-object
+    # serialize/deserialize time; ``shm_nbytes`` counts bytes that
+    # crossed through shared-memory segments.  All zero for in-process
+    # engines.
+    ipc_s: float = 0.0
+    ser_s: float = 0.0
+    shm_nbytes: int = 0
 
     @property
     def busy_s(self) -> float:
@@ -85,7 +94,11 @@ class ClusterStats:
 
     @property
     def total_s(self) -> float:
-        return self.processing_s + self.retrieval_s + self.sync_s
+        """Stacked-bar total: all per-worker mean components."""
+        return (
+            self.processing_s + self.retrieval_s + self.sync_s
+            + self.ipc_s + self.ser_s
+        )
 
     @property
     def jobs_processed(self) -> int:
@@ -134,6 +147,21 @@ class ClusterStats:
     def recovery_s(self) -> float:
         """Total compute time spent re-executing requeued jobs."""
         return sum(w.recovery_s for w in self.workers)
+
+    @property
+    def ipc_s(self) -> float:
+        """Mean per-worker cross-process data-movement time."""
+        return self._mean("ipc_s")
+
+    @property
+    def ser_s(self) -> float:
+        """Mean per-worker reduction-object (de)serialization time."""
+        return self._mean("ser_s")
+
+    @property
+    def shm_nbytes(self) -> int:
+        """Total bytes this cluster moved through shared memory."""
+        return sum(w.shm_nbytes for w in self.workers)
 
 
 @dataclass
@@ -195,18 +223,49 @@ class RunStats:
     def recovery_s(self) -> float:
         return sum(c.recovery_s for c in self.clusters.values())
 
+    @property
+    def shm_nbytes(self) -> int:
+        return sum(c.shm_nbytes for c in self.clusters.values())
+
     def breakdown_rows(self) -> list[dict]:
-        """Rows for the Figure-3-style stacked breakdown."""
+        """Rows for the Figure-3-style stacked breakdown.
+
+        ``ipc_s``/``ser_s`` decompose the cross-process overheads of the
+        process engine next to processing and retrieval, so the overlap
+        of fetch, IPC, and compute is visible in one table (both are
+        zero for the in-process engines).
+        """
         return [
             {
                 "cluster": c.name,
                 "processing_s": round(c.processing_s, 4),
                 "retrieval_s": round(c.retrieval_s, 4),
                 "sync_s": round(c.sync_s, 4),
+                "ipc_s": round(c.ipc_s, 4),
+                "ser_s": round(c.ser_s, 4),
                 "total_s": round(c.total_s, 4),
                 "n_retries": c.n_retries,
                 "n_errors": c.n_errors,
                 "bytes_retried": c.bytes_retried,
+            }
+            for c in self.clusters.values()
+        ]
+
+    def ipc_rows(self) -> list[dict]:
+        """Rows decomposing cross-process data movement per cluster.
+
+        Only the process engine populates these: ``ipc_s`` is shared-
+        memory copy plus queue round-trip time, ``ser_s`` the pickle-5
+        out-of-band (de)serialization of reduction objects, and
+        ``shm_nbytes`` the bytes that crossed process boundaries through
+        shared segments instead of pipes.
+        """
+        return [
+            {
+                "cluster": c.name,
+                "ipc_s": round(c.ipc_s, 4),
+                "ser_s": round(c.ser_s, 4),
+                "shm_nbytes": c.shm_nbytes,
             }
             for c in self.clusters.values()
         ]

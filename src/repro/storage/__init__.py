@@ -13,6 +13,7 @@ from repro.storage.faults import (
 from repro.storage.local import LocalDiskStore, MemoryStore
 from repro.storage.retry import RetryExhausted, RetryPolicy
 from repro.storage.s3 import S3Profile, SimulatedS3Store
+from repro.storage.shm import SharedSegment, SharedSegmentPool, attach_segment
 from repro.storage.transfer import ParallelFetcher, PrefetchHandle, split_range
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "MemoryStore",
     "S3Profile",
     "SimulatedS3Store",
+    "SharedSegment",
+    "SharedSegmentPool",
+    "attach_segment",
     "ParallelFetcher",
     "PrefetchHandle",
     "split_range",

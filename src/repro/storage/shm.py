@@ -1,0 +1,159 @@
+"""Shared-memory segments for cross-process data handoff.
+
+The process engine moves chunk bytes and reduction-object payloads
+between the parent (which owns the stores) and its worker processes
+through POSIX shared memory: the parent writes fetched bytes into a
+segment once, and a worker maps the same physical pages and decodes
+them with a zero-copy ``np.frombuffer`` -- no per-chunk pickling through
+a pipe, no second copy of the payload.
+
+Lifecycle discipline -- the part that actually matters:
+
+* **only the parent creates and unlinks segments.**  Workers attach and
+  close.  This keeps every ``/dev/shm`` entry owned by exactly one
+  process, so a single :class:`SharedSegmentPool` can assert at the end
+  of a run that nothing leaked, and the multiprocessing resource
+  tracker never has to clean up after us (its "leaked shared_memory
+  objects" warning is the symptom this module is designed to prevent);
+* ``unlink`` is independent of ``close``: removing the ``/dev/shm``
+  name succeeds even while mappings are still open, and the memory is
+  returned once the last mapping drops.  :meth:`SharedSegment.release`
+  therefore always unlinks, and tolerates a still-exported buffer view
+  by deferring only the local ``close``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing import shared_memory
+
+__all__ = ["SharedSegment", "SharedSegmentPool", "attach_segment", "close_quietly"]
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment by name (worker side).
+
+    The caller must ``close()`` the returned object when done -- and
+    must *not* ``unlink()`` it; the creating process owns the name.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def close_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Close a mapping even while numpy views still alias it.
+
+    ``SharedMemory.close`` raises ``BufferError`` when any exported view
+    is alive (CPython bpo-39959), and -- worse -- ``__del__`` retries the
+    close and spams the same error at garbage collection.  When that
+    happens we abandon the mapping to the surviving views instead: the
+    ``mmap`` object unmaps itself when the last view dies, the fd is
+    closed here, and the neutralized object's ``__del__`` has nothing
+    left to re-raise on.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._buf = None
+        shm._mmap = None  # the last surviving view's destructor unmaps
+        if getattr(shm, "_fd", -1) >= 0:
+            os.close(shm._fd)
+            shm._fd = -1
+
+
+class SharedSegment:
+    """One parent-owned shared-memory block."""
+
+    __slots__ = ("shm", "nbytes", "_released")
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        # The kernel may round the mapping up to a page; remember the
+        # requested size so views never expose trailing slack.
+        self.nbytes = nbytes
+        self._released = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def buf(self) -> memoryview:
+        """Writable view of exactly the requested bytes."""
+        return memoryview(self.shm.buf)[: self.nbytes]
+
+    def write(self, data) -> int:
+        """Copy ``data`` (bytes-like) into the segment from offset 0."""
+        view = memoryview(data).cast("B")
+        if view.nbytes > self.nbytes:
+            raise ValueError(
+                f"data of {view.nbytes} bytes exceeds segment size {self.nbytes}"
+            )
+        self.shm.buf[: view.nbytes] = view
+        return view.nbytes
+
+    def release(self) -> None:
+        """Unlink the ``/dev/shm`` name and drop this mapping.
+
+        Safe to call more than once.  If a numpy view over the buffer is
+        still alive the local ``close`` is skipped (the mapping is freed
+        when the view goes away), but the name is removed regardless --
+        unlink is what prevents a leak.
+        """
+        if self._released:
+            return
+        self._released = True
+        close_quietly(self.shm)
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class SharedSegmentPool:
+    """Tracks every live segment of one engine run.
+
+    All creation goes through :meth:`create` and all cleanup through
+    :meth:`release` / :meth:`close_all`, so the engine can both verify
+    clean teardown (``active_count == 0``) and guarantee it on error
+    paths (``close_all`` in a ``finally``).
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, SharedSegment] = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.bytes_through = 0
+
+    def create(self, nbytes: int) -> SharedSegment:
+        seg = SharedSegment(nbytes)
+        with self._lock:
+            self._segments[seg.name] = seg
+            self.created += 1
+            self.bytes_through += nbytes
+        return seg
+
+    def release(self, seg: SharedSegment) -> None:
+        with self._lock:
+            self._segments.pop(seg.name, None)
+        seg.release()
+
+    def close_all(self) -> None:
+        """Release everything still live (error-path safety net)."""
+        with self._lock:
+            leftovers = list(self._segments.values())
+            self._segments.clear()
+        for seg in leftovers:
+            seg.release()
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    @property
+    def active_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._segments)

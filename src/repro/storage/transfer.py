@@ -206,6 +206,62 @@ class ParallelFetcher:
             raise error
         return b"".join(chunks)
 
+    def fetch_into(
+        self, key: str, offset: int, nbytes: int, out
+    ) -> tuple[int, bool]:
+        """Fetch a range directly into a writable buffer; returns
+        ``(nbytes, cache_hit)``.
+
+        This is the shared-memory handoff path: ``out`` is typically a
+        :class:`~repro.storage.shm.SharedSegment` buffer, and each
+        parallel sub-range GET writes into its slice of ``out`` -- the
+        reassembly ``join`` (a full extra copy of the chunk) never
+        happens.  With a cache attached the cached/evictable value must
+        remain an independent ``bytes``, so that path copies once from
+        the cache entry into ``out``.
+        """
+        view = memoryview(out).cast("B")
+        if view.readonly:
+            raise ValueError("fetch_into needs a writable buffer")
+        if view.nbytes < nbytes:
+            raise ValueError(
+                f"buffer of {view.nbytes} bytes cannot hold {nbytes}-byte fetch"
+            )
+        if self.cache is not None or self._pool is None or nbytes < self.n_threads:
+            # Cache interplay (get/put want bytes) or single-connection
+            # fetch: reuse the assembled path, one copy into the buffer.
+            data, hit = self.fetch_with_info(key, offset, nbytes)
+            view[:nbytes] = data
+            return nbytes, hit
+        parts = split_range(offset, nbytes, self.n_threads)
+        futures = [
+            self._pool.submit(
+                self._get_part_into, key, off, n, view[off - offset : off - offset + n]
+            )
+            for off, n in parts
+        ]
+        error: BaseException | None = None
+        for f in futures:  # same deterministic collection as _fetch_direct
+            if error is not None:
+                f.cancel()
+                continue
+            try:
+                f.result()
+            except BaseException as exc:
+                error = exc
+        if error is not None:
+            for f in futures:
+                if not f.cancelled():
+                    try:
+                        f.result()
+                    except BaseException:
+                        pass
+            raise error
+        return nbytes, False
+
+    def _get_part_into(self, key: str, offset: int, nbytes: int, dest) -> None:
+        dest[:] = self._get_with_retry(key, offset, nbytes)
+
     def fetch_async(
         self, key: str, offset: int = 0, nbytes: int | None = None
     ) -> PrefetchHandle:

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.api import GeneralizedReductionSpec, run_local_pass
+from repro.core.api import (
+    GeneralizedReductionSpec,
+    run_local_pass,
+    tree_global_reduction,
+    uses_default_global_reduction,
+)
 from repro.core.reduction_object import ArrayReductionObject
 from repro.data.formats import tokens_format
 from repro.data.units import iter_unit_groups
@@ -76,3 +81,50 @@ class TestGlobalReduction:
         fwd = run_local_pass(spec, iter_unit_groups(data, 6)).value()[0]
         rev = run_local_pass(spec, iter_unit_groups(data[::-1].copy(), 11)).value()[0]
         assert fwd == rev
+
+    def test_inputs_not_mutated(self):
+        """The default merge must not fold into robjs[0] in place --
+        callers (and the tree merge) rely on inputs surviving."""
+        spec = SumSpec()
+        robjs = []
+        for v in (1.0, 2.0, 3.0):
+            r = spec.create_reduction_object()
+            r.data[0] = v
+            robjs.append(r)
+        merged = spec.global_reduction(robjs)
+        assert merged.value()[0] == 6.0
+        assert [r.value()[0] for r in robjs] == [1.0, 2.0, 3.0]
+        assert merged is not robjs[0]
+
+    def test_result_never_aliases_single_input(self):
+        spec = SumSpec()
+        r = spec.create_reduction_object()
+        r.data[0] = 42.0
+        merged = spec.global_reduction([r])
+        merged.data[0] = 0.0
+        assert r.value()[0] == 42.0
+
+
+class TestTreeGlobalReduction:
+    def test_matches_sequential_fold(self):
+        spec = SumSpec()
+        for n in (0, 1, 2, 3, 7, 8):
+            robjs = []
+            for v in range(n):
+                r = spec.create_reduction_object()
+                r.data[0] = float(v + 1)
+                robjs.append(r)
+            tree = tree_global_reduction(spec, robjs)
+            assert tree.value()[0] == spec.global_reduction(robjs).value()[0]
+            # Inputs survive the tree merge too.
+            assert [r.value()[0] for r in robjs] == [float(v + 1) for v in range(n)]
+
+    def test_detects_default_vs_override(self):
+        class Renormalizing(SumSpec):
+            def global_reduction(self, robjs):
+                merged = super().global_reduction(robjs)
+                merged.data[:] /= 2.0
+                return merged
+
+        assert uses_default_global_reduction(SumSpec())
+        assert not uses_default_global_reduction(Renormalizing())

@@ -10,7 +10,9 @@ from repro.core.reduction_object import (
 )
 from repro.core.serialization import (
     deserialize_robj,
+    deserialize_robj_oob,
     serialize_robj,
+    serialize_robj_oob,
     serialized_nbytes,
 )
 
@@ -46,6 +48,52 @@ class TestRoundtrips:
         assert np.array_equal(a.value(), [2.0, 2.0])
 
 
+class TestOutOfBand:
+    def test_array_roundtrip_zero_copy(self):
+        r = ArrayReductionObject((4,), np.float64, "add",
+                                 data=np.array([1.0, 2.0, 3.0, 4.0]))
+        meta, buffers = serialize_robj_oob(r)
+        # The payload travels out of band: the in-band pickle is tiny.
+        assert buffers and sum(b.nbytes for b in buffers) >= r.nbytes
+        assert len(meta) < 1024
+        back = deserialize_robj_oob(meta, buffers)
+        assert np.array_equal(back.value(), r.value())
+
+    def test_buffers_alias_original_memory(self):
+        r = ArrayReductionObject((3,), data=np.array([1.0, 2.0, 3.0]))
+        _meta, buffers = serialize_robj_oob(r)
+        r.data[0] = 99.0  # no copy happened at serialization time
+        joined = b"".join(bytes(b) for b in buffers)
+        assert np.frombuffer(joined, dtype=np.float64)[0] == 99.0
+
+    def test_reconstructed_aliases_provided_buffers(self):
+        r = ArrayReductionObject((3,), data=np.array([1.0, 2.0, 3.0]))
+        meta, buffers = serialize_robj_oob(r)
+        backing = bytearray(b"".join(bytes(b) for b in buffers))
+        views, off = [], 0
+        for b in buffers:
+            views.append(memoryview(backing)[off : off + b.nbytes])
+            off += b.nbytes
+        back = deserialize_robj_oob(meta, views)
+        np.frombuffer(backing, dtype=np.float64)[:] = 7.0
+        assert back.value()[0] == 7.0  # zero-copy over the backing store
+
+    def test_dict_robj_goes_fully_in_band(self):
+        from repro.core.combiners import get_combiner
+
+        r = DictReductionObject(get_combiner("sum"))
+        r.update("k", 5)
+        meta, buffers = serialize_robj_oob(r)
+        assert buffers == []
+        assert deserialize_robj_oob(meta, []).value() == {"k": 5}
+
+    def test_non_robj_payload_rejected(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            deserialize_robj_oob(pickle.dumps({"not": "a robj"}, protocol=5), [])
+
+
 class TestSizes:
     def test_serialized_nbytes_positive_and_ge_payload(self):
         r = ArrayReductionObject((1000,))
@@ -56,6 +104,13 @@ class TestSizes:
         small = serialized_nbytes(ArrayReductionObject((10,)))
         big = serialized_nbytes(ArrayReductionObject((100000,)))
         assert big > 50 * small
+
+    def test_streaming_count_matches_materialized_pickle(self):
+        for r in (
+            ArrayReductionObject((50000,), data=np.ones(50000)),
+            TopKReductionObject(3),
+        ):
+            assert serialized_nbytes(r) == len(serialize_robj(r))
 
 
 class TestValidation:

@@ -1,0 +1,104 @@
+"""Engine equivalence: all three executors compute the same answers.
+
+The threaded, process, and actor engines implement the same
+head/master/slave protocol over the same scheduler; for every
+application and data placement they must produce identical results and
+account every job exactly once -- no job lost, none double-folded,
+regardless of which side of the process boundary the fold ran on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeansSpec, lloyd_step
+from repro.apps.wordcount import WordCountSpec, wordcount_exact
+from repro.data.dataset import distribute_dataset, write_dataset
+from repro.data.generator import generate_points, generate_tokens
+from repro.runtime import ClusterConfig, make_engine
+from repro.storage.local import MemoryStore
+from repro.storage.s3 import S3Profile, SimulatedS3Store
+
+ENGINES = ("threaded", "process", "actor")
+
+#: local_fraction -> placement label used in test ids.
+PLACEMENTS = {"local-only": 1.0, "hybrid": 0.5, "cloud-only": 0.0}
+
+
+def build_env(units, fmt, local_fraction):
+    stores = {
+        "local": MemoryStore("local"),
+        "cloud": SimulatedS3Store(profile=S3Profile.unthrottled()),
+    }
+    index = write_dataset(
+        units, fmt, stores["local"], n_files=4,
+        chunk_units=max(1, len(units) // 12),
+    )
+    fractions = {}
+    if local_fraction > 0:
+        fractions["local"] = local_fraction
+    if local_fraction < 1:
+        fractions["cloud"] = 1.0 - local_fraction
+    index = distribute_dataset(index, stores, fractions, stores["local"])
+    clusters = [
+        ClusterConfig("local", "local", 2, 2),
+        ClusterConfig("cloud", "cloud", 2, 2),
+    ]
+    return stores, index, clusters
+
+
+def run_engine(name, spec, stores, index, clusters):
+    return make_engine(name, clusters, stores, batch_size=2).run(spec, index)
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS, ids=PLACEMENTS.keys())
+class TestAllEnginesAgree:
+    def test_wordcount_identical_counts(self, placement):
+        toks = generate_tokens(12000, 300, seed=61)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(
+            toks, spec.fmt, PLACEMENTS[placement]
+        )
+        ref = wordcount_exact(toks)
+        n_jobs = len(index.chunks)
+        for name in ENGINES:
+            rr = run_engine(name, spec, stores, index, clusters)
+            assert rr.result == ref, f"{name} wordcount diverged"
+            assert rr.stats.jobs_processed == n_jobs, (
+                f"{name}: {rr.stats.jobs_processed} jobs for {n_jobs} chunks"
+            )
+
+    def test_kmeans_identical_step(self, placement):
+        pts = generate_points(2400, 4, n_clusters=3, spread=0.08, seed=62)
+        cents = generate_points(3, 4, seed=63)
+        spec = KMeansSpec(cents)
+        stores, index, clusters = build_env(
+            pts, spec.fmt, PLACEMENTS[placement]
+        )
+        ref = lloyd_step(pts, cents)
+        n_jobs = len(index.chunks)
+        for name in ENGINES:
+            rr = run_engine(name, spec, stores, index, clusters)
+            np.testing.assert_allclose(
+                rr.result.centroids, ref.centroids,
+                err_msg=f"{name} centroids diverged",
+            )
+            np.testing.assert_array_equal(rr.result.counts, ref.counts)
+            assert rr.stats.jobs_processed == n_jobs
+
+
+class TestExactlyOnceUnderStealing:
+    def test_jobs_partition_across_clusters(self):
+        """Per-cluster job counts sum to the total with no overlap even
+        when one side steals (cloud-only placement, local workers idle
+        or stealing)."""
+        toks = generate_tokens(9000, 200, seed=64)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(toks, spec.fmt, 0.0)
+        n_jobs = len(index.chunks)
+        for name in ENGINES:
+            rr = run_engine(name, spec, stores, index, clusters)
+            per_cluster = [
+                c.jobs_processed for c in rr.stats.clusters.values()
+            ]
+            assert sum(per_cluster) == n_jobs
+            assert rr.result == wordcount_exact(toks)

@@ -54,11 +54,32 @@ class TestRunStats:
                 "processing_s": 12.0,
                 "retrieval_s": 5.0,
                 "sync_s": 2.0,
+                "ipc_s": 0.0,
+                "ser_s": 0.0,
                 "total_s": 19.0,
                 "n_retries": 0,
                 "n_errors": 0,
                 "bytes_retried": 0,
             }
+        ]
+
+    def test_ipc_rows_and_aggregates(self):
+        rs = RunStats()
+        c = make_cluster()
+        c.workers[0].ipc_s = 0.2
+        c.workers[0].ser_s = 0.4
+        c.workers[0].shm_nbytes = 1000
+        c.workers[1].ipc_s = 0.6
+        c.workers[1].ser_s = 0.0
+        c.workers[1].shm_nbytes = 3000
+        rs.clusters["a"] = c
+        assert c.ipc_s == 0.4    # mean per worker, like the other bars
+        assert c.ser_s == 0.2
+        assert c.shm_nbytes == 4000
+        assert rs.shm_nbytes == 4000
+        assert c.total_s == 19.0 + 0.4 + 0.2
+        assert rs.ipc_rows() == [
+            {"cluster": "local", "ipc_s": 0.4, "ser_s": 0.2, "shm_nbytes": 4000}
         ]
 
     def test_fault_rows_and_aggregates(self):

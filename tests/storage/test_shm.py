@@ -1,0 +1,111 @@
+"""Unit tests for shared-memory segment lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.storage.shm import (
+    SharedSegment,
+    SharedSegmentPool,
+    attach_segment,
+    close_quietly,
+)
+
+
+def shm_exists(name: str) -> bool:
+    try:
+        seg = attach_segment(name)
+    except FileNotFoundError:
+        return False
+    close_quietly(seg)
+    return True
+
+
+class TestSharedSegment:
+    def test_write_and_read_back(self):
+        seg = SharedSegment(64)
+        try:
+            seg.write(b"hello")
+            assert bytes(seg.buf[:5]) == b"hello"
+        finally:
+            seg.release()
+
+    def test_buf_is_exactly_requested_size(self):
+        seg = SharedSegment(100)  # kernel rounds the mapping to a page
+        try:
+            assert seg.buf.nbytes == 100
+        finally:
+            seg.release()
+
+    def test_release_removes_name(self):
+        seg = SharedSegment(16)
+        name = seg.name
+        assert shm_exists(name)
+        seg.release()
+        assert not shm_exists(name)
+
+    def test_release_is_idempotent(self):
+        seg = SharedSegment(16)
+        seg.release()
+        seg.release()
+
+    def test_release_with_live_numpy_view_still_unlinks(self):
+        seg = SharedSegment(80)
+        name = seg.name
+        arr = np.frombuffer(seg.buf, dtype=np.float64)
+        arr[:] = 3.0
+        seg.release()  # view still alive: must not raise, must unlink
+        assert not shm_exists(name)
+        assert arr[0] == 3.0  # pages survive until the view dies
+        del arr
+
+    def test_oversized_write_rejected(self):
+        seg = SharedSegment(4)
+        try:
+            with pytest.raises(ValueError):
+                seg.write(b"toolong")
+        finally:
+            seg.release()
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            SharedSegment(0)
+
+    def test_attach_sees_parent_writes(self):
+        seg = SharedSegment(8)
+        try:
+            seg.write(b"abcdefgh")
+            other = attach_segment(seg.name)
+            try:
+                assert bytes(other.buf[:8]) == b"abcdefgh"
+            finally:
+                close_quietly(other)
+        finally:
+            seg.release()
+
+
+class TestSharedSegmentPool:
+    def test_tracks_active_segments(self):
+        pool = SharedSegmentPool()
+        a = pool.create(16)
+        b = pool.create(32)
+        assert pool.active_count == 2
+        assert pool.created == 2
+        assert pool.bytes_through == 48
+        pool.release(a)
+        assert pool.active_count == 1
+        assert pool.active_names == [b.name]
+        pool.release(b)
+        assert pool.active_count == 0
+
+    def test_close_all_releases_everything(self):
+        pool = SharedSegmentPool()
+        names = [pool.create(16).name for _ in range(3)]
+        pool.close_all()
+        assert pool.active_count == 0
+        assert not any(shm_exists(n) for n in names)
+
+    def test_release_unknown_segment_is_safe(self):
+        pool = SharedSegmentPool()
+        seg = SharedSegment(16)
+        pool.release(seg)  # not created through this pool: still released
+        assert not shm_exists(seg.name)

@@ -169,6 +169,65 @@ class TestCacheIntegration:
         assert cache.contains(store.location, "o", 0, 16)
 
 
+class TestFetchInto:
+    def test_writes_range_into_buffer(self):
+        store = MemoryStore()
+        data = bytes(range(256)) * 4
+        store.put("o", data)
+        out = bytearray(512)
+        with ParallelFetcher(store, n_threads=4) as fetcher:
+            n, hit = fetcher.fetch_into("o", 128, 512, out)
+        assert (n, hit) == (512, False)
+        assert bytes(out) == data[128:640]
+
+    def test_single_thread_path(self):
+        store = MemoryStore()
+        store.put("o", b"0123456789")
+        out = bytearray(4)
+        with ParallelFetcher(store, n_threads=1) as fetcher:
+            n, hit = fetcher.fetch_into("o", 3, 4, out)
+        assert (n, hit) == (4, False)
+        assert bytes(out) == b"3456"
+
+    def test_parallel_parts_write_disjoint_slices(self):
+        """Each sub-range GET lands in its own slice; the reassembly
+        equals the assembled fetch byte for byte."""
+        store = MemoryStore()
+        data = bytes((i * 7) % 256 for i in range(4096))
+        store.put("o", data)
+        out = bytearray(4096)
+        with ParallelFetcher(store, n_threads=8) as fetcher:
+            fetcher.fetch_into("o", 0, 4096, out)
+            assert bytes(out) == fetcher.fetch("o", 0, 4096)
+        assert store.stats.n_gets >= 8
+
+    def test_cache_hit_copies_into_buffer(self):
+        store = MemoryStore()
+        store.put("o", b"q" * 64)
+        cache = ChunkCache(1024)
+        out = bytearray(64)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            fetcher.fetch("o", 0, 64)  # warm
+            n, hit = fetcher.fetch_into("o", 0, 64, out)
+        assert (n, hit) == (64, True)
+        assert bytes(out) == b"q" * 64
+        assert store.stats.n_gets == 1
+
+    def test_readonly_buffer_rejected(self):
+        store = MemoryStore()
+        store.put("o", b"abcd")
+        with ParallelFetcher(store) as fetcher:
+            with pytest.raises(ValueError):
+                fetcher.fetch_into("o", 0, 4, b"xxxx")
+
+    def test_undersized_buffer_rejected(self):
+        store = MemoryStore()
+        store.put("o", b"abcd")
+        with ParallelFetcher(store) as fetcher:
+            with pytest.raises(ValueError):
+                fetcher.fetch_into("o", 0, 4, bytearray(2))
+
+
 class TestFetchAsync:
     def test_result_and_timing(self):
         store = MemoryStore()
