@@ -37,6 +37,7 @@ from repro.sim.calibration import (
     ResourceParams,
 )
 from repro.sim.simrun import SimRunResult, simulate_run
+from repro.sim.topology import TransferSimModel
 from repro.storage.base import StorageBackend
 
 __all__ = [
@@ -83,6 +84,10 @@ def simulate_environment(
     cache_nbytes: int = 0,
     caches=None,
     failures=None,
+    codec: str | None = None,
+    transfer=None,
+    adaptive_fetch: bool = False,
+    autotune_params=None,
 ) -> SimRunResult:
     """Simulate one application under one environment configuration.
 
@@ -92,17 +97,24 @@ def simulate_environment(
     of an iterative workload against warmed per-cluster caches.
     ``failures`` (a list of :class:`~repro.sim.simrun.FailureSpec`)
     kills workers mid-run; the head reassigns their in-flight jobs.
+    ``codec`` selects the calibrated transfer model for that codec
+    (:meth:`~repro.sim.topology.TransferSimModel.for_codec`), or pass an
+    explicit ``transfer`` model; ``adaptive_fetch`` swaps fixed
+    retrieval threads for per-path AIMD autotuning.
     """
     profile = APP_PROFILES[app]
     params = params or ResourceParams()
     index = paper_index(profile, env)
+    if transfer is None and codec is not None:
+        transfer = TransferSimModel.for_codec(codec)
     kwargs: dict[str, Any] = {"seed": seed}
     if scheduler_factory is not None:
         kwargs["scheduler_factory"] = scheduler_factory
     return simulate_run(
         index, env.clusters(params), profile, params,
         prefetch=prefetch, cache_nbytes=cache_nbytes, caches=caches,
-        failures=failures, **kwargs,
+        failures=failures, transfer=transfer, adaptive_fetch=adaptive_fetch,
+        autotune_params=autotune_params, **kwargs,
     )
 
 
@@ -150,6 +162,10 @@ def run_threaded_bursting(
     chunk_cache=None,
     retry=None,
     crash_plan: dict[str, int] | None = None,
+    codec: str | None = None,
+    adaptive_fetch: bool = False,
+    min_part_nbytes: int | None = None,
+    autotune_params=None,
 ) -> RunResult:
     """Run a real dataset through the middleware, split across sites.
 
@@ -165,13 +181,18 @@ def run_threaded_bursting(
     :class:`~repro.storage.retry.RetryPolicy`) and ``crash_plan``
     (worker name -> jobs before an injected crash) exercise the fault
     tolerance layer; see :class:`~repro.runtime.engine.ThreadedEngine`.
+    ``codec`` writes the dataset pre-compressed so fetches move encoded
+    bytes; ``adaptive_fetch`` swaps the fixed ``retrieval_threads``
+    fan-out for per-path AIMD autotuning
+    (:mod:`repro.storage.autotune`).
     """
     if "local" not in stores or "cloud" not in stores:
         raise ValueError('stores must provide "local" and "cloud" backends')
     if chunk_units is None:
         chunk_units = max(1, len(units) // (n_files * 3))
     index = write_dataset(
-        units, spec.fmt, stores["local"], n_files=n_files, chunk_units=chunk_units
+        units, spec.fmt, stores["local"], n_files=n_files, chunk_units=chunk_units,
+        codec=codec,
     )
     fractions: dict[str, float] = {}
     if local_fraction > 0:
@@ -188,7 +209,13 @@ def run_threaded_bursting(
         clusters.append(
             ClusterConfig("cloud", "cloud", cloud_workers, retrieval_threads)
         )
-    kwargs: dict[str, Any] = {"batch_size": batch_size}
+    kwargs: dict[str, Any] = {
+        "batch_size": batch_size,
+        "adaptive_fetch": adaptive_fetch,
+        "autotune_params": autotune_params,
+    }
+    if min_part_nbytes is not None:
+        kwargs["min_part_nbytes"] = min_part_nbytes
     if engine == "actor":
         given = sorted(
             name

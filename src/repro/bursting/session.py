@@ -27,9 +27,11 @@ from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex
 from repro.runtime import make_engine
 from repro.runtime.engine import ClusterConfig, RunResult
+from repro.storage.autotune import AutotuneParams
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
 from repro.storage.retry import RetryPolicy
+from repro.storage.transfer import DEFAULT_MIN_PART_NBYTES
 
 __all__ = ["BurstingSession"]
 
@@ -51,6 +53,11 @@ class BurstingSession:
     ``{"cloud-w0": 2}``) injects worker crashes that the engine
     contains and recovers from -- see
     :class:`~repro.runtime.engine.ThreadedEngine`.
+
+    ``adaptive_fetch=True`` replaces the fixed ``retrieval_threads``
+    fan-out with one AIMD autotuner per (cluster, data location) path
+    (see :mod:`repro.storage.autotune`); ``min_part_nbytes`` floors the
+    sub-range size so small chunks travel as a single GET.
 
     ``engine`` selects the execution engine: ``"threaded"`` (default,
     worker threads), ``"process"`` (one OS process per slave with
@@ -74,6 +81,9 @@ class BurstingSession:
         cache_mb: float | None = None,
         retry: RetryPolicy | None = None,
         crash_plan: dict[str, int] | None = None,
+        adaptive_fetch: bool = False,
+        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
+        autotune_params: AutotuneParams | None = None,
     ) -> None:
         missing = set(index.locations) - set(stores)
         if missing:
@@ -92,7 +102,12 @@ class BurstingSession:
             )
         if not clusters:
             raise ValueError("session needs at least one worker")
-        kwargs: dict[str, Any] = {"batch_size": batch_size}
+        kwargs: dict[str, Any] = {
+            "batch_size": batch_size,
+            "adaptive_fetch": adaptive_fetch,
+            "min_part_nbytes": min_part_nbytes,
+            "autotune_params": autotune_params,
+        }
         if scheduler_factory is not None:
             kwargs["scheduler_factory"] = scheduler_factory
         if engine == "actor":
@@ -127,15 +142,22 @@ class BurstingSession:
         local_fraction: float = 0.5,
         n_files: int = 8,
         chunk_units: int | None = None,
+        codec: str | None = None,
         **engine_kwargs: Any,
     ) -> "BurstingSession":
-        """Write, chunk, and distribute a dataset, then open a session."""
+        """Write, chunk, and distribute a dataset, then open a session.
+
+        ``codec`` makes the organizer write the files pre-compressed
+        (see :func:`repro.data.dataset.write_dataset`); every fetch then
+        moves encoded bytes and decodes after reassembly.
+        """
         if "local" not in stores or "cloud" not in stores:
             raise ValueError('stores must provide "local" and "cloud" backends')
         if chunk_units is None:
             chunk_units = max(1, len(units) // (n_files * 3))
         index = write_dataset(
-            units, fmt, stores["local"], n_files=n_files, chunk_units=chunk_units
+            units, fmt, stores["local"], n_files=n_files, chunk_units=chunk_units,
+            codec=codec,
         )
         fractions: dict[str, float] = {}
         if local_fraction > 0:

@@ -39,10 +39,12 @@ from repro.cost.provisioning import (
     tradeoff_curve,
 )
 from repro.sim.calibration import APP_PROFILES
+from repro.storage.codecs import CODEC_NAMES
 
 __all__ = ["main", "build_parser"]
 
 PAPER_APPS = tuple(APP_PROFILES)
+CODEC_CHOICES = tuple(CODEC_NAMES)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail", action="append", default=[], metavar="CLUSTER:N@T",
                    help="kill N workers of CLUSTER at simulated time T seconds "
                         "(repeatable); their in-flight jobs are reassigned")
+    p.add_argument("--codec", choices=CODEC_CHOICES, default=None,
+                   help="model a pre-compressed dataset: only encoded bytes "
+                        "cross the links, each chunk pays its decode cost")
+    p.add_argument("--adaptive-fetch", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="AIMD-autotune the retrieval fan-out per "
+                        "(cluster, data location) path instead of a fixed "
+                        "thread count")
 
     p = sub.add_parser("provision", help="time/cost-aware cloud-core sizing")
     p.add_argument("--app", choices=PAPER_APPS, required=True)
@@ -122,6 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash worker NAME (e.g. cloud-w0) after it has "
                         "processed N jobs (repeatable); the engine contains "
                         "the crash and re-executes its in-flight job")
+    p.add_argument("--codec", choices=CODEC_CHOICES, default=None,
+                   help="write the dataset pre-compressed; fetches move "
+                        "encoded bytes and decode after reassembly (lz4 "
+                        "falls back to zlib if the package is missing)")
+    p.add_argument("--adaptive-fetch", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="AIMD-autotune the retrieval fan-out per "
+                        "(cluster, data location) path instead of fixed "
+                        "retrieval threads")
+    p.add_argument("--min-part-kb", type=float, default=None,
+                   help="floor on parallel sub-range size in KiB; smaller "
+                        "fetches coalesce into fewer GETs (default 4)")
     return parser
 
 
@@ -188,6 +210,7 @@ def _cmd_simulate(args) -> int:
             args.app, env, seed=args.seed, prefetch=args.prefetch,
             cache_nbytes=cache_nbytes, caches=caches,
             failures=failures or None,
+            codec=args.codec, adaptive_fetch=args.adaptive_fetch,
         )
         caches = res.caches
         if args.iterations > 1:
@@ -202,6 +225,9 @@ def _cmd_simulate(args) -> int:
     if args.prefetch or cache_nbytes:
         print()
         print(format_table(res.stats.pipeline_rows(), "pipeline decomposition"))
+    if args.codec or args.adaptive_fetch:
+        print()
+        print(format_table(res.stats.transfer_rows(), "transfer layer"))
     if failures:
         print()
         print(format_table(res.stats.fault_rows(), "fault recovery"))
@@ -320,6 +346,9 @@ def _cmd_demo(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.min_part_kb is not None and args.min_part_kb < 0:
+        print("error: --min-part-kb must be non-negative", file=sys.stderr)
+        return 2
     tokens = generate_tokens(args.tokens, args.vocab, seed=7)
     cloud: Any = SimulatedS3Store()
     if fault_spec is not None:
@@ -329,6 +358,12 @@ def _cmd_demo(args) -> int:
         rr = run_threaded_bursting(
             WordCountSpec(), tokens, stores, engine=args.engine,
             local_fraction=0.5, retry=retry, crash_plan=crash_plan or None,
+            codec=args.codec, adaptive_fetch=args.adaptive_fetch,
+            min_part_nbytes=(
+                int(args.min_part_kb * 1024)
+                if args.min_part_kb is not None
+                else None
+            ),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -343,6 +378,10 @@ def _cmd_demo(args) -> int:
         from repro.bursting.report import format_table
 
         print(format_table(rr.stats.ipc_rows(), "cross-process data movement"))
+    if args.codec or args.adaptive_fetch:
+        from repro.bursting.report import format_table
+
+        print(format_table(rr.stats.transfer_rows(), "transfer layer"))
     if fault_spec is not None or retry is not None or crash_plan:
         parts = [
             f"retries: {rr.stats.n_retries}",

@@ -29,6 +29,24 @@ class ChunkInfo:
     n_units: int        # number of data units in the chunk
     location: str       # name of the storage site currently holding it
     crc32: int | None = None  # checksum of the chunk's bytes, if computed
+    # Set when the organizer wrote the file pre-compressed: the chunk's
+    # encoded frame lives at [enc_offset, enc_offset + enc_nbytes) of the
+    # stored object, while offset/nbytes keep describing the *logical*
+    # byte range.  The fetch path retrieves the encoded range and
+    # decodes; crc32 always covers the logical bytes.
+    codec: str | None = None
+    enc_offset: int | None = None
+    enc_nbytes: int | None = None
+
+    @property
+    def wire_offset(self) -> int:
+        """Byte offset actually fetched from the store."""
+        return self.offset if self.codec is None else self.enc_offset
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Byte count actually fetched from the store."""
+        return self.nbytes if self.codec is None else self.enc_nbytes
 
     def to_dict(self) -> dict:
         return {
@@ -40,11 +58,22 @@ class ChunkInfo:
             "n_units": self.n_units,
             "location": self.location,
             "crc32": self.crc32,
+            "codec": self.codec,
+            "enc_offset": self.enc_offset,
+            "enc_nbytes": self.enc_nbytes,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "ChunkInfo":
-        return cls(**{**d, "crc32": d.get("crc32")})
+        return cls(
+            **{
+                **d,
+                "crc32": d.get("crc32"),
+                "codec": d.get("codec"),
+                "enc_offset": d.get("enc_offset"),
+                "enc_nbytes": d.get("enc_nbytes"),
+            }
+        )
 
 
 def plan_file_chunks(

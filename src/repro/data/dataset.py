@@ -8,11 +8,14 @@ pool.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex, build_index
 from repro.storage.base import StorageBackend
+from repro.storage.codecs import decode_chunk, encode_chunk, resolve_codec
 
 __all__ = ["write_dataset", "distribute_dataset", "read_chunk", "read_all_units"]
 
@@ -26,6 +29,7 @@ def write_dataset(
     chunk_units: int,
     key_prefix: str = "part",
     meta: dict | None = None,
+    codec: str | None = None,
 ) -> DataIndex:
     """Write ``units`` into ``n_files`` files in ``store`` and build the index.
 
@@ -33,22 +37,52 @@ def write_dataset(
     differ by at most one unit), preserving order: file 0 holds the first
     run, and chunk ids increase with position in the dataset, so
     "consecutive jobs" in the index are physically consecutive bytes.
+
+    With ``codec`` set the organizer writes each file *pre-compressed*:
+    every chunk becomes one self-describing frame
+    (:func:`repro.storage.codecs.encode_chunk`) and the frames are
+    concatenated, so a chunk is still one contiguous range read -- just
+    of its *encoded* range, which the index records in
+    ``enc_offset``/``enc_nbytes``.  ``offset``/``nbytes``/``FileInfo.nbytes``
+    keep describing logical bytes (placement fractions stay
+    byte-of-data fractions).  ``lz4`` silently falls back to ``zlib``
+    when the optional package is missing; the codec actually used is
+    recorded per chunk and in ``index.meta["codec"]``.
     """
     if n_files <= 0:
         raise ValueError("n_files must be positive")
     n = units.shape[0]
     if n < n_files:
         raise ValueError(f"{n} units cannot fill {n_files} files")
+    codec_obj = resolve_codec(codec) if codec is not None else None
     base, extra = divmod(n, n_files)
     file_units: list[int] = []
+    enc_ranges: dict[int, list[tuple[int, int]]] = {}
     pos = 0
     for i in range(n_files):
         cnt = base + (1 if i < extra else 0)
         file_units.append(cnt)
         key = f"{key_prefix}-{i:05d}.bin"
-        store.put(key, fmt.encode(units[pos : pos + cnt]))
+        run = units[pos : pos + cnt]
+        if codec_obj is None:
+            store.put(key, fmt.encode(run))
+        else:
+            frames: list[bytes] = []
+            ranges: list[tuple[int, int]] = []
+            off = 0
+            for start in range(0, cnt, chunk_units):
+                frame = encode_chunk(
+                    fmt.encode(run[start : start + chunk_units]),
+                    codec_obj,
+                    fmt.unit_nbytes,
+                )
+                ranges.append((off, len(frame)))
+                off += len(frame)
+                frames.append(frame)
+            store.put(key, b"".join(frames))
+            enc_ranges[i] = ranges
         pos += cnt
-    return build_index(
+    index = build_index(
         fmt,
         file_units,
         chunk_units=chunk_units,
@@ -56,6 +90,20 @@ def write_dataset(
         key_prefix=key_prefix,
         meta=meta,
     )
+    if codec_obj is None:
+        return index
+    next_in_file = {f.file_id: 0 for f in index.files}
+    new_chunks = []
+    for c in index.chunks:
+        j = next_in_file[c.file_id]
+        next_in_file[c.file_id] = j + 1
+        enc_off, enc_n = enc_ranges[c.file_id][j]
+        new_chunks.append(
+            replace(c, codec=codec_obj.name, enc_offset=enc_off, enc_nbytes=enc_n)
+        )
+    new_meta = dict(index.meta)
+    new_meta["codec"] = codec_obj.name
+    return DataIndex(index.fmt, index.files, new_chunks, new_meta)
 
 
 def distribute_dataset(
@@ -96,7 +144,9 @@ def read_chunk(
     chunk = index.chunks[chunk_id]
     if chunk.chunk_id != chunk_id:  # index must be dense and ordered
         raise ValueError(f"index chunk list is not dense at id {chunk_id}")
-    raw = stores[chunk.location].get(chunk.key, chunk.offset, chunk.nbytes)
+    raw = stores[chunk.location].get(chunk.key, chunk.wire_offset, chunk.wire_nbytes)
+    if chunk.codec is not None:
+        raw = decode_chunk(raw)
     if verify:
         from repro.data.integrity import verify_chunk_bytes
 

@@ -14,8 +14,20 @@ import zlib
 from repro.data.chunks import ChunkInfo
 from repro.data.index import DataIndex
 from repro.storage.base import StorageBackend
+from repro.storage.codecs import CodecError, decode_chunk
 
 __all__ = ["IntegrityError", "attach_checksums", "verify_chunk_bytes", "verify_dataset"]
+
+
+def _read_logical(chunk: ChunkInfo, store: StorageBackend) -> bytes:
+    """Read a chunk's *logical* bytes, decoding the frame when encoded.
+
+    Checksums always cover the logical bytes, so a chunk re-encoded with
+    a different codec keeps its CRC32 and retries after a corrupted
+    transfer can be verified after decode.
+    """
+    raw = store.get(chunk.key, chunk.wire_offset, chunk.wire_nbytes)
+    return decode_chunk(raw) if chunk.codec is not None else raw
 
 
 class IntegrityError(Exception):
@@ -38,11 +50,12 @@ def attach_checksums(index: DataIndex, stores: dict[str, StorageBackend]) -> Dat
     """
     new_chunks = []
     for c in index.chunks:
-        raw = stores[c.location].get(c.key, c.offset, c.nbytes)
+        raw = _read_logical(c, stores[c.location])
         new_chunks.append(
             ChunkInfo(
                 c.chunk_id, c.file_id, c.key, c.offset, c.nbytes, c.n_units,
                 c.location, zlib.crc32(raw),
+                codec=c.codec, enc_offset=c.enc_offset, enc_nbytes=c.enc_nbytes,
             )
         )
     return DataIndex(index.fmt, list(index.files), new_chunks, dict(index.meta))
@@ -75,8 +88,10 @@ def verify_dataset(
         if c.crc32 is None:
             continue
         try:
-            raw = stores[c.location].get(c.key, c.offset, c.nbytes)
-        except (KeyError, ValueError):
+            raw = _read_logical(c, stores[c.location])
+        except (KeyError, ValueError, CodecError):
+            # missing object, bad range, or an undecodable frame: the
+            # chunk's bytes cannot be recovered, so it scrubs as damaged
             bad.append(c)
             continue
         try:

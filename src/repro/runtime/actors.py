@@ -25,13 +25,14 @@ from repro.core.reduction_object import ReductionObject
 from repro.core.serialization import deserialize_robj, serialize_robj
 from repro.data.index import DataIndex
 from repro.data.units import iter_unit_groups, units_per_group
-from repro.runtime.engine import ClusterConfig, RunResult
+from repro.runtime.engine import ClusterConfig, RunResult, make_cluster_fetchers
 from repro.runtime.jobs import Job, jobs_from_index
 from repro.runtime.messages import AssignJobs, Channel, RequestJobs, RobjUpload, Shutdown
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.storage.autotune import AutotuneParams
 from repro.storage.base import StorageBackend
-from repro.storage.transfer import ParallelFetcher
+from repro.storage.transfer import DEFAULT_MIN_PART_NBYTES, ParallelFetcher
 
 __all__ = ["ActorEngine"]
 
@@ -107,6 +108,9 @@ class _MasterActor(threading.Thread):
         group_units: int,
         cstats: ClusterStats,
         t_start: float,
+        adaptive_fetch: bool = False,
+        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
+        autotune_params: AutotuneParams | None = None,
     ) -> None:
         super().__init__(name=f"master-{cluster.name}", daemon=True)
         self.cluster = cluster
@@ -119,6 +123,9 @@ class _MasterActor(threading.Thread):
         self.group_units = group_units
         self.cstats = cstats
         self.t_start = t_start
+        self.adaptive_fetch = adaptive_fetch
+        self.min_part_nbytes = min_part_nbytes
+        self.autotune_params = autotune_params
         self.error: BaseException | None = None
         self._pool: list[Job] = []
         self._done = False
@@ -160,10 +167,13 @@ class _MasterActor(threading.Thread):
 
     def run(self) -> None:
         try:
-            fetchers = {
-                loc: ParallelFetcher(store, self.cluster.retrieval_threads)
-                for loc, store in self.stores.items()
-            }
+            fetchers = make_cluster_fetchers(
+                self.stores,
+                self.cluster,
+                adaptive_fetch=self.adaptive_fetch,
+                min_part_nbytes=self.min_part_nbytes,
+                autotune_params=self.autotune_params,
+            )
             robjs: list[ReductionObject] = []
             workers = []
             for wid in range(self.cluster.n_workers):
@@ -179,7 +189,9 @@ class _MasterActor(threading.Thread):
                 th.start()
             for th in workers:
                 th.join()
-            for f in fetchers.values():
+            for loc, f in fetchers.items():
+                if f.autotune is not None and f.autotune.n_samples:
+                    self.cstats.autotune[loc] = f.autotune.snapshot()
                 f.close()
             if self.error is not None:
                 raise self.error
@@ -212,11 +224,12 @@ class _MasterActor(threading.Thread):
                 if job is None:
                     break
                 t0 = time.monotonic()
-                raw = fetchers[job.location].fetch(
-                    job.chunk.key, job.chunk.offset, job.chunk.nbytes
-                )
+                raw, info = fetchers[job.location].fetch_chunk(job.chunk)
                 t1 = time.monotonic()
-                wstats.retrieval_s += t1 - t0
+                wstats.retrieval_s += t1 - t0 - info.decode_s
+                wstats.decode_s += info.decode_s
+                wstats.bytes_wire += info.bytes_wire
+                wstats.bytes_logical += info.bytes_logical
                 units = self.index.fmt.decode(raw)
                 for group in iter_unit_groups(units, self.group_units):
                     self.spec.local_reduction(robj, group)
@@ -242,6 +255,9 @@ class ActorEngine:
         batch_size: int = 4,
         group_nbytes: int = 1 << 20,
         scheduler_factory=HeadScheduler,
+        adaptive_fetch: bool = False,
+        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
+        autotune_params: AutotuneParams | None = None,
     ) -> None:
         if not clusters:
             raise ValueError("need at least one cluster")
@@ -253,6 +269,9 @@ class ActorEngine:
         self.batch_size = batch_size
         self.group_nbytes = group_nbytes
         self.scheduler_factory = scheduler_factory
+        self.adaptive_fetch = adaptive_fetch
+        self.min_part_nbytes = min_part_nbytes
+        self.autotune_params = autotune_params
 
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
         missing = set(index.locations) - set(self.stores)
@@ -277,6 +296,9 @@ class ActorEngine:
                     cluster, head_inbox, master_channels[cluster.name], spec,
                     index, self.stores, self.batch_size, group_units,
                     cstats, t_start,
+                    adaptive_fetch=self.adaptive_fetch,
+                    min_part_nbytes=self.min_part_nbytes,
+                    autotune_params=self.autotune_params,
                 )
             )
 

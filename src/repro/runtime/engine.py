@@ -56,13 +56,61 @@ from repro.data.units import iter_unit_groups, units_per_group
 from repro.runtime.jobs import Job, LocalJobPool, jobs_from_index
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.storage.autotune import AimdAutotuner, AutotuneParams
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
 from repro.storage.faults import WorkerCrash
 from repro.storage.retry import RetryExhausted, RetryPolicy
-from repro.storage.transfer import ParallelFetcher, PrefetchHandle
+from repro.storage.transfer import (
+    DEFAULT_MIN_PART_NBYTES,
+    ParallelFetcher,
+    PrefetchHandle,
+)
 
-__all__ = ["ClusterConfig", "RunResult", "ThreadedEngine"]
+__all__ = [
+    "ClusterConfig",
+    "RunResult",
+    "ThreadedEngine",
+    "make_cluster_fetchers",
+]
+
+
+def make_cluster_fetchers(
+    stores: dict[str, StorageBackend],
+    cluster: "ClusterConfig",
+    *,
+    cache: ChunkCache | None = None,
+    prefetch_workers: int = 1,
+    retry: RetryPolicy | None = None,
+    adaptive_fetch: bool = False,
+    min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
+    autotune_params: AutotuneParams | None = None,
+) -> dict[str, ParallelFetcher]:
+    """One fetcher per data location for one cluster.
+
+    With ``adaptive_fetch`` every (cluster, location) path gets its own
+    AIMD autotuner replacing the fixed ``retrieval_threads`` fan-out --
+    the paths differ wildly (local NIC vs WAN vs throttled S3), so each
+    learns its own knee.  Shared by all three live engines.
+    """
+    fetchers: dict[str, ParallelFetcher] = {}
+    for loc, store in stores.items():
+        autotune = None
+        if adaptive_fetch:
+            params = autotune_params or AutotuneParams(
+                min_part_nbytes=max(1, min_part_nbytes)
+            )
+            autotune = AimdAutotuner(params, name=f"{cluster.name}->{loc}")
+        fetchers[loc] = ParallelFetcher(
+            store,
+            cluster.retrieval_threads,
+            cache=cache,
+            prefetch_workers=prefetch_workers,
+            retry=retry,
+            autotune=autotune,
+            min_part_nbytes=min_part_nbytes,
+        )
+    return fetchers
 
 
 @dataclass(frozen=True)
@@ -207,6 +255,9 @@ class ThreadedEngine:
         chunk_cache: ChunkCache | None = None,
         retry: RetryPolicy | None = None,
         crash_plan: dict[str, int] | None = None,
+        adaptive_fetch: bool = False,
+        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
+        autotune_params: AutotuneParams | None = None,
     ) -> None:
         if not clusters:
             raise ValueError("need at least one cluster")
@@ -234,6 +285,9 @@ class ThreadedEngine:
         self.chunk_cache = chunk_cache
         self.retry = retry
         self.crash_plan = dict(crash_plan) if crash_plan else {}
+        self.adaptive_fetch = adaptive_fetch
+        self.min_part_nbytes = min_part_nbytes
+        self.autotune_params = autotune_params
 
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
         """Execute ``spec`` over the dataset described by ``index``."""
@@ -260,16 +314,16 @@ class ThreadedEngine:
             cstats = ClusterStats(cluster.name, cluster.location)
             stats.clusters[cluster.name] = cstats
             cluster_robjs[cluster.name] = []
-            fetchers[cluster.name] = {
-                loc: ParallelFetcher(
-                    store,
-                    cluster.retrieval_threads,
-                    cache=self.chunk_cache,
-                    prefetch_workers=max(1, cluster.n_workers),
-                    retry=self.retry,
-                )
-                for loc, store in self.stores.items()
-            }
+            fetchers[cluster.name] = make_cluster_fetchers(
+                self.stores,
+                cluster,
+                cache=self.chunk_cache,
+                prefetch_workers=max(1, cluster.n_workers),
+                retry=self.retry,
+                adaptive_fetch=self.adaptive_fetch,
+                min_part_nbytes=self.min_part_nbytes,
+                autotune_params=self.autotune_params,
+            )
             for wid in range(cluster.n_workers):
                 wstats = WorkerStats()
                 cstats.workers.append(wstats)
@@ -296,10 +350,12 @@ class ThreadedEngine:
         # Fetch-path fault accounting, summed over each cluster's fetchers.
         for cluster in self.clusters:
             cstats = stats.clusters[cluster.name]
-            for f in fetchers[cluster.name].values():
+            for loc, f in fetchers[cluster.name].items():
                 cstats.n_retries += f.n_retries
                 cstats.n_errors += f.n_giveups
                 cstats.bytes_retried += f.bytes_retried
+                if f.autotune is not None and f.autotune.n_samples:
+                    cstats.autotune[loc] = f.autotune.snapshot()
         stats.n_requeued_jobs = scheduler.n_reassigned
         if errors:
             raise errors[0]
@@ -356,11 +412,12 @@ class ThreadedEngine:
     ) -> bytes:
         """Synchronous fetch of one job's bytes, fully accounted as stall."""
         t0 = time.monotonic()
-        raw, cache_hit = cluster_fetchers[job.location].fetch_with_info(
-            job.chunk.key, job.chunk.offset, job.chunk.nbytes
-        )
-        wstats.retrieval_s += time.monotonic() - t0
-        if cache_hit:
+        raw, info = cluster_fetchers[job.location].fetch_chunk(job.chunk)
+        wstats.retrieval_s += time.monotonic() - t0 - info.decode_s
+        wstats.decode_s += info.decode_s
+        wstats.bytes_wire += info.bytes_wire
+        wstats.bytes_logical += info.bytes_logical
+        if info.cache_hit:
             wstats.cache_hits += 1
         else:
             wstats.cache_misses += 1
@@ -490,11 +547,9 @@ class ThreadedEngine:
                         maybe_crash()
                         next_job = master.reserve_next()
                         if next_job is not None:
-                            pending = cluster_fetchers[next_job.location].fetch_async(
-                                next_job.chunk.key,
-                                next_job.chunk.offset,
-                                next_job.chunk.nbytes,
-                            )
+                            pending = cluster_fetchers[
+                                next_job.location
+                            ].fetch_chunk_async(next_job.chunk)
                         self._process(
                             spec, index, group_units, robj, cur_job, raw,
                             cluster, wstats, scheduler, scheduler_lock,
@@ -509,6 +564,9 @@ class ThreadedEngine:
                         stall = time.monotonic() - t_need
                         wstats.retrieval_s += stall
                         wstats.overlap_s += max(0.0, pending.fetch_s - stall)
+                        wstats.decode_s += pending.decode_s
+                        wstats.bytes_wire += pending.bytes_wire
+                        wstats.bytes_logical += pending.bytes_logical
                         if ready:
                             wstats.prefetch_hits += 1
                         else:

@@ -74,7 +74,12 @@ from repro.core.serialization import (
 )
 from repro.data.index import DataIndex
 from repro.data.units import iter_unit_groups, units_per_group
-from repro.runtime.engine import ClusterConfig, RunResult, _Master
+from repro.runtime.engine import (
+    ClusterConfig,
+    RunResult,
+    _Master,
+    make_cluster_fetchers,
+)
 from repro.runtime.jobs import Job, jobs_from_index
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
@@ -88,7 +93,12 @@ from repro.storage.shm import (
     attach_segment,
     close_quietly,
 )
-from repro.storage.transfer import ParallelFetcher
+from repro.storage.autotune import AutotuneParams
+from repro.storage.transfer import (
+    DEFAULT_MIN_PART_NBYTES,
+    FetchInfo,
+    ParallelFetcher,
+)
 
 __all__ = ["ProcessEngine"]
 
@@ -230,6 +240,9 @@ class ProcessEngine:
         crash_plan: dict[str, int] | None = None,
         start_method: str | None = None,
         merge_threads: int = 4,
+        adaptive_fetch: bool = False,
+        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
+        autotune_params: AutotuneParams | None = None,
     ) -> None:
         if not clusters:
             raise ValueError("need at least one cluster")
@@ -264,6 +277,9 @@ class ProcessEngine:
         self.crash_plan = dict(crash_plan) if crash_plan else {}
         self.start_method = start_method
         self.merge_threads = merge_threads
+        self.adaptive_fetch = adaptive_fetch
+        self.min_part_nbytes = min_part_nbytes
+        self.autotune_params = autotune_params
 
     # -- top level -----------------------------------------------------------
 
@@ -310,15 +326,15 @@ class ProcessEngine:
                 cstats = ClusterStats(cluster.name, cluster.location)
                 stats.clusters[cluster.name] = cstats
                 cluster_robjs[cluster.name] = []
-                fetchers[cluster.name] = {
-                    loc: ParallelFetcher(
-                        store,
-                        cluster.retrieval_threads,
-                        cache=self.chunk_cache,
-                        retry=self.retry,
-                    )
-                    for loc, store in self.stores.items()
-                }
+                fetchers[cluster.name] = make_cluster_fetchers(
+                    self.stores,
+                    cluster,
+                    cache=self.chunk_cache,
+                    retry=self.retry,
+                    adaptive_fetch=self.adaptive_fetch,
+                    min_part_nbytes=self.min_part_nbytes,
+                    autotune_params=self.autotune_params,
+                )
                 for wid in range(cluster.n_workers):
                     wname = f"{cluster.name}-w{wid}"
                     wstats = WorkerStats()
@@ -360,10 +376,12 @@ class ProcessEngine:
                     f.close()
             for cluster in self.clusters:
                 cstats = stats.clusters[cluster.name]
-                for f in fetchers[cluster.name].values():
+                for loc, f in fetchers[cluster.name].items():
                     cstats.n_retries += f.n_retries
                     cstats.n_errors += f.n_giveups
                     cstats.bytes_retried += f.bytes_retried
+                    if f.autotune is not None and f.autotune.n_samples:
+                        cstats.autotune[loc] = f.autotune.snapshot()
             stats.n_requeued_jobs = scheduler.n_reassigned
             if errors:
                 raise errors[0]
@@ -595,7 +613,7 @@ class ProcessEngine:
                             continue
                         break
                     try:
-                        seg, cache_hit, fetch_s = self._fetch_segment(
+                        seg, info, fetch_s = self._fetch_segment(
                             job, cluster_fetchers, segments
                         )
                     except RetryExhausted:
@@ -610,7 +628,10 @@ class ProcessEngine:
                         wstats.retrieval_s += fetch_s
                         if self.prefetch:
                             wstats.prefetch_misses += 1
-                    if cache_hit:
+                    wstats.decode_s += info.decode_s
+                    wstats.bytes_wire += info.bytes_wire
+                    wstats.bytes_logical += info.bytes_logical
+                    if info.cache_hit:
                         wstats.cache_hits += 1
                     else:
                         wstats.cache_misses += 1
@@ -677,14 +698,33 @@ class ProcessEngine:
         job: Job,
         cluster_fetchers: dict[str, ParallelFetcher],
         segments: SharedSegmentPool,
-    ) -> tuple[SharedSegment, bool, float]:
-        """Fetch one job's bytes straight into a fresh shared segment."""
+    ) -> tuple[SharedSegment, FetchInfo, float]:
+        """Fetch one job's bytes straight into a fresh shared segment.
+
+        The segment always holds *logical* bytes (the worker decodes
+        zero-copy off the mapping), so compressed chunks take the
+        assembled :meth:`ParallelFetcher.fetch_chunk` path -- encoded
+        bytes on the wire and in the cache, one decode + one copy into
+        the segment here.  The returned fetch seconds exclude decode
+        time (reported separately in the info).
+        """
         t0 = time.monotonic()
-        seg = segments.create(job.chunk.nbytes)
+        chunk = job.chunk
+        seg = segments.create(chunk.nbytes)
+        fetcher = cluster_fetchers[job.location]
         try:
-            _, cache_hit = cluster_fetchers[job.location].fetch_into(
-                job.chunk.key, job.chunk.offset, job.chunk.nbytes, seg.buf
-            )
+            if chunk.codec is not None:
+                data, info = fetcher.fetch_chunk(chunk)
+                seg.buf[: chunk.nbytes] = data
+            else:
+                _, cache_hit = fetcher.fetch_into(
+                    chunk.key, chunk.offset, chunk.nbytes, seg.buf
+                )
+                info = FetchInfo(
+                    cache_hit=cache_hit,
+                    bytes_wire=0 if cache_hit else chunk.nbytes,
+                    bytes_logical=chunk.nbytes,
+                )
             if self.verify_chunks:
                 from repro.data.integrity import verify_chunk_bytes
 
@@ -692,4 +732,4 @@ class ProcessEngine:
         except BaseException:
             segments.release(seg)
             raise
-        return seg, cache_hit, time.monotonic() - t0
+        return seg, info, time.monotonic() - t0 - info.decode_s

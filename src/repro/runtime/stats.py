@@ -48,6 +48,14 @@ class WorkerStats:
     ipc_s: float = 0.0
     ser_s: float = 0.0
     shm_nbytes: int = 0
+    # Transfer-layer accounting.  ``bytes_wire`` is what this worker's
+    # fetches actually pulled over store connections (encoded size for
+    # compressed chunks, zero on cache hits); ``bytes_logical`` the
+    # decoded payload handed to the fold; ``decode_s`` codec decode time
+    # (kept separate from retrieval stall).
+    bytes_wire: int = 0
+    bytes_logical: int = 0
+    decode_s: float = 0.0
 
     @property
     def busy_s(self) -> float:
@@ -69,6 +77,10 @@ class ClusterStats:
     n_retries: int = 0              # sub-range retries issued
     n_errors: int = 0               # fetches that failed past the retry policy
     bytes_retried: int = 0          # bytes re-requested by those retries
+    # Transfer-layer state per data location, filled from this cluster's
+    # autotuners when adaptive fetch is on: location -> snapshot dict
+    # (parts, effective_bw, trajectory, ...).
+    autotune: dict = field(default_factory=dict)
 
     @property
     def n_workers(self) -> int:
@@ -163,6 +175,34 @@ class ClusterStats:
         """Total bytes this cluster moved through shared memory."""
         return sum(w.shm_nbytes for w in self.workers)
 
+    @property
+    def bytes_wire(self) -> int:
+        """Total bytes this cluster's fetches pulled over connections."""
+        return sum(w.bytes_wire for w in self.workers)
+
+    @property
+    def bytes_logical(self) -> int:
+        """Total decoded chunk bytes this cluster's workers consumed."""
+        return sum(w.bytes_logical for w in self.workers)
+
+    @property
+    def compress_ratio(self) -> float:
+        """Wire bytes per logical byte (1.0 = uncompressed, <1 = shrunk)."""
+        return self.bytes_wire / self.bytes_logical if self.bytes_logical else 1.0
+
+    @property
+    def decode_s(self) -> float:
+        """Total codec decode time across this cluster's workers."""
+        return sum(w.decode_s for w in self.workers)
+
+    @property
+    def effective_bw(self) -> float:
+        """Best EWMA path bandwidth (bytes/s) the autotuners measured."""
+        return max(
+            (snap.get("effective_bw", 0.0) for snap in self.autotune.values()),
+            default=0.0,
+        )
+
 
 @dataclass
 class RunStats:
@@ -226,6 +266,22 @@ class RunStats:
     @property
     def shm_nbytes(self) -> int:
         return sum(c.shm_nbytes for c in self.clusters.values())
+
+    @property
+    def bytes_wire(self) -> int:
+        return sum(c.bytes_wire for c in self.clusters.values())
+
+    @property
+    def bytes_logical(self) -> int:
+        return sum(c.bytes_logical for c in self.clusters.values())
+
+    @property
+    def compress_ratio(self) -> float:
+        return self.bytes_wire / self.bytes_logical if self.bytes_logical else 1.0
+
+    @property
+    def decode_s(self) -> float:
+        return sum(c.decode_s for c in self.clusters.values())
 
     def breakdown_rows(self) -> list[dict]:
         """Rows for the Figure-3-style stacked breakdown.
@@ -291,6 +347,39 @@ class RunStats:
             }
             for c in self.clusters.values()
         ]
+
+    def transfer_rows(self) -> list[dict]:
+        """Rows decomposing the WAN transfer layer per cluster.
+
+        ``bytes_wire``/``bytes_logical``/``compress_ratio`` show what
+        compression saved on the wire; ``decode_s`` its CPU cost;
+        ``effective_bw``/``parts``/``tuner`` report what the AIMD
+        autotuner learned about each path (current fan-out per data
+        location, grow/backoff decision counts).
+        """
+        rows = []
+        for c in self.clusters.values():
+            parts = {
+                loc: snap.get("parts") for loc, snap in sorted(c.autotune.items())
+            }
+            rows.append(
+                {
+                    "cluster": c.name,
+                    "bytes_logical": c.bytes_logical,
+                    "bytes_wire": c.bytes_wire,
+                    "compress_ratio": round(c.compress_ratio, 4),
+                    "decode_s": round(c.decode_s, 4),
+                    "effective_bw_mbps": round(c.effective_bw / 1e6, 3),
+                    "parts": parts or None,
+                    "tuner_grows": sum(
+                        s.get("n_grow", 0) for s in c.autotune.values()
+                    ),
+                    "tuner_backoffs": sum(
+                        s.get("n_backoff", 0) for s in c.autotune.values()
+                    ),
+                }
+            )
+        return rows
 
     def pipeline_rows(self) -> list[dict]:
         """Rows decomposing the prefetch/cache pipeline per cluster.

@@ -27,7 +27,7 @@ from repro.sim.simrun import (
     StragglerSpec,
     simulate_run,
 )
-from repro.sim.topology import FetchPath, Topology
+from repro.sim.topology import FetchPath, Topology, TransferSimModel
 from repro.sim.trace import Span, Tracer, render_gantt
 from repro.sim.variability import VariabilityModel, VariabilityParams
 
@@ -60,6 +60,7 @@ __all__ = [
     "StragglerSpec",
     "simulate_run",
     "FetchPath",
+    "TransferSimModel",
     "Topology",
     "VariabilityModel",
     "VariabilityParams",

@@ -42,8 +42,9 @@ from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 from repro.sim.calibration import AppSimProfile, ResourceParams
 from repro.sim.events import Event, SimEnv, all_of
 from repro.sim.flows import FlowNetwork
-from repro.sim.topology import Topology
+from repro.sim.topology import Topology, TransferSimModel
 from repro.sim.variability import VariabilityModel, VariabilityParams
+from repro.storage.autotune import AimdAutotuner, AutotuneParams
 from repro.storage.cache import ChunkCache
 
 __all__ = [
@@ -250,39 +251,75 @@ def _fetch_gen(
     info: dict,
     tracer=None,
     worker_name: str = "",
+    transfer: TransferSimModel | None = None,
+    tuners: dict | None = None,
 ):
     """Fetch one job's bytes (cache first, then links); fills ``info``.
 
     ``info["fetch_s"]`` is the simulated duration, ``info["cache_hit"]``
     whether the cluster's chunk cache served it (in which case no link
     is touched at all -- the bytes are already resident at the site).
+
+    ``transfer`` models the codec of a pre-compressed dataset: only the
+    *encoded* size crosses the links (and is charged to the cache, which
+    stores encoded bytes exactly like the real
+    :class:`~repro.storage.transfer.ParallelFetcher`), and the frame
+    decode costs CPU time after the transfer -- on cache hits too, since
+    the cache holds frames.  ``info["decode_s"]`` separates that cost.
+
+    ``tuners`` (mapping ``(cluster.name, data_location)`` to an
+    :class:`~repro.storage.autotune.AimdAutotuner`) replaces the fixed
+    ``retrieval_threads`` fan-out with the adaptive controller; each
+    completed transfer's (wire bytes, parts, duration) is fed back.
     """
     t0 = env.now
     chunk = job.chunk
+    wire_nbytes = (
+        transfer.wire_nbytes(job.nbytes) if transfer is not None else job.nbytes
+    )
+    decode_s = transfer.decode_s(job.nbytes) if transfer is not None else 0.0
     hit = cache is not None and cache.get(
         job.location, chunk.key, chunk.offset, chunk.nbytes
     ) is not None
     if hit:
         wstats.cache_hits += 1
     else:
-        path = topo.fetch_path(
-            cluster.location, job.location, cluster.retrieval_threads
+        tuner = (
+            tuners.get((cluster.name, job.location))
+            if tuners is not None
+            else None
         )
+        parts = (
+            tuner.parts_for(wire_nbytes)
+            if tuner is not None
+            else cluster.retrieval_threads
+        )
+        path = topo.fetch_path(cluster.location, job.location, parts)
         if path.latency_s > 0:
             yield path.latency_s
-        yield net.transfer(path.links, job.nbytes, path.per_flow_cap)
+        yield net.transfer(path.links, wire_nbytes, path.per_flow_cap)
+        if tuner is not None:
+            tuner.record(wire_nbytes, parts, env.now - t0)
         if cache is not None:
             # The simulator never materializes bytes: charge the cache
-            # at the chunk's true size with a placeholder value.
+            # at the chunk's *stored* (encoded) size with a placeholder
+            # value, so a byte budget holds as many chunks as the real
+            # encoded cache would.
             cache.put(
                 job.location, chunk.key, chunk.offset, chunk.nbytes,
-                b"", charge_nbytes=job.nbytes,
+                b"", charge_nbytes=wire_nbytes,
             )
         wstats.cache_misses += 1
+        wstats.bytes_wire += wire_nbytes
         if tracer is not None:
             tracer.record(worker_name, "fetch", t0, env.now, job.job_id,
                           job.location, job.location != cluster.location)
+    if decode_s > 0:
+        yield decode_s
+    wstats.bytes_logical += job.nbytes
+    wstats.decode_s += decode_s
     info["fetch_s"] = env.now - t0
+    info["decode_s"] = decode_s
     info["cache_hit"] = hit
 
 
@@ -301,6 +338,8 @@ def _worker_proc(
     tracer=None,
     worker_name: str = "",
     cache: ChunkCache | None = None,
+    transfer: TransferSimModel | None = None,
+    tuners: dict | None = None,
 ):
     """One simulated core: pull, fetch, process, repeat.
 
@@ -316,8 +355,10 @@ def _worker_proc(
         # -- retrieval ------------------------------------------------------
         info: dict = {}
         yield from _fetch_gen(env, net, topo, cluster, job, cache, wstats,
-                              info, tracer, worker_name)
-        wstats.retrieval_s += info["fetch_s"]
+                              info, tracer, worker_name, transfer, tuners)
+        # Decode time is tracked separately (wstats.decode_s), matching
+        # the live engines' retrieval/decode split.
+        wstats.retrieval_s += info["fetch_s"] - info["decode_s"]
         stolen = job.location != cluster.location
         # -- processing -----------------------------------------------------
         t0 = env.now
@@ -396,6 +437,8 @@ def _pipelined_worker_proc(
     tracer=None,
     worker_name: str = "",
     fail_at_s: float = math.inf,
+    transfer: TransferSimModel | None = None,
+    tuners: dict | None = None,
 ):
     """One simulated core with double-buffered prefetching.
 
@@ -452,11 +495,11 @@ def _pipelined_worker_proc(
     # The first fetch is unavoidably serial.
     info: dict = {}
     yield from _fetch_gen(env, net, topo, cluster, job, cache, wstats,
-                          info, tracer, worker_name)
+                          info, tracer, worker_name, transfer, tuners)
     if env.now > fail_at_s:
         die([job])
         return
-    wstats.retrieval_s += info["fetch_s"]
+    wstats.retrieval_s += info["fetch_s"] - info["decode_s"]
     while True:
         next_job = yield from master.get_job()
         prefetch_done: Event | None = None
@@ -467,7 +510,7 @@ def _pipelined_worker_proc(
             # reassigning next_job below stays safe.
             prefetch_done = env.process(
                 _fetch_gen(env, net, topo, cluster, next_job, cache, wstats,
-                           next_info, tracer, worker_name)
+                           next_info, tracer, worker_name, transfer, tuners)
             )
         completed = yield from compute(job)
         if not completed:
@@ -550,6 +593,9 @@ def simulate_run(
     prefetch: bool = False,
     cache_nbytes: int = 0,
     caches: dict[str, ChunkCache] | None = None,
+    transfer: TransferSimModel | None = None,
+    adaptive_fetch: bool = False,
+    autotune_params: AutotuneParams | None = None,
 ) -> SimRunResult:
     """Simulate one complete cloud-bursting execution.
 
@@ -571,6 +617,15 @@ def simulate_run(
     combined with ``speculation``, because the pipelined worker has no
     backup-copy protocol -- a reserved-next job is owned by exactly one
     core, so LATE-style redundant execution does not apply to it.
+
+    ``transfer`` (a :class:`~repro.sim.topology.TransferSimModel`)
+    models a pre-compressed dataset: only encoded bytes cross the links
+    and each chunk charges a decode cost on its worker.
+    ``adaptive_fetch=True`` swaps the fixed per-cluster
+    ``retrieval_threads`` for one AIMD autotuner per
+    (cluster, data location) path -- the same controller the live
+    engines use -- whose converged state lands in each cluster's
+    ``stats.autotune``.
     """
     if not clusters:
         raise ValueError("need at least one cluster")
@@ -599,6 +654,16 @@ def simulate_run(
         )
         topo = Topology(params, head_location)
     scheduler = scheduler_factory(jobs_from_index(index))
+
+    tuners: dict[tuple[str, str], AimdAutotuner] | None = None
+    if adaptive_fetch:
+        tuners = {
+            (c.name, loc): AimdAutotuner(
+                autotune_params, name=f"{c.name}->{loc}"
+            )
+            for c in clusters
+            for loc in index.locations
+        }
 
     # Map each failure spec to per-worker kill times (first n cores).
     fail_times: dict[str, list[float]] = {}
@@ -663,12 +728,14 @@ def simulate_run(
                     env, net, topo, master, cluster, profile,
                     wstats, speed, varmodel, cache,
                     tracer, f"{cluster.name}/{wid}", fail_at,
+                    transfer, tuners,
                 )
             else:
                 proc = _worker_proc(
                     env, net, topo, master, cluster, profile,
                     wstats, speed, varmodel, fail_at, spec_ctx,
                     tracer, f"{cluster.name}/{wid}", cache,
+                    transfer, tuners,
                 )
             worker_events.append(env.process(proc))
         cluster_events.append(
@@ -708,6 +775,10 @@ def simulate_run(
         cstats.idle_s = max(0.0, processing_end - cstats.finished_at)
         for w in cstats.workers:
             w.sync_s = max(0.0, end - w.finished_at)
+    if tuners is not None:
+        for (cname, loc), tuner in tuners.items():
+            if tuner.n_samples:
+                stats.clusters[cname].autotune[loc] = tuner.snapshot()
     return SimRunResult(
         stats=stats, end_time_s=end,
         wasted_executions=spec_ctx.wasted_executions, caches=run_caches,

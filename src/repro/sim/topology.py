@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.sim.calibration import ResourceParams
 from repro.sim.flows import Link
 
-__all__ = ["FetchPath", "Topology"]
+__all__ = ["FetchPath", "TransferSimModel", "Topology"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,61 @@ class FetchPath:
     links: tuple[Link, ...]
     latency_s: float
     per_flow_cap: float  # bytes/s ceiling for this single transfer
+
+
+@dataclass(frozen=True)
+class TransferSimModel:
+    """Models the transfer layer's codec in the simulator.
+
+    The DES never touches bytes, so compression is two scalars: what
+    fraction of a chunk's logical size actually crosses the links
+    (``compress_ratio`` = wire/logical), and the per-logical-byte CPU
+    cost of decoding the frame on the worker (``decode_s_per_byte``).
+    Defaults for each codec come from measuring the real codecs on the
+    organizer's binary record files (:func:`for_codec`).
+    """
+
+    codec: str = "identity"
+    compress_ratio: float = 1.0
+    decode_s_per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compress_ratio <= 1.0:
+            raise ValueError("compress_ratio must be in (0, 1]")
+        if self.decode_s_per_byte < 0:
+            raise ValueError("decode_s_per_byte must be non-negative")
+
+    def wire_nbytes(self, logical_nbytes: int) -> int:
+        """Encoded size travelling the links for a chunk of this size."""
+        if logical_nbytes <= 0:
+            return 0
+        return max(1, math.ceil(logical_nbytes * self.compress_ratio))
+
+    def decode_s(self, logical_nbytes: int) -> float:
+        """CPU seconds the worker spends decoding the chunk's frame."""
+        return logical_nbytes * self.decode_s_per_byte
+
+    @classmethod
+    def for_codec(cls, codec: str) -> "TransferSimModel":
+        """Calibrated defaults per codec (numeric record data).
+
+        Ratios/decode rates are round numbers from the real codecs on
+        the repro's binary unit files: zlib deflates to roughly half,
+        shuffle+deflate (byte-transposed fixed-stride records) well
+        under half, lz4 trades ratio for a much cheaper decode.
+        """
+        defaults = {
+            "identity": cls("identity", 1.0, 0.0),
+            "zlib": cls("zlib", 0.55, 1 / (400e6)),     # inflate ~400 MB/s
+            "lz4": cls("lz4", 0.70, 1 / (2e9)),         # ~2 GB/s decode
+            "shuffle": cls("shuffle", 0.40, 1 / (300e6)),  # unshuffle + inflate
+        }
+        try:
+            return defaults[codec]
+        except KeyError:
+            raise ValueError(
+                f"unknown codec {codec!r}; expected one of {sorted(defaults)}"
+            ) from None
 
 
 class Topology:

@@ -1,8 +1,18 @@
 """Storage substrates: local disk/memory stores and a simulated S3."""
 
+from repro.storage.autotune import AimdAutotuner, AutotuneParams
 from repro.storage.base import StorageBackend, StorageStats
 from repro.storage.bandwidth import Clock, RateCap, TokenBucket
 from repro.storage.cache import ChunkCache
+from repro.storage.codecs import (
+    CODEC_NAMES,
+    CodecError,
+    decode_chunk,
+    encode_chunk,
+    frame_info,
+    lz4_available,
+    resolve_codec,
+)
 from repro.storage.faults import (
     FaultInjectingStore,
     FaultSpec,
@@ -14,12 +24,27 @@ from repro.storage.local import LocalDiskStore, MemoryStore
 from repro.storage.retry import RetryExhausted, RetryPolicy
 from repro.storage.s3 import S3Profile, SimulatedS3Store
 from repro.storage.shm import SharedSegment, SharedSegmentPool, attach_segment
-from repro.storage.transfer import ParallelFetcher, PrefetchHandle, split_range
+from repro.storage.transfer import (
+    DEFAULT_MIN_PART_NBYTES,
+    FetchInfo,
+    ParallelFetcher,
+    PrefetchHandle,
+    split_range,
+)
 
 __all__ = [
+    "AimdAutotuner",
+    "AutotuneParams",
     "StorageBackend",
     "StorageStats",
     "ChunkCache",
+    "CODEC_NAMES",
+    "CodecError",
+    "decode_chunk",
+    "encode_chunk",
+    "frame_info",
+    "lz4_available",
+    "resolve_codec",
     "Clock",
     "RateCap",
     "TokenBucket",
@@ -37,6 +62,8 @@ __all__ = [
     "SharedSegment",
     "SharedSegmentPool",
     "attach_segment",
+    "DEFAULT_MIN_PART_NBYTES",
+    "FetchInfo",
     "ParallelFetcher",
     "PrefetchHandle",
     "split_range",

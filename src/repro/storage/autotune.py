@@ -1,0 +1,172 @@
+"""AIMD autotuning of the parallel sub-range fetch fan-out.
+
+The paper fixes the number of retrieval threads per slave; the right
+count actually depends on the path -- per-connection caps, aggregate
+throttles, and WAN fair-sharing all move the knee.  Sector/Sphere-style
+transfer layers tune connections to the link they are on, and that is
+what :class:`AimdAutotuner` does for one (cluster, data location) path:
+
+* **additive increase** -- after ``probe_interval`` samples at the
+  current fan-out, grow by one connection while the measured aggregate
+  throughput still improves by at least ``grow_gain`` over the best
+  lower setting (i.e. the added connection is paying for itself);
+* **multiplicative decrease** -- when an added connection stops paying
+  (per-connection cap reached or the aggregate bucket is saturated),
+  remember the knee as a *ceiling* and cut the fan-out by ``backoff``,
+  re-climbing toward (but not past) the ceiling;
+* periodic **re-probing** -- every ``reprobe_every`` decisions the
+  ceiling is lifted once so a changed link can be rediscovered.
+
+Throughput per fan-out setting is tracked as an EWMA, giving a smoothed
+``effective_bw`` estimate of the path; :meth:`snapshot` exports the
+estimate plus the decision trajectory for the stats report.
+
+The tuner is lock-protected and driven purely by ``record`` calls with
+observed (nbytes, parts, elapsed) triples, so the same class serves the
+threaded engines (wall-clock samples) and the DES simulator (virtual
+clock samples).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["AutotuneParams", "AimdAutotuner"]
+
+
+@dataclass(frozen=True)
+class AutotuneParams:
+    """Knobs of the AIMD fan-out controller."""
+
+    min_parts: int = 1
+    max_parts: int = 16
+    start_parts: int = 2
+    min_part_nbytes: int = 64 * 1024  # never shatter below 64 KiB per GET
+    ewma_alpha: float = 0.4
+    grow_gain: float = 1.05   # +1 conn must buy >= 5% aggregate throughput
+    backoff: float = 0.5      # multiplicative decrease factor
+    probe_interval: int = 2   # samples at a setting before deciding
+    reprobe_every: int = 8    # decisions between ceiling re-probes
+
+    def __post_init__(self) -> None:
+        if self.min_parts <= 0:
+            raise ValueError("min_parts must be positive")
+        if self.max_parts < self.min_parts:
+            raise ValueError("max_parts must be >= min_parts")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 < self.backoff < 1.0:
+            raise ValueError("backoff must be in (0, 1)")
+        if self.probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+
+
+class AimdAutotuner:
+    """Adaptive fan-out for one (cluster, location) transfer path."""
+
+    def __init__(self, params: AutotuneParams | None = None, name: str = "") -> None:
+        self.params = params or AutotuneParams()
+        self.name = name
+        p = self.params
+        self._parts = min(max(p.start_parts, p.min_parts), p.max_parts)
+        self._bw_at: dict[int, float] = {}  # fan-out -> EWMA bytes/s
+        self._samples_here = 0
+        self._ceiling: int | None = None
+        self._decisions_since_probe = 0
+        self.n_grow = 0
+        self.n_backoff = 0
+        self.n_samples = 0
+        self.trajectory: list[int] = [self._parts]
+        self._lock = threading.Lock()
+
+    @property
+    def parts(self) -> int:
+        with self._lock:
+            return self._parts
+
+    def parts_for(self, nbytes: int) -> int:
+        """Fan-out to use for a fetch of ``nbytes`` (min-part-size clamped)."""
+        with self._lock:
+            parts = self._parts
+        if self.params.min_part_nbytes > 0:
+            parts = min(parts, max(1, nbytes // self.params.min_part_nbytes))
+        return max(1, parts)
+
+    def record(self, nbytes: int, n_parts: int, elapsed_s: float) -> None:
+        """Feed one completed fetch back into the controller."""
+        if nbytes <= 0 or elapsed_s <= 0:
+            return
+        bw = nbytes / elapsed_s
+        a = self.params.ewma_alpha
+        with self._lock:
+            self.n_samples += 1
+            prev = self._bw_at.get(n_parts)
+            self._bw_at[n_parts] = bw if prev is None else (1 - a) * prev + a * bw
+            if n_parts != self._parts:
+                return  # clamped small fetch or stale in-flight sample
+            self._samples_here += 1
+            if self._samples_here < self.params.probe_interval:
+                return
+            self._samples_here = 0
+            self._decide()
+
+    def _decide(self) -> None:
+        """AIMD step; caller holds the lock."""
+        p = self.params
+        cur_bw = self._bw_at.get(self._parts)
+        lower = max((n for n in self._bw_at if n < self._parts), default=None)
+        self._decisions_since_probe += 1
+        reprobe = self._decisions_since_probe >= p.reprobe_every
+        scaling = (
+            lower is None
+            or cur_bw is None
+            or cur_bw >= self._bw_at[lower] * p.grow_gain
+        )
+        if scaling:
+            blocked = (
+                self._ceiling is not None and self._parts + 1 > self._ceiling
+            )
+            if self._parts < p.max_parts and (not blocked or reprobe):
+                if blocked:
+                    self._ceiling = None  # re-probe past the remembered knee
+                    self._decisions_since_probe = 0
+                    self._parts += 1
+                elif self._ceiling is not None and self._parts < self._ceiling:
+                    # Recovering after a backoff toward a knee we already
+                    # located: jump straight back to it instead of
+                    # re-climbing one connection at a time, so the
+                    # post-backoff sawtooth spends its time at the knee.
+                    self._parts = self._ceiling
+                else:
+                    self._parts += 1
+                self.n_grow += 1
+                self.trajectory.append(self._parts)
+        else:
+            # The last added connection stopped paying: remember the knee
+            # and back off multiplicatively.
+            self._ceiling = max(p.min_parts, self._parts - 1)
+            self._parts = max(p.min_parts, int(self._parts * p.backoff))
+            self.n_backoff += 1
+            self.trajectory.append(self._parts)
+
+    @property
+    def effective_bw(self) -> float:
+        """Smoothed bytes/s estimate at the best fan-out seen so far."""
+        with self._lock:
+            return max(self._bw_at.values(), default=0.0)
+
+    def snapshot(self) -> dict:
+        """Exportable state for the stats report / benchmark JSON."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "parts": self._parts,
+                "ceiling": self._ceiling,
+                "effective_bw": max(self._bw_at.values(), default=0.0),
+                "bw_at": {str(k): v for k, v in sorted(self._bw_at.items())},
+                "n_grow": self.n_grow,
+                "n_backoff": self.n_backoff,
+                "n_samples": self.n_samples,
+                "trajectory": list(self.trajectory),
+            }

@@ -20,24 +20,42 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
 
+from repro.storage.autotune import AimdAutotuner
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
+from repro.storage.codecs import CodecError, decode_chunk
 from repro.storage.retry import RetryExhausted, RetryPolicy
 
-__all__ = ["split_range", "PrefetchHandle", "ParallelFetcher"]
+__all__ = ["split_range", "FetchInfo", "PrefetchHandle", "ParallelFetcher"]
+
+#: Default floor on parallel sub-range size: below this a GET is all
+#: request overhead, so ranges are coalesced rather than shattered.
+DEFAULT_MIN_PART_NBYTES = 4096
 
 
-def split_range(offset: int, nbytes: int, n_parts: int) -> list[tuple[int, int]]:
+def split_range(
+    offset: int, nbytes: int, n_parts: int, min_part_nbytes: int = 0
+) -> list[tuple[int, int]]:
     """Split byte range ``[offset, offset+nbytes)`` into ``n_parts`` slices.
 
     Returns ``(offset, nbytes)`` pairs; sizes differ by at most one byte
     and empty slices are dropped (when ``n_parts > nbytes``).
+
+    ``min_part_nbytes`` puts a floor under the slice size: the part
+    count is reduced (coalescing neighbours) until every emitted slice
+    holds at least that many bytes -- except when the whole range is
+    smaller than the floor, which yields the single full range.
     """
     if n_parts <= 0:
         raise ValueError("n_parts must be positive")
     if nbytes < 0:
         raise ValueError("nbytes must be non-negative")
+    if min_part_nbytes < 0:
+        raise ValueError("min_part_nbytes must be non-negative")
+    if min_part_nbytes > 0 and nbytes > 0:
+        n_parts = min(n_parts, max(1, nbytes // min_part_nbytes))
     base, extra = divmod(nbytes, n_parts)
     parts: list[tuple[int, int]] = []
     pos = offset
@@ -49,20 +67,42 @@ def split_range(offset: int, nbytes: int, n_parts: int) -> list[tuple[int, int]]
     return parts
 
 
+@dataclass
+class FetchInfo:
+    """Accounting for one chunk fetch through :meth:`ParallelFetcher.fetch_chunk`.
+
+    ``bytes_wire`` is what actually crossed the store connection (the
+    encoded size for compressed chunks, zero on a cache hit);
+    ``bytes_logical`` the decoded chunk size handed to the worker;
+    ``decode_s`` the frame-decode time, kept separate from fetch time.
+    """
+
+    cache_hit: bool = False
+    bytes_wire: int = 0
+    bytes_logical: int = 0
+    decode_s: float = 0.0
+
+
 class PrefetchHandle:
     """One in-flight asynchronous fetch.
 
     ``fetch_s`` (wall seconds the fetch spent) and ``cache_hit`` are
     populated by the background thread and are valid once ``done()``
-    returns True or ``result()`` has returned.
+    returns True or ``result()`` has returned.  Chunk-aware prefetches
+    (:meth:`ParallelFetcher.fetch_chunk_async`) additionally fill
+    ``decode_s`` (frame-decode time, *separate* from ``fetch_s``) and
+    the wire/logical byte counts.
     """
 
-    __slots__ = ("_future", "fetch_s", "cache_hit")
+    __slots__ = ("_future", "fetch_s", "cache_hit", "decode_s", "bytes_wire", "bytes_logical")
 
     def __init__(self) -> None:
         self._future: Future = Future()
         self.fetch_s = 0.0
         self.cache_hit = False
+        self.decode_s = 0.0
+        self.bytes_wire = 0
+        self.bytes_logical = 0
 
     def done(self) -> bool:
         return self._future.done()
@@ -104,6 +144,8 @@ class ParallelFetcher:
         cache: ChunkCache | None = None,
         prefetch_workers: int = 1,
         retry: RetryPolicy | None = None,
+        autotune: AimdAutotuner | None = None,
+        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
     ) -> None:
         if n_threads <= 0:
             raise ValueError("n_threads must be positive")
@@ -114,16 +156,33 @@ class ParallelFetcher:
         self.cache = cache
         self.prefetch_workers = prefetch_workers
         self.retry = retry
+        self.autotune = autotune
+        self.min_part_nbytes = min_part_nbytes
         self.n_retries = 0
         self.n_giveups = 0
         self.bytes_retried = 0
+        self.bytes_wire = 0
+        self.bytes_logical = 0
+        self.decode_s = 0.0
         self._counter_lock = threading.Lock()
+        pool_workers = n_threads
+        if autotune is not None:
+            pool_workers = max(pool_workers, autotune.params.max_parts)
         self._pool = (
-            ThreadPoolExecutor(max_workers=n_threads, thread_name_prefix="fetch")
-            if n_threads > 1
+            ThreadPoolExecutor(max_workers=pool_workers, thread_name_prefix="fetch")
+            if pool_workers > 1
             else None
         )
         self._prefetch_pool: ThreadPoolExecutor | None = None
+
+    def _plan_parts(self, nbytes: int) -> int:
+        """Sub-range fan-out for a fetch of ``nbytes`` (adaptive or fixed)."""
+        if self.autotune is not None:
+            return self.autotune.parts_for(nbytes)
+        n = self.n_threads
+        if self.min_part_nbytes > 0 and nbytes > 0:
+            n = min(n, max(1, nbytes // self.min_part_nbytes))
+        return n
 
     def fetch(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
         """Retrieve ``[offset, offset+nbytes)`` of ``key``, reassembled in order."""
@@ -145,6 +204,45 @@ class ParallelFetcher:
         if self.cache is not None:
             self.cache.put(location, key, offset, nbytes, data)
         return data, False
+
+    def fetch_chunk(self, chunk) -> tuple[bytes, FetchInfo]:
+        """Fetch one index chunk's *logical* bytes, decoding if encoded.
+
+        ``chunk`` is a :class:`~repro.data.chunks.ChunkInfo`.  For
+        chunks the organizer wrote pre-compressed the *encoded* range is
+        what travels the wire (sub-range splitting, retries, and the
+        cache all operate on encoded bytes -- so the same ``cache_mb``
+        budget holds more chunks and a retry re-requests encoded
+        ranges); the frame is decoded after reassembly and checked
+        against the index's logical size.  Returns the decoded bytes
+        plus a :class:`FetchInfo` with wire/logical/decode accounting.
+        """
+        info = FetchInfo(bytes_logical=chunk.nbytes)
+        if chunk.codec is None:
+            data, hit = self.fetch_with_info(chunk.key, chunk.offset, chunk.nbytes)
+            info.cache_hit = hit
+            if not hit:
+                info.bytes_wire = chunk.nbytes
+        else:
+            frame, hit = self.fetch_with_info(
+                chunk.key, chunk.enc_offset, chunk.enc_nbytes
+            )
+            info.cache_hit = hit
+            if not hit:
+                info.bytes_wire = chunk.enc_nbytes
+            t0 = time.monotonic()
+            data = decode_chunk(frame)
+            info.decode_s = time.monotonic() - t0
+            if len(data) != chunk.nbytes:
+                raise CodecError(
+                    f"chunk {chunk.chunk_id}: decoded {len(data)} bytes, "
+                    f"index says {chunk.nbytes}"
+                )
+        with self._counter_lock:
+            self.bytes_wire += info.bytes_wire
+            self.bytes_logical += info.bytes_logical
+            self.decode_s += info.decode_s
+        return data, info
 
     def _get_with_retry(self, key: str, offset: int, nbytes: int) -> bytes:
         """One store ``get`` under the retry policy, with accounting."""
@@ -173,9 +271,14 @@ class ParallelFetcher:
             raise
 
     def _fetch_direct(self, key: str, offset: int, nbytes: int) -> bytes:
-        if self._pool is None or nbytes < self.n_threads:
-            return self._get_with_retry(key, offset, nbytes)
-        parts = split_range(offset, nbytes, self.n_threads)
+        n_parts = self._plan_parts(nbytes)
+        t0 = time.monotonic()
+        if self._pool is None or n_parts <= 1 or nbytes < n_parts:
+            data = self._get_with_retry(key, offset, nbytes)
+            if self.autotune is not None:
+                self.autotune.record(nbytes, 1, time.monotonic() - t0)
+            return data
+        parts = split_range(offset, nbytes, n_parts, self.min_part_nbytes)
         futures = [
             self._pool.submit(self._get_with_retry, key, off, n) for off, n in parts
         ]
@@ -204,6 +307,8 @@ class ParallelFetcher:
                     except BaseException:
                         pass
             raise error
+        if self.autotune is not None:
+            self.autotune.record(nbytes, len(parts), time.monotonic() - t0)
         return b"".join(chunks)
 
     def fetch_into(
@@ -227,13 +332,15 @@ class ParallelFetcher:
             raise ValueError(
                 f"buffer of {view.nbytes} bytes cannot hold {nbytes}-byte fetch"
             )
-        if self.cache is not None or self._pool is None or nbytes < self.n_threads:
+        n_parts = self._plan_parts(nbytes)
+        if self.cache is not None or self._pool is None or n_parts <= 1 or nbytes < n_parts:
             # Cache interplay (get/put want bytes) or single-connection
             # fetch: reuse the assembled path, one copy into the buffer.
             data, hit = self.fetch_with_info(key, offset, nbytes)
             view[:nbytes] = data
             return nbytes, hit
-        parts = split_range(offset, nbytes, self.n_threads)
+        t0 = time.monotonic()
+        parts = split_range(offset, nbytes, n_parts, self.min_part_nbytes)
         futures = [
             self._pool.submit(
                 self._get_part_into, key, off, n, view[off - offset : off - offset + n]
@@ -257,6 +364,8 @@ class ParallelFetcher:
                     except BaseException:
                         pass
             raise error
+        if self.autotune is not None:
+            self.autotune.record(nbytes, len(parts), time.monotonic() - t0)
         return nbytes, False
 
     def _get_part_into(self, key: str, offset: int, nbytes: int, dest) -> None:
@@ -290,6 +399,36 @@ class ParallelFetcher:
                 return
             handle.fetch_s = time.monotonic() - t0
             handle.cache_hit = hit
+            handle._future.set_result(data)
+
+        self._prefetch_pool.submit(work)
+        return handle
+
+    def fetch_chunk_async(self, chunk) -> PrefetchHandle:
+        """Chunk-aware :meth:`fetch_async`: decodes on the background
+        thread and fills the handle's wire/decode accounting, so decode
+        time of prefetched chunks is overlapped (and reported) too."""
+        if self._prefetch_pool is None:
+            self._prefetch_pool = ThreadPoolExecutor(
+                max_workers=self.prefetch_workers, thread_name_prefix="prefetch"
+            )
+        handle = PrefetchHandle()
+
+        def work() -> None:
+            if not handle._future.set_running_or_notify_cancel():
+                return
+            t0 = time.monotonic()
+            try:
+                data, info = self.fetch_chunk(chunk)
+            except BaseException as exc:
+                handle.fetch_s = time.monotonic() - t0
+                handle._future.set_exception(exc)
+                return
+            handle.fetch_s = time.monotonic() - t0 - info.decode_s
+            handle.cache_hit = info.cache_hit
+            handle.decode_s = info.decode_s
+            handle.bytes_wire = info.bytes_wire
+            handle.bytes_logical = info.bytes_logical
             handle._future.set_result(data)
 
         self._prefetch_pool.submit(work)

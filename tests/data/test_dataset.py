@@ -82,3 +82,117 @@ class TestDistributeDataset:
         idx = build_index(pts_fmt, [], chunk_units=5)
         out = read_all_units(idx, stores)
         assert out.shape[0] == 0
+
+
+class TestCompressedDataset:
+    """The organizer writing pre-compressed files (codec frames)."""
+
+    @pytest.mark.parametrize("codec", ["identity", "zlib", "lz4", "shuffle"])
+    def test_roundtrip_every_codec(self, points, pts_fmt, local_store, codec):
+        idx = write_dataset(
+            points, pts_fmt, local_store, n_files=4, chunk_units=100,
+            codec=codec,
+        )
+        back = read_all_units(idx, {"local": local_store})
+        assert np.array_equal(back, points)
+
+    def test_index_records_encoded_ranges(self, points, pts_fmt, local_store):
+        idx = write_dataset(
+            points, pts_fmt, local_store, n_files=3, chunk_units=100,
+            codec="shuffle",
+        )
+        assert idx.meta["codec"] == "shuffle"
+        for c in idx.chunks:
+            assert c.codec == "shuffle"
+            assert c.enc_offset is not None and c.enc_nbytes > 0
+            # Logical geometry is untouched.
+            assert c.nbytes == c.n_units * pts_fmt.unit_nbytes
+        # Encoded frames tile each stored object exactly.
+        by_file = {}
+        for c in idx.chunks:
+            by_file.setdefault(c.key, []).append(c)
+        for key, chunks in by_file.items():
+            chunks.sort(key=lambda c: c.enc_offset)
+            pos = 0
+            for c in chunks:
+                assert c.enc_offset == pos
+                pos += c.enc_nbytes
+            assert pos == len(local_store.get(key))
+
+    def test_compressible_data_shrinks_stored_bytes(self, local_store):
+        pts = np.arange(8000, dtype=np.float64).reshape(2000, 4)
+        fmt = points_format(4)
+        idx = write_dataset(
+            pts, fmt, local_store, n_files=2, chunk_units=250, codec="shuffle"
+        )
+        stored = sum(len(local_store.get(f.key)) for f in idx.files)
+        assert stored < idx.nbytes / 2
+        # FileInfo.nbytes stays logical (placement fractions are
+        # fractions of data, not of wire bytes).
+        assert sum(f.nbytes for f in idx.files) == idx.nbytes
+
+    def test_index_survives_json_roundtrip(self, points, pts_fmt, local_store):
+        from repro.data.index import DataIndex
+
+        idx = write_dataset(
+            points, pts_fmt, local_store, n_files=2, chunk_units=200,
+            codec="zlib",
+        )
+        back = DataIndex.from_json(idx.to_json())
+        assert [c.to_dict() for c in back.chunks] == [c.to_dict() for c in idx.chunks]
+        got = read_all_units(back, {"local": local_store})
+        assert np.array_equal(got, points)
+
+    def test_distribute_preserves_encoded_chunks(self, points, pts_fmt, stores):
+        idx = write_dataset(
+            points, pts_fmt, stores["local"], n_files=4, chunk_units=100,
+            codec="shuffle",
+        )
+        placed = distribute_dataset(
+            idx, stores, {"local": 0.5, "cloud": 0.5}, stores["local"]
+        )
+        assert {c.location for c in placed.chunks} == {"local", "cloud"}
+        for c in placed.chunks:
+            assert c.codec == "shuffle" and c.enc_nbytes is not None
+        back = read_all_units(placed, stores)
+        assert np.array_equal(back, points)
+
+    def test_checksums_cover_logical_bytes(self, points, pts_fmt, local_store):
+        from repro.data.integrity import attach_checksums, verify_dataset
+
+        plain = write_dataset(
+            points, pts_fmt, local_store, n_files=2, chunk_units=200,
+        )
+        plain = attach_checksums(plain, {"local": local_store})
+        enc_store = type(local_store)("local")
+        enc = write_dataset(
+            points, pts_fmt, enc_store, n_files=2, chunk_units=200,
+            codec="shuffle",
+        )
+        enc = attach_checksums(enc, {"local": enc_store})
+        # Same logical bytes -> same CRCs, regardless of the codec.
+        assert [c.crc32 for c in enc.chunks] == [c.crc32 for c in plain.chunks]
+        assert verify_dataset(enc, {"local": enc_store}) == []
+
+    def test_corrupt_frame_scrubs_as_damaged(self, points, pts_fmt, local_store):
+        from repro.data.integrity import attach_checksums, verify_dataset
+
+        idx = write_dataset(
+            points, pts_fmt, local_store, n_files=2, chunk_units=200,
+            codec="zlib",
+        )
+        idx = attach_checksums(idx, {"local": local_store})
+        victim = idx.chunks[0]
+        blob = bytearray(local_store.get(victim.key))
+        for i in range(victim.enc_offset, victim.enc_offset + victim.enc_nbytes):
+            blob[i] ^= 0xFF
+        local_store.put(victim.key, bytes(blob))
+        bad = verify_dataset(idx, {"local": local_store})
+        assert victim.chunk_id in {c.chunk_id for c in bad}
+
+    def test_unknown_codec_fails_at_write(self, points, pts_fmt, local_store):
+        with pytest.raises(ValueError, match="unknown codec"):
+            write_dataset(
+                points, pts_fmt, local_store, n_files=2, chunk_units=200,
+                codec="gzip",
+            )

@@ -93,8 +93,16 @@ class TestBursting:
         idx = split_dataset(points, points_format(4), stores)
         rr = ThreadedEngine(two_clusters, stores).run(KMeansSpec(np.zeros((3, 4))), idx)
         assert rr.stats.total_s > 0
+        # With in-memory stores a fast cluster may legitimately drain the
+        # whole pool before the other cluster's workers start, so only
+        # clusters that actually processed jobs must show processing time.
+        assert sum(c.jobs_processed for c in rr.stats.clusters.values()) == len(
+            idx.chunks
+        )
+        assert any(c.jobs_processed > 0 for c in rr.stats.clusters.values())
         for c in rr.stats.clusters.values():
-            assert c.processing_s > 0
+            if c.jobs_processed:
+                assert c.processing_s > 0
             assert c.retrieval_s >= 0
 
 

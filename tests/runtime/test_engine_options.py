@@ -59,7 +59,10 @@ class TestTuningInvariance:
         assert rr.stats.jobs_stolen == 0
 
     def test_lopsided_worker_counts(self, points, stores, split):
-        engine = ThreadedEngine(clusters(local=1, cloud=5), stores)
+        # min_part_nbytes=0 keeps split fetches (and their GIL yields)
+        # even for tiny chunks, so the cloud workers reliably start
+        # before the single local worker can drain the whole pool.
+        engine = ThreadedEngine(clusters(local=1, cloud=5), stores, min_part_nbytes=0)
         rr = engine.run(KnnSpec(np.zeros(4), 5), split)
         ref = knn_exact(points, np.zeros(4), 5)
         np.testing.assert_allclose([x[0] for x in rr.result], [r[0] for r in ref])

@@ -33,10 +33,14 @@ FAST_RETRY = RetryPolicy(max_attempts=5, base_delay_s=0.0, max_delay_s=0.0)
 def make_session(points, *, fault_spec=None, retry=None, crash_plan=None,
                  prefetch=False, retrieval_threads=2):
     stores = {"local": MemoryStore("local"), "cloud": MemoryStore("cloud")}
+    # min_part_nbytes=0 keeps every fetch split across retrieval threads
+    # even for these tiny chunks; the pool round-trips yield the GIL, so
+    # both clusters' workers reliably claim jobs (the crash tests need
+    # the cloud workers to actually process some).
     session = BurstingSession.from_units(
         points, points_format(4), stores, local_fraction=0.5,
         retry=retry, crash_plan=crash_plan, prefetch=prefetch,
-        retrieval_threads=retrieval_threads,
+        retrieval_threads=retrieval_threads, min_part_nbytes=0,
     )
     if fault_spec is not None:
         # Wrap *after* the dataset is written and distributed, so the

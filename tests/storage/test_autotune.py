@@ -1,0 +1,119 @@
+"""AIMD retrieval-fan-out autotuner: convergence, backoff, re-probing."""
+
+import pytest
+
+from repro.storage.autotune import AimdAutotuner, AutotuneParams
+
+
+def feed(tuner, bw_of_parts, nbytes=1 << 20, rounds=60):
+    """Drive the controller against a synthetic bandwidth curve."""
+    for _ in range(rounds):
+        parts = tuner.parts_for(nbytes)
+        bw = bw_of_parts(parts)
+        tuner.record(nbytes, parts, nbytes / bw)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        AutotuneParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_parts": 0},
+            {"min_parts": 4, "max_parts": 2},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"backoff": 1.0},
+            {"backoff": 0.0},
+            {"probe_interval": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AutotuneParams(**kwargs)
+
+
+class TestControl:
+    def test_grows_while_scaling(self):
+        """Linear scaling: the tuner climbs to max_parts and stays."""
+        t = AimdAutotuner(AutotuneParams(max_parts=8, min_part_nbytes=0))
+        feed(t, lambda p: p * 10e6)
+        assert t.parts == 8
+        assert t.n_backoff == 0
+
+    def test_finds_knee_and_spends_time_there(self):
+        """Aggregate cap at 6 connections: the tuner converges to the
+        knee and, over the steady state, mostly sits at it."""
+        t = AimdAutotuner(AutotuneParams(max_parts=16, min_part_nbytes=0))
+        used = []
+        for _ in range(120):
+            parts = t.parts_for(1 << 20)
+            used.append(parts)
+            bw = min(parts, 6) * 10e6
+            t.record(1 << 20, parts, (1 << 20) / bw)
+        tail = used[40:]
+        assert 5.0 <= sum(tail) / len(tail) <= 7.0
+        assert t.n_backoff >= 1
+        snap = t.snapshot()
+        assert snap["ceiling"] is None or snap["ceiling"] >= 5
+
+    def test_backoff_is_multiplicative(self):
+        t = AimdAutotuner(AutotuneParams(start_parts=8, max_parts=16,
+                                         min_part_nbytes=0, probe_interval=1))
+        # Flat curve: adding connections never pays.
+        t.record(1 << 20, 8, 0.1)
+        t.record(1 << 20, 9, 0.1)   # 9 parts, same bw -> plateau
+        assert t.parts <= 8 * 1  # backed off from 9
+        assert t.n_backoff + t.n_grow >= 1
+
+    def test_reprobe_lifts_ceiling(self):
+        """After the link improves, periodic re-probing rediscovers it."""
+        p = AutotuneParams(max_parts=12, min_part_nbytes=0, reprobe_every=4)
+        t = AimdAutotuner(p)
+        knee = 3
+        used = []
+        for i in range(200):
+            parts = t.parts_for(1 << 20)
+            used.append(parts)
+            if i == 100:
+                knee = 10  # the path got faster mid-run
+            bw = min(parts, knee) * 5e6
+            t.record(1 << 20, parts, (1 << 20) / bw)
+        # The re-probe walked past the stale ceiling and found the new
+        # knee: the bandwidth estimate reflects ~10 connections' worth.
+        assert t.effective_bw == pytest.approx(10 * 5e6, rel=0.1)
+        assert max(used[120:]) >= 10
+
+    def test_small_fetch_is_clamped_and_ignored(self):
+        """A fetch below parts*min_part_nbytes uses fewer connections,
+        and that sample must not drive a decision at the wrong setting."""
+        t = AimdAutotuner(AutotuneParams(start_parts=8, min_part_nbytes=64 * 1024))
+        assert t.parts_for(64 * 1024) == 1
+        assert t.parts_for(8 * 64 * 1024) == 8
+        before = t.parts
+        for _ in range(10):
+            t.record(64 * 1024, 1, 0.01)
+        assert t.parts == before  # off-target samples never decide
+
+    def test_zero_elapsed_ignored(self):
+        t = AimdAutotuner()
+        t.record(1 << 20, t.parts, 0.0)
+        t.record(0, t.parts, 1.0)
+        assert t.n_samples == 0
+
+    def test_snapshot_fields(self):
+        t = AimdAutotuner(name="local->cloud")
+        feed(t, lambda p: p * 1e6, rounds=10)
+        snap = t.snapshot()
+        assert snap["name"] == "local->cloud"
+        assert snap["parts"] == t.parts
+        assert snap["n_samples"] == 10
+        assert snap["effective_bw"] > 0
+        assert snap["trajectory"][0] == AutotuneParams().start_parts
+        assert all(isinstance(k, str) for k in snap["bw_at"])
+
+    def test_effective_bw_tracks_best_setting(self):
+        t = AimdAutotuner(AutotuneParams(min_part_nbytes=0))
+        feed(t, lambda p: min(p, 4) * 2e6, rounds=40)
+        assert t.effective_bw == pytest.approx(8e6, rel=0.05)

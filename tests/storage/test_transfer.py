@@ -4,6 +4,8 @@ import threading
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.storage.bandwidth import FakeClock
 from repro.storage.cache import ChunkCache
@@ -69,6 +71,23 @@ class TestParallelFetcher:
     def test_multi_thread_issues_multiple_gets(self):
         store = MemoryStore()
         store.put("o", b"x" * 100)
+        # floor disabled: exercise the raw splitting machinery
+        with ParallelFetcher(store, n_threads=4, min_part_nbytes=0) as fetcher:
+            fetcher.fetch("o")
+        assert store.stats.n_gets == 4
+
+    def test_min_part_floor_coalesces_small_fetches(self):
+        """Default fetcher behaviour: a small range is one GET, not a
+        spray of sub-4KB range requests."""
+        store = MemoryStore()
+        store.put("o", b"x" * 1000)
+        with ParallelFetcher(store, n_threads=8) as fetcher:
+            assert fetcher.fetch("o") == b"x" * 1000
+        assert store.stats.n_gets == 1
+
+    def test_min_part_floor_still_splits_large_fetches(self):
+        store = MemoryStore()
+        store.put("o", b"x" * (64 * 1024))
         with ParallelFetcher(store, n_threads=4) as fetcher:
             fetcher.fetch("o")
         assert store.stats.n_gets == 4
@@ -95,7 +114,7 @@ class TestParallelFetcher:
 
         store = FlakyStore()
         store.put("o", b"x" * 100)
-        with ParallelFetcher(store, n_threads=4) as fetcher:
+        with ParallelFetcher(store, n_threads=4, min_part_nbytes=0) as fetcher:
             for _ in range(5):
                 with pytest.raises(OSError, match="part at 25 failed"):
                     fetcher.fetch("o")
@@ -113,7 +132,7 @@ class TestParallelFetcher:
 
         store = OnceBroken()
         store.put("o", b"y" * 100)
-        with ParallelFetcher(store, n_threads=4) as fetcher:
+        with ParallelFetcher(store, n_threads=4, min_part_nbytes=0) as fetcher:
             with pytest.raises(OSError):
                 fetcher.fetch("o")
             store.fail = False
@@ -196,7 +215,7 @@ class TestFetchInto:
         data = bytes((i * 7) % 256 for i in range(4096))
         store.put("o", data)
         out = bytearray(4096)
-        with ParallelFetcher(store, n_threads=8) as fetcher:
+        with ParallelFetcher(store, n_threads=8, min_part_nbytes=0) as fetcher:
             fetcher.fetch_into("o", 0, 4096, out)
             assert bytes(out) == fetcher.fetch("o", 0, 4096)
         assert store.stats.n_gets >= 8
@@ -281,3 +300,98 @@ class TestFetchAsync:
             handle.cancel()  # must not raise regardless of progress
         # close() joined the pool; the handle is settled either way.
         assert handle.done() or True
+
+
+class TestSplitRangeProperties:
+    """Hypothesis coverage of the splitting invariants (satellite of the
+    transfer layer: the floor must never break coverage/ordering)."""
+
+    @given(
+        offset=st.integers(min_value=0, max_value=1 << 40),
+        nbytes=st.integers(min_value=0, max_value=1 << 22),
+        n_parts=st.integers(min_value=1, max_value=64),
+        floor=st.sampled_from([0, 1, 512, 4096, 64 * 1024]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_invariants(self, offset, nbytes, n_parts, floor):
+        parts = split_range(offset, nbytes, n_parts, floor)
+        # Exact coverage, in order, no overlap.
+        assert sum(n for _, n in parts) == nbytes
+        pos = offset
+        for o, n in parts:
+            assert o == pos
+            assert n > 0
+            pos += n
+        assert len(parts) <= n_parts
+        if floor > 0 and len(parts) > 1:
+            # Every emitted slice respects the floor.
+            assert all(n >= floor for _, n in parts)
+        if floor == 0 and parts:
+            # Without a floor, sizes differ by at most one byte.
+            sizes = [n for _, n in parts]
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        nbytes=st.integers(min_value=1, max_value=1 << 20),
+        n_parts=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_floor_bounds_part_count(self, nbytes, n_parts):
+        floor = 4096
+        parts = split_range(0, nbytes, n_parts, floor)
+        assert len(parts) <= max(1, nbytes // floor)
+
+
+class TestEncodedCacheCharge:
+    """The chunk cache stores *encoded* bytes: its budget is charged at
+    the wire size, so compressed chunks pack more per megabyte."""
+
+    def make_index(self, codec):
+        import numpy as np
+
+        from repro.data.dataset import write_dataset
+        from repro.data.formats import points_format
+
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(4000, 4))
+        store = MemoryStore("local")
+        idx = write_dataset(
+            pts, points_format(4), store, n_files=2, chunk_units=500,
+            codec=codec,
+        )
+        return store, idx
+
+    def test_cache_charged_at_encoded_size(self):
+        store, idx = self.make_index("shuffle")
+        enc_total = sum(c.enc_nbytes for c in idx.chunks)
+        logical_total = sum(c.nbytes for c in idx.chunks)
+        assert enc_total < logical_total
+        cache = ChunkCache(64 << 20)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            for c in idx.chunks:
+                fetcher.fetch_chunk(c)
+        assert cache.current_nbytes == enc_total
+
+    def test_decode_on_hit(self):
+        store, idx = self.make_index("shuffle")
+        cache = ChunkCache(64 << 20)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            chunk = idx.chunks[0]
+            data1, info1 = fetcher.fetch_chunk(chunk)
+            assert not info1.cache_hit
+            assert info1.bytes_wire == chunk.enc_nbytes
+            assert info1.bytes_logical == chunk.nbytes
+            data2, info2 = fetcher.fetch_chunk(chunk)
+            assert info2.cache_hit
+            assert info2.bytes_wire == 0
+            assert info2.decode_s >= 0.0
+            assert data2 == data1
+
+    def test_uncompressed_chunk_charges_logical_size(self):
+        store, idx = self.make_index(None)
+        cache = ChunkCache(64 << 20)
+        with ParallelFetcher(store, cache=cache) as fetcher:
+            chunk = idx.chunks[0]
+            _, info = fetcher.fetch_chunk(chunk)
+        assert info.bytes_wire == chunk.nbytes
+        assert cache.current_nbytes == chunk.nbytes

@@ -94,6 +94,42 @@ class TestCommands:
         assert rc == 0
         assert "OK" in capsys.readouterr().out
 
+    def test_demo_with_codec_and_adaptive(self, capsys):
+        rc = main([
+            "demo", "--tokens", "5000", "--vocab", "100",
+            "--codec", "shuffle", "--adaptive-fetch", "--min-part-kb", "16",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "transfer layer" in out
+
+    def test_demo_rejects_bad_codec_and_negative_min_part(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--codec", "gzip"])
+        assert main(["demo", "--min-part-kb", "-1"]) == 2
+
+    def test_simulate_with_codec_prints_transfer_table(self, capsys):
+        rc = main([
+            "simulate", "--app", "knn",
+            "--local-cores", "4", "--cloud-cores", "4",
+            "--codec", "shuffle", "--adaptive-fetch",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transfer layer" in out
+        assert "compress_ratio" in out
+
+    def test_transfer_flags_parse(self):
+        parser = build_parser()
+        ns = parser.parse_args([
+            "demo", "--codec", "zlib", "--no-adaptive-fetch",
+        ])
+        assert ns.codec == "zlib" and ns.adaptive_fetch is False
+        ns = parser.parse_args(["simulate", "--app", "knn",
+                                "--codec", "lz4", "--adaptive-fetch"])
+        assert ns.codec == "lz4" and ns.adaptive_fetch is True
+
     def test_place_advisor(self, capsys):
         rc = main(["place", "--app", "knn", "--local-cores", "8",
                    "--cloud-cores", "8", "--objective", "time"])
