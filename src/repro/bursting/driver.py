@@ -158,7 +158,7 @@ def run_threaded_bursting(
     chunk_units: int | None = None,
     batch_size: int = 2,
     retrieval_threads: int = 2,
-    prefetch: bool = False,
+    prefetch: bool | None = None,
     chunk_cache=None,
     retry=None,
     crash_plan: dict[str, int] | None = None,
@@ -174,8 +174,9 @@ def run_threaded_bursting(
     ``local_fraction``, and processed by workers at both sites with the
     full scheduling/stealing protocol.  ``engine`` selects the executor:
     ``"threaded"`` (default), ``"process"`` (one OS process per slave,
-    shared-memory data handoff), or ``"actor"`` (message-passing; takes
-    no pipeline/fault options).  ``prefetch`` double-buffers the
+    shared-memory data handoff), or ``"actor"`` (message-passing over
+    explicit channels); every engine accepts every option, as they all
+    run the same shared slave runtime.  ``prefetch`` double-buffers the
     workers; ``chunk_cache`` (a :class:`~repro.storage.cache.ChunkCache`)
     serves repeat fetches from memory.  ``retry`` (a
     :class:`~repro.storage.retry.RetryPolicy`) and ``crash_plan``
@@ -213,23 +214,14 @@ def run_threaded_bursting(
         "batch_size": batch_size,
         "adaptive_fetch": adaptive_fetch,
         "autotune_params": autotune_params,
+        "chunk_cache": chunk_cache,
+        "retry": retry,
+        "crash_plan": crash_plan,
     }
+    if prefetch is not None:
+        # None keeps each engine's own default (the process engine
+        # double-buffers its feeders out of the box).
+        kwargs["prefetch"] = prefetch
     if min_part_nbytes is not None:
         kwargs["min_part_nbytes"] = min_part_nbytes
-    if engine == "actor":
-        given = sorted(
-            name
-            for name, val in (
-                ("prefetch", prefetch), ("chunk_cache", chunk_cache),
-                ("retry", retry), ("crash_plan", crash_plan),
-            )
-            if val
-        )
-        if given:
-            raise ValueError(f"engine 'actor' does not support options: {given}")
-    else:
-        kwargs.update(
-            prefetch=prefetch, chunk_cache=chunk_cache,
-            retry=retry, crash_plan=crash_plan,
-        )
     return make_engine(engine, clusters, stores, **kwargs).run(spec, index)

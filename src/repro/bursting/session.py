@@ -63,7 +63,9 @@ class BurstingSession:
     worker threads), ``"process"`` (one OS process per slave with
     shared-memory data handoff -- see
     :class:`~repro.runtime.process_engine.ProcessEngine`), or
-    ``"actor"`` (message-passing; takes no pipeline/fault options).
+    ``"actor"`` (message-passing over explicit channels).  Every engine
+    accepts every option -- they all run the same
+    :class:`~repro.runtime.core.SlaveRuntime` worker loop.
     """
 
     def __init__(
@@ -107,27 +109,13 @@ class BurstingSession:
             "adaptive_fetch": adaptive_fetch,
             "min_part_nbytes": min_part_nbytes,
             "autotune_params": autotune_params,
+            "prefetch": prefetch,
+            "chunk_cache": self.cache,
+            "retry": retry,
+            "crash_plan": crash_plan,
         }
         if scheduler_factory is not None:
             kwargs["scheduler_factory"] = scheduler_factory
-        if engine == "actor":
-            given = sorted(
-                name
-                for name, val in (
-                    ("prefetch", prefetch), ("cache_mb", cache_mb),
-                    ("retry", retry), ("crash_plan", crash_plan),
-                )
-                if val
-            )
-            if given:
-                raise ValueError(
-                    f"engine 'actor' does not support options: {given}"
-                )
-        else:
-            kwargs.update(
-                prefetch=prefetch, chunk_cache=self.cache,
-                retry=retry, crash_plan=crash_plan,
-            )
         self.engine_name = engine
         self.engine = make_engine(engine, clusters, stores, **kwargs)
         self.passes_run = 0

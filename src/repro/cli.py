@@ -119,7 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="threaded",
                    help="execution engine: worker threads (default), one OS "
                         "process per slave with shared-memory data handoff, "
-                        "or message-passing actors")
+                        "or message-passing actors; all engines accept all "
+                        "options below")
+    p.add_argument("--prefetch", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="double-buffer every worker: fetch job N+1 while "
+                        "processing job N (process engine defaults to on)")
+    p.add_argument("--cache-mb", type=float, default=0.0,
+                   help="chunk-cache budget in MB shared by all fetchers "
+                        "(0 = no cache)")
     p.add_argument("--inject-fault", metavar="SPEC", default=None,
                    help="wrap the cloud store in a deterministic fault injector, "
                         'e.g. "transient:p=0.3,seed=7", "permanent:key=f3", '
@@ -349,11 +357,23 @@ def _cmd_demo(args) -> int:
     if args.min_part_kb is not None and args.min_part_kb < 0:
         print("error: --min-part-kb must be non-negative", file=sys.stderr)
         return 2
+    if args.cache_mb < 0:
+        print("error: --cache-mb must be non-negative", file=sys.stderr)
+        return 2
     tokens = generate_tokens(args.tokens, args.vocab, seed=7)
     cloud: Any = SimulatedS3Store()
     if fault_spec is not None:
         cloud = FaultInjectingStore(cloud, fault_spec)
     stores = {"local": MemoryStore("local"), "cloud": cloud}
+    extra: dict[str, Any] = {}
+    if args.prefetch is not None:
+        # Unset means each engine keeps its own default (the process
+        # engine's feeders double-buffer out of the box).
+        extra["prefetch"] = args.prefetch
+    if args.cache_mb:
+        from repro.storage.cache import ChunkCache
+
+        extra["chunk_cache"] = ChunkCache(int(args.cache_mb * (1 << 20)))
     try:
         rr = run_threaded_bursting(
             WordCountSpec(), tokens, stores, engine=args.engine,
@@ -364,6 +384,7 @@ def _cmd_demo(args) -> int:
                 if args.min_part_kb is not None
                 else None
             ),
+            **extra,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,9 +1,24 @@
 """Runtime: jobs, scheduling policy, stats, and the execution engines."""
 
 from repro.runtime.actors import ActorEngine
-from repro.runtime.engine import ClusterConfig, RunResult, ThreadedEngine
+from repro.runtime.core import (
+    ClusterConfig,
+    EngineOptions,
+    LockMaster,
+    MasterPort,
+    RunResult,
+    SlaveRuntime,
+)
+from repro.runtime.engine import ThreadedEngine
 from repro.runtime.jobs import Job, LocalJobPool, jobs_from_index
-from repro.runtime.messages import AssignJobs, Channel, RequestJobs, RobjUpload, Shutdown
+from repro.runtime.messages import (
+    AssignJobs,
+    Channel,
+    ReassignJobs,
+    RequestJobs,
+    RobjUpload,
+    Shutdown,
+)
 from repro.runtime.process_engine import ProcessEngine
 from repro.runtime.scheduler import HeadScheduler, RandomScheduler, StaticScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
@@ -16,6 +31,10 @@ from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 #:   shared memory, reduction objects via pickle-5 out-of-band buffers.
 #: * ``actor`` -- message-passing actors over explicit channels; the
 #:   protocol-fidelity engine.
+#:
+#: All three accept the same :class:`EngineOptions` surface and run the
+#: same :class:`SlaveRuntime` worker loop; they differ only in how the
+#: control plane is transported.
 ENGINES = {
     "threaded": ThreadedEngine,
     "process": ProcessEngine,
@@ -26,10 +45,10 @@ ENGINES = {
 def make_engine(name: str, clusters, stores, **kwargs):
     """Construct an execution engine by name.
 
-    ``kwargs`` is the shared engine configuration surface (batch size,
-    prefetch, cache, retry policy, crash plan, ...); options a given
-    engine does not take (e.g. ``start_method`` for the threaded
-    engine) must not be passed for that engine.
+    ``kwargs`` is the unified :class:`EngineOptions` surface (batch
+    size, prefetch, cache, retry policy, crash plan, ...); every engine
+    accepts every option.  Alternatively pass a prebuilt options object
+    as ``options=EngineOptions(...)``.
     """
     try:
         cls = ENGINES[name]
@@ -43,6 +62,10 @@ def make_engine(name: str, clusters, stores, **kwargs):
 __all__ = [
     "ActorEngine",
     "ClusterConfig",
+    "EngineOptions",
+    "LockMaster",
+    "MasterPort",
+    "SlaveRuntime",
     "RunResult",
     "ThreadedEngine",
     "ProcessEngine",
@@ -53,6 +76,7 @@ __all__ = [
     "jobs_from_index",
     "AssignJobs",
     "Channel",
+    "ReassignJobs",
     "RequestJobs",
     "RobjUpload",
     "Shutdown",

@@ -6,11 +6,23 @@ architecture as drawn: a **head actor** thread owning the global job
 pool and the final global reduction, one **master actor** thread per
 cluster owning the local pool, and slave worker threads -- all
 communicating exclusively through typed messages
-(:class:`RequestJobs`, :class:`AssignJobs`, :class:`RobjUpload`) over
-:class:`~repro.runtime.messages.Channel` objects whose latency models
-the control-plane delay between a cloud master and a local head.
+(:class:`RequestJobs`, :class:`AssignJobs`, :class:`ReassignJobs`,
+:class:`RobjUpload`) over :class:`~repro.runtime.messages.Channel`
+objects whose latency models the control-plane delay between a cloud
+master and a local head.
 
-Both engines produce identical results; integration tests assert it.
+The slaves themselves are :class:`~repro.runtime.core.SlaveRuntime`
+instances -- the same loop the threaded and process engines run -- so
+prefetching, chunk caching, retries, chunk verification, and
+worker-crash containment hold here by construction.  The master actor
+is this engine's :class:`~repro.runtime.core.MasterPort`: job refills
+are head round-trips over the channel, and the port is drain-aware --
+an empty :class:`AssignJobs` reply with jobs still outstanding at the
+head means "poll again", never "done", so a job requeued by a crashed
+worker is never stranded.
+
+All engines produce identical results; the equivalence matrix asserts
+it under prefetch, caching, injected faults, and worker crashes.
 """
 
 from __future__ import annotations
@@ -18,21 +30,35 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any
 
 from repro.core.api import GeneralizedReductionSpec
 from repro.core.reduction_object import ReductionObject
 from repro.core.serialization import deserialize_robj, serialize_robj
 from repro.data.index import DataIndex
-from repro.data.units import iter_unit_groups, units_per_group
-from repro.runtime.engine import ClusterConfig, RunResult, make_cluster_fetchers
+from repro.data.units import units_per_group
+from repro.runtime.core import (
+    ClusterConfig,
+    EngineBase,
+    EngineOptions,
+    LockMaster,
+    RunResult,
+    SlaveRuntime,
+    finalize_timing,
+    make_cluster_fetchers,
+    rollup_fetcher_stats,
+)
 from repro.runtime.jobs import Job, jobs_from_index
-from repro.runtime.messages import AssignJobs, Channel, RequestJobs, RobjUpload, Shutdown
+from repro.runtime.messages import (
+    AssignJobs,
+    Channel,
+    ReassignJobs,
+    RequestJobs,
+    RobjUpload,
+    Shutdown,
+)
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
-from repro.storage.autotune import AutotuneParams
 from repro.storage.base import StorageBackend
-from repro.storage.transfer import DEFAULT_MIN_PART_NBYTES, ParallelFetcher
 
 __all__ = ["ActorEngine"]
 
@@ -73,10 +99,24 @@ class _HeadActor(threading.Thread):
                 msg = self.inbox.recv()
                 if isinstance(msg, RequestJobs):
                     jobs = self.scheduler.request_jobs(msg.location, msg.max_jobs)
-                    self.master_channels[msg.cluster].send(AssignJobs(tuple(jobs)))
+                    requeued = tuple(
+                        j.job_id
+                        for j in jobs
+                        if j.job_id in self.scheduler.requeued_ids
+                    )
+                    self.master_channels[msg.cluster].send(
+                        AssignJobs(
+                            tuple(jobs),
+                            outstanding=self.scheduler.outstanding,
+                            requeued=requeued,
+                        )
+                    )
                 elif isinstance(msg, _CompleteJobs):
                     for job in msg.jobs:
                         self.scheduler.complete(job)
+                elif isinstance(msg, ReassignJobs):
+                    for job in msg.jobs:
+                        self.scheduler.reassign(job)
                 elif isinstance(msg, RobjUpload):
                     t0 = time.monotonic()
                     self.uploads.append(deserialize_robj(msg.payload))
@@ -94,7 +134,16 @@ class _HeadActor(threading.Thread):
 
 
 class _MasterActor(threading.Thread):
-    """Owns one cluster: pool, slaves, combination, upload."""
+    """Owns one cluster: pool, slaves, combination, upload.
+
+    Implements :class:`~repro.runtime.core.MasterPort` for its slaves;
+    every head interaction is a message round-trip over channels with
+    modelled latency.
+    """
+
+    #: Poll interval while the head has outstanding jobs that may yet be
+    #: requeued (only reached at the tail of a run).
+    POLL_S = LockMaster.POLL_S
 
     def __init__(
         self,
@@ -104,13 +153,12 @@ class _MasterActor(threading.Thread):
         spec: GeneralizedReductionSpec,
         index: DataIndex,
         stores: dict[str, StorageBackend],
-        batch_size: int,
+        options: EngineOptions,
         group_units: int,
         cstats: ClusterStats,
         t_start: float,
-        adaptive_fetch: bool = False,
-        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
-        autotune_params: AutotuneParams | None = None,
+        errors: list[BaseException],
+        stop: threading.Event,
     ) -> None:
         super().__init__(name=f"master-{cluster.name}", daemon=True)
         self.cluster = cluster
@@ -119,28 +167,40 @@ class _MasterActor(threading.Thread):
         self.spec = spec
         self.index = index
         self.stores = stores
-        self.batch_size = batch_size
+        self.options = options
         self.group_units = group_units
         self.cstats = cstats
         self.t_start = t_start
-        self.adaptive_fetch = adaptive_fetch
-        self.min_part_nbytes = min_part_nbytes
-        self.autotune_params = autotune_params
+        self.errors = errors
+        self.stop = stop
         self.error: BaseException | None = None
         self._pool: list[Job] = []
         self._done = False
+        self._requeued_ids: set[int] = set()
         self._lock = threading.Lock()
         self._refill_lock = threading.Lock()
+        self._alive = cluster.n_workers
+        self._alive_lock = threading.Lock()
 
-    # -- API used by this cluster's worker threads ---------------------------
+    # -- MasterPort: API used by this cluster's worker threads ---------------
 
-    def get_job(self) -> Job | None:
+    def get_job(self, wait: bool = True) -> Job | None:
+        """Next job, refilling over the channel when the pool is depleted.
+
+        Drain-aware: an empty :class:`AssignJobs` reply only latches
+        "done" when the head reports zero outstanding jobs; otherwise a
+        crashed worker may still requeue work, so a blocking caller
+        polls and a non-blocking one (the prefetch reserve path) returns
+        ``None`` immediately.
+        """
         while True:
             with self._lock:
                 if self._pool:
                     return self._pool.pop(0)
                 if self._done:
                     return None
+            if self.stop.is_set():
+                return None
             with self._refill_lock:
                 with self._lock:
                     if self._pool:
@@ -150,51 +210,97 @@ class _MasterActor(threading.Thread):
                 # One worker performs the head round-trip on behalf of
                 # the cluster; channel latency models the network.
                 self.head_inbox.send(
-                    RequestJobs(self.cluster.name, self.cluster.location, self.batch_size)
+                    RequestJobs(
+                        self.cluster.name,
+                        self.cluster.location,
+                        self.options.batch_size,
+                    )
                 )
                 reply = self.inbox.recv()
                 assert isinstance(reply, AssignJobs)
                 with self._lock:
                     if reply.jobs:
+                        self._requeued_ids.update(reply.requeued)
                         self._pool.extend(reply.jobs)
-                    else:
+                        return self._pool.pop(0)
+                    if reply.outstanding == 0:
                         self._done = True
+                        return None
+            if not wait:
+                return None
+            time.sleep(self.POLL_S)
 
-    def complete(self, job: Job) -> None:
+    def reserve_next(self) -> Job | None:
+        """Non-blocking reserve of the job after the current one."""
+        return self.get_job(wait=False)
+
+    def complete(self, job: Job) -> bool:
+        """Report one job done; True if it recovered a requeued job."""
         self.head_inbox.send(_CompleteJobs(self.cluster.name, (job,)))
+        with self._lock:
+            return job.job_id in self._requeued_ids
+
+    def requeue(self, jobs: list[Job]) -> None:
+        """Hand a dead worker's in-flight jobs back to the head."""
+        if jobs:
+            self.head_inbox.send(ReassignJobs(self.cluster.name, tuple(jobs)))
+
+    def worker_died(self) -> list[Job]:
+        """Mark one worker dead; the last death surrenders the pool."""
+        with self._alive_lock:
+            self._alive -= 1
+            if self._alive > 0:
+                return []
+        with self._lock:
+            drained = list(self._pool)
+            self._pool.clear()
+        return drained
 
     # -- the master's own thread: slaves, barrier, combination, upload ------
 
     def run(self) -> None:
         try:
+            opts = self.options
             fetchers = make_cluster_fetchers(
                 self.stores,
                 self.cluster,
-                adaptive_fetch=self.adaptive_fetch,
-                min_part_nbytes=self.min_part_nbytes,
-                autotune_params=self.autotune_params,
+                cache=opts.chunk_cache,
+                prefetch_workers=max(1, self.cluster.n_workers),
+                retry=opts.retry,
+                adaptive_fetch=opts.adaptive_fetch,
+                min_part_nbytes=opts.min_part_nbytes,
+                autotune_params=opts.autotune_params,
             )
             robjs: list[ReductionObject] = []
             workers = []
             for wid in range(self.cluster.n_workers):
                 wstats = WorkerStats()
                 self.cstats.workers.append(wstats)
+                runtime = SlaveRuntime(
+                    f"{self.cluster.name}-w{wid}",
+                    cluster=self.cluster,
+                    port=self,
+                    spec=self.spec,
+                    index=self.index,
+                    group_units=self.group_units,
+                    fetchers=fetchers,
+                    wstats=wstats,
+                    robjs_out=robjs,
+                    options=opts,
+                    t_start=self.t_start,
+                    errors=self.errors,
+                    stop=self.stop,
+                )
                 th = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"{self.cluster.name}-w{wid}",
-                    args=(fetchers, wstats, robjs),
-                    daemon=True,
+                    target=runtime.run, name=runtime.name, daemon=True
                 )
                 workers.append(th)
                 th.start()
             for th in workers:
                 th.join()
-            for loc, f in fetchers.items():
-                if f.autotune is not None and f.autotune.n_samples:
-                    self.cstats.autotune[loc] = f.autotune.snapshot()
-                f.close()
-            if self.error is not None:
-                raise self.error
+            rollup_fetcher_stats(self.cstats, fetchers)
+            if self.errors:
+                raise self.errors[0]
             self.cstats.finished_at = max(
                 (w.finished_at for w in self.cstats.workers), default=0.0
             )
@@ -211,76 +317,19 @@ class _MasterActor(threading.Thread):
         except BaseException as exc:
             self.error = exc
 
-    def _worker_loop(
-        self,
-        fetchers: dict[str, ParallelFetcher],
-        wstats: WorkerStats,
-        robjs_out: list[ReductionObject],
-    ) -> None:
-        try:
-            robj = self.spec.create_reduction_object()
-            while True:
-                job = self.get_job()
-                if job is None:
-                    break
-                t0 = time.monotonic()
-                raw, info = fetchers[job.location].fetch_chunk(job.chunk)
-                t1 = time.monotonic()
-                wstats.retrieval_s += t1 - t0 - info.decode_s
-                wstats.decode_s += info.decode_s
-                wstats.bytes_wire += info.bytes_wire
-                wstats.bytes_logical += info.bytes_logical
-                units = self.index.fmt.decode(raw)
-                for group in iter_unit_groups(units, self.group_units):
-                    self.spec.local_reduction(robj, group)
-                wstats.processing_s += time.monotonic() - t1
-                wstats.jobs_processed += 1
-                if job.location != self.cluster.location:
-                    wstats.jobs_stolen += 1
-                self.complete(job)
-            wstats.finished_at = time.monotonic() - self.t_start
-            robjs_out.append(robj)
-        except BaseException as exc:
-            self.error = exc
 
-
-class ActorEngine:
+class ActorEngine(EngineBase):
     """Message-passing head/master/slave engine (same API as ThreadedEngine)."""
 
-    def __init__(
-        self,
-        clusters: list[ClusterConfig],
-        stores: dict[str, StorageBackend],
-        *,
-        batch_size: int = 4,
-        group_nbytes: int = 1 << 20,
-        scheduler_factory=HeadScheduler,
-        adaptive_fetch: bool = False,
-        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
-        autotune_params: AutotuneParams | None = None,
-    ) -> None:
-        if not clusters:
-            raise ValueError("need at least one cluster")
-        names = [c.name for c in clusters]
-        if len(set(names)) != len(names):
-            raise ValueError("cluster names must be unique")
-        self.clusters = clusters
-        self.stores = stores
-        self.batch_size = batch_size
-        self.group_nbytes = group_nbytes
-        self.scheduler_factory = scheduler_factory
-        self.adaptive_fetch = adaptive_fetch
-        self.min_part_nbytes = min_part_nbytes
-        self.autotune_params = autotune_params
-
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
-        missing = set(index.locations) - set(self.stores)
-        if missing:
-            raise ValueError(f"index references unknown stores: {sorted(missing)}")
-        scheduler = self.scheduler_factory(jobs_from_index(index))
-        group_units = units_per_group(self.group_nbytes, index.fmt.unit_nbytes)
+        EngineOptions.validate_index(index, self.stores)
+        opts = self.options
+        scheduler = opts.scheduler_factory(jobs_from_index(index))
+        group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
         t_start = time.monotonic()
         stats = RunStats()
+        errors: list[BaseException] = []
+        stop = threading.Event()
 
         head_inbox = Channel()
         master_channels = {
@@ -294,11 +343,8 @@ class ActorEngine:
             masters.append(
                 _MasterActor(
                     cluster, head_inbox, master_channels[cluster.name], spec,
-                    index, self.stores, self.batch_size, group_units,
-                    cstats, t_start,
-                    adaptive_fetch=self.adaptive_fetch,
-                    min_part_nbytes=self.min_part_nbytes,
-                    autotune_params=self.autotune_params,
+                    index, self.stores, opts, group_units,
+                    cstats, t_start, errors, stop,
                 )
             )
 
@@ -313,6 +359,7 @@ class ActorEngine:
             # before surfacing the failure.
             head_inbox.send(Shutdown())
             head.join(timeout=5.0)
+            assert failed.error is not None
             raise failed.error
         head.join(timeout=60.0)
         t_end = time.monotonic()
@@ -321,18 +368,21 @@ class ActorEngine:
             raise head.error
         if head.is_alive() or head.final is None:
             raise RuntimeError("head actor did not produce a final reduction object")
+        stats.n_requeued_jobs = scheduler.n_reassigned
         if not scheduler.all_done:
+            failed_n = stats.n_failed_workers
             raise RuntimeError(
                 f"run ended with {scheduler.remaining} unassigned / "
                 f"{scheduler.outstanding} outstanding jobs"
+                + (f" ({failed_n} workers failed, none left to recover)"
+                   if failed_n else "")
             )
 
         stats.total_s = t_end - t_start
         stats.global_reduction_s = head.global_reduction_s
-        processing_end = max(c.finished_at for c in stats.clusters.values())
-        stats.processing_end_s = processing_end
         for cstats in stats.clusters.values():
-            cstats.idle_s = max(0.0, processing_end - cstats.finished_at)
-            for w in cstats.workers:
-                w.sync_s = max(0.0, stats.total_s - w.finished_at)
+            cstats.finished_at = max(
+                (w.finished_at for w in cstats.workers), default=0.0
+            )
+        finalize_timing(stats)
         return RunResult(spec.finalize(head.final), stats, head.final)

@@ -6,6 +6,14 @@ shared head scheduler, fetch chunk byte ranges (multi-threaded) from
 whichever store holds them, fold unit groups into per-worker reduction
 objects, and the head performs the final global reduction.
 
+The per-worker loop itself -- synchronous and pipelined-prefetch fetch
+paths, decode/fold, stats accounting, crash injection and containment --
+lives in :class:`repro.runtime.core.SlaveRuntime` and is shared with the
+other engines; this module contributes only the threaded control plane:
+per-cluster :class:`LockMaster` instances refilling worker threads from
+the shared head scheduler under a lock, and the shared
+:func:`finalize_run` epilogue.
+
 Two data-pipeline optimizations sit on the fetch path:
 
 * **prefetching** (``prefetch=True``): a worker reserves job *N+1* from
@@ -45,27 +53,24 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Any
 
 from repro.core.api import GeneralizedReductionSpec
 from repro.core.reduction_object import ReductionObject
-from repro.core.serialization import deserialize_robj, serialize_robj
 from repro.data.index import DataIndex
-from repro.data.units import iter_unit_groups, units_per_group
-from repro.runtime.jobs import Job, LocalJobPool, jobs_from_index
-from repro.runtime.scheduler import HeadScheduler
-from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
-from repro.storage.autotune import AimdAutotuner, AutotuneParams
-from repro.storage.base import StorageBackend
-from repro.storage.cache import ChunkCache
-from repro.storage.faults import WorkerCrash
-from repro.storage.retry import RetryExhausted, RetryPolicy
-from repro.storage.transfer import (
-    DEFAULT_MIN_PART_NBYTES,
-    ParallelFetcher,
-    PrefetchHandle,
+from repro.data.units import units_per_group
+from repro.runtime.core import (
+    ClusterConfig,
+    EngineBase,
+    EngineOptions,
+    LockMaster,
+    RunResult,
+    SlaveRuntime,
+    finalize_run,
+    make_cluster_fetchers,
 )
+from repro.runtime.jobs import jobs_from_index
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.storage.transfer import ParallelFetcher
 
 __all__ = [
     "ClusterConfig",
@@ -74,229 +79,21 @@ __all__ = [
     "make_cluster_fetchers",
 ]
 
-
-def make_cluster_fetchers(
-    stores: dict[str, StorageBackend],
-    cluster: "ClusterConfig",
-    *,
-    cache: ChunkCache | None = None,
-    prefetch_workers: int = 1,
-    retry: RetryPolicy | None = None,
-    adaptive_fetch: bool = False,
-    min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
-    autotune_params: AutotuneParams | None = None,
-) -> dict[str, ParallelFetcher]:
-    """One fetcher per data location for one cluster.
-
-    With ``adaptive_fetch`` every (cluster, location) path gets its own
-    AIMD autotuner replacing the fixed ``retrieval_threads`` fan-out --
-    the paths differ wildly (local NIC vs WAN vs throttled S3), so each
-    learns its own knee.  Shared by all three live engines.
-    """
-    fetchers: dict[str, ParallelFetcher] = {}
-    for loc, store in stores.items():
-        autotune = None
-        if adaptive_fetch:
-            params = autotune_params or AutotuneParams(
-                min_part_nbytes=max(1, min_part_nbytes)
-            )
-            autotune = AimdAutotuner(params, name=f"{cluster.name}->{loc}")
-        fetchers[loc] = ParallelFetcher(
-            store,
-            cluster.retrieval_threads,
-            cache=cache,
-            prefetch_workers=prefetch_workers,
-            retry=retry,
-            autotune=autotune,
-            min_part_nbytes=min_part_nbytes,
-        )
-    return fetchers
+# Backwards-compatible alias: the lock-based master moved to the shared
+# core (the process engine and tests import it from here).
+_Master = LockMaster
 
 
-@dataclass(frozen=True)
-class ClusterConfig:
-    """Static description of one compute cluster."""
-
-    name: str
-    location: str               # the storage site this cluster is co-located with
-    n_workers: int
-    retrieval_threads: int = 2  # parallel connections per chunk fetch
-    link_latency_s: float = 0.0  # master <-> head round-trip latency
-
-
-@dataclass
-class RunResult:
-    """Outcome of one engine run."""
-
-    result: Any
-    stats: RunStats
-    robj: ReductionObject
-
-
-class _Master:
-    """Cluster-local job pool that refills from the head on demand.
-
-    A master never *latches* an empty refill as "done": while the head
-    still has outstanding jobs, one of them may yet be requeued by a
-    crashed worker, so :meth:`get_job` keeps re-checking the scheduler
-    until the run is truly drained (no unassigned *and* no outstanding
-    jobs), the stop event fires, or -- for the non-blocking reserve
-    path -- immediately reports nothing available.
-    """
-
-    #: Poll interval while waiting for outstanding jobs to complete or
-    #: be requeued (only reached at the tail of a run).
-    POLL_S = 0.001
-
-    def __init__(
-        self,
-        cluster: ClusterConfig,
-        scheduler: HeadScheduler,
-        scheduler_lock: threading.Lock,
-        batch_size: int,
-        stop: threading.Event | None = None,
-        n_workers: int = 1,
-    ) -> None:
-        self.cluster = cluster
-        self.scheduler = scheduler
-        self.scheduler_lock = scheduler_lock
-        self.batch_size = batch_size
-        self.stop = stop if stop is not None else threading.Event()
-        self.pool = LocalJobPool()
-        self._refill_lock = threading.Lock()
-        self._alive = n_workers
-        self._alive_lock = threading.Lock()
-
-    def get_job(self, wait: bool = True) -> Job | None:
-        """Next job for a worker, refilling from the head when depleted.
-
-        Returns ``None`` when every job everywhere is assigned *and*
-        completed (or the stop event fired).  With ``wait=False`` it
-        instead returns ``None`` as soon as nothing is immediately
-        available -- required by the prefetch reserve path, where the
-        caller still holds its own outstanding job and blocking here
-        would deadlock the tail of the run.
-        """
-        while True:
-            job = self.pool.try_get()
-            if job is not None:
-                return job
-            if self.stop.is_set():
-                return None
-            # Pay the master <-> head round-trip *outside* the refill
-            # lock: concurrent requesters overlap their RTTs instead of
-            # queueing a full round-trip each behind one sleeping
-            # refiller (only the scheduler interaction is serialized).
-            if self.cluster.link_latency_s > 0:
-                time.sleep(self.cluster.link_latency_s)
-            with self._refill_lock:
-                # Re-check: another worker may have refilled while we
-                # paid the round-trip or waited for the lock.
-                job = self.pool.try_get()
-                if job is not None:
-                    return job
-                with self.scheduler_lock:
-                    jobs = self.scheduler.request_jobs(
-                        self.cluster.location, self.batch_size
-                    )
-                    outstanding = self.scheduler.outstanding
-                if jobs:
-                    self.pool.add(jobs[1:])
-                    return jobs[0]
-            if outstanding == 0:
-                return None  # truly drained: nothing left to requeue
-            if not wait:
-                return None
-            time.sleep(self.POLL_S)
-
-    def reserve_next(self) -> Job | None:
-        """Reserve the job a worker will process after its current one.
-
-        Same contract as :meth:`get_job` but non-blocking: the caller's
-        *current* job is still outstanding, so waiting for the head to
-        drain would deadlock (every pipelined worker parked on its own
-        unfinished job).  The worker loops back to a blocking
-        :meth:`get_job` after finishing its current job, so a late
-        requeue is still picked up.
-        """
-        return self.get_job(wait=False)
-
-    def worker_died(self) -> list[Job]:
-        """Mark one worker dead; the last death surrenders the pool.
-
-        While any worker of the cluster survives, pooled jobs stay (a
-        survivor will drain them).  When the *last* worker dies, the
-        pooled-but-unstarted jobs are pulled out and returned so the
-        caller can hand them back to the head for the other cluster.
-        """
-        with self._alive_lock:
-            self._alive -= 1
-            if self._alive > 0:
-                return []
-        drained: list[Job] = []
-        while (job := self.pool.try_get()) is not None:
-            drained.append(job)
-        return drained
-
-
-class ThreadedEngine:
+class ThreadedEngine(EngineBase):
     """Multi-cluster, multi-worker threaded executor."""
-
-    def __init__(
-        self,
-        clusters: list[ClusterConfig],
-        stores: dict[str, StorageBackend],
-        *,
-        batch_size: int = 4,
-        group_nbytes: int = 1 << 20,
-        scheduler_factory=HeadScheduler,
-        verify_chunks: bool = False,
-        prefetch: bool = False,
-        chunk_cache: ChunkCache | None = None,
-        retry: RetryPolicy | None = None,
-        crash_plan: dict[str, int] | None = None,
-        adaptive_fetch: bool = False,
-        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
-        autotune_params: AutotuneParams | None = None,
-    ) -> None:
-        if not clusters:
-            raise ValueError("need at least one cluster")
-        names = [c.name for c in clusters]
-        if len(set(names)) != len(names):
-            raise ValueError("cluster names must be unique")
-        if crash_plan:
-            worker_names = {
-                f"{c.name}-w{wid}" for c in clusters for wid in range(c.n_workers)
-            }
-            unknown = set(crash_plan) - worker_names
-            if unknown:
-                raise ValueError(
-                    f"crash_plan targets unknown workers: {sorted(unknown)}"
-                )
-            if any(n < 0 for n in crash_plan.values()):
-                raise ValueError("crash_plan job counts must be non-negative")
-        self.clusters = clusters
-        self.stores = stores
-        self.batch_size = batch_size
-        self.group_nbytes = group_nbytes
-        self.scheduler_factory = scheduler_factory
-        self.verify_chunks = verify_chunks
-        self.prefetch = prefetch
-        self.chunk_cache = chunk_cache
-        self.retry = retry
-        self.crash_plan = dict(crash_plan) if crash_plan else {}
-        self.adaptive_fetch = adaptive_fetch
-        self.min_part_nbytes = min_part_nbytes
-        self.autotune_params = autotune_params
 
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
         """Execute ``spec`` over the dataset described by ``index``."""
-        missing = set(index.locations) - set(self.stores)
-        if missing:
-            raise ValueError(f"index references unknown stores: {sorted(missing)}")
-        scheduler = self.scheduler_factory(jobs_from_index(index))
+        EngineOptions.validate_index(index, self.stores)
+        opts = self.options
+        scheduler = opts.scheduler_factory(jobs_from_index(index))
         scheduler_lock = threading.Lock()
-        group_units = units_per_group(self.group_nbytes, index.fmt.unit_nbytes)
+        group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
 
         t_start = time.monotonic()
         stats = RunStats()
@@ -307,8 +104,8 @@ class ThreadedEngine:
         stop = threading.Event()
 
         for cluster in self.clusters:
-            master = _Master(
-                cluster, scheduler, scheduler_lock, self.batch_size,
+            master = LockMaster(
+                cluster, scheduler, scheduler_lock, opts.batch_size,
                 stop=stop, n_workers=cluster.n_workers,
             )
             cstats = ClusterStats(cluster.name, cluster.location)
@@ -317,288 +114,48 @@ class ThreadedEngine:
             fetchers[cluster.name] = make_cluster_fetchers(
                 self.stores,
                 cluster,
-                cache=self.chunk_cache,
+                cache=opts.chunk_cache,
                 prefetch_workers=max(1, cluster.n_workers),
-                retry=self.retry,
-                adaptive_fetch=self.adaptive_fetch,
-                min_part_nbytes=self.min_part_nbytes,
-                autotune_params=self.autotune_params,
+                retry=opts.retry,
+                adaptive_fetch=opts.adaptive_fetch,
+                min_part_nbytes=opts.min_part_nbytes,
+                autotune_params=opts.autotune_params,
             )
             for wid in range(cluster.n_workers):
                 wstats = WorkerStats()
                 cstats.workers.append(wstats)
-                th = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"{cluster.name}-w{wid}",
-                    args=(
-                        cluster, master, spec, index, group_units,
-                        fetchers[cluster.name], wstats,
-                        cluster_robjs[cluster.name], scheduler, scheduler_lock,
-                        t_start, errors, stop,
-                    ),
-                    daemon=True,
+                runtime = SlaveRuntime(
+                    f"{cluster.name}-w{wid}",
+                    cluster=cluster,
+                    port=master,
+                    spec=spec,
+                    index=index,
+                    group_units=group_units,
+                    fetchers=fetchers[cluster.name],
+                    wstats=wstats,
+                    robjs_out=cluster_robjs[cluster.name],
+                    options=opts,
+                    t_start=t_start,
+                    errors=errors,
+                    stop=stop,
                 )
-                threads.append(th)
+                threads.append(
+                    threading.Thread(
+                        target=runtime.run, name=runtime.name, daemon=True
+                    )
+                )
 
         for th in threads:
             th.start()
         for th in threads:
             th.join()
-        for cfs in fetchers.values():
-            for f in cfs.values():
-                f.close()
-        # Fetch-path fault accounting, summed over each cluster's fetchers.
-        for cluster in self.clusters:
-            cstats = stats.clusters[cluster.name]
-            for loc, f in fetchers[cluster.name].items():
-                cstats.n_retries += f.n_retries
-                cstats.n_errors += f.n_giveups
-                cstats.bytes_retried += f.bytes_retried
-                if f.autotune is not None and f.autotune.n_samples:
-                    cstats.autotune[loc] = f.autotune.snapshot()
-        stats.n_requeued_jobs = scheduler.n_reassigned
-        if errors:
-            raise errors[0]
-        if not scheduler.all_done:
-            failed = stats.n_failed_workers
-            raise RuntimeError(
-                f"run ended with {scheduler.remaining} unassigned / "
-                f"{scheduler.outstanding} outstanding jobs"
-                + (f" ({failed} workers failed, none left to recover)"
-                   if failed else "")
-            )
-
-        # Per-cluster combination, then inter-cluster global reduction.
-        for cstats in stats.clusters.values():
-            cstats.finished_at = max(
-                (w.finished_at for w in cstats.workers), default=0.0
-            )
-        processing_end = max(
-            (c.finished_at for c in stats.clusters.values()), default=0.0
+        return finalize_run(
+            spec=spec,
+            clusters=self.clusters,
+            stats=stats,
+            scheduler=scheduler,
+            fetchers=fetchers,
+            cluster_robjs=cluster_robjs,
+            errors=errors,
+            t_start=t_start,
         )
-        stats.processing_end_s = processing_end
-        t_reduce0 = time.monotonic()
-        uploads: list[ReductionObject] = []
-        for cluster in self.clusters:
-            cstats = stats.clusters[cluster.name]
-            robjs = cluster_robjs[cluster.name]
-            merged = spec.global_reduction(robjs) if robjs else spec.create_reduction_object()
-            # Ship real serialized bytes, as the wire would carry them.
-            t0 = time.monotonic()
-            payload = serialize_robj(merged)
-            if cluster.link_latency_s > 0:
-                time.sleep(cluster.link_latency_s)
-            uploads.append(deserialize_robj(payload))
-            cstats.robj_nbytes = len(payload)
-            cstats.robj_transfer_s = time.monotonic() - t0
-        final = spec.global_reduction(uploads)
-        t_end = time.monotonic()
-
-        stats.total_s = t_end - t_start
-        stats.global_reduction_s = t_end - t_reduce0
-        for cstats in stats.clusters.values():
-            cstats.idle_s = max(0.0, processing_end - cstats.finished_at)
-            for w in cstats.workers:
-                w.sync_s = max(0.0, stats.total_s - w.finished_at)
-        return RunResult(spec.finalize(final), stats, final)
-
-    # -- worker loop ---------------------------------------------------------
-
-    def _fetch_now(
-        self,
-        job: Job,
-        cluster_fetchers: dict[str, ParallelFetcher],
-        wstats: WorkerStats,
-    ) -> bytes:
-        """Synchronous fetch of one job's bytes, fully accounted as stall."""
-        t0 = time.monotonic()
-        raw, info = cluster_fetchers[job.location].fetch_chunk(job.chunk)
-        wstats.retrieval_s += time.monotonic() - t0 - info.decode_s
-        wstats.decode_s += info.decode_s
-        wstats.bytes_wire += info.bytes_wire
-        wstats.bytes_logical += info.bytes_logical
-        if info.cache_hit:
-            wstats.cache_hits += 1
-        else:
-            wstats.cache_misses += 1
-        return raw
-
-    def _process(
-        self,
-        spec: GeneralizedReductionSpec,
-        index: DataIndex,
-        group_units: int,
-        robj: ReductionObject,
-        job: Job,
-        raw: bytes,
-        cluster: ClusterConfig,
-        wstats: WorkerStats,
-        scheduler: HeadScheduler,
-        scheduler_lock: threading.Lock,
-    ) -> None:
-        """Decode, reduce, and complete one job."""
-        if self.verify_chunks:
-            from repro.data.integrity import verify_chunk_bytes
-
-            verify_chunk_bytes(job.chunk, raw)
-        t0 = time.monotonic()
-        units = index.fmt.decode(raw)
-        for group in iter_unit_groups(units, group_units):
-            spec.local_reduction(robj, group)
-        elapsed = time.monotonic() - t0
-        wstats.processing_s += elapsed
-        wstats.jobs_processed += 1
-        if job.location != cluster.location:
-            wstats.jobs_stolen += 1
-        with scheduler_lock:
-            scheduler.complete(job)
-            recovered = job.job_id in scheduler.requeued_ids
-        if recovered:
-            # This execution replaced one lost to a failed worker; its
-            # compute time is the recovery overhead (the re-fetch is in
-            # retrieval_s like any other fetch).
-            wstats.jobs_recovered += 1
-            wstats.recovery_s += elapsed
-
-    def _contain_failure(
-        self,
-        exc: BaseException,
-        inflight: list[Job | None],
-        pending: PrefetchHandle | None,
-        master: _Master,
-        scheduler: HeadScheduler,
-        scheduler_lock: threading.Lock,
-        wstats: WorkerStats,
-        robjs_out: list[ReductionObject],
-        robj: ReductionObject,
-        t_start: float,
-    ) -> None:
-        """Absorb one worker's death without aborting the run.
-
-        The worker's in-flight jobs (current and reserved-next) return
-        to the head for reassignment; if it was its cluster's last
-        worker, the master's pooled jobs go back too.  The partially
-        folded reduction object is preserved -- it holds exactly the
-        jobs this worker *completed*, so folding it plus re-executing
-        the requeued jobs yields each job exactly once.
-        """
-        if pending is not None:
-            pending.cancel()
-        requeue: list[Job] = []
-        for j in inflight:
-            if j is not None and all(j.job_id != q.job_id for q in requeue):
-                requeue.append(j)
-        requeue.extend(master.worker_died())
-        with scheduler_lock:
-            for j in requeue:
-                scheduler.reassign(j)
-        wstats.failed = True
-        wstats.finished_at = time.monotonic() - t_start
-        robjs_out.append(robj)
-
-    def _worker_loop(
-        self,
-        cluster: ClusterConfig,
-        master: _Master,
-        spec: GeneralizedReductionSpec,
-        index: DataIndex,
-        group_units: int,
-        cluster_fetchers: dict[str, ParallelFetcher],
-        wstats: WorkerStats,
-        robjs_out: list[ReductionObject],
-        scheduler: HeadScheduler,
-        scheduler_lock: threading.Lock,
-        t_start: float,
-        errors: list[BaseException],
-        stop: threading.Event,
-    ) -> None:
-        pending: PrefetchHandle | None = None
-        # Containment bookkeeping: the job being fetched/processed and
-        # the reserved-next job whose prefetch is in flight.  Both are
-        # outstanding at the head until completed, so both must be
-        # requeued if this worker dies.
-        cur_job: Job | None = None
-        next_job: Job | None = None
-        crash_after = self.crash_plan.get(threading.current_thread().name)
-        jobs_done = 0
-        robj = spec.create_reduction_object()
-
-        def maybe_crash() -> None:
-            if crash_after is not None and jobs_done >= crash_after:
-                raise WorkerCrash(
-                    f"injected crash in {threading.current_thread().name} "
-                    f"after {jobs_done} jobs"
-                )
-
-        try:
-            while not stop.is_set():
-                cur_job = master.get_job()
-                if cur_job is None:
-                    break
-                if self.prefetch:
-                    # Pipelined path: the first fetch is unavoidably
-                    # serial; every later fetch overlaps the previous
-                    # job's compute.  When the reserve runs dry the
-                    # outer loop re-checks the head, so jobs requeued by
-                    # a late failure are still picked up.
-                    maybe_crash()
-                    raw = self._fetch_now(cur_job, cluster_fetchers, wstats)
-                    while cur_job is not None and not stop.is_set():
-                        maybe_crash()
-                        next_job = master.reserve_next()
-                        if next_job is not None:
-                            pending = cluster_fetchers[
-                                next_job.location
-                            ].fetch_chunk_async(next_job.chunk)
-                        self._process(
-                            spec, index, group_units, robj, cur_job, raw,
-                            cluster, wstats, scheduler, scheduler_lock,
-                        )
-                        jobs_done += 1
-                        cur_job = None
-                        if next_job is None:
-                            break
-                        ready = pending.done()
-                        t_need = time.monotonic()
-                        raw = pending.result()
-                        stall = time.monotonic() - t_need
-                        wstats.retrieval_s += stall
-                        wstats.overlap_s += max(0.0, pending.fetch_s - stall)
-                        wstats.decode_s += pending.decode_s
-                        wstats.bytes_wire += pending.bytes_wire
-                        wstats.bytes_logical += pending.bytes_logical
-                        if ready:
-                            wstats.prefetch_hits += 1
-                        else:
-                            wstats.prefetch_misses += 1
-                        if pending.cache_hit:
-                            wstats.cache_hits += 1
-                        else:
-                            wstats.cache_misses += 1
-                        pending = None
-                        cur_job, next_job = next_job, None
-                else:
-                    # Serial path: fetch then process, one job at a time.
-                    maybe_crash()
-                    raw = self._fetch_now(cur_job, cluster_fetchers, wstats)
-                    self._process(
-                        spec, index, group_units, robj, cur_job, raw,
-                        cluster, wstats, scheduler, scheduler_lock,
-                    )
-                    jobs_done += 1
-                    cur_job = None
-            wstats.finished_at = time.monotonic() - t_start
-            robjs_out.append(robj)
-        except (WorkerCrash, RetryExhausted) as exc:
-            # Recoverable: this worker is lost, the run is not.
-            self._contain_failure(
-                exc, [cur_job, next_job], pending, master, scheduler,
-                scheduler_lock, wstats, robjs_out, robj, t_start,
-            )
-            pending = None
-        except BaseException as exc:  # surfaced by run()
-            errors.append(exc)
-            stop.set()  # fail fast: abort every other worker promptly
-        finally:
-            if pending is not None:
-                pending.cancel()

@@ -19,6 +19,7 @@ from repro.runtime.jobs import Job
 __all__ = [
     "RequestJobs",
     "AssignJobs",
+    "ReassignJobs",
     "RobjUpload",
     "Shutdown",
     "Channel",
@@ -36,8 +37,26 @@ class RequestJobs:
 
 @dataclass(frozen=True)
 class AssignJobs:
-    """Head -> master: a batch of jobs (empty means no work remains)."""
+    """Head -> master: a batch of jobs, plus drain state.
 
+    ``outstanding`` is the head's count of assigned-but-unfinished jobs
+    *after* this assignment.  An empty ``jobs`` with ``outstanding > 0``
+    means "nothing now, but a crashed worker may yet requeue work" --
+    the master must re-request, not latch done.  ``requeued`` lists the
+    ids in this batch that are re-executions of jobs lost to a failed
+    worker, so the receiving master can account recoveries.
+    """
+
+    jobs: tuple[Job, ...]
+    outstanding: int = 0
+    requeued: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReassignJobs:
+    """Master -> head: a dead worker's in-flight jobs, for reassignment."""
+
+    cluster: str
     jobs: tuple[Job, ...]
 
 

@@ -9,8 +9,10 @@ processes; this engine restores that: each slave is a real
 genuinely occupies N cores.
 
 The policy layer is untouched -- the same :class:`HeadScheduler`, the
-same ``_Master`` refill protocol, the same :class:`RunStats` -- only the
-data plane changes:
+same :class:`~repro.runtime.core.LockMaster` refill protocol (driven
+through the :class:`~repro.runtime.core.MasterPort` surface), the same
+:class:`RunStats`, the same :func:`~repro.runtime.core.finalize_run`
+epilogue -- only the data plane changes:
 
 * **chunk bytes cross through shared memory.**  The parent (which owns
   the stores, the chunk cache, and the retry policy) fetches each job's
@@ -21,7 +23,9 @@ data plane changes:
   payloads ever crosses a pipe; the task message is a few dozen bytes.
 * **one feeder thread per worker** pulls jobs from the master and keeps
   up to two fetches in flight, so data movement overlaps worker compute
-  (the double-buffered slave, now across a process boundary).
+  (the double-buffered slave of the shared
+  :class:`~repro.runtime.core.SlaveRuntime`, now across a process
+  boundary -- the feeder shares the core's fetch-accounting helpers).
 * **reduction objects return via pickle protocol-5 out-of-band
   buffers** (:func:`~repro.core.serialization.serialize_robj_oob`):
   the worker sends a tiny metadata pickle, the parent allocates one
@@ -66,39 +70,32 @@ from repro.core.api import (
     uses_default_global_reduction,
 )
 from repro.core.reduction_object import ReductionObject
-from repro.core.serialization import (
-    deserialize_robj,
-    deserialize_robj_oob,
-    serialize_robj,
-    serialize_robj_oob,
-)
+from repro.core.serialization import deserialize_robj_oob, serialize_robj_oob
 from repro.data.index import DataIndex
 from repro.data.units import iter_unit_groups, units_per_group
-from repro.runtime.engine import (
+from repro.runtime.core import (
     ClusterConfig,
+    EngineBase,
+    EngineOptions,
+    LockMaster,
+    MasterPort,
     RunResult,
-    _Master,
+    account_fetch_info,
+    account_overlap,
+    finalize_run,
     make_cluster_fetchers,
 )
 from repro.runtime.jobs import Job, jobs_from_index
-from repro.runtime.scheduler import HeadScheduler
-from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
-from repro.storage.base import StorageBackend
-from repro.storage.cache import ChunkCache
+from repro.runtime.stats import RunStats, WorkerStats, ClusterStats
 from repro.storage.faults import WorkerCrash
-from repro.storage.retry import RetryExhausted, RetryPolicy
+from repro.storage.retry import RetryExhausted
 from repro.storage.shm import (
     SharedSegment,
     SharedSegmentPool,
     attach_segment,
     close_quietly,
 )
-from repro.storage.autotune import AutotuneParams
-from repro.storage.transfer import (
-    DEFAULT_MIN_PART_NBYTES,
-    FetchInfo,
-    ParallelFetcher,
-)
+from repro.storage.transfer import FetchInfo, ParallelFetcher
 
 __all__ = ["ProcessEngine"]
 
@@ -212,82 +209,44 @@ class _WorkerHandle:
     inflight: deque = field(default_factory=deque)  # (Job, SharedSegment)
 
 
-class ProcessEngine:
+class ProcessEngine(EngineBase):
     """Multi-cluster engine with one real process per slave.
 
-    Accepts the same configuration surface as
-    :class:`~repro.runtime.engine.ThreadedEngine` (scheduling, caching,
-    retries, crash injection); ``prefetch`` controls whether each feeder
-    keeps a second fetch in flight (double buffering) or runs strictly
+    Accepts the same :class:`~repro.runtime.core.EngineOptions` surface
+    as every engine (scheduling, caching, retries, crash injection);
+    ``prefetch`` controls whether each feeder keeps a second fetch in
+    flight (double buffering, the default here) or runs strictly
     fetch-then-compute.  ``start_method`` picks the multiprocessing
     start method (default ``fork`` where available -- workers are forked
     before any engine thread starts, so the fork is safe);
     ``merge_threads`` bounds the parallel tree-merge width.
     """
 
-    def __init__(
-        self,
-        clusters: list[ClusterConfig],
-        stores: dict[str, StorageBackend],
-        *,
-        batch_size: int = 4,
-        group_nbytes: int = 1 << 20,
-        scheduler_factory=HeadScheduler,
-        verify_chunks: bool = False,
-        prefetch: bool = True,
-        chunk_cache: ChunkCache | None = None,
-        retry: RetryPolicy | None = None,
-        crash_plan: dict[str, int] | None = None,
-        start_method: str | None = None,
-        merge_threads: int = 4,
-        adaptive_fetch: bool = False,
-        min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
-        autotune_params: AutotuneParams | None = None,
-    ) -> None:
-        if not clusters:
-            raise ValueError("need at least one cluster")
-        names = [c.name for c in clusters]
-        if len(set(names)) != len(names):
-            raise ValueError("cluster names must be unique")
-        if crash_plan:
-            worker_names = {
-                f"{c.name}-w{wid}" for c in clusters for wid in range(c.n_workers)
-            }
-            unknown = set(crash_plan) - worker_names
-            if unknown:
-                raise ValueError(
-                    f"crash_plan targets unknown workers: {sorted(unknown)}"
-                )
-            if any(n < 0 for n in crash_plan.values()):
-                raise ValueError("crash_plan job counts must be non-negative")
-        if merge_threads <= 0:
-            raise ValueError("merge_threads must be positive")
-        if start_method is None:
+    def __init__(self, clusters, stores, *, options=None, **kwargs) -> None:
+        if options is None:
+            # Feeding a worker process is asynchronous by nature; double
+            # buffering is the historical (and sensible) default here.
+            kwargs.setdefault("prefetch", True)
+        super().__init__(clusters, stores, options=options, **kwargs)
+
+    @property
+    def start_method(self) -> str:
+        sm = self.options.start_method
+        if sm is None:
             methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        self.clusters = clusters
-        self.stores = stores
-        self.batch_size = batch_size
-        self.group_nbytes = group_nbytes
-        self.scheduler_factory = scheduler_factory
-        self.verify_chunks = verify_chunks
-        self.prefetch = prefetch
-        self.chunk_cache = chunk_cache
-        self.retry = retry
-        self.crash_plan = dict(crash_plan) if crash_plan else {}
-        self.start_method = start_method
-        self.merge_threads = merge_threads
-        self.adaptive_fetch = adaptive_fetch
-        self.min_part_nbytes = min_part_nbytes
-        self.autotune_params = autotune_params
+            sm = "fork" if "fork" in methods else "spawn"
+        return sm
+
+    @property
+    def merge_threads(self) -> int:
+        return self.options.merge_threads
 
     # -- top level -----------------------------------------------------------
 
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
         """Execute ``spec`` over the dataset described by ``index``."""
-        missing = set(index.locations) - set(self.stores)
-        if missing:
-            raise ValueError(f"index references unknown stores: {sorted(missing)}")
+        EngineOptions.validate_index(index, self.stores)
+        opts = self.options
         ctx = multiprocessing.get_context(self.start_method)
         # Start the resource tracker *now*, while no engine thread or
         # segment exists: forked workers then inherit (and spawn-started
@@ -299,15 +258,15 @@ class ProcessEngine:
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-        scheduler = self.scheduler_factory(jobs_from_index(index))
+        scheduler = opts.scheduler_factory(jobs_from_index(index))
         scheduler_lock = threading.Lock()
-        group_units = units_per_group(self.group_nbytes, index.fmt.unit_nbytes)
+        group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
         segments = SharedSegmentPool()
 
         t_start = time.monotonic()
         stats = RunStats()
         # Per cluster: (robj, backing segment or None) per surviving worker.
-        cluster_robjs: dict[str, list[tuple[ReductionObject, SharedSegment | None]]] = {}
+        cluster_entries: dict[str, list[tuple[ReductionObject, SharedSegment | None]]] = {}
         handles: list[_WorkerHandle] = []
         feeders: list[threading.Thread] = []
         fetchers: dict[str, dict[str, ParallelFetcher]] = {}
@@ -319,21 +278,21 @@ class ProcessEngine:
             # this process, so a fork start method never snapshots a
             # parent mid-lock.
             for cluster in self.clusters:
-                master = _Master(
-                    cluster, scheduler, scheduler_lock, self.batch_size,
+                master = LockMaster(
+                    cluster, scheduler, scheduler_lock, opts.batch_size,
                     stop=stop, n_workers=cluster.n_workers,
                 )
                 cstats = ClusterStats(cluster.name, cluster.location)
                 stats.clusters[cluster.name] = cstats
-                cluster_robjs[cluster.name] = []
+                cluster_entries[cluster.name] = []
                 fetchers[cluster.name] = make_cluster_fetchers(
                     self.stores,
                     cluster,
-                    cache=self.chunk_cache,
-                    retry=self.retry,
-                    adaptive_fetch=self.adaptive_fetch,
-                    min_part_nbytes=self.min_part_nbytes,
-                    autotune_params=self.autotune_params,
+                    cache=opts.chunk_cache,
+                    retry=opts.retry,
+                    adaptive_fetch=opts.adaptive_fetch,
+                    min_part_nbytes=opts.min_part_nbytes,
+                    autotune_params=opts.autotune_params,
                 )
                 for wid in range(cluster.n_workers):
                     wname = f"{cluster.name}-w{wid}"
@@ -346,7 +305,7 @@ class ProcessEngine:
                         name=wname,
                         args=(
                             wname, spec, index.fmt, group_units,
-                            task_q, result_q, self.crash_plan.get(wname),
+                            task_q, result_q, opts.crash_plan.get(wname),
                         ),
                         daemon=True,
                     )
@@ -358,8 +317,8 @@ class ProcessEngine:
                             name=f"feeder-{wname}",
                             args=(
                                 cluster, master, handle, fetchers[cluster.name],
-                                segments, scheduler, scheduler_lock,
-                                cluster_robjs[cluster.name], t_start, errors, stop,
+                                segments, cluster_entries[cluster.name],
+                                t_start, errors, stop,
                             ),
                             daemon=True,
                         )
@@ -371,65 +330,26 @@ class ProcessEngine:
             for th in feeders:
                 th.join()
 
-            for cfs in fetchers.values():
-                for f in cfs.values():
-                    f.close()
-            for cluster in self.clusters:
-                cstats = stats.clusters[cluster.name]
-                for loc, f in fetchers[cluster.name].items():
-                    cstats.n_retries += f.n_retries
-                    cstats.n_errors += f.n_giveups
-                    cstats.bytes_retried += f.bytes_retried
-                    if f.autotune is not None and f.autotune.n_samples:
-                        cstats.autotune[loc] = f.autotune.snapshot()
-            stats.n_requeued_jobs = scheduler.n_reassigned
-            if errors:
-                raise errors[0]
-            if not scheduler.all_done:
-                failed = stats.n_failed_workers
-                raise RuntimeError(
-                    f"run ended with {scheduler.remaining} unassigned / "
-                    f"{scheduler.outstanding} outstanding jobs"
-                    + (f" ({failed} workers failed, none left to recover)"
-                       if failed else "")
-                )
-
-            for cstats in stats.clusters.values():
-                cstats.finished_at = max(
-                    (w.finished_at for w in cstats.workers), default=0.0
-                )
-            processing_end = max(
-                (c.finished_at for c in stats.clusters.values()), default=0.0
+            result = finalize_run(
+                spec=spec,
+                clusters=self.clusters,
+                stats=stats,
+                scheduler=scheduler,
+                fetchers=fetchers,
+                cluster_robjs={
+                    name: [robj for robj, _ in entries]
+                    for name, entries in cluster_entries.items()
+                },
+                errors=errors,
+                t_start=t_start,
+                combine=lambda robjs: self._combine(spec, robjs),
             )
-            stats.processing_end_s = processing_end
-
-            t_reduce0 = time.monotonic()
-            uploads: list[ReductionObject] = []
-            for cluster in self.clusters:
-                cstats = stats.clusters[cluster.name]
-                entries = cluster_robjs[cluster.name]
-                merged = self._combine(spec, [robj for robj, _ in entries])
-                # The merge folded into fresh objects; the worker robjs
-                # (and their shared-memory backing) are no longer needed.
+            # Every merge folded into fresh objects; the worker robjs
+            # (and their shared-memory backing) are no longer needed.
+            for entries in cluster_entries.values():
                 for _, seg in entries:
                     if seg is not None:
                         segments.release(seg)
-                t0 = time.monotonic()
-                payload = serialize_robj(merged)
-                if cluster.link_latency_s > 0:
-                    time.sleep(cluster.link_latency_s)
-                uploads.append(deserialize_robj(payload))
-                cstats.robj_nbytes = len(payload)
-                cstats.robj_transfer_s = time.monotonic() - t0
-            final = self._combine(spec, uploads)
-            t_end = time.monotonic()
-
-            stats.total_s = t_end - t_start
-            stats.global_reduction_s = t_end - t_reduce0
-            for cstats in stats.clusters.values():
-                cstats.idle_s = max(0.0, processing_end - cstats.finished_at)
-                for w in cstats.workers:
-                    w.sync_s = max(0.0, stats.total_s - w.finished_at)
 
             leaked = segments.active_count
             if leaked:  # pragma: no cover - lifecycle bug guard
@@ -438,7 +358,7 @@ class ProcessEngine:
                     f"shared-memory lifecycle bug: {leaked} segments still "
                     f"live after a successful run"
                 )
-            return RunResult(spec.finalize(final), stats, final)
+            return result
         finally:
             stop.set()
             self._shutdown_workers(handles)
@@ -487,8 +407,7 @@ class ProcessEngine:
         cluster: ClusterConfig,
         handle: _WorkerHandle,
         segments: SharedSegmentPool,
-        scheduler: HeadScheduler,
-        scheduler_lock: threading.Lock,
+        port: MasterPort,
     ) -> None:
         """Consume one completion; release its segment; account it."""
         msg = self._recv(handle)
@@ -512,10 +431,7 @@ class ProcessEngine:
         wstats.jobs_processed += 1
         if job.location != cluster.location:
             wstats.jobs_stolen += 1
-        with scheduler_lock:
-            scheduler.complete(job)
-            recovered = job.job_id in scheduler.requeued_ids
-        if recovered:
+        if port.complete(job):
             wstats.jobs_recovered += 1
             wstats.recovery_s += proc_s
 
@@ -563,36 +479,27 @@ class ProcessEngine:
         wstats.shm_nbytes += total
         return robj, seg
 
-    def _requeue(
-        self,
-        jobs: list[Job],
-        master: _Master,
-        scheduler: HeadScheduler,
-        scheduler_lock: threading.Lock,
-    ) -> None:
+    def _requeue(self, jobs: list[Job], port: MasterPort) -> None:
         """Return a dead worker's jobs (and its master's pool) to the head."""
         requeue = list(jobs)
-        requeue.extend(master.worker_died())
-        with scheduler_lock:
-            for job in requeue:
-                scheduler.reassign(job)
+        requeue.extend(port.worker_died())
+        port.requeue(requeue)
 
     def _feed_worker(
         self,
         cluster: ClusterConfig,
-        master: _Master,
+        master: LockMaster,
         handle: _WorkerHandle,
         cluster_fetchers: dict[str, ParallelFetcher],
         segments: SharedSegmentPool,
-        scheduler: HeadScheduler,
-        scheduler_lock: threading.Lock,
         robjs_out: list[tuple[ReductionObject, SharedSegment | None]],
         t_start: float,
         errors: list[BaseException],
         stop: threading.Event,
     ) -> None:
         wstats = handle.wstats
-        depth = 2 if self.prefetch else 1
+        prefetch = self.options.prefetch
+        depth = 2 if prefetch else 1
         failed_job: Job | None = None  # job whose fetch exhausted retries
         try:
             try:
@@ -601,15 +508,12 @@ class ProcessEngine:
                     # in flight: its inflight jobs are outstanding, and
                     # only this feeder can complete them, so a blocking
                     # wait here would deadlock the tail of the run
-                    # (same contract as the threaded engine's
+                    # (same contract as the core SlaveRuntime's
                     # ``reserve_next``).
                     job = master.get_job(wait=not handle.inflight)
                     if job is None:
                         if handle.inflight:
-                            self._drain_one(
-                                cluster, handle, segments,
-                                scheduler, scheduler_lock,
-                            )
+                            self._drain_one(cluster, handle, segments, master)
                             continue
                         break
                     try:
@@ -619,22 +523,13 @@ class ProcessEngine:
                     except RetryExhausted:
                         failed_job = job
                         raise
-                    if handle.inflight:
-                        # The worker was computing while we fetched: this
-                        # retrieval hid under processing.
-                        wstats.overlap_s += fetch_s
-                        wstats.prefetch_hits += 1
-                    else:
-                        wstats.retrieval_s += fetch_s
-                        if self.prefetch:
-                            wstats.prefetch_misses += 1
-                    wstats.decode_s += info.decode_s
-                    wstats.bytes_wire += info.bytes_wire
-                    wstats.bytes_logical += info.bytes_logical
-                    if info.cache_hit:
-                        wstats.cache_hits += 1
-                    else:
-                        wstats.cache_misses += 1
+                    # The worker was computing while we fetched iff it
+                    # already had work in flight: that retrieval hid
+                    # under processing.
+                    account_overlap(
+                        wstats, fetch_s, bool(handle.inflight), prefetch
+                    )
+                    account_fetch_info(wstats, info)
                     t0 = time.monotonic()
                     handle.task_q.put(
                         ("job", job.job_id, seg.name, job.chunk.nbytes)
@@ -643,13 +538,9 @@ class ProcessEngine:
                     wstats.shm_nbytes += job.chunk.nbytes
                     handle.inflight.append((job, seg))
                     while len(handle.inflight) >= depth:
-                        self._drain_one(
-                            cluster, handle, segments, scheduler, scheduler_lock
-                        )
+                        self._drain_one(cluster, handle, segments, master)
                 while handle.inflight:
-                    self._drain_one(
-                        cluster, handle, segments, scheduler, scheduler_lock
-                    )
+                    self._drain_one(cluster, handle, segments, master)
                 handle.task_q.put(("finish",))
                 robj, seg, _status = self._collect_robj(handle, segments)
                 wstats.finished_at = time.monotonic() - t_start
@@ -663,7 +554,7 @@ class ProcessEngine:
                 for _, seg in handle.inflight:
                     segments.release(seg)
                 handle.inflight.clear()
-                self._requeue(inflight_jobs, master, scheduler, scheduler_lock)
+                self._requeue(inflight_jobs, master)
                 robj, seg = self._finish_ship(handle, segments, crashed.msg)
                 wstats.failed = True
                 wstats.finished_at = time.monotonic() - t_start
@@ -674,12 +565,9 @@ class ProcessEngine:
                 # finish the jobs it already holds, collect its partial
                 # object, and requeue only the failed job.
                 while handle.inflight:
-                    self._drain_one(
-                        cluster, handle, segments, scheduler, scheduler_lock
-                    )
+                    self._drain_one(cluster, handle, segments, master)
                 self._requeue(
-                    [failed_job] if failed_job is not None else [],
-                    master, scheduler, scheduler_lock,
+                    [failed_job] if failed_job is not None else [], master
                 )
                 handle.task_q.put(("finish",))
                 robj, seg, _status = self._collect_robj(handle, segments)
@@ -725,7 +613,7 @@ class ProcessEngine:
                     bytes_wire=0 if cache_hit else chunk.nbytes,
                     bytes_logical=chunk.nbytes,
                 )
-            if self.verify_chunks:
+            if self.options.verify_chunks:
                 from repro.data.integrity import verify_chunk_bytes
 
                 verify_chunk_bytes(job.chunk, seg.buf)

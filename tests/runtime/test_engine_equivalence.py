@@ -1,11 +1,17 @@
 """Engine equivalence: all three executors compute the same answers.
 
 The threaded, process, and actor engines implement the same
-head/master/slave protocol over the same scheduler; for every
-application and data placement they must produce identical results and
-account every job exactly once -- no job lost, none double-folded,
-regardless of which side of the process boundary the fold ran on.
+head/master/slave protocol over the same scheduler -- and, since the
+shared-core refactor, the same :class:`SlaveRuntime` worker loop behind
+the same :class:`EngineOptions` surface.  For every application, data
+placement, and feature combination (prefetch, chunk cache, retries
+under injected faults, worker crashes) they must produce identical
+results and account every job exactly once -- no job lost, none
+double-folded, regardless of which side of the process boundary the
+fold ran on.
 """
+
+import threading
 
 import numpy as np
 import pytest
@@ -14,8 +20,11 @@ from repro.apps.kmeans import KMeansSpec, lloyd_step
 from repro.apps.wordcount import WordCountSpec, wordcount_exact
 from repro.data.dataset import distribute_dataset, write_dataset
 from repro.data.generator import generate_points, generate_tokens
-from repro.runtime import ClusterConfig, make_engine
+from repro.runtime import ClusterConfig, EngineOptions, make_engine
+from repro.storage.cache import ChunkCache
+from repro.storage.faults import FaultInjectingStore, FaultSpec
 from repro.storage.local import MemoryStore
+from repro.storage.retry import RetryPolicy
 from repro.storage.s3 import S3Profile, SimulatedS3Store
 
 ENGINES = ("threaded", "process", "actor")
@@ -102,3 +111,242 @@ class TestExactlyOnceUnderStealing:
             ]
             assert sum(per_cluster) == n_jobs
             assert rr.result == wordcount_exact(toks)
+
+
+#: Feature combinations of the unified option surface; every engine
+#: must produce bit-identical wordcounts under each of them.
+FEATURES = {
+    "plain": {},
+    "prefetch": dict(prefetch=True),
+    "cache": dict(chunk_cache=None),  # fresh ChunkCache built per run
+    "prefetch-cache": dict(prefetch=True, chunk_cache=None),
+    "crash": dict(crash_plan={"cloud-w0": 0}),
+    "crash-prefetch": dict(prefetch=True, crash_plan={"cloud-w0": 0}),
+}
+
+FAST_RETRY = RetryPolicy(max_attempts=8, base_delay_s=0.0, max_delay_s=0.0)
+
+
+@pytest.mark.parametrize("feature", FEATURES, ids=FEATURES.keys())
+class TestFeatureMatrix:
+    """(engine) x (prefetch, cache, crash_plan): same results, same counts."""
+
+    def test_identical_results_and_exactly_once(self, feature):
+        toks = generate_tokens(10000, 250, seed=65)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(toks, spec.fmt, 0.5)
+        ref = wordcount_exact(toks)
+        n_jobs = len(index.chunks)
+        for name in ENGINES:
+            opts = dict(FEATURES[feature])
+            if "chunk_cache" in opts:
+                opts["chunk_cache"] = ChunkCache(64 << 20)
+            if "crash_plan" in opts:
+                # Split every fetch across retrieval threads: the pool
+                # round-trips yield the GIL so the doomed cloud worker
+                # reliably claims a job before the run drains.
+                opts["min_part_nbytes"] = 0
+            rr = make_engine(
+                name, clusters, stores, batch_size=2, **opts
+            ).run(spec, index)
+            assert rr.result == ref, f"{name}/{feature} diverged"
+            assert rr.stats.jobs_processed == n_jobs, (
+                f"{name}/{feature}: {rr.stats.jobs_processed} jobs "
+                f"for {n_jobs} chunks"
+            )
+            if "crash_plan" in opts:
+                # The crashed worker's in-flight job was requeued and
+                # re-executed by a survivor -- never lost, never folded
+                # twice (jobs_processed above counts each chunk once).
+                assert rr.stats.n_failed_workers == 1, f"{name}/{feature}"
+                assert rr.stats.n_requeued_jobs >= 1, f"{name}/{feature}"
+
+
+class TestCacheAcrossPasses:
+    def test_second_pass_hits_cache_on_all_engines(self):
+        toks = generate_tokens(8000, 200, seed=66)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(toks, spec.fmt, 0.5)
+        ref = wordcount_exact(toks)
+        for name in ENGINES:
+            cache = ChunkCache(64 << 20)
+            engine = make_engine(
+                name, clusters, stores, batch_size=2, chunk_cache=cache
+            )
+            first = engine.run(spec, index)
+            second = engine.run(spec, index)
+            assert first.result == ref and second.result == ref
+            assert second.stats.cache_hits == len(index.chunks), (
+                f"{name}: second pass should be all cache hits"
+            )
+
+
+class TestRetryUnderFaultsMatrix:
+    def test_transient_faults_retried_identically(self):
+        """Seeded transient faults on the cloud store: every engine
+        retries through them and lands on the exact same counts."""
+        toks = generate_tokens(10000, 250, seed=67)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(toks, spec.fmt, 0.5)
+        ref = wordcount_exact(toks)
+        n_jobs = len(index.chunks)
+        for name in ENGINES:
+            faulty = FaultInjectingStore(
+                stores["cloud"], FaultSpec.parse("transient:p=0.3,seed=9")
+            )
+            run_stores = dict(stores, cloud=faulty)
+            rr = make_engine(
+                name, clusters, run_stores, batch_size=2,
+                retry=FAST_RETRY, prefetch=True,
+            ).run(spec, index)
+            assert rr.result == ref, f"{name} diverged under faults"
+            assert rr.stats.jobs_processed == n_jobs
+            injected = faulty.injection_counts()
+            assert injected["transient"] > 0, (
+                f"{name}: fault injector never fired -- test is vacuous"
+            )
+            assert rr.stats.n_retries >= injected["transient"]
+
+
+class TestOptionsValidationParity:
+    """All engines validate identically through EngineOptions."""
+
+    @pytest.fixture()
+    def env(self):
+        toks = generate_tokens(3000, 100, seed=68)
+        return build_env(toks, WordCountSpec().fmt, 0.5)
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_unknown_crash_target_rejected(self, env, name):
+        stores, _index, clusters = env
+        with pytest.raises(ValueError, match="crash_plan targets unknown"):
+            make_engine(name, clusters, stores, crash_plan={"nope-w9": 1})
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_duplicate_cluster_names_rejected(self, env, name):
+        stores, _index, _clusters = env
+        dupes = [
+            ClusterConfig("same", "local", 1),
+            ClusterConfig("same", "cloud", 1),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            make_engine(name, dupes, stores)
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_empty_clusters_rejected(self, env, name):
+        stores, _index, _clusters = env
+        with pytest.raises(ValueError, match="at least one cluster"):
+            make_engine(name, [], stores)
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_missing_store_rejected_at_run(self, env, name):
+        _stores, index, clusters = env
+        local_only = {"local": MemoryStore("local")}
+        local_cluster = [ClusterConfig("local", "local", 1)]
+        engine = make_engine(name, local_cluster, local_only)
+        with pytest.raises(ValueError, match="unknown stores"):
+            engine.run(WordCountSpec(), index)
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_bad_batch_size_rejected(self, env, name):
+        stores, _index, clusters = env
+        with pytest.raises(ValueError, match="batch_size"):
+            make_engine(name, clusters, stores, batch_size=0)
+
+    def test_options_object_equivalent_to_kwargs(self, env):
+        stores, index, clusters = env
+        spec = WordCountSpec()
+        via_kwargs = make_engine(
+            "threaded", clusters, stores, batch_size=2, prefetch=True
+        ).run(spec, index)
+        via_options = make_engine(
+            "threaded", clusters, stores,
+            options=EngineOptions(batch_size=2, prefetch=True),
+        ).run(spec, index)
+        assert via_kwargs.result == via_options.result
+
+    def test_options_and_kwargs_together_rejected(self, env):
+        stores, _index, clusters = env
+        with pytest.raises(TypeError, match="not both"):
+            make_engine(
+                "threaded", clusters, stores,
+                options=EngineOptions(), prefetch=True,
+            )
+
+
+class TestVerifyChunksParity:
+    """Every engine honors verify_chunks (the actor engine used to
+    silently ignore it)."""
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_corruption_detected(self, name):
+        from repro.data.integrity import IntegrityError, attach_checksums
+
+        toks = generate_tokens(6000, 150, seed=69)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(toks, spec.fmt, 0.5)
+        index = attach_checksums(index, stores)
+        # Flip one byte of a cloud-resident chunk behind the checksums.
+        victim = next(c for c in index.chunks if c.location == "cloud")
+        raw = bytearray(stores["cloud"].get(victim.key, 0, None))
+        raw[victim.offset] ^= 0xFF
+        stores["cloud"].put(victim.key, bytes(raw))
+        engine = make_engine(name, clusters, stores, verify_chunks=True)
+        with pytest.raises(IntegrityError):
+            engine.run(spec, index)
+
+
+class TestActorDrainAwareRefill:
+    """The master actor's refill protocol must not latch "done" on an
+    empty reply while the head still has outstanding jobs (a crashed
+    worker may requeue one -- the pre-refactor engine stranded it)."""
+
+    def _make_master(self):
+        from repro.data.chunks import ChunkInfo
+        from repro.runtime.actors import _MasterActor
+        from repro.runtime.jobs import Job
+        from repro.runtime.messages import Channel
+        from repro.runtime.stats import ClusterStats
+
+        cluster = ClusterConfig("c", "local", 1)
+        master = _MasterActor(
+            cluster, Channel(), Channel(), None, None, {},
+            EngineOptions(batch_size=2), 1,
+            ClusterStats("c", "local"), 0.0, [], threading.Event(),
+        )
+        chunk = ChunkInfo(0, 0, "f0", 0, 8, 1, "local", None)
+        return master, Job(7, chunk)
+
+    def test_empty_reply_with_outstanding_does_not_latch(self):
+        from repro.runtime.messages import AssignJobs
+
+        master, job = self._make_master()
+        master.inbox.send(AssignJobs((), outstanding=3))
+        assert master.get_job(wait=False) is None
+        assert not master._done, "latched done with jobs outstanding"
+        # The head later reassigns the requeued job; the same master
+        # must still be able to pick it up.
+        master.inbox.send(AssignJobs((job,), outstanding=1, requeued=(7,)))
+        got = master.get_job()
+        assert got is job
+        assert master.complete(got) is True  # accounted as a recovery
+
+    def test_empty_reply_with_zero_outstanding_latches(self):
+        from repro.runtime.messages import AssignJobs
+
+        master, _job = self._make_master()
+        master.inbox.send(AssignJobs((), outstanding=0))
+        assert master.get_job() is None
+        assert master._done
+        # Latched: no further head round-trips are made.
+        assert master.get_job() is None
+        assert len(master.head_inbox) == 1
+
+    def test_blocking_get_polls_until_job_arrives(self):
+        from repro.runtime.messages import AssignJobs
+
+        master, job = self._make_master()
+        master.inbox.send(AssignJobs((), outstanding=2))
+        master.inbox.send(AssignJobs((), outstanding=1))
+        master.inbox.send(AssignJobs((job,), outstanding=1))
+        assert master.get_job() is job
