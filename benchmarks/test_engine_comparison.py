@@ -84,6 +84,10 @@ def time_engine(name, spec, stores, index, clusters, ref):
         "ipc_s": row["ipc_s"],
         "ser_s": row["ser_s"],
         "shm_nbytes": stats.shm_nbytes,
+        "fold_s": round(stats.fold_s, 4),
+        "fold_ns_per_byte": round(stats.fold_ns_per_byte, 3),
+        "n_fold_calls": stats.n_fold_calls,
+        "n_copies": stats.n_copies,
     }
 
 
@@ -139,6 +143,10 @@ def test_engine_comparison(benchmark, record_table):
         "workload": {
             "app": "kmeans", "k": K, "dim": DIM, "points": N_POINTS,
             "chunks": N_CHUNKS, "group_nbytes": GROUP_NBYTES,
+            # Self-describing BENCH metadata: the transfer/fold settings
+            # these numbers were measured under.
+            "codec": None,
+            "batch_fold": EngineOptions().batch_fold,
         },
         "cpus": n_cpus,
         "engines": rows,

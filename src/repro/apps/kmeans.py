@@ -52,11 +52,20 @@ def _assign(group: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.nd
 
 
 def _accumulate(data: np.ndarray, group: np.ndarray, assign: np.ndarray, sq: np.ndarray) -> None:
-    """Scatter-add a group's statistics into the robj array (k, d+2)."""
+    """Scatter-add a group's statistics into the robj array (k, d+2).
+
+    One flattened ``bincount`` over ``assign * d + column`` scatter-adds
+    every coordinate sum at once (a bincount per dimension would walk
+    the assignment array d times).
+    """
     k, width = data.shape
     d = width - 2
-    for j in range(d):
-        data[:, j] += np.bincount(assign, weights=group[:, j], minlength=k)
+    flat = np.bincount(
+        (assign[:, None] * d + np.arange(d)[None, :]).ravel(),
+        weights=np.ascontiguousarray(group, dtype=np.float64).ravel(),
+        minlength=k * d,
+    )
+    data[:, :d] += flat.reshape(k, d)
     data[:, d] += np.bincount(assign, minlength=k)
     data[:, d + 1] += np.bincount(assign, weights=sq, minlength=k)
 
@@ -80,6 +89,11 @@ class KMeansSpec(GeneralizedReductionSpec):
         assert isinstance(robj, ArrayReductionObject)
         assign, sq = _assign(unit_group, self.centroids)
         _accumulate(robj.data, unit_group, assign, sq)
+
+    def local_reduction_batch(self, robj: ReductionObject, units: np.ndarray) -> None:
+        # The kernel is fully vectorized over any group size (one GEMM +
+        # one flattened bincount), so the whole chunk folds in one call.
+        self.local_reduction(robj, units)
 
     def finalize(self, robj: ReductionObject) -> KMeansResult:
         data = robj.value()

@@ -58,6 +58,12 @@ class KnnSpec(GeneralizedReductionSpec):
             idx = np.arange(len(d))
         robj.update_batch(d[idx], [unit_group[i].copy() for i in idx])
 
+    def local_reduction_batch(self, robj: ReductionObject, units: np.ndarray) -> None:
+        # One distance pass + one argpartition over the whole chunk (the
+        # kernel already pre-selects k candidates before offering, so a
+        # bigger batch only makes the selection cheaper per unit).
+        self.local_reduction(robj, units)
+
     def finalize(self, robj: ReductionObject) -> list[tuple[float, np.ndarray]]:
         """Sorted ``(squared_distance, point)`` pairs, nearest first."""
         return robj.value()

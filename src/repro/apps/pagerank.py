@@ -70,6 +70,12 @@ class PageRankSpec(GeneralizedReductionSpec):
         contrib = self._share[src]
         robj.data += np.bincount(dst, weights=contrib, minlength=self.n_pages)
 
+    def local_reduction_batch(self, robj: ReductionObject, units: np.ndarray) -> None:
+        # One gather + one bincount over the whole chunk's edges; a
+        # bigger batch amortizes the dense n_pages-long accumulate that
+        # dominates small groups.
+        self.local_reduction(robj, units)
+
     def finalize(self, robj: ReductionObject) -> np.ndarray:
         incoming = robj.value()
         dangling = float(self.ranks[self.outdeg == 0].sum())

@@ -40,6 +40,11 @@ class WordCountSpec(GeneralizedReductionSpec):
         uniq, counts = np.unique(unit_group, return_counts=True)
         robj.update_many(uniq, counts)
 
+    def local_reduction_batch(self, robj: ReductionObject, units: np.ndarray) -> None:
+        # One unique+bincount over the whole chunk: each distinct token
+        # touches the dict once per chunk instead of once per group.
+        self.local_reduction(robj, units)
+
     def finalize(self, robj: ReductionObject) -> dict[int, int]:
         return {int(k): int(v) for k, v in robj.value().items()}
 

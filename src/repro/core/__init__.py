@@ -3,6 +3,7 @@
 from repro.core.api import (
     GeneralizedReductionSpec,
     run_local_pass,
+    supports_batch_fold,
     tree_global_reduction,
     uses_default_global_reduction,
 )
@@ -26,6 +27,7 @@ from repro.core.serialization import (
 __all__ = [
     "GeneralizedReductionSpec",
     "run_local_pass",
+    "supports_batch_fold",
     "tree_global_reduction",
     "uses_default_global_reduction",
     "COMBINERS",

@@ -28,6 +28,7 @@ from repro.data.formats import RecordFormat
 __all__ = [
     "GeneralizedReductionSpec",
     "run_local_pass",
+    "supports_batch_fold",
     "tree_global_reduction",
     "uses_default_global_reduction",
 ]
@@ -50,6 +51,27 @@ class GeneralizedReductionSpec(abc.ABC):
         Implementations must be vectorized over the group and
         order-independent across groups.
         """
+
+    def local_reduction_batch(
+        self, robj: ReductionObject, units: np.ndarray
+    ) -> None:
+        """Fold a *whole chunk* of data units into ``robj`` in one call.
+
+        Optional fast path: when an application overrides this, the
+        runtimes fold each chunk with one call instead of iterating
+        cache-sized unit groups -- one Python-level dispatch per chunk,
+        with the kernel free to vectorize over the full unit array
+        (which may be a read-only zero-copy view into a fetch buffer or
+        shared-memory pages; implementations must not write to it).
+
+        Must compute the same result as applying
+        :meth:`local_reduction` group-by-group -- up to floating-point
+        summation order, which batching may change.  The base
+        implementation is a sentinel used by :func:`supports_batch_fold`
+        detection; it delegates to one whole-chunk
+        :meth:`local_reduction` call so direct invocation still works.
+        """
+        self.local_reduction(robj, units)
 
     def global_reduction(self, robjs: Sequence[ReductionObject]) -> ReductionObject:
         """Merge reduction objects from all workers into one.
@@ -91,6 +113,19 @@ def uses_default_global_reduction(spec: GeneralizedReductionSpec) -> bool:
     """
     return (
         type(spec).global_reduction is GeneralizedReductionSpec.global_reduction
+    )
+
+
+def supports_batch_fold(spec: GeneralizedReductionSpec) -> bool:
+    """True when ``spec`` overrides :meth:`local_reduction_batch`.
+
+    The runtimes use this to pick the one-call-per-chunk fold path;
+    specs that only implement the per-group ``local_reduction`` keep
+    the unit-group loop.
+    """
+    return (
+        type(spec).local_reduction_batch
+        is not GeneralizedReductionSpec.local_reduction_batch
     )
 
 

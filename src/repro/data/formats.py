@@ -74,12 +74,32 @@ class RecordFormat:
     def decode(self, buf: bytes | bytearray | memoryview) -> np.ndarray:
         """Deserialize bytes into an ``(n, *record_shape)`` array.
 
-        The returned array is a read-only view over ``buf`` when possible
-        (no copy), per the "views, not copies" guidance for numerical code.
+        The returned array is **always** a read-only zero-copy view over
+        ``buf`` (``OWNDATA`` is False and writes raise), whatever the
+        input buffer -- ``bytes``, a ``bytearray``, or a writable
+        ``memoryview`` over shared-memory pages.  Read-only-ness is part
+        of the hot-path contract: fold kernels receive views into
+        fetch/shm buffers that other workers may alias, so an accidental
+        in-place mutation must fail loudly rather than corrupt data.
+
+        A buffer whose size is not a whole number of records is rejected
+        with a clear error (a truncated or corrupt frame must never
+        silently drop its tail).
         """
-        arr = np.frombuffer(buf, dtype=self.dtype)
-        n = self.n_units(arr.nbytes)
-        return arr.reshape((n,) + self.record_shape)
+        view = memoryview(buf)
+        if view.ndim != 1 or view.format != "B":
+            view = view.cast("B")
+        nbytes = view.nbytes
+        if nbytes % self.unit_nbytes:
+            raise ValueError(
+                f"buffer of {nbytes} bytes is not a whole number of "
+                f"{self.unit_nbytes}-byte {self.name!r} records "
+                f"({nbytes % self.unit_nbytes} trailing bytes -- truncated "
+                f"or corrupt chunk?)"
+            )
+        arr = np.frombuffer(view, dtype=self.dtype)
+        arr.flags.writeable = False
+        return arr.reshape((nbytes // self.unit_nbytes,) + self.record_shape)
 
     def to_dict(self) -> dict:
         return {

@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
-from repro.core.api import GeneralizedReductionSpec
+from repro.core.api import GeneralizedReductionSpec, supports_batch_fold
 from repro.core.reduction_object import ReductionObject
 from repro.core.serialization import deserialize_robj, serialize_robj
 from repro.data.index import DataIndex
@@ -114,6 +114,10 @@ class EngineOptions:
     batch_size: int = 4
     group_nbytes: int = 1 << 20
     scheduler_factory: Callable[[list[Job]], HeadScheduler] = HeadScheduler
+    #: Fold each chunk with one ``local_reduction_batch`` call when the
+    #: spec provides it (the array-native hot path); off forces the
+    #: per-unit-group loop (the ablation baseline).
+    batch_fold: bool = True
     verify_chunks: bool = False
     prefetch: bool = False
     chunk_cache: ChunkCache | None = None
@@ -207,6 +211,10 @@ class EngineBase:
     @property
     def scheduler_factory(self) -> Callable[[list[Job]], HeadScheduler]:
         return self.options.scheduler_factory
+
+    @property
+    def batch_fold(self) -> bool:
+        return self.options.batch_fold
 
     @property
     def verify_chunks(self) -> bool:
@@ -449,6 +457,7 @@ def account_fetch_info(wstats: WorkerStats, info: FetchInfo) -> None:
     wstats.decode_s += info.decode_s
     wstats.bytes_wire += info.bytes_wire
     wstats.bytes_logical += info.bytes_logical
+    wstats.n_copies += info.n_copies
     if info.cache_hit:
         wstats.cache_hits += 1
     else:
@@ -526,6 +535,7 @@ class SlaveRuntime:
         self.errors = errors
         self.stop = stop
         self.crash_after = options.crash_plan.get(name)
+        self._batch_fold = options.batch_fold and supports_batch_fold(spec)
         self._jobs_done = 0
 
     # -- steps ---------------------------------------------------------------
@@ -567,18 +577,35 @@ class SlaveRuntime:
         return raw
 
     def _process(self, robj: ReductionObject, job: Job, raw: bytes) -> None:
-        """Decode, reduce, and complete one job."""
+        """Decode, reduce, and complete one job.
+
+        The decode is a zero-copy ``np.frombuffer`` view over the fetch
+        (or cache) buffer; the fold is one ``local_reduction_batch``
+        call over the whole chunk when the spec provides it (and
+        ``options.batch_fold`` allows), else the per-unit-group loop.
+        """
         if self.options.verify_chunks:
             from repro.data.integrity import verify_chunk_bytes
 
             verify_chunk_bytes(job.chunk, raw)
         t0 = time.monotonic()
         units = self.index.fmt.decode(raw)
-        for group in iter_unit_groups(units, self.group_units):
-            self.spec.local_reduction(robj, group)
-        elapsed = time.monotonic() - t0
+        t1 = time.monotonic()
+        if self._batch_fold:
+            self.spec.local_reduction_batch(robj, units)
+            n_folds = 1
+        else:
+            n_folds = 0
+            for group in iter_unit_groups(units, self.group_units):
+                self.spec.local_reduction(robj, group)
+                n_folds += 1
+        t2 = time.monotonic()
+        elapsed = t2 - t0
         w = self.wstats
         w.processing_s += elapsed
+        w.fold_s += t2 - t1
+        w.bytes_folded += units.nbytes
+        w.n_fold_calls += n_folds
         w.jobs_processed += 1
         if job.location != self.cluster.location:
             w.jobs_stolen += 1

@@ -19,8 +19,12 @@ epilogue -- only the data plane changes:
   byte range directly into a :class:`~repro.storage.shm.SharedSegment`
   (``ParallelFetcher.fetch_into`` writes sub-range GETs straight into
   the segment), and the worker decodes with a zero-copy
-  ``np.frombuffer`` off the mapped pages.  No per-chunk pickle of
-  payloads ever crosses a pipe; the task message is a few dozen bytes.
+  ``np.frombuffer`` off the mapped pages.  Codec-encoded chunks ship as
+  their *wire frames*: the segment holds the (smaller) encoded bytes
+  and the worker inflates them, so decompression parallelizes across
+  worker cores instead of serializing in the parent's feeders.  No
+  per-chunk pickle of payloads ever crosses a pipe; the task message is
+  a few dozen bytes.
 * **one feeder thread per worker** pulls jobs from the master and keeps
   up to two fetches in flight, so data movement overlaps worker compute
   (the double-buffered slave of the shared
@@ -66,6 +70,7 @@ from typing import Any
 
 from repro.core.api import (
     GeneralizedReductionSpec,
+    supports_batch_fold,
     tree_global_reduction,
     uses_default_global_reduction,
 )
@@ -89,6 +94,7 @@ from repro.runtime.jobs import Job, jobs_from_index
 from repro.runtime.stats import RunStats, WorkerStats, ClusterStats
 from repro.storage.faults import WorkerCrash
 from repro.storage.retry import RetryExhausted
+from repro.storage.codecs import decode_chunk
 from repro.storage.shm import (
     SharedSegment,
     SharedSegmentPool,
@@ -135,18 +141,49 @@ def _ship_robj(task_q, result_q, robj, status: str, crashed_job_id) -> None:
     result_q.put(("shipped", time.monotonic() - t0))
 
 
-def _fold_chunk(spec, fmt, group_units: int, robj, shm, nbytes: int) -> float:
-    """Decode a mapped chunk zero-copy and fold it; returns compute seconds.
+def _fold_chunk(
+    spec,
+    fmt,
+    group_units: int,
+    robj,
+    shm,
+    nbytes: int,
+    encoded: bool,
+    batch_fold: bool,
+) -> tuple[float, float, int, int]:
+    """Decode a mapped chunk zero-copy and fold it.
 
-    Isolated in a function so every view into the mapping (the decoded
-    unit array, the last group slice) dies on return, letting the caller
-    close the segment without numpy pinning the pages.
+    ``encoded`` means the segment holds a codec *frame* (the parent
+    shipped wire bytes); the frame is decoded here, off the mapped
+    pages, so decompression runs on the worker's core instead of
+    serializing in the parent's feeder.  ``batch_fold`` folds the whole
+    chunk with one ``local_reduction_batch`` call instead of the
+    per-unit-group loop.
+
+    Isolated in a function so every view into the mapping (the frame
+    payload, the decoded unit array, the last group slice) dies on
+    return, letting the caller close the segment without numpy pinning
+    the pages.
+
+    Returns ``(decode_s, fold_s, bytes_folded, n_fold_calls)``.
     """
     t0 = time.monotonic()
-    units = fmt.decode(memoryview(shm.buf)[:nbytes])
-    for group in iter_unit_groups(units, group_units):
-        spec.local_reduction(robj, group)
-    return time.monotonic() - t0
+    payload: Any = memoryview(shm.buf)[:nbytes]
+    if encoded:
+        payload = decode_chunk(payload)
+    units = fmt.decode(payload)
+    decode_s = time.monotonic() - t0
+    bytes_folded = units.nbytes
+    t1 = time.monotonic()
+    if batch_fold:
+        spec.local_reduction_batch(robj, units)
+        n_fold_calls = 1
+    else:
+        n_fold_calls = 0
+        for group in iter_unit_groups(units, group_units):
+            spec.local_reduction(robj, group)
+            n_fold_calls += 1
+    return decode_s, time.monotonic() - t1, bytes_folded, n_fold_calls
 
 
 def _worker_main(
@@ -154,6 +191,7 @@ def _worker_main(
     spec: GeneralizedReductionSpec,
     fmt,
     group_units: int,
+    batch_fold: bool,
     task_q,
     result_q,
     crash_after: int | None,
@@ -167,18 +205,22 @@ def _worker_main(
             if msg[0] == "finish":
                 _ship_robj(task_q, result_q, robj, "ok", None)
                 return
-            _, job_id, seg_name, nbytes = msg
+            _, job_id, seg_name, nbytes, encoded = msg
             if crash_after is not None and jobs_done >= crash_after:
                 raise WorkerCrash(
                     f"injected crash in {name} after {jobs_done} jobs", job_id
                 )
             shm = attach_segment(seg_name)
             try:
-                proc_s = _fold_chunk(spec, fmt, group_units, robj, shm, nbytes)
+                decode_s, fold_s, bytes_folded, n_folds = _fold_chunk(
+                    spec, fmt, group_units, robj, shm, nbytes, encoded, batch_fold
+                )
             finally:
                 close_quietly(shm)
             jobs_done += 1
-            result_q.put(("done", job_id, proc_s))
+            result_q.put(
+                ("done", job_id, decode_s, fold_s, bytes_folded, n_folds)
+            )
     except WorkerCrash as exc:
         crashed_job_id = exc.args[1] if len(exc.args) > 1 else None
         _ship_robj(task_q, result_q, robj, "crashed", crashed_job_id)
@@ -261,6 +303,7 @@ class ProcessEngine(EngineBase):
         scheduler = opts.scheduler_factory(jobs_from_index(index))
         scheduler_lock = threading.Lock()
         group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
+        batch_fold = opts.batch_fold and supports_batch_fold(spec)
         segments = SharedSegmentPool()
 
         t_start = time.monotonic()
@@ -304,7 +347,7 @@ class ProcessEngine(EngineBase):
                         target=_worker_main,
                         name=wname,
                         args=(
-                            wname, spec, index.fmt, group_units,
+                            wname, spec, index.fmt, group_units, batch_fold,
                             task_q, result_q, opts.crash_plan.get(wname),
                         ),
                         daemon=True,
@@ -418,7 +461,8 @@ class ProcessEngine(EngineBase):
             raise RuntimeError(f"worker {handle.name} failed:\n{msg[1]}")
         if kind != "done":  # pragma: no cover - protocol guard
             raise RuntimeError(f"unexpected message from {handle.name}: {msg[0]!r}")
-        _, job_id, proc_s = msg
+        _, job_id, decode_s, fold_s, bytes_folded, n_folds = msg
+        proc_s = decode_s + fold_s
         job, seg = handle.inflight.popleft()
         if job.job_id != job_id:  # pragma: no cover - protocol guard
             raise RuntimeError(
@@ -428,6 +472,10 @@ class ProcessEngine(EngineBase):
         segments.release(seg)
         wstats = handle.wstats
         wstats.processing_s += proc_s
+        wstats.decode_s += decode_s
+        wstats.fold_s += fold_s
+        wstats.bytes_folded += bytes_folded
+        wstats.n_fold_calls += n_folds
         wstats.jobs_processed += 1
         if job.location != cluster.location:
             wstats.jobs_stolen += 1
@@ -517,8 +565,8 @@ class ProcessEngine(EngineBase):
                             continue
                         break
                     try:
-                        seg, info, fetch_s = self._fetch_segment(
-                            job, cluster_fetchers, segments
+                        seg, payload_nbytes, encoded, info, fetch_s = (
+                            self._fetch_segment(job, cluster_fetchers, segments)
                         )
                     except RetryExhausted:
                         failed_job = job
@@ -532,10 +580,10 @@ class ProcessEngine(EngineBase):
                     account_fetch_info(wstats, info)
                     t0 = time.monotonic()
                     handle.task_q.put(
-                        ("job", job.job_id, seg.name, job.chunk.nbytes)
+                        ("job", job.job_id, seg.name, payload_nbytes, encoded)
                     )
                     wstats.ipc_s += time.monotonic() - t0
-                    wstats.shm_nbytes += job.chunk.nbytes
+                    wstats.shm_nbytes += payload_nbytes
                     handle.inflight.append((job, seg))
                     while len(handle.inflight) >= depth:
                         self._drain_one(cluster, handle, segments, master)
@@ -586,32 +634,47 @@ class ProcessEngine(EngineBase):
         job: Job,
         cluster_fetchers: dict[str, ParallelFetcher],
         segments: SharedSegmentPool,
-    ) -> tuple[SharedSegment, FetchInfo, float]:
+    ) -> tuple[SharedSegment, int, bool, FetchInfo, float]:
         """Fetch one job's bytes straight into a fresh shared segment.
 
-        The segment always holds *logical* bytes (the worker decodes
-        zero-copy off the mapping), so compressed chunks take the
-        assembled :meth:`ParallelFetcher.fetch_chunk` path -- encoded
-        bytes on the wire and in the cache, one decode + one copy into
-        the segment here.  The returned fetch seconds exclude decode
-        time (reported separately in the info).
+        Returns ``(segment, payload_nbytes, encoded, info, fetch_s)``.
+
+        Compressed chunks ship *encoded*: the segment holds the wire
+        frame (``enc_nbytes`` bytes, often far smaller than the chunk)
+        and the worker decodes off the mapped pages, so decompression
+        runs on the worker's core instead of serializing in this feeder
+        thread.  Unencoded chunks land as logical bytes via
+        :meth:`ParallelFetcher.fetch_into` (sub-range GETs write into
+        the mapping; zero copies on the direct path).
+
+        ``verify_chunks`` forces the parent-decode path -- checksum
+        verification needs the logical bytes here -- so that mode keeps
+        the old one-decode-one-copy behaviour.
         """
         t0 = time.monotonic()
         chunk = job.chunk
-        seg = segments.create(chunk.nbytes)
         fetcher = cluster_fetchers[job.location]
+        encoded = chunk.codec is not None and not self.options.verify_chunks
+        if encoded:
+            seg = segments.create(chunk.enc_nbytes)
+            try:
+                _, info = fetcher.fetch_into(
+                    chunk.key, chunk.enc_offset, chunk.enc_nbytes, seg.buf
+                )
+                info.bytes_logical = chunk.nbytes
+            except BaseException:
+                segments.release(seg)
+                raise
+            return seg, chunk.enc_nbytes, True, info, time.monotonic() - t0
+        seg = segments.create(chunk.nbytes)
         try:
             if chunk.codec is not None:
                 data, info = fetcher.fetch_chunk(chunk)
                 seg.buf[: chunk.nbytes] = data
+                info.n_copies += 1  # the copy into the segment
             else:
-                _, cache_hit = fetcher.fetch_into(
+                _, info = fetcher.fetch_into(
                     chunk.key, chunk.offset, chunk.nbytes, seg.buf
-                )
-                info = FetchInfo(
-                    cache_hit=cache_hit,
-                    bytes_wire=0 if cache_hit else chunk.nbytes,
-                    bytes_logical=chunk.nbytes,
                 )
             if self.options.verify_chunks:
                 from repro.data.integrity import verify_chunk_bytes
@@ -620,4 +683,4 @@ class ProcessEngine(EngineBase):
         except BaseException:
             segments.release(seg)
             raise
-        return seg, info, time.monotonic() - t0 - info.decode_s
+        return seg, chunk.nbytes, False, info, time.monotonic() - t0 - info.decode_s

@@ -56,10 +56,27 @@ class WorkerStats:
     bytes_wire: int = 0
     bytes_logical: int = 0
     decode_s: float = 0.0
+    # Hot-path accounting.  ``fold_s`` is time inside local-reduction
+    # kernels only (a subset of ``processing_s``, which also covers
+    # decode and verify); ``bytes_folded`` the unit bytes those kernels
+    # consumed; ``n_fold_calls`` how many kernel invocations they took
+    # (1 per chunk on the batch path, chunk/group on the loop path);
+    # ``n_copies`` whole-chunk buffer copies made after wire reassembly
+    # (codec inflations, shm copies, cache-hit copies -- 0 is the
+    # zero-copy ideal).
+    fold_s: float = 0.0
+    bytes_folded: int = 0
+    n_fold_calls: int = 0
+    n_copies: int = 0
 
     @property
     def busy_s(self) -> float:
         return self.processing_s + self.retrieval_s
+
+    @property
+    def fold_ns_per_byte(self) -> float:
+        """Fold-kernel nanoseconds per unit byte (the per-byte fold cost)."""
+        return self.fold_s * 1e9 / self.bytes_folded if self.bytes_folded else 0.0
 
 
 @dataclass
@@ -196,6 +213,29 @@ class ClusterStats:
         return sum(w.decode_s for w in self.workers)
 
     @property
+    def fold_s(self) -> float:
+        """Total fold-kernel time across this cluster's workers."""
+        return sum(w.fold_s for w in self.workers)
+
+    @property
+    def bytes_folded(self) -> int:
+        return sum(w.bytes_folded for w in self.workers)
+
+    @property
+    def n_fold_calls(self) -> int:
+        return sum(w.n_fold_calls for w in self.workers)
+
+    @property
+    def n_copies(self) -> int:
+        """Total post-reassembly buffer copies across this cluster."""
+        return sum(w.n_copies for w in self.workers)
+
+    @property
+    def fold_ns_per_byte(self) -> float:
+        """Cluster-wide fold-kernel nanoseconds per unit byte."""
+        return self.fold_s * 1e9 / self.bytes_folded if self.bytes_folded else 0.0
+
+    @property
     def effective_bw(self) -> float:
         """Best EWMA path bandwidth (bytes/s) the autotuners measured."""
         return max(
@@ -282,6 +322,27 @@ class RunStats:
     @property
     def decode_s(self) -> float:
         return sum(c.decode_s for c in self.clusters.values())
+
+    @property
+    def fold_s(self) -> float:
+        return sum(c.fold_s for c in self.clusters.values())
+
+    @property
+    def bytes_folded(self) -> int:
+        return sum(c.bytes_folded for c in self.clusters.values())
+
+    @property
+    def n_fold_calls(self) -> int:
+        return sum(c.n_fold_calls for c in self.clusters.values())
+
+    @property
+    def n_copies(self) -> int:
+        return sum(c.n_copies for c in self.clusters.values())
+
+    @property
+    def fold_ns_per_byte(self) -> float:
+        """Run-wide fold-kernel nanoseconds per unit byte."""
+        return self.fold_s * 1e9 / self.bytes_folded if self.bytes_folded else 0.0
 
     def breakdown_rows(self) -> list[dict]:
         """Rows for the Figure-3-style stacked breakdown.
@@ -387,6 +448,10 @@ class RunStats:
         ``retrieval_s`` is the residual stall, ``overlap_s`` the fetch
         time hidden under computation; their sum is what a serial
         (non-pipelined) run would have shown as its retrieval bar.
+        ``fold_ns_per_byte``/``n_fold_calls``/``n_copies`` expose the
+        decode-to-fold hot path: per-byte kernel cost, kernel dispatch
+        count (1/chunk on the batch path), and whole-chunk buffer copies
+        made after wire reassembly (0 is the zero-copy ideal).
         """
         return [
             {
@@ -398,6 +463,10 @@ class RunStats:
                 "cache_hits": c.cache_hits,
                 "cache_misses": c.cache_misses,
                 "cache_hit_rate": round(c.cache_hit_rate, 4),
+                "fold_s": round(c.fold_s, 4),
+                "fold_ns_per_byte": round(c.fold_ns_per_byte, 3),
+                "n_fold_calls": c.n_fold_calls,
+                "n_copies": c.n_copies,
             }
             for c in self.clusters.values()
         ]

@@ -12,6 +12,12 @@ full identity of a ranged read -- ``(location, key, offset, nbytes)`` --
 so distinct sub-ranges of one object never alias.  It maintains
 hit/miss/eviction counters that the engines surface in their run stats.
 
+Zero-copy contract: the cache *owns* each inserted buffer (callers hand
+over freshly fetched bytes and never mutate them afterwards), and
+:meth:`get` hands out **read-only memoryviews** over the stored entry
+rather than copies -- a hit costs no allocation, and downstream decode
+(``np.frombuffer``) aliases the cached bytes directly.
+
 The discrete-event simulator reuses the same class for its cache-policy
 model; since the simulator never materializes bytes, ``put`` accepts an
 explicit ``charge_nbytes`` so a placeholder value can be charged at the
@@ -36,7 +42,7 @@ class ChunkCache:
         if capacity_nbytes <= 0:
             raise ValueError("capacity_nbytes must be positive")
         self.capacity_nbytes = int(capacity_nbytes)
-        self._entries: "OrderedDict[CacheKey, tuple[bytes, int]]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, tuple[bytes | bytearray | memoryview, int]]" = OrderedDict()
         self._lock = threading.Lock()
         self.current_nbytes = 0
         self.hits = 0
@@ -47,8 +53,16 @@ class ChunkCache:
 
     # -- core operations -----------------------------------------------------
 
-    def get(self, location: str, key: str, offset: int, nbytes: int) -> bytes | None:
-        """Cached bytes for the range, or ``None`` (counts a hit/miss)."""
+    def get(
+        self, location: str, key: str, offset: int, nbytes: int
+    ) -> memoryview | None:
+        """Cached bytes for the range, or ``None`` (counts a hit/miss).
+
+        Hits are handed out as **read-only memoryviews** over the stored
+        entry -- no copy.  The view stays valid even if the entry is
+        evicted afterwards (eviction drops the cache's reference; the
+        view keeps the buffer alive).
+        """
         k = (location, key, offset, nbytes)
         with self._lock:
             entry = self._entries.get(k)
@@ -57,7 +71,7 @@ class ChunkCache:
                 return None
             self._entries.move_to_end(k)
             self.hits += 1
-            return entry[0]
+            return memoryview(entry[0]).toreadonly()
 
     def put(
         self,
@@ -65,18 +79,22 @@ class ChunkCache:
         key: str,
         offset: int,
         nbytes: int,
-        data: bytes,
+        data: bytes | bytearray | memoryview,
         *,
         charge_nbytes: int | None = None,
     ) -> bool:
         """Insert a range, evicting LRU entries until it fits.
 
-        ``charge_nbytes`` overrides the budgeted size (the simulator
-        caches size-only placeholders); it defaults to ``len(data)``.
-        Returns False when the value exceeds the whole budget and was
-        not cached.
+        The cache takes ownership of ``data`` (any bytes-like buffer;
+        callers must not mutate it afterwards) -- no defensive copy is
+        made.  ``charge_nbytes`` overrides the budgeted size (the
+        simulator caches size-only placeholders); it defaults to the
+        buffer's byte length.  Returns False when the value exceeds the
+        whole budget and was not cached.
         """
-        size = len(data) if charge_nbytes is None else int(charge_nbytes)
+        size = (
+            memoryview(data).nbytes if charge_nbytes is None else int(charge_nbytes)
+        )
         if size < 0:
             raise ValueError("charge_nbytes must be non-negative")
         k = (location, key, offset, nbytes)

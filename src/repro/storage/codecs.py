@@ -36,6 +36,13 @@ Registered codecs:
 All corruption -- bad magic, unknown codec, truncated payload, size
 mismatch after decode -- surfaces as a clean :class:`CodecError` rather
 than garbage units.
+
+Zero-copy contract: both directions accept any bytes-like buffer
+(``bytes``, ``bytearray``, ``memoryview``, shared-memory pages) without
+an intermediate ``bytes()`` materialization, and :func:`decode_chunk`
+returns a **read-only view over the input frame** for the identity
+codec -- the only copies on the decode path are the ones the transform
+itself requires (inflate, byte un-transpose).
 """
 
 from __future__ import annotations
@@ -55,12 +62,16 @@ __all__ = [
     "Codec",
     "CODECS",
     "CODEC_NAMES",
+    "Buffer",
     "encode_chunk",
     "decode_chunk",
     "frame_info",
     "resolve_codec",
     "lz4_available",
 ]
+
+#: Any contiguous bytes-like object the codec layer moves around.
+Buffer = bytes | bytearray | memoryview
 
 _MAGIC = b"RC"
 _VERSION = 1
@@ -78,33 +89,44 @@ def lz4_available() -> bool:
     return _lz4frame is not None
 
 
-def _shuffle_bytes(raw: bytes, stride: int) -> bytes:
-    """Byte-transpose the stride-aligned prefix of ``raw``; tail kept raw."""
-    n_units = len(raw) // stride
+def _shuffle_bytes(raw: Buffer, stride: int) -> bytes:
+    """Byte-transpose the stride-aligned prefix of ``raw``; tail kept raw.
+
+    The transpose is the one copy this transform is (it rewrites the
+    byte order); no other materialization happens.
+    """
+    view = memoryview(raw)
+    n_units = view.nbytes // stride
     head = n_units * stride
-    arr = np.frombuffer(raw, dtype=np.uint8, count=head)
+    arr = np.frombuffer(view, dtype=np.uint8, count=head)
     shuffled = arr.reshape(n_units, stride).T.tobytes()
-    return shuffled + raw[head:]
+    return shuffled + bytes(view[head:])
 
 
-def _unshuffle_bytes(raw: bytes, stride: int) -> bytes:
-    n_units = len(raw) // stride
+def _unshuffle_bytes(raw: Buffer, stride: int) -> bytes:
+    view = memoryview(raw)
+    n_units = view.nbytes // stride
     head = n_units * stride
-    arr = np.frombuffer(raw, dtype=np.uint8, count=head)
+    arr = np.frombuffer(view, dtype=np.uint8, count=head)
     unshuffled = arr.reshape(stride, n_units).T.tobytes()
-    return unshuffled + raw[head:]
+    return unshuffled + bytes(view[head:])
 
 
 class Codec:
-    """One registered transform: raw chunk bytes <-> wire payload."""
+    """One registered transform: raw chunk bytes <-> wire payload.
+
+    ``compress``/``decompress`` accept any bytes-like buffer and may
+    return a view over it (the identity codec does); only transforms
+    that rewrite bytes are allowed to allocate.
+    """
 
     name = "identity"
     codec_id = 0
 
-    def compress(self, raw: bytes, stride: int) -> bytes:
+    def compress(self, raw: Buffer, stride: int) -> Buffer:
         return raw
 
-    def decompress(self, payload: bytes, stride: int) -> bytes:
+    def decompress(self, payload: Buffer, stride: int) -> Buffer:
         return payload
 
 
@@ -112,10 +134,10 @@ class _ZlibCodec(Codec):
     name = "zlib"
     codec_id = 1
 
-    def compress(self, raw: bytes, stride: int) -> bytes:
+    def compress(self, raw: Buffer, stride: int) -> Buffer:
         return zlib.compress(raw, level=6)
 
-    def decompress(self, payload: bytes, stride: int) -> bytes:
+    def decompress(self, payload: Buffer, stride: int) -> Buffer:
         try:
             return zlib.decompress(payload)
         except zlib.error as exc:
@@ -126,18 +148,20 @@ class _Lz4Codec(Codec):
     name = "lz4"
     codec_id = 2
 
-    def compress(self, raw: bytes, stride: int) -> bytes:
+    def compress(self, raw: Buffer, stride: int) -> Buffer:
         if _lz4frame is None:  # pragma: no cover - encode side is gated
             raise CodecError("lz4 codec requires the optional lz4 package")
-        return _lz4frame.compress(raw)
+        return _lz4frame.compress(bytes(raw) if isinstance(raw, memoryview) else raw)
 
-    def decompress(self, payload: bytes, stride: int) -> bytes:
+    def decompress(self, payload: Buffer, stride: int) -> Buffer:
         if _lz4frame is None:
             raise CodecError(
                 "chunk was encoded with lz4 but the lz4 package is not installed"
             )
         try:
-            return _lz4frame.decompress(payload)
+            return _lz4frame.decompress(
+                bytes(payload) if isinstance(payload, memoryview) else payload
+            )
         except RuntimeError as exc:  # pragma: no cover - needs lz4
             raise CodecError(f"lz4 payload corrupt: {exc}") from exc
 
@@ -146,18 +170,18 @@ class _ShuffleCodec(Codec):
     name = "shuffle"
     codec_id = 3
 
-    def compress(self, raw: bytes, stride: int) -> bytes:
-        if stride > 1 and raw:
+    def compress(self, raw: Buffer, stride: int) -> Buffer:
+        if stride > 1 and memoryview(raw).nbytes:
             raw = _shuffle_bytes(raw, stride)
         return zlib.compress(raw, level=6)
 
-    def decompress(self, payload: bytes, stride: int) -> bytes:
+    def decompress(self, payload: Buffer, stride: int) -> Buffer:
         try:
             raw = zlib.decompress(payload)
         except zlib.error as exc:
             raise CodecError(f"shuffle payload corrupt: {exc}") from exc
         if stride > 1 and raw:
-            raw = _unshuffle_bytes(raw, stride)
+            return _unshuffle_bytes(raw, stride)
         return raw
 
 
@@ -183,24 +207,29 @@ def resolve_codec(name: str) -> Codec:
     return CODECS[name]
 
 
-def encode_chunk(raw: bytes, codec: str | Codec, unit_nbytes: int = 1) -> bytes:
+def encode_chunk(raw: Buffer, codec: str | Codec, unit_nbytes: int = 1) -> bytes:
     """Encode raw chunk bytes into a self-describing frame.
 
     ``unit_nbytes`` is the fixed record stride used by the shuffle
     transform; it is recorded in the header so decode needs no index.
+    ``raw`` may be any bytes-like buffer and is compressed in place --
+    the only allocation is the output frame itself (header + payload
+    are necessarily one new contiguous object).
     """
     c = resolve_codec(codec) if isinstance(codec, str) else codec
     stride = max(1, int(unit_nbytes))
-    payload = c.compress(bytes(raw), stride)
-    header = _HEADER.pack(_MAGIC, _VERSION, c.codec_id, stride, len(raw))
-    return header + payload
+    logical = memoryview(raw).nbytes
+    payload = c.compress(raw, stride)
+    header = _HEADER.pack(_MAGIC, _VERSION, c.codec_id, stride, logical)
+    return b"".join((header, payload))
 
 
-def frame_info(frame: bytes) -> tuple[str, int, int]:
+def frame_info(frame: Buffer) -> tuple[str, int, int]:
     """Parse a frame header -> ``(codec_name, unit_stride, logical_nbytes)``."""
-    if len(frame) < HEADER_NBYTES:
+    if memoryview(frame).nbytes < HEADER_NBYTES:
         raise CodecError(
-            f"frame of {len(frame)} bytes is shorter than the {HEADER_NBYTES}-byte header"
+            f"frame of {memoryview(frame).nbytes} bytes is shorter than "
+            f"the {HEADER_NBYTES}-byte header"
         )
     magic, version, codec_id, stride, logical = _HEADER.unpack_from(frame)
     if magic != _MAGIC:
@@ -213,13 +242,25 @@ def frame_info(frame: bytes) -> tuple[str, int, int]:
     return codec.name, stride, logical
 
 
-def decode_chunk(frame: bytes) -> bytes:
-    """Decode one frame back into the chunk's logical bytes."""
+def decode_chunk(frame: Buffer) -> Buffer:
+    """Decode one frame back into the chunk's logical bytes.
+
+    Zero-copy where the transform allows: the payload is sliced off the
+    frame as a ``memoryview`` (never re-materialized), and the identity
+    codec returns a **read-only view aliasing the input buffer** -- for
+    a frame mapped from shared memory the decoded bytes are the mapped
+    pages themselves.  Transforms that must rewrite bytes (zlib, lz4,
+    shuffle) return the one buffer their inflate produces.
+    """
     name, stride, logical = frame_info(frame)
     codec = CODECS[name]
-    raw = codec.decompress(bytes(frame[HEADER_NBYTES:]), stride)
-    if len(raw) != logical:
+    payload = memoryview(frame).cast("B")[HEADER_NBYTES:]
+    raw = codec.decompress(payload, stride)
+    if isinstance(raw, memoryview):
+        raw = raw.toreadonly()
+    n = memoryview(raw).nbytes
+    if n != logical:
         raise CodecError(
-            f"decoded {len(raw)} bytes but frame declares {logical} logical bytes"
+            f"decoded {n} bytes but frame declares {logical} logical bytes"
         )
     return raw

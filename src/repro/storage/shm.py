@@ -50,14 +50,22 @@ def close_quietly(shm: shared_memory.SharedMemory) -> None:
     ``mmap`` object unmaps itself when the last view dies, the fd is
     closed here, and the neutralized object's ``__del__`` has nothing
     left to re-raise on.
+
+    ``_buf``/``_mmap``/``_fd`` are CPython implementation privates; every
+    touch is guarded so an interpreter that renames them degrades to a
+    plain (possibly noisy-at-GC) close rather than an ``AttributeError``
+    on this cleanup path.
     """
     try:
         shm.close()
     except BufferError:
-        shm._buf = None
-        shm._mmap = None  # the last surviving view's destructor unmaps
-        if getattr(shm, "_fd", -1) >= 0:
-            os.close(shm._fd)
+        if hasattr(shm, "_buf"):
+            shm._buf = None
+        if hasattr(shm, "_mmap"):
+            shm._mmap = None  # the last surviving view's destructor unmaps
+        fd = getattr(shm, "_fd", -1)
+        if isinstance(fd, int) and fd >= 0:
+            os.close(fd)
             shm._fd = -1
 
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.storage.autotune import AimdAutotuner
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
-from repro.storage.codecs import CodecError, decode_chunk
+from repro.storage.codecs import Buffer, CodecError, decode_chunk
 from repro.storage.retry import RetryExhausted, RetryPolicy
 
 __all__ = ["split_range", "FetchInfo", "PrefetchHandle", "ParallelFetcher"]
@@ -75,12 +75,19 @@ class FetchInfo:
     encoded size for compressed chunks, zero on a cache hit);
     ``bytes_logical`` the decoded chunk size handed to the worker;
     ``decode_s`` the frame-decode time, kept separate from fetch time.
+    ``n_copies`` counts whole-chunk buffer copies made *after* wire
+    reassembly -- codec inflations that materialize new bytes, copies
+    into shared-memory segments, cache-hit copies into caller buffers.
+    Zero means the fold kernel aliased the fetched (or cached, or
+    mapped) bytes directly; the hot-path work drives this to zero for
+    the identity codec on every engine.
     """
 
     cache_hit: bool = False
     bytes_wire: int = 0
     bytes_logical: int = 0
     decode_s: float = 0.0
+    n_copies: int = 0
 
 
 class PrefetchHandle:
@@ -164,6 +171,7 @@ class ParallelFetcher:
         self.bytes_wire = 0
         self.bytes_logical = 0
         self.decode_s = 0.0
+        self.n_copies = 0
         self._counter_lock = threading.Lock()
         pool_workers = n_threads
         if autotune is not None:
@@ -184,14 +192,19 @@ class ParallelFetcher:
             n = min(n, max(1, nbytes // self.min_part_nbytes))
         return n
 
-    def fetch(self, key: str, offset: int = 0, nbytes: int | None = None) -> bytes:
-        """Retrieve ``[offset, offset+nbytes)`` of ``key``, reassembled in order."""
+    def fetch(self, key: str, offset: int = 0, nbytes: int | None = None) -> Buffer:
+        """Retrieve ``[offset, offset+nbytes)`` of ``key``, reassembled in order.
+
+        Returns a bytes-like buffer: ``bytes`` for single-connection
+        fetches, a ``bytearray`` assembled in place for parallel ones
+        (no join copy), or a read-only ``memoryview`` on a cache hit.
+        """
         data, _ = self.fetch_with_info(key, offset, nbytes)
         return data
 
     def fetch_with_info(
         self, key: str, offset: int = 0, nbytes: int | None = None
-    ) -> tuple[bytes, bool]:
+    ) -> tuple[Buffer, bool]:
         """Like :meth:`fetch`, also reporting whether the cache served it."""
         if nbytes is None:
             nbytes = self.store.size(key) - offset
@@ -205,7 +218,7 @@ class ParallelFetcher:
             self.cache.put(location, key, offset, nbytes, data)
         return data, False
 
-    def fetch_chunk(self, chunk) -> tuple[bytes, FetchInfo]:
+    def fetch_chunk(self, chunk) -> tuple[Buffer, FetchInfo]:
         """Fetch one index chunk's *logical* bytes, decoding if encoded.
 
         ``chunk`` is a :class:`~repro.data.chunks.ChunkInfo`.  For
@@ -215,7 +228,14 @@ class ParallelFetcher:
         budget holds more chunks and a retry re-requests encoded
         ranges); the frame is decoded after reassembly and checked
         against the index's logical size.  Returns the decoded bytes
-        plus a :class:`FetchInfo` with wire/logical/decode accounting.
+        plus a :class:`FetchInfo` with wire/logical/decode/copy
+        accounting.
+
+        Zero-copy: the returned buffer aliases the fetched (or cached)
+        bytes whenever the codec allows -- identity-codec frames decode
+        to a read-only view over the frame itself, so ``n_copies`` is 0;
+        only transforms that inflate (zlib/lz4/shuffle) materialize one
+        new buffer (``n_copies`` 1).
         """
         info = FetchInfo(bytes_logical=chunk.nbytes)
         if chunk.codec is None:
@@ -233,15 +253,19 @@ class ParallelFetcher:
             t0 = time.monotonic()
             data = decode_chunk(frame)
             info.decode_s = time.monotonic() - t0
-            if len(data) != chunk.nbytes:
+            if chunk.codec != "identity":
+                info.n_copies += 1  # the inflate materialized new bytes
+            n = memoryview(data).nbytes
+            if n != chunk.nbytes:
                 raise CodecError(
-                    f"chunk {chunk.chunk_id}: decoded {len(data)} bytes, "
+                    f"chunk {chunk.chunk_id}: decoded {n} bytes, "
                     f"index says {chunk.nbytes}"
                 )
         with self._counter_lock:
             self.bytes_wire += info.bytes_wire
             self.bytes_logical += info.bytes_logical
             self.decode_s += info.decode_s
+            self.n_copies += info.n_copies
         return data, info
 
     def _get_with_retry(self, key: str, offset: int, nbytes: int) -> bytes:
@@ -270,7 +294,7 @@ class ParallelFetcher:
             self.store.stats.record_error()
             raise
 
-    def _fetch_direct(self, key: str, offset: int, nbytes: int) -> bytes:
+    def _fetch_direct(self, key: str, offset: int, nbytes: int) -> Buffer:
         n_parts = self._plan_parts(nbytes)
         t0 = time.monotonic()
         if self._pool is None or n_parts <= 1 or nbytes < n_parts:
@@ -278,11 +302,19 @@ class ParallelFetcher:
             if self.autotune is not None:
                 self.autotune.record(nbytes, 1, time.monotonic() - t0)
             return data
+        # Assemble parallel sub-ranges straight into one preallocated
+        # buffer: each part GET writes its slice in place, so the old
+        # reassembly ``join`` -- a full extra copy of every parallel
+        # fetch -- never happens.
+        out = bytearray(nbytes)
+        view = memoryview(out)
         parts = split_range(offset, nbytes, n_parts, self.min_part_nbytes)
         futures = [
-            self._pool.submit(self._get_with_retry, key, off, n) for off, n in parts
+            self._pool.submit(
+                self._get_part_into, key, off, n, view[off - offset : off - offset + n]
+            )
+            for off, n in parts
         ]
-        chunks: list[bytes] = []
         error: BaseException | None = None
         # Each sub-range retries transient errors internally (when a
         # policy is set), so only an *exhausted or non-retryable* part
@@ -296,7 +328,7 @@ class ParallelFetcher:
                 f.cancel()
                 continue
             try:
-                chunks.append(f.result())
+                f.result()
             except BaseException as exc:
                 error = exc
         if error is not None:
@@ -309,21 +341,21 @@ class ParallelFetcher:
             raise error
         if self.autotune is not None:
             self.autotune.record(nbytes, len(parts), time.monotonic() - t0)
-        return b"".join(chunks)
+        return out
 
     def fetch_into(
         self, key: str, offset: int, nbytes: int, out
-    ) -> tuple[int, bool]:
+    ) -> tuple[int, FetchInfo]:
         """Fetch a range directly into a writable buffer; returns
-        ``(nbytes, cache_hit)``.
+        ``(nbytes, FetchInfo)``.
 
         This is the shared-memory handoff path: ``out`` is typically a
         :class:`~repro.storage.shm.SharedSegment` buffer, and each
         parallel sub-range GET writes into its slice of ``out`` -- the
         reassembly ``join`` (a full extra copy of the chunk) never
         happens.  With a cache attached the cached/evictable value must
-        remain an independent ``bytes``, so that path copies once from
-        the cache entry into ``out``.
+        remain an independent buffer, so that path copies once from the
+        cache entry into ``out`` (counted in ``FetchInfo.n_copies``).
         """
         view = memoryview(out).cast("B")
         if view.readonly:
@@ -332,13 +364,34 @@ class ParallelFetcher:
             raise ValueError(
                 f"buffer of {view.nbytes} bytes cannot hold {nbytes}-byte fetch"
             )
-        n_parts = self._plan_parts(nbytes)
-        if self.cache is not None or self._pool is None or n_parts <= 1 or nbytes < n_parts:
-            # Cache interplay (get/put want bytes) or single-connection
-            # fetch: reuse the assembled path, one copy into the buffer.
+        if self.cache is not None:
+            # Cache interplay: the cached/evictable entry must outlive
+            # the caller's buffer, so reuse the assembled path and copy
+            # once from the (new or cached) entry into ``out``.
             data, hit = self.fetch_with_info(key, offset, nbytes)
             view[:nbytes] = data
-            return nbytes, hit
+            info = FetchInfo(
+                cache_hit=hit,
+                bytes_wire=0 if hit else nbytes,
+                bytes_logical=nbytes,
+                n_copies=1,
+            )
+            with self._counter_lock:
+                self.bytes_wire += info.bytes_wire
+                self.bytes_logical += info.bytes_logical
+                self.n_copies += 1
+            return nbytes, info
+        n_parts = self._plan_parts(nbytes)
+        if self._pool is None or n_parts <= 1 or nbytes < n_parts:
+            # Single-connection fetch, still straight into the buffer.
+            t0 = time.monotonic()
+            self._get_part_into(key, offset, nbytes, view[:nbytes])
+            if self.autotune is not None:
+                self.autotune.record(nbytes, 1, time.monotonic() - t0)
+            with self._counter_lock:
+                self.bytes_wire += nbytes
+                self.bytes_logical += nbytes
+            return nbytes, FetchInfo(bytes_wire=nbytes, bytes_logical=nbytes)
         t0 = time.monotonic()
         parts = split_range(offset, nbytes, n_parts, self.min_part_nbytes)
         futures = [
@@ -366,7 +419,10 @@ class ParallelFetcher:
             raise error
         if self.autotune is not None:
             self.autotune.record(nbytes, len(parts), time.monotonic() - t0)
-        return nbytes, False
+        with self._counter_lock:
+            self.bytes_wire += nbytes
+            self.bytes_logical += nbytes
+        return nbytes, FetchInfo(bytes_wire=nbytes, bytes_logical=nbytes)
 
     def _get_part_into(self, key: str, offset: int, nbytes: int, dest) -> None:
         dest[:] = self._get_with_retry(key, offset, nbytes)

@@ -35,6 +35,15 @@ class TestRecordFormat:
         buf = fmt.encode(np.arange(10, dtype=np.int64))
         out = fmt.decode(buf)
         assert out.base is not None  # backed by the buffer, not copied
+        assert not out.flags.owndata
+
+    def test_decode_is_readonly_even_over_writable_buffer(self):
+        fmt = points_format(2)
+        buf = bytearray(fmt.encode(np.ones((3, 2))))
+        out = fmt.decode(buf)
+        assert not out.flags.writeable
+        with pytest.raises(ValueError):
+            out[0, 0] = 7.0
 
     def test_encode_wrong_shape_raises(self):
         fmt = points_format(3)
@@ -43,8 +52,14 @@ class TestRecordFormat:
 
     def test_decode_partial_unit_raises(self):
         fmt = points_format(2)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="truncated or corrupt"):
             fmt.decode(b"\x00" * 17)
+
+    def test_decode_truncated_tail_never_silently_dropped(self):
+        fmt = points_format(2)  # 16-byte units
+        whole = fmt.encode(np.ones((4, 2)))
+        with pytest.raises(ValueError, match="15 trailing bytes"):
+            fmt.decode(whole[:-1])
 
     def test_n_units(self):
         fmt = points_format(2)  # 16-byte units

@@ -58,6 +58,29 @@ class TestSharedSegment:
         assert arr[0] == 3.0  # pages survive until the view dies
         del arr
 
+    def test_close_quietly_with_live_view_is_silent(self):
+        """A still-aliased mapping closes without BufferError noise, and
+        the neutralized object tolerates a later close/unlink cycle."""
+        seg = SharedSegment(64)
+        name = seg.name
+        view = memoryview(seg.shm.buf)  # keeps the buffer exported
+        close_quietly(seg.shm)  # must not raise despite the live view
+        assert view[0] == 0  # pages stay mapped for the surviving view
+        del view
+        seg.release()  # second close is a no-op; unlink still happens
+        assert not shm_exists(name)
+
+    def test_close_quietly_tolerates_missing_privates(self):
+        """The CPython-private ``_buf``/``_mmap``/``_fd`` attributes are
+        only touched when present, so a renamed implementation degrades
+        gracefully instead of raising AttributeError mid-cleanup."""
+
+        class _OddShm:
+            def close(self):
+                raise BufferError("views still exported")
+
+        close_quietly(_OddShm())  # no _buf/_mmap/_fd at all: no raise
+
     def test_oversized_write_rejected(self):
         seg = SharedSegment(4)
         try:

@@ -195,8 +195,10 @@ class TestFetchInto:
         store.put("o", data)
         out = bytearray(512)
         with ParallelFetcher(store, n_threads=4) as fetcher:
-            n, hit = fetcher.fetch_into("o", 128, 512, out)
-        assert (n, hit) == (512, False)
+            n, info = fetcher.fetch_into("o", 128, 512, out)
+        assert (n, info.cache_hit) == (512, False)
+        assert info.bytes_wire == 512
+        assert info.n_copies == 0  # part GETs wrote straight into out
         assert bytes(out) == data[128:640]
 
     def test_single_thread_path(self):
@@ -204,8 +206,8 @@ class TestFetchInto:
         store.put("o", b"0123456789")
         out = bytearray(4)
         with ParallelFetcher(store, n_threads=1) as fetcher:
-            n, hit = fetcher.fetch_into("o", 3, 4, out)
-        assert (n, hit) == (4, False)
+            n, info = fetcher.fetch_into("o", 3, 4, out)
+        assert (n, info.cache_hit) == (4, False)
         assert bytes(out) == b"3456"
 
     def test_parallel_parts_write_disjoint_slices(self):
@@ -227,8 +229,10 @@ class TestFetchInto:
         out = bytearray(64)
         with ParallelFetcher(store, cache=cache) as fetcher:
             fetcher.fetch("o", 0, 64)  # warm
-            n, hit = fetcher.fetch_into("o", 0, 64, out)
-        assert (n, hit) == (64, True)
+            n, info = fetcher.fetch_into("o", 0, 64, out)
+        assert (n, info.cache_hit) == (64, True)
+        assert info.bytes_wire == 0
+        assert info.n_copies == 1  # the copy out of the cache entry
         assert bytes(out) == b"q" * 64
         assert store.stats.n_gets == 1
 
