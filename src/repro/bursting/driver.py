@@ -166,6 +166,9 @@ def run_threaded_bursting(
     adaptive_fetch: bool = False,
     min_part_nbytes: int | None = None,
     autotune_params=None,
+    replicas: int = 0,
+    hedge=None,
+    breaker=None,
 ) -> RunResult:
     """Run a real dataset through the middleware, split across sites.
 
@@ -186,6 +189,15 @@ def run_threaded_bursting(
     bytes; ``adaptive_fetch`` swaps the fixed ``retrieval_threads``
     fan-out for per-path AIMD autotuning
     (:mod:`repro.storage.autotune`).
+
+    ``replicas`` copies every chunk to that many additional stores
+    after placement, so the fetch path can fail over (and, with
+    ``hedge``, race) replica sources; ``hedge`` (a
+    :class:`~repro.storage.health.HedgePolicy`) launches a backup fetch
+    against a replica when the primary exceeds its adaptive latency
+    threshold; ``breaker`` (a
+    :class:`~repro.storage.health.BreakerPolicy`) tracks per-store
+    health and routes around stores whose circuit is open.
     """
     if "local" not in stores or "cloud" not in stores:
         raise ValueError('stores must provide "local" and "cloud" backends')
@@ -201,6 +213,10 @@ def run_threaded_bursting(
     if local_fraction < 1:
         fractions["cloud"] = 1.0 - local_fraction
     index = distribute_dataset(index, stores, fractions, stores["local"])
+    if replicas > 0:
+        from repro.data.dataset import replicate_dataset
+
+        index = replicate_dataset(index, stores, n_replicas=replicas)
     clusters = []
     if local_workers > 0:
         clusters.append(
@@ -217,6 +233,8 @@ def run_threaded_bursting(
         "chunk_cache": chunk_cache,
         "retry": retry,
         "crash_plan": crash_plan,
+        "hedge": hedge,
+        "breaker": breaker,
     }
     if prefetch is not None:
         # None keeps each engine's own default (the process engine
@@ -224,4 +242,11 @@ def run_threaded_bursting(
         kwargs["prefetch"] = prefetch
     if min_part_nbytes is not None:
         kwargs["min_part_nbytes"] = min_part_nbytes
+    # Dataset preparation is done; fault injectors constructed dormant
+    # (``armed=False``) model a store failing after placement -- arm
+    # them now so the chaos hits the run's retrieval path only.
+    for store in stores.values():
+        arm = getattr(store, "arm", None)
+        if callable(arm):
+            arm()
     return make_engine(engine, clusters, stores, **kwargs).run(spec, index)

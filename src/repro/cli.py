@@ -131,7 +131,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", metavar="SPEC", default=None,
                    help="wrap the cloud store in a deterministic fault injector, "
                         'e.g. "transient:p=0.3,seed=7", "permanent:key=f3", '
-                        '"latency:p=0.1,s=0.05" (clauses joined by +)')
+                        '"latency:p=0.1,s=0.05", "stall:p=0.2,s=0.05" '
+                        "(clauses joined by +)")
+    p.add_argument("--replicas", type=int, default=0, metavar="N",
+                   help="copy every chunk to N additional stores after "
+                        "placement; the fetch path fails over to a replica "
+                        "when a source store is down (0 = no replication)")
+    p.add_argument("--hedge", metavar="SPEC", nargs="?", const="", default=None,
+                   help="race a replica when a fetch exceeds the store's "
+                        "adaptive latency threshold; optional SPEC like "
+                        '"mult=3,min=0.05,max=1" (bare --hedge = defaults)')
+    p.add_argument("--breaker", metavar="SPEC", nargs="?", const="", default=None,
+                   help="per-store circuit breaker: skip stores that keep "
+                        "failing until their cooldown elapses; optional SPEC "
+                        'like "fails=3,recovery=1.0,probes=1,close=1,'
+                        'error=0.5" (bare --breaker = defaults)')
     p.add_argument("--retry", metavar="SPEC", default=None,
                    help="retry policy for the fetch path, "
                         'e.g. "max=5,base=0.01,deadline=30"')
@@ -332,6 +346,7 @@ def _cmd_demo(args) -> int:
     from repro.bursting.driver import run_threaded_bursting
     from repro.data.generator import generate_tokens
     from repro.storage.faults import FaultInjectingStore, FaultSpec
+    from repro.storage.health import BreakerPolicy, HedgePolicy
     from repro.storage.local import MemoryStore
     from repro.storage.retry import RetryPolicy
     from repro.storage.s3 import SimulatedS3Store
@@ -341,6 +356,12 @@ def _cmd_demo(args) -> int:
             FaultSpec.parse(args.inject_fault) if args.inject_fault else None
         )
         retry = RetryPolicy.parse(args.retry) if args.retry else None
+        hedge = HedgePolicy.parse(args.hedge) if args.hedge is not None else None
+        breaker = (
+            BreakerPolicy.parse(args.breaker) if args.breaker is not None else None
+        )
+        if args.replicas < 0:
+            raise ValueError("--replicas must be non-negative")
         crash_plan: dict[str, int] = {}
         for text in args.crash_worker:
             name, _, n_text = text.rpartition(":")
@@ -363,7 +384,9 @@ def _cmd_demo(args) -> int:
     tokens = generate_tokens(args.tokens, args.vocab, seed=7)
     cloud: Any = SimulatedS3Store()
     if fault_spec is not None:
-        cloud = FaultInjectingStore(cloud, fault_spec)
+        # Dormant until the driver arms it: faults model a store that
+        # degrades after placement, so prep (incl. replication) is clean.
+        cloud = FaultInjectingStore(cloud, fault_spec, armed=False)
     stores = {"local": MemoryStore("local"), "cloud": cloud}
     extra: dict[str, Any] = {}
     if args.prefetch is not None:
@@ -384,6 +407,7 @@ def _cmd_demo(args) -> int:
                 if args.min_part_kb is not None
                 else None
             ),
+            replicas=args.replicas, hedge=hedge, breaker=breaker,
             **extra,
         )
     except ValueError as exc:
@@ -417,6 +441,23 @@ def _cmd_demo(args) -> int:
                 + "/".join(f"{k}={v}" for k, v in sorted(inj.items()))
             )
         print("fault tolerance: " + "   ".join(parts))
+    if args.replicas or hedge is not None or breaker is not None:
+        parts = [
+            f"failovers: {rr.stats.n_failovers}",
+            f"hedges: {rr.stats.n_hedges}",
+            f"hedge wins: {rr.stats.hedge_wins}",
+            f"breaker skips: {rr.stats.n_breaker_skips}",
+            f"breaker transitions: {rr.stats.n_breaker_transitions}",
+        ]
+        p95 = rr.stats.fetch_p95_s
+        if p95:
+            parts.append(f"fetch p95: {p95 * 1e3:.1f}ms")
+        print("retrieval robustness: " + "   ".join(parts))
+        for loc, snap in rr.stats.breakers.items():
+            if snap["n_opened"]:
+                print(f"  breaker[{loc}]: {snap['state']}  "
+                      f"opened={snap['n_opened']} half_opened={snap['n_half_opened']} "
+                      f"closed={snap['n_closed']} rejected={snap['n_rejected']}")
     return 0 if ok else 1
 
 

@@ -5,6 +5,7 @@ from repro.data.dataset import (
     distribute_dataset,
     read_all_units,
     read_chunk,
+    replicate_dataset,
     write_dataset,
 )
 from repro.data.formats import RecordFormat, edges_format, points_format, tokens_format
@@ -23,6 +24,7 @@ __all__ = [
     "plan_file_chunks",
     "write_dataset",
     "distribute_dataset",
+    "replicate_dataset",
     "read_chunk",
     "read_all_units",
     "RecordFormat",

@@ -10,7 +10,41 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ChunkInfo", "plan_file_chunks"]
+__all__ = ["ChunkSource", "ChunkInfo", "plan_file_chunks"]
+
+
+@dataclass(frozen=True)
+class ChunkSource:
+    """One place a chunk's bytes can be fetched from.
+
+    A chunk always has its *primary* source (the location/key recorded
+    directly on :class:`ChunkInfo`); replicated datasets add further
+    sources so the fetch path can fail over or hedge.  ``enc_offset`` /
+    ``enc_nbytes`` of ``None`` mean "same encoded range as the primary"
+    -- replication byte-copies whole files, so ranges normally match.
+    """
+
+    location: str
+    key: str
+    enc_offset: int | None = None
+    enc_nbytes: int | None = None
+
+    def to_dict(self) -> dict:
+        d: dict = {"location": self.location, "key": self.key}
+        if self.enc_offset is not None:
+            d["enc_offset"] = self.enc_offset
+        if self.enc_nbytes is not None:
+            d["enc_nbytes"] = self.enc_nbytes
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChunkSource":
+        return cls(
+            location=d["location"],
+            key=d["key"],
+            enc_offset=d.get("enc_offset"),
+            enc_nbytes=d.get("enc_nbytes"),
+        )
 
 
 @dataclass(frozen=True)
@@ -37,6 +71,10 @@ class ChunkInfo:
     codec: str | None = None
     enc_offset: int | None = None
     enc_nbytes: int | None = None
+    # Additional places the same bytes live (replicated datasets).  The
+    # primary source above is always tried first when healthy; these are
+    # ordered failover/hedge targets.
+    replicas: tuple[ChunkSource, ...] = ()
 
     @property
     def wire_offset(self) -> int:
@@ -47,6 +85,17 @@ class ChunkInfo:
     def wire_nbytes(self) -> int:
         """Byte count actually fetched from the store."""
         return self.nbytes if self.codec is None else self.enc_nbytes
+
+    @property
+    def sources(self) -> tuple[ChunkSource, ...]:
+        """All places this chunk can be fetched from, primary first."""
+        primary = ChunkSource(
+            location=self.location,
+            key=self.key,
+            enc_offset=self.enc_offset,
+            enc_nbytes=self.enc_nbytes,
+        )
+        return (primary,) + self.replicas
 
     def to_dict(self) -> dict:
         return {
@@ -61,6 +110,11 @@ class ChunkInfo:
             "codec": self.codec,
             "enc_offset": self.enc_offset,
             "enc_nbytes": self.enc_nbytes,
+            **(
+                {"replicas": [r.to_dict() for r in self.replicas]}
+                if self.replicas
+                else {}
+            ),
         }
 
     @classmethod
@@ -72,6 +126,9 @@ class ChunkInfo:
                 "codec": d.get("codec"),
                 "enc_offset": d.get("enc_offset"),
                 "enc_nbytes": d.get("enc_nbytes"),
+                "replicas": tuple(
+                    ChunkSource.from_dict(r) for r in d.get("replicas", ())
+                ),
             }
         )
 

@@ -17,7 +17,13 @@ from repro.data.index import DataIndex, build_index
 from repro.storage.base import StorageBackend
 from repro.storage.codecs import decode_chunk, encode_chunk, resolve_codec
 
-__all__ = ["write_dataset", "distribute_dataset", "read_chunk", "read_all_units"]
+__all__ = [
+    "write_dataset",
+    "distribute_dataset",
+    "replicate_dataset",
+    "read_chunk",
+    "read_all_units",
+]
 
 
 def write_dataset(
@@ -127,6 +133,71 @@ def distribute_dataset(
         target.put(f.key, source.get(f.key))
         source.delete(f.key)
     return placed
+
+
+def replicate_dataset(
+    index: DataIndex,
+    stores: dict[str, StorageBackend],
+    *,
+    n_replicas: int = 1,
+) -> DataIndex:
+    """Copy every file to ``n_replicas`` additional stores and record sources.
+
+    For each file, replica locations are chosen round-robin from the
+    stores *other than* the file's current location (ordered by the
+    ``stores`` dict, which preserves insertion order), so replicas of a
+    local file land on the cloud store and vice versa.  The bytes are
+    copied verbatim -- encoded frames included -- so every replica
+    serves the exact same ranges; each chunk gains
+    :class:`~repro.data.chunks.ChunkSource` entries in ``replicas``.
+
+    Requires at least ``n_replicas + 1`` distinct stores.  Returns the
+    replica-annotated index; the input index is unchanged.
+    """
+    if n_replicas <= 0:
+        return index
+    others_of = {
+        loc: [name for name in stores if name != loc] for loc in stores
+    }
+    for loc, others in others_of.items():
+        if len(others) < n_replicas:
+            raise ValueError(
+                f"{n_replicas} replicas need {n_replicas + 1} stores, "
+                f"have {len(stores)}"
+            )
+    replica_locs: dict[int, list[str]] = {}
+    for i, f in enumerate(index.files):
+        others = others_of.get(f.location)
+        if others is None:
+            raise KeyError(f"no store for location {f.location!r}")
+        # Rotate the start point per file so replicas spread evenly
+        # when there are more candidate stores than replicas.
+        start = i % len(others)
+        locs = [(others * 2)[start + j] for j in range(n_replicas)]
+        replica_locs[f.file_id] = locs
+        data = stores[f.location].get(f.key)
+        for loc in locs:
+            stores[loc].put(f.key, data)
+    from repro.data.chunks import ChunkSource
+
+    new_chunks = [
+        replace(
+            c,
+            replicas=tuple(
+                ChunkSource(
+                    location=loc,
+                    key=c.key,
+                    enc_offset=c.enc_offset,
+                    enc_nbytes=c.enc_nbytes,
+                )
+                for loc in replica_locs[c.file_id]
+            ),
+        )
+        for c in index.chunks
+    ]
+    new_meta = dict(index.meta)
+    new_meta["n_replicas"] = n_replicas
+    return DataIndex(index.fmt, index.files, new_chunks, new_meta)
 
 
 def read_chunk(

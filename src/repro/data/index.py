@@ -105,6 +105,7 @@ class DataIndex:
                 c.chunk_id, c.file_id, c.key, c.offset, c.nbytes, c.n_units,
                 loc_by_file[c.file_id], c.crc32,
                 codec=c.codec, enc_offset=c.enc_offset, enc_nbytes=c.enc_nbytes,
+                replicas=c.replicas,
             )
             for c in self.chunks
         ]

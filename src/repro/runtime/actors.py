@@ -59,6 +59,7 @@ from repro.runtime.messages import (
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 from repro.storage.base import StorageBackend
+from repro.storage.health import HealthRegistry
 
 __all__ = ["ActorEngine"]
 
@@ -159,8 +160,11 @@ class _MasterActor(threading.Thread):
         t_start: float,
         errors: list[BaseException],
         stop: threading.Event,
+        *,
+        health: HealthRegistry | None = None,
     ) -> None:
         super().__init__(name=f"master-{cluster.name}", daemon=True)
+        self.health = health
         self.cluster = cluster
         self.head_inbox = head_inbox
         self.inbox = inbox
@@ -270,6 +274,8 @@ class _MasterActor(threading.Thread):
                 adaptive_fetch=opts.adaptive_fetch,
                 min_part_nbytes=opts.min_part_nbytes,
                 autotune_params=opts.autotune_params,
+                health=self.health,
+                hedge=opts.hedge,
             )
             robjs: list[ReductionObject] = []
             workers = []
@@ -326,6 +332,9 @@ class ActorEngine(EngineBase):
         opts = self.options
         scheduler = opts.scheduler_factory(jobs_from_index(index))
         group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
+        health = self.make_health()
+        if health is not None and hasattr(scheduler, "attach_health"):
+            scheduler.attach_health(health.open_locations)
         t_start = time.monotonic()
         stats = RunStats()
         errors: list[BaseException] = []
@@ -345,6 +354,7 @@ class ActorEngine(EngineBase):
                     cluster, head_inbox, master_channels[cluster.name], spec,
                     index, self.stores, opts, group_units,
                     cstats, t_start, errors, stop,
+                    health=health,
                 )
             )
 
@@ -380,6 +390,8 @@ class ActorEngine(EngineBase):
 
         stats.total_s = t_end - t_start
         stats.global_reduction_s = head.global_reduction_s
+        if health is not None:
+            stats.breakers = health.snapshot()
         for cstats in stats.clusters.values():
             cstats.finished_at = max(
                 (w.finished_at for w in cstats.workers), default=0.0

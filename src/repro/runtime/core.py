@@ -53,6 +53,7 @@ from repro.storage.autotune import AimdAutotuner, AutotuneParams
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
 from repro.storage.faults import WorkerCrash
+from repro.storage.health import BreakerPolicy, HealthRegistry, HedgePolicy
 from repro.storage.retry import RetryExhausted, RetryPolicy
 from repro.storage.transfer import (
     DEFAULT_MIN_PART_NBYTES,
@@ -126,6 +127,14 @@ class EngineOptions:
     adaptive_fetch: bool = False
     min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES
     autotune_params: AutotuneParams | None = None
+    # Replica-aware retrieval: hedge duplicate slow fetches against the
+    # next replica (HedgePolicy), and/or run every store behind a
+    # circuit breaker (BreakerPolicy) that orders/skips replica sources
+    # and deprioritizes chunks stranded behind open breakers.  Failover
+    # itself needs no option -- chunks carrying replicas always fail
+    # over when a source is exhausted.
+    hedge: HedgePolicy | None = None
+    breaker: BreakerPolicy | None = None
     # Process-engine transport knobs (no effect on in-process engines).
     start_method: str | None = None
     merge_threads: int = 4
@@ -248,6 +257,21 @@ class EngineBase:
     def autotune_params(self) -> AutotuneParams | None:
         return self.options.autotune_params
 
+    @property
+    def hedge(self) -> HedgePolicy | None:
+        return self.options.hedge
+
+    @property
+    def breaker(self) -> BreakerPolicy | None:
+        return self.options.breaker
+
+    def make_health(self) -> HealthRegistry | None:
+        """One shared health registry per run, or ``None`` when neither
+        hedging nor breakers are configured (zero overhead path)."""
+        if self.options.hedge is None and self.options.breaker is None:
+            return None
+        return HealthRegistry(self.options.breaker)
+
 
 def make_cluster_fetchers(
     stores: dict[str, StorageBackend],
@@ -259,6 +283,8 @@ def make_cluster_fetchers(
     adaptive_fetch: bool = False,
     min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
     autotune_params: AutotuneParams | None = None,
+    health: HealthRegistry | None = None,
+    hedge: HedgePolicy | None = None,
 ) -> dict[str, ParallelFetcher]:
     """One fetcher per data location for one cluster.
 
@@ -266,6 +292,12 @@ def make_cluster_fetchers(
     AIMD autotuner replacing the fixed ``retrieval_threads`` fan-out --
     the paths differ wildly (local NIC vs WAN vs throttled S3), so each
     learns its own knee.  Shared by all three live engines.
+
+    Each cluster's fetchers are wired as *siblings* of one another, so a
+    chunk carrying replica sources routes each source to the fetcher
+    that owns its store.  ``health`` (the run-wide
+    :class:`~repro.storage.health.HealthRegistry`) and ``hedge`` flow to
+    every fetcher.
     """
     fetchers: dict[str, ParallelFetcher] = {}
     for loc, store in stores.items():
@@ -283,7 +315,11 @@ def make_cluster_fetchers(
             retry=retry,
             autotune=autotune,
             min_part_nbytes=min_part_nbytes,
+            health=health,
+            hedge=hedge,
         )
+    for f in fetchers.values():
+        f.siblings = fetchers
     return fetchers
 
 
@@ -458,6 +494,9 @@ def account_fetch_info(wstats: WorkerStats, info: FetchInfo) -> None:
     wstats.bytes_wire += info.bytes_wire
     wstats.bytes_logical += info.bytes_logical
     wstats.n_copies += info.n_copies
+    wstats.n_failovers += info.n_failovers
+    wstats.n_hedges += info.n_hedges
+    wstats.hedge_wins += info.hedge_wins
     if info.cache_hit:
         wstats.cache_hits += 1
     else:
@@ -566,6 +605,9 @@ class SlaveRuntime:
         w.decode_s += pending.decode_s
         w.bytes_wire += pending.bytes_wire
         w.bytes_logical += pending.bytes_logical
+        w.n_failovers += pending.n_failovers
+        w.n_hedges += pending.n_hedges
+        w.hedge_wins += pending.hedge_wins
         if ready:
             w.prefetch_hits += 1
         else:
@@ -719,6 +761,9 @@ def rollup_fetcher_stats(
         cstats.n_retries += f.n_retries
         cstats.n_errors += f.n_giveups
         cstats.bytes_retried += f.bytes_retried
+        cstats.n_breaker_skips += f.n_breaker_skips
+        cstats.n_abandoned += f.n_abandoned
+        cstats.fetch_latencies.extend(f.fetch_latencies)
         if f.autotune is not None and f.autotune.n_samples:
             cstats.autotune[loc] = f.autotune.snapshot()
 
@@ -752,6 +797,7 @@ def finalize_run(
     errors: list[BaseException],
     t_start: float,
     combine: Callable[[list[ReductionObject]], ReductionObject] | None = None,
+    health: HealthRegistry | None = None,
 ) -> RunResult:
     """The shared run epilogue for scheduler-owning engines.
 
@@ -766,6 +812,8 @@ def finalize_run(
     for cluster in clusters:
         rollup_fetcher_stats(stats.clusters[cluster.name], fetchers[cluster.name])
     stats.n_requeued_jobs = scheduler.n_reassigned
+    if health is not None:
+        stats.breakers = health.snapshot()
     if errors:
         raise errors[0]
     if not scheduler.all_done:

@@ -94,6 +94,9 @@ class ThreadedEngine(EngineBase):
         scheduler = opts.scheduler_factory(jobs_from_index(index))
         scheduler_lock = threading.Lock()
         group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
+        health = self.make_health()
+        if health is not None and hasattr(scheduler, "attach_health"):
+            scheduler.attach_health(health.open_locations)
 
         t_start = time.monotonic()
         stats = RunStats()
@@ -120,6 +123,8 @@ class ThreadedEngine(EngineBase):
                 adaptive_fetch=opts.adaptive_fetch,
                 min_part_nbytes=opts.min_part_nbytes,
                 autotune_params=opts.autotune_params,
+                health=health,
+                hedge=opts.hedge,
             )
             for wid in range(cluster.n_workers):
                 wstats = WorkerStats()
@@ -158,4 +163,5 @@ class ThreadedEngine(EngineBase):
             cluster_robjs=cluster_robjs,
             errors=errors,
             t_start=t_start,
+            health=health,
         )

@@ -101,7 +101,7 @@ from repro.storage.shm import (
     attach_segment,
     close_quietly,
 )
-from repro.storage.transfer import FetchInfo, ParallelFetcher
+from repro.storage.transfer import FAILOVER_ERRORS, FetchInfo, ParallelFetcher
 
 __all__ = ["ProcessEngine"]
 
@@ -305,6 +305,9 @@ class ProcessEngine(EngineBase):
         group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
         batch_fold = opts.batch_fold and supports_batch_fold(spec)
         segments = SharedSegmentPool()
+        health = self.make_health()
+        if health is not None and hasattr(scheduler, "attach_health"):
+            scheduler.attach_health(health.open_locations)
 
         t_start = time.monotonic()
         stats = RunStats()
@@ -336,6 +339,8 @@ class ProcessEngine(EngineBase):
                     adaptive_fetch=opts.adaptive_fetch,
                     min_part_nbytes=opts.min_part_nbytes,
                     autotune_params=opts.autotune_params,
+                    health=health,
+                    hedge=opts.hedge,
                 )
                 for wid in range(cluster.n_workers):
                     wname = f"{cluster.name}-w{wid}"
@@ -386,6 +391,7 @@ class ProcessEngine(EngineBase):
                 errors=errors,
                 t_start=t_start,
                 combine=lambda robjs: self._combine(spec, robjs),
+                health=health,
             )
             # Every merge folded into fresh objects; the worker robjs
             # (and their shared-memory backing) are no longer needed.
@@ -653,13 +659,32 @@ class ProcessEngine(EngineBase):
         """
         t0 = time.monotonic()
         chunk = job.chunk
+        sources = chunk.sources
         fetcher = cluster_fetchers[job.location]
+        if self.options.hedge is not None and len(sources) > 1:
+            # Hedged retrieval races replicas inside fetch_chunk; ship
+            # logical bytes (one decode + copy in this feeder) -- the
+            # encoded-wire-frame optimization below cannot race because
+            # it writes straight into the destination mapping.
+            data, info = fetcher.fetch_chunk(chunk)
+            seg = segments.create(chunk.nbytes)
+            try:
+                seg.buf[: chunk.nbytes] = data
+                info.n_copies += 1  # the copy into the segment
+                if self.options.verify_chunks:
+                    from repro.data.integrity import verify_chunk_bytes
+
+                    verify_chunk_bytes(chunk, seg.buf)
+            except BaseException:
+                segments.release(seg)
+                raise
+            return seg, chunk.nbytes, False, info, time.monotonic() - t0 - info.decode_s
         encoded = chunk.codec is not None and not self.options.verify_chunks
         if encoded:
             seg = segments.create(chunk.enc_nbytes)
             try:
-                _, info = fetcher.fetch_into(
-                    chunk.key, chunk.enc_offset, chunk.enc_nbytes, seg.buf
+                info = self._fetch_into_any(
+                    cluster_fetchers, job, seg.buf, encoded=True
                 )
                 info.bytes_logical = chunk.nbytes
             except BaseException:
@@ -673,8 +698,8 @@ class ProcessEngine(EngineBase):
                 seg.buf[: chunk.nbytes] = data
                 info.n_copies += 1  # the copy into the segment
             else:
-                _, info = fetcher.fetch_into(
-                    chunk.key, chunk.offset, chunk.nbytes, seg.buf
+                info = self._fetch_into_any(
+                    cluster_fetchers, job, seg.buf, encoded=False
                 )
             if self.options.verify_chunks:
                 from repro.data.integrity import verify_chunk_bytes
@@ -684,3 +709,54 @@ class ProcessEngine(EngineBase):
             segments.release(seg)
             raise
         return seg, chunk.nbytes, False, info, time.monotonic() - t0 - info.decode_s
+
+    @staticmethod
+    def _fetch_into_any(
+        cluster_fetchers: dict[str, ParallelFetcher],
+        job: Job,
+        buf,
+        *,
+        encoded: bool,
+    ) -> FetchInfo:
+        """``fetch_into`` with replica failover.
+
+        Tries each of the chunk's sources in order, routing every source
+        to the fetcher owning its store, and returns the first success
+        (``info.n_failovers`` counts the sources skipped).  Failures are
+        reported to the shared health registry so breakers open here
+        exactly as they do on the ``fetch_chunk`` path.
+        """
+        chunk = job.chunk
+        sources = chunk.sources
+        last_exc: BaseException | None = None
+        failovers = 0
+        for i, src in enumerate(sources):
+            fetcher = cluster_fetchers.get(src.location)
+            if fetcher is None:
+                raise KeyError(
+                    f"chunk {chunk.key!r} lists source location "
+                    f"{src.location!r} but the cluster has no fetcher for it"
+                )
+            if encoded:
+                offset = (
+                    src.enc_offset if src.enc_offset is not None else chunk.enc_offset
+                )
+                nbytes = (
+                    src.enc_nbytes if src.enc_nbytes is not None else chunk.enc_nbytes
+                )
+            else:
+                offset, nbytes = chunk.offset, chunk.nbytes
+            try:
+                _, info = fetcher.fetch_into(src.key, offset, nbytes, buf)
+            except FAILOVER_ERRORS as exc:
+                last_exc = exc
+                if fetcher.health is not None:
+                    fetcher.health.record_failure(src.location)
+                if i < len(sources) - 1:
+                    failovers += 1
+                    fetcher.n_failovers += 1
+                continue
+            info.n_failovers = failovers
+            return info
+        assert last_exc is not None
+        raise last_exc

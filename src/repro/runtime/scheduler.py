@@ -22,6 +22,7 @@ lock; the simulator is single-threaded by construction).
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 from repro.runtime.jobs import Job
 
@@ -36,16 +37,43 @@ class HeadScheduler:
         # consecutive byte ranges.
         self._by_file: dict[int, deque[Job]] = {}
         self._file_location: dict[int, str] = {}
+        # Every location a file's chunks can be fetched from (primary
+        # plus replicas) -- the health deprioritization input.
+        self._file_sources: dict[int, frozenset[str]] = {}
         for job in sorted(jobs, key=lambda j: j.job_id):
             self._by_file.setdefault(job.file_id, deque()).append(job)
             self._file_location[job.file_id] = job.location
+            if job.file_id not in self._file_sources:
+                self._file_sources[job.file_id] = frozenset(
+                    s.location for s in job.chunk.sources
+                )
         self._active_readers: dict[int, int] = {fid: 0 for fid in self._by_file}
         self._unassigned = len(jobs)
         self._outstanding = 0  # assigned but not yet completed
+        self._open_locations: Callable[[], set[str]] | None = None
         self.assigned_counts: dict[str, int] = {}
         self.stolen_counts: dict[str, int] = {}
         self.n_reassigned = 0          # reassign() calls (requeued jobs)
         self.requeued_ids: set[int] = set()  # job ids ever requeued
+
+    def attach_health(self, open_locations: Callable[[], set[str]]) -> None:
+        """Wire store-health feedback into file selection.
+
+        ``open_locations`` returns the set of store locations whose
+        circuit breaker is currently open.  Files whose *every* source
+        location sits behind an open breaker are deprioritized: they are
+        still assigned (the fetch path's last-resort attempt may find
+        the store recovered), but only after every file with a healthy
+        source, which gives the open breakers time to half-open.
+        """
+        self._open_locations = open_locations
+
+    def _blocked(self, fid: int, open_locs: set[str]) -> int:
+        """1 when every source of ``fid`` is behind an open breaker."""
+        sources = self._file_sources.get(fid)
+        if not sources:
+            return 0
+        return int(sources <= open_locs)
 
     # -- queries -------------------------------------------------------------
 
@@ -73,6 +101,24 @@ class HeadScheduler:
             if q and (location is None or self._file_location[fid] == location)
         ]
 
+    def _open_locs(self) -> set[str]:
+        """Currently-open breaker locations ({} when health not wired)."""
+        return self._open_locations() if self._open_locations is not None else set()
+
+    def _pick_file(self, files: list[int]) -> int:
+        """Least-contended file, deprioritizing breaker-blocked ones."""
+        open_locs = self._open_locs()
+        if open_locs:
+            return min(
+                files,
+                key=lambda f: (
+                    self._blocked(f, open_locs),
+                    self._active_readers[f],
+                    f,
+                ),
+            )
+        return min(files, key=lambda f: (self._active_readers[f], f))
+
     def _take_from_file(self, fid: int, max_jobs: int) -> list[Job]:
         q = self._by_file[fid]
         batch = [q.popleft() for _ in range(min(max_jobs, len(q)))]
@@ -93,7 +139,33 @@ class HeadScheduler:
         # file already being read the least to spread sequential streams.
         local_files = self._files_with_jobs(cluster_location)
         if local_files:
-            fid = min(local_files, key=lambda f: (self._active_readers[f], f))
+            fid = self._pick_file(local_files)
+            open_locs = self._open_locs()
+            if open_locs and self._blocked(fid, open_locs):
+                # Every local candidate is stranded behind open breakers
+                # (the pick above already prefers unblocked files).
+                # Steal a healthy remote file instead, buying the open
+                # breakers their cooldown; the blocked files are still
+                # assigned once nothing healthy remains.
+                healthy_remote = [
+                    f
+                    for f in self._files_with_jobs(None)
+                    if not self._blocked(f, open_locs)
+                ]
+                if healthy_remote:
+                    fid = self._pick_file(healthy_remote)
+                    batch = self._take_from_file(fid, max_jobs)
+                    self.assigned_counts[cluster_location] = (
+                        self.assigned_counts.get(cluster_location, 0) + len(batch)
+                    )
+                    stolen = sum(
+                        1 for j in batch if j.location != cluster_location
+                    )
+                    if stolen:
+                        self.stolen_counts[cluster_location] = (
+                            self.stolen_counts.get(cluster_location, 0) + stolen
+                        )
+                    return batch
             batch = self._take_from_file(fid, max_jobs)
             self.assigned_counts[cluster_location] = (
                 self.assigned_counts.get(cluster_location, 0) + len(batch)
@@ -102,7 +174,7 @@ class HeadScheduler:
         # Stealing: remote file with the minimum number of active readers.
         remote_files = self._files_with_jobs(None)
         if remote_files:
-            fid = min(remote_files, key=lambda f: (self._active_readers[f], f))
+            fid = self._pick_file(remote_files)
             batch = self._take_from_file(fid, max_jobs)
             self.assigned_counts[cluster_location] = (
                 self.assigned_counts.get(cluster_location, 0) + len(batch)
@@ -160,7 +232,7 @@ class StaticScheduler(HeadScheduler):
         local_files = self._files_with_jobs(cluster_location)
         if not local_files:
             return []
-        fid = min(local_files, key=lambda f: (self._active_readers[f], f))
+        fid = self._pick_file(local_files)
         batch = self._take_from_file(fid, max_jobs)
         self.assigned_counts[cluster_location] = (
             self.assigned_counts.get(cluster_location, 0) + len(batch)

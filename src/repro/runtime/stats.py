@@ -14,6 +14,15 @@ from dataclasses import dataclass, field
 __all__ = ["WorkerStats", "ClusterStats", "RunStats"]
 
 
+def _percentile(samples: list, q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
 @dataclass
 class WorkerStats:
     """Timers accumulated by one worker (one core in the simulator)."""
@@ -68,6 +77,12 @@ class WorkerStats:
     bytes_folded: int = 0
     n_fold_calls: int = 0
     n_copies: int = 0
+    # Replica-aware retrieval: sources that failed before a fetch
+    # succeeded elsewhere, hedged duplicate launches, and hedges whose
+    # backup beat the primary.
+    n_failovers: int = 0
+    n_hedges: int = 0
+    hedge_wins: int = 0
 
     @property
     def busy_s(self) -> float:
@@ -94,6 +109,11 @@ class ClusterStats:
     n_retries: int = 0              # sub-range retries issued
     n_errors: int = 0               # fetches that failed past the retry policy
     bytes_retried: int = 0          # bytes re-requested by those retries
+    n_breaker_skips: int = 0        # replica sources skipped (breaker open)
+    n_abandoned: int = 0            # attempts abandoned by per-attempt timeouts
+    # Per-successful-fetch wall seconds (cache hits excluded), pooled
+    # from this cluster's fetchers -- the p95 latency sample set.
+    fetch_latencies: list = field(default_factory=list)
     # Transfer-layer state per data location, filled from this cluster's
     # autotuners when adaptive fetch is on: location -> snapshot dict
     # (parts, effective_bw, trajectory, ...).
@@ -243,6 +263,23 @@ class ClusterStats:
             default=0.0,
         )
 
+    @property
+    def n_failovers(self) -> int:
+        return sum(w.n_failovers for w in self.workers)
+
+    @property
+    def n_hedges(self) -> int:
+        return sum(w.n_hedges for w in self.workers)
+
+    @property
+    def hedge_wins(self) -> int:
+        return sum(w.hedge_wins for w in self.workers)
+
+    @property
+    def fetch_p95_s(self) -> float:
+        """95th-percentile successful-fetch latency (0 with no samples)."""
+        return _percentile(self.fetch_latencies, 0.95)
+
 
 @dataclass
 class RunStats:
@@ -253,6 +290,10 @@ class RunStats:
     global_reduction_s: float = 0.0   # robj exchange + final merge
     processing_end_s: float = 0.0     # when the last cluster finished jobs
     n_requeued_jobs: int = 0          # jobs returned to the head by reassign()
+    # Per-store health/breaker snapshot at run end (location -> dict of
+    # state, EWMAs, transition counters), filled when a health registry
+    # was active (hedge or breaker configured).
+    breakers: dict = field(default_factory=dict)
 
     @property
     def jobs_processed(self) -> int:
@@ -294,6 +335,42 @@ class RunStats:
     @property
     def n_failed_workers(self) -> int:
         return sum(c.workers_failed for c in self.clusters.values())
+
+    @property
+    def n_failovers(self) -> int:
+        return sum(c.n_failovers for c in self.clusters.values())
+
+    @property
+    def n_hedges(self) -> int:
+        return sum(c.n_hedges for c in self.clusters.values())
+
+    @property
+    def hedge_wins(self) -> int:
+        return sum(c.hedge_wins for c in self.clusters.values())
+
+    @property
+    def n_breaker_skips(self) -> int:
+        return sum(c.n_breaker_skips for c in self.clusters.values())
+
+    @property
+    def n_abandoned(self) -> int:
+        return sum(c.n_abandoned for c in self.clusters.values())
+
+    @property
+    def n_breaker_transitions(self) -> int:
+        """Total breaker state transitions across every store."""
+        return sum(
+            b.get("n_opened", 0) + b.get("n_half_opened", 0) + b.get("n_closed", 0)
+            for b in self.breakers.values()
+        )
+
+    @property
+    def fetch_p95_s(self) -> float:
+        """Run-wide 95th-percentile successful-fetch latency."""
+        pooled: list = []
+        for c in self.clusters.values():
+            pooled.extend(c.fetch_latencies)
+        return _percentile(pooled, 0.95)
 
     @property
     def jobs_recovered(self) -> int:
@@ -394,7 +471,13 @@ class RunStats:
         path; ``workers_failed``/``jobs_recovered``/``recovery_s``
         account the crash-containment protocol (dead workers, requeued
         jobs re-executed by survivors, and the compute those
-        re-executions cost).
+        re-executions cost).  The replica-aware columns prove each rung
+        of the robustness ladder fired: ``n_failovers`` (sources
+        exhausted and routed around), ``n_hedges``/``hedge_wins``
+        (latency-triggered duplicates and how often the backup won),
+        ``n_breaker_skips`` (sources skipped behind an open breaker),
+        ``n_abandoned`` (stuck attempts the timeout walked away from),
+        and ``fetch_p95_ms``.
         """
         return [
             {
@@ -405,8 +488,20 @@ class RunStats:
                 "workers_failed": c.workers_failed,
                 "jobs_recovered": c.jobs_recovered,
                 "recovery_s": round(c.recovery_s, 4),
+                "n_failovers": c.n_failovers,
+                "n_hedges": c.n_hedges,
+                "hedge_wins": c.hedge_wins,
+                "n_breaker_skips": c.n_breaker_skips,
+                "n_abandoned": c.n_abandoned,
+                "fetch_p95_ms": round(c.fetch_p95_s * 1e3, 3),
             }
             for c in self.clusters.values()
+        ]
+
+    def breaker_rows(self) -> list[dict]:
+        """Rows for the per-store health/breaker snapshot."""
+        return [
+            {"store": loc, **snap} for loc, snap in sorted(self.breakers.items())
         ]
 
     def transfer_rows(self) -> list[dict]:

@@ -20,12 +20,19 @@ from repro.storage.faults import (
     TransientStorageError,
     WorkerCrash,
 )
+from repro.storage.health import (
+    BreakerPolicy,
+    HealthRegistry,
+    HedgePolicy,
+    StoreHealth,
+)
 from repro.storage.local import LocalDiskStore, MemoryStore
-from repro.storage.retry import RetryExhausted, RetryPolicy
+from repro.storage.retry import AbandonGuard, RetryExhausted, RetryPolicy
 from repro.storage.s3 import S3Profile, SimulatedS3Store
 from repro.storage.shm import SharedSegment, SharedSegmentPool, attach_segment
 from repro.storage.transfer import (
     DEFAULT_MIN_PART_NBYTES,
+    FAILOVER_ERRORS,
     FetchInfo,
     ParallelFetcher,
     PrefetchHandle,
@@ -53,8 +60,13 @@ __all__ = [
     "PermanentStorageError",
     "TransientStorageError",
     "WorkerCrash",
+    "AbandonGuard",
     "RetryExhausted",
     "RetryPolicy",
+    "BreakerPolicy",
+    "HedgePolicy",
+    "HealthRegistry",
+    "StoreHealth",
     "LocalDiskStore",
     "MemoryStore",
     "S3Profile",
@@ -63,6 +75,7 @@ __all__ = [
     "SharedSegmentPool",
     "attach_segment",
     "DEFAULT_MIN_PART_NBYTES",
+    "FAILOVER_ERRORS",
     "FetchInfo",
     "ParallelFetcher",
     "PrefetchHandle",

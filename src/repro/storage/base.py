@@ -29,6 +29,10 @@ class StorageStats:
     n_errors: int = 0
     n_retries: int = 0
     bytes_retried: int = 0
+    # Attempts abandoned by a per-attempt timeout: the attempt thread
+    # was left running (bounded by the retry layer's AbandonGuard) and
+    # its result discarded.
+    n_abandoned: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_put(self, nbytes: int) -> None:
@@ -49,6 +53,10 @@ class StorageStats:
     def record_error(self) -> None:
         with self._lock:
             self.n_errors += 1
+
+    def record_abandoned(self) -> None:
+        with self._lock:
+            self.n_abandoned += 1
 
 
 class StorageBackend(abc.ABC):

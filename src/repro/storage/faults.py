@@ -31,6 +31,7 @@ import hashlib
 import threading
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.storage.base import StorageBackend
 
@@ -77,16 +78,23 @@ class FaultSpec:
     fresh, but predetermined, die).  ``permanent_keys`` are substrings:
     any key containing one always raises
     :class:`PermanentStorageError`.  ``latency_p``/``latency_s`` inject
-    a sleep before that fraction of requests.  ``fail_nth`` fails the
-    listed 1-based global ``get`` call numbers -- a call-count schedule
-    for scripted single-threaded tests (under concurrency the global
-    call order, unlike the hash-based modes, depends on scheduling).
+    a fixed-duration sleep before that fraction of requests.
+    ``stall_p``/``stall_s`` inject a *seeded-duration* stall: the
+    decision **and** the duration are pure hashes of
+    ``(seed, key, offset, attempt)``, the duration uniform in
+    ``[stall_s/2, stall_s]`` -- so a hedging/breaker test knows exactly
+    which requests stall and for how long, per seed.  ``fail_nth``
+    fails the listed 1-based global ``get`` call numbers -- a
+    call-count schedule for scripted single-threaded tests (under
+    concurrency the global call order, unlike the hash-based modes,
+    depends on scheduling).
 
     String form (clauses joined by ``+``)::
 
         transient:p=0.3,seed=7
         permanent:key=f3
         latency:p=0.1,s=0.05
+        stall:p=0.3,s=0.05,seed=5
         transient:nth=3|7
         transient:p=0.2+latency:p=0.1,s=0.01,seed=3
     """
@@ -95,18 +103,36 @@ class FaultSpec:
     permanent_keys: tuple[str, ...] = ()
     latency_p: float = 0.0
     latency_s: float = 0.0
+    stall_p: float = 0.0
+    stall_s: float = 0.0
     fail_nth: tuple[int, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("transient_p", "latency_p"):
+        for name in ("transient_p", "latency_p", "stall_p"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
         if self.latency_s < 0:
             raise ValueError("latency_s must be non-negative")
+        if self.stall_s < 0:
+            raise ValueError("stall_s must be non-negative")
         if any(n <= 0 for n in self.fail_nth):
             raise ValueError("fail_nth entries are 1-based call numbers")
+
+    def stall_duration_s(self, key: str, offset: int, attempt: int) -> float | None:
+        """Seeded stall duration for one attempt, or ``None`` (no stall).
+
+        A pure function of ``(seed, key, offset, attempt)``: callers
+        (and tests) can predict exactly which requests stall and for how
+        long without executing anything.
+        """
+        if self.stall_p <= 0:
+            return None
+        if seeded_uniform(self.seed, "s", key, offset, attempt) >= self.stall_p:
+            return None
+        frac = seeded_uniform(self.seed, "sd", key, offset, attempt)
+        return self.stall_s * (0.5 + 0.5 * frac)
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -120,10 +146,10 @@ class FaultSpec:
                 continue
             kind, _, rest = clause.partition(":")
             kind = kind.strip()
-            if kind not in ("transient", "permanent", "latency"):
+            if kind not in ("transient", "permanent", "latency", "stall"):
                 raise ValueError(
                     f"unknown fault kind {kind!r} "
-                    "(expected transient, permanent, or latency)"
+                    "(expected transient, permanent, latency, or stall)"
                 )
             opts: dict[str, str] = {}
             for pair in filter(None, rest.split(",")):
@@ -146,6 +172,11 @@ class FaultSpec:
                     kwargs["latency_p"] = float(opts.pop("p"))
                 if "s" in opts:
                     kwargs["latency_s"] = float(opts.pop("s"))
+            elif kind == "stall":
+                if "p" in opts:
+                    kwargs["stall_p"] = float(opts.pop("p"))
+                if "s" in opts:
+                    kwargs["stall_s"] = float(opts.pop("s"))
             if opts:
                 raise ValueError(
                     f"unknown option(s) {sorted(opts)} for fault kind {kind!r}"
@@ -160,18 +191,43 @@ class FaultInjectingStore(StorageBackend):
 
     Only ``get`` is fault-injected (the engines' hot path); writes and
     metadata calls pass straight through.  Injection counters
-    (``n_transient``, ``n_permanent``, ``n_latency``) record what was
-    actually injected, so tests can assert the chaos really happened.
+    (``n_transient``, ``n_permanent``, ``n_latency``, ``n_stall``)
+    record what was actually injected, so tests can assert the chaos
+    really happened; every counter mutation and
+    :meth:`injection_counts` share one lock, so the snapshot is
+    consistent under concurrent injection.
+
+    ``sleeper`` is the function used to realize injected latency/stall
+    delays (default :func:`time.sleep`); tests substitute a recorder to
+    assert seeded stall schedules without wall-clock sleeping.
+
+    ``armed=False`` constructs the injector dormant -- reads pass
+    straight through until :meth:`arm` is called.  Drivers use this to
+    model a store that fails *after* dataset placement: preparation
+    (including replication reads) sees a healthy store, the run does
+    not.  :func:`~repro.bursting.driver.run_threaded_bursting` arms any
+    store exposing ``arm()`` right before the engine starts.
     """
 
-    def __init__(self, inner: StorageBackend, spec: FaultSpec) -> None:
+    def __init__(
+        self,
+        inner: StorageBackend,
+        spec: FaultSpec,
+        sleeper: Callable[[float], None] = time.sleep,
+        *,
+        armed: bool = True,
+    ) -> None:
         super().__init__()
         self.inner = inner
         self.spec = spec
+        self.sleeper = sleeper
+        self.armed = armed
         self.location = inner.location
         self.n_transient = 0
         self.n_permanent = 0
         self.n_latency = 0
+        self.n_stall = 0
+        self.stalled_s = 0.0
         self._calls = 0
         self._attempts: dict[tuple[str, int], int] = {}
         self._lock = threading.Lock()
@@ -184,7 +240,17 @@ class FaultInjectingStore(StorageBackend):
             self._attempts[(key, offset)] = attempt + 1
         return call_no, attempt
 
+    def arm(self) -> None:
+        """Start injecting faults (no-op when already armed)."""
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting faults; reads pass through untouched."""
+        self.armed = False
+
     def _inject(self, key: str, offset: int) -> None:
+        if not self.armed:
+            return
         call_no, attempt = self._next_attempt(key, offset)
         for sub in self.spec.permanent_keys:
             if sub in key:
@@ -216,7 +282,13 @@ class FaultInjectingStore(StorageBackend):
             with self._lock:
                 self.n_latency += 1
             if self.spec.latency_s > 0:
-                time.sleep(self.spec.latency_s)
+                self.sleeper(self.spec.latency_s)
+        stall = self.spec.stall_duration_s(key, offset, attempt)
+        if stall is not None:
+            with self._lock:
+                self.n_stall += 1
+                self.stalled_s += stall
+            self.sleeper(stall)
 
     # -- StorageBackend ------------------------------------------------------
 
@@ -240,10 +312,15 @@ class FaultInjectingStore(StorageBackend):
         self.inner.delete(key)
 
     def injection_counts(self) -> dict[str, int]:
-        """Snapshot of what has been injected so far."""
+        """Consistent snapshot of what has been injected so far.
+
+        Taken under the same lock every injection increments under, so
+        concurrent readers never observe a torn multi-counter state.
+        """
         with self._lock:
             return {
                 "transient": self.n_transient,
                 "permanent": self.n_permanent,
                 "latency": self.n_latency,
+                "stall": self.n_stall,
             }

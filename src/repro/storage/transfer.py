@@ -19,16 +19,34 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.storage.autotune import AimdAutotuner
 from repro.storage.base import StorageBackend
 from repro.storage.cache import ChunkCache
 from repro.storage.codecs import Buffer, CodecError, decode_chunk
+from repro.storage.faults import PermanentStorageError
+from repro.storage.health import HealthRegistry, HedgePolicy
 from repro.storage.retry import RetryExhausted, RetryPolicy
 
-__all__ = ["split_range", "FetchInfo", "PrefetchHandle", "ParallelFetcher"]
+__all__ = [
+    "split_range",
+    "FAILOVER_ERRORS",
+    "FetchInfo",
+    "PrefetchHandle",
+    "ParallelFetcher",
+]
+
+#: Errors that exhaust one replica source and send the fetch to the
+#: next one.  Anything else (bugs, corruption) still fails fast.
+FAILOVER_ERRORS: tuple[type[BaseException], ...] = (
+    RetryExhausted,
+    PermanentStorageError,
+    KeyError,
+    ConnectionError,
+    TimeoutError,
+)
 
 #: Default floor on parallel sub-range size: below this a GET is all
 #: request overhead, so ranges are coalesced rather than shattered.
@@ -88,6 +106,13 @@ class FetchInfo:
     bytes_logical: int = 0
     decode_s: float = 0.0
     n_copies: int = 0
+    # Replica-aware retrieval: wall seconds the winning source's fetch
+    # took (excluding decode), how many sources failed before it, how
+    # many hedged duplicates were launched, and whether a hedge won.
+    fetch_s: float = 0.0
+    n_failovers: int = 0
+    n_hedges: int = 0
+    hedge_wins: int = 0
 
 
 class PrefetchHandle:
@@ -101,7 +126,17 @@ class PrefetchHandle:
     the wire/logical byte counts.
     """
 
-    __slots__ = ("_future", "fetch_s", "cache_hit", "decode_s", "bytes_wire", "bytes_logical")
+    __slots__ = (
+        "_future",
+        "fetch_s",
+        "cache_hit",
+        "decode_s",
+        "bytes_wire",
+        "bytes_logical",
+        "n_failovers",
+        "n_hedges",
+        "hedge_wins",
+    )
 
     def __init__(self) -> None:
         self._future: Future = Future()
@@ -110,6 +145,9 @@ class PrefetchHandle:
         self.decode_s = 0.0
         self.bytes_wire = 0
         self.bytes_logical = 0
+        self.n_failovers = 0
+        self.n_hedges = 0
+        self.hedge_wins = 0
 
     def done(self) -> bool:
         return self._future.done()
@@ -141,6 +179,17 @@ class ParallelFetcher:
     it exhausts the policy.  Retries are counted on the fetcher
     (``n_retries``/``n_giveups``/``bytes_retried``) and mirrored into
     the backend's :class:`~repro.storage.base.StorageStats`.
+
+    Replica-aware retrieval: when chunks carry extra sources
+    (:attr:`~repro.data.chunks.ChunkInfo.replicas`) and ``siblings``
+    maps the other locations' fetchers, :meth:`fetch_chunk` **fails
+    over** to the next replica when a source exhausts its retry policy
+    (or is permanently gone), ordering candidates by breaker state and
+    latency EWMA when a shared :class:`~repro.storage.health.HealthRegistry`
+    is attached, and skipping open-breakered stores while alternatives
+    remain.  With a :class:`~repro.storage.health.HedgePolicy` a fetch
+    still in flight past the adaptive threshold is duplicated against
+    the next replica and the first result wins.
     """
 
     def __init__(
@@ -153,6 +202,8 @@ class ParallelFetcher:
         retry: RetryPolicy | None = None,
         autotune: AimdAutotuner | None = None,
         min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
+        health: HealthRegistry | None = None,
+        hedge: HedgePolicy | None = None,
     ) -> None:
         if n_threads <= 0:
             raise ValueError("n_threads must be positive")
@@ -165,6 +216,12 @@ class ParallelFetcher:
         self.retry = retry
         self.autotune = autotune
         self.min_part_nbytes = min_part_nbytes
+        self.health = health
+        self.hedge = hedge
+        #: location -> fetcher for the run's other stores; set by
+        #: ``make_cluster_fetchers`` so replica sources route to the
+        #: fetcher that owns their store (with its own pool/autotuner).
+        self.siblings: dict[str, "ParallelFetcher"] = {store.location: self}
         self.n_retries = 0
         self.n_giveups = 0
         self.bytes_retried = 0
@@ -172,7 +229,16 @@ class ParallelFetcher:
         self.bytes_logical = 0
         self.decode_s = 0.0
         self.n_copies = 0
+        self.n_failovers = 0
+        self.n_hedges = 0
+        self.hedge_wins = 0
+        self.n_breaker_skips = 0
+        self.n_abandoned = 0
+        #: per-successful-fetch wall seconds (decode excluded, cache
+        #: hits excluded) -- the sample pool for p95 fetch latency.
+        self.fetch_latencies: list[float] = []
         self._counter_lock = threading.Lock()
+        self._hedge_pool: ThreadPoolExecutor | None = None
         pool_workers = n_threads
         if autotune is not None:
             pool_workers = max(pool_workers, autotune.params.max_parts)
@@ -231,25 +297,260 @@ class ParallelFetcher:
         plus a :class:`FetchInfo` with wire/logical/decode/copy
         accounting.
 
+        Chunks carrying replica sources route through the failover (and
+        optionally hedged) path; single-source chunks take the direct
+        path below, with health outcomes still recorded when a registry
+        is attached.
+
         Zero-copy: the returned buffer aliases the fetched (or cached)
         bytes whenever the codec allows -- identity-codec frames decode
         to a read-only view over the frame itself, so ``n_copies`` is 0;
         only transforms that inflate (zlib/lz4/shuffle) materialize one
         new buffer (``n_copies`` 1).
         """
+        sources = getattr(chunk, "sources", None)
+        if sources is None or len(sources) <= 1:
+            single = None if sources is None else sources[0]
+            t0 = time.monotonic()
+            try:
+                data, info = self._fetch_chunk_source(chunk, single)
+            except FAILOVER_ERRORS:
+                if self.health is not None:
+                    self.health.record_failure(self.store.location)
+                raise
+            self._record_win(self.store.location, time.monotonic() - t0, info)
+            return data, info
+        if self.hedge is not None:
+            return self._fetch_chunk_hedged(chunk, list(sources))
+        return self._fetch_chunk_failover(chunk, list(sources))
+
+    def _route(self, src) -> "ParallelFetcher":
+        """The fetcher owning ``src``'s store (self for the primary)."""
+        try:
+            return self.siblings[src.location]
+        except KeyError:
+            raise KeyError(
+                f"no fetcher for replica location {src.location!r} "
+                f"(have {sorted(self.siblings)})"
+            ) from None
+
+    def _order_sources(self, sources: list) -> list:
+        """Sources healthiest-first (stable: ties keep primary first)."""
+        if self.health is None:
+            return sources
+        ranked = self.health.order([s.location for s in sources])
+        rank = {loc: i for i, loc in enumerate(ranked)}
+        return sorted(sources, key=lambda s: rank[s.location])
+
+    def _record_win(self, location: str, fetch_s: float, info: FetchInfo) -> None:
+        """Account the winning source's latency and health outcome."""
+        latency = max(0.0, fetch_s - info.decode_s)
+        info.fetch_s = latency
+        if self.health is not None:
+            self.health.record_success(
+                location, None if info.cache_hit else latency
+            )
+        if not info.cache_hit:
+            with self._counter_lock:
+                self.fetch_latencies.append(latency)
+
+    def _fetch_chunk_failover(self, chunk, sources: list) -> tuple[Buffer, FetchInfo]:
+        """Try sources in health order until one yields the chunk."""
+        sources = self._order_sources(sources)
+        last_exc: BaseException | None = None
+        failovers = 0
+        skips = 0
+        for i, src in enumerate(sources):
+            remaining = len(sources) - 1 - i
+            if (
+                self.health is not None
+                and remaining > 0  # the last candidate is always attempted
+                and not self.health.health(src.location).allow()
+            ):
+                skips += 1
+                continue
+            t0 = time.monotonic()
+            try:
+                data, info = self._route(src)._fetch_chunk_source(chunk, src)
+            except FAILOVER_ERRORS as exc:
+                last_exc = exc
+                if self.health is not None:
+                    self.health.record_failure(src.location)
+                if remaining > 0:
+                    failovers += 1
+                continue
+            info.n_failovers = failovers
+            with self._counter_lock:
+                self.n_failovers += failovers
+                self.n_breaker_skips += skips
+            self._record_win(src.location, time.monotonic() - t0, info)
+            return data, info
+        with self._counter_lock:
+            self.n_breaker_skips += skips
+        assert last_exc is not None  # the last source is always attempted
+        raise last_exc
+
+    def _hedge_pool_lazy(self) -> ThreadPoolExecutor:
+        if self._hedge_pool is None:
+            # Legs must never queue behind one another: a stalled
+            # primary holding the last slot would block the very
+            # duplicate launched to escape it, making hedging *worse*
+            # than not hedging.  The executor spawns threads on demand
+            # (never while one sits idle), so the generous cap costs
+            # nothing on quiet runs.
+            self._hedge_pool = ThreadPoolExecutor(
+                max_workers=32, thread_name_prefix="hedge"
+            )
+        return self._hedge_pool
+
+    def _fetch_chunk_hedged(self, chunk, sources: list) -> tuple[Buffer, FetchInfo]:
+        """First-result-wins fetch with latency-triggered duplicates.
+
+        The healthiest source is launched first; if it is still in
+        flight after the hedge threshold (``multiplier`` x that store's
+        latency EWMA, floored), the next source is launched too, up to
+        ``max_hedges`` duplicates.  A source that *fails* immediately
+        triggers the next launch (failover).  Losing fetches are
+        cancelled when still queued, otherwise absorbed by a callback
+        that records their health outcome.
+        """
+        assert self.hedge is not None
+        ordered = self._order_sources(sources)
+        if self.health is not None and len(ordered) > 1:
+            # Put open-breakered stores last without reserving half-open
+            # probe slots for launches that may never happen.
+            open_locs = self.health.open_locations()
+            skipped = [s for s in ordered if s.location in open_locs]
+            ordered = [s for s in ordered if s.location not in open_locs] + skipped
+            if skipped and len(skipped) < len(sources):
+                with self._counter_lock:
+                    self.n_breaker_skips += len(skipped)
+        pool = self._hedge_pool_lazy()
+        health = self.health
+        t_start = time.monotonic()
+
+        def task(src):
+            fetcher = self._route(src)
+            t0 = time.monotonic()
+            try:
+                data, info = fetcher._fetch_chunk_source(chunk, src)
+            except FAILOVER_ERRORS:
+                if health is not None:
+                    health.record_failure(src.location)
+                raise
+            elapsed = time.monotonic() - t0
+            if health is not None:
+                latency = max(0.0, elapsed - info.decode_s)
+                health.record_success(
+                    src.location, None if info.cache_hit else latency
+                )
+            return data, info, elapsed
+
+        inflight: dict[Future, object] = {}
+        next_i = 0
+        launched = 0
+        n_hedges = 0
+        failovers = 0
+        last_exc: BaseException | None = None
+
+        def launch() -> None:
+            nonlocal next_i, launched
+            src = ordered[next_i]
+            next_i += 1
+            launched += 1
+            inflight[pool.submit(task, src)] = src
+
+        launch()
+        while True:
+            # Threshold keyed to the oldest in-flight source's EWMA (no
+            # health registry -> the policy floor alone applies).
+            oldest = next(iter(inflight.values()))
+            ewma = (
+                self.health.health(oldest.location).latency_ewma_s
+                if self.health is not None
+                else 0.0
+            )
+            can_hedge = next_i < len(ordered) and n_hedges < self.hedge.max_hedges
+            timeout = self.hedge.threshold_s(ewma) if can_hedge else None
+            done, _pending = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            winner: Future | None = None
+            for f in done:
+                exc = f.exception()
+                if exc is None:
+                    winner = f
+                    break
+                if not isinstance(exc, FAILOVER_ERRORS):
+                    # Bugs/corruption fail fast; absorb the other legs.
+                    for g in inflight:
+                        if g is not f and not g.cancel():
+                            g.add_done_callback(lambda fut: fut.exception())
+                    raise exc
+                last_exc = exc
+                del inflight[f]
+                failovers += 1
+            if winner is not None:
+                data, info, _elapsed = winner.result()
+                win_src = inflight.pop(winner)
+                info.n_failovers = failovers
+                info.n_hedges = n_hedges
+                info.hedge_wins = int(win_src is not ordered[0])
+                # Chunk-level latency: from first launch to first result,
+                # hedge-wait included (the leg's own elapsed time already
+                # fed the per-store EWMA inside ``task``).
+                latency = max(0.0, time.monotonic() - t_start - info.decode_s)
+                info.fetch_s = latency
+                with self._counter_lock:
+                    self.n_failovers += failovers
+                    self.n_hedges += n_hedges
+                    self.hedge_wins += info.hedge_wins
+                    if not info.cache_hit:
+                        self.fetch_latencies.append(latency)
+                for f in inflight:  # absorb the losers
+                    if not f.cancel():
+                        f.add_done_callback(lambda fut: fut.exception())
+                return data, info
+            if not inflight and next_i >= len(ordered):
+                with self._counter_lock:
+                    self.n_failovers += failovers
+                    self.n_hedges += n_hedges
+                assert last_exc is not None
+                raise last_exc
+            if not inflight:
+                launch()  # pure failover after a failure
+            elif done:
+                if next_i < len(ordered):
+                    launch()  # replace a failed in-flight source
+            elif can_hedge:
+                n_hedges += 1  # threshold expired: duplicate the range
+                launch()
+
+    def _fetch_chunk_source(self, chunk, src=None) -> tuple[Buffer, FetchInfo]:
+        """Fetch the chunk's bytes from one concrete source (no routing).
+
+        ``src`` (a :class:`~repro.data.chunks.ChunkSource`) overrides the
+        key and encoded range; ``None`` means the chunk's own primary.
+        Runs on the fetcher owning the source's store.
+        """
+        key = chunk.key if src is None else src.key
         info = FetchInfo(bytes_logical=chunk.nbytes)
         if chunk.codec is None:
-            data, hit = self.fetch_with_info(chunk.key, chunk.offset, chunk.nbytes)
+            data, hit = self.fetch_with_info(key, chunk.offset, chunk.nbytes)
             info.cache_hit = hit
             if not hit:
                 info.bytes_wire = chunk.nbytes
         else:
-            frame, hit = self.fetch_with_info(
-                chunk.key, chunk.enc_offset, chunk.enc_nbytes
-            )
+            enc_offset = chunk.enc_offset
+            enc_nbytes = chunk.enc_nbytes
+            if src is not None and src.enc_offset is not None:
+                enc_offset = src.enc_offset
+            if src is not None and src.enc_nbytes is not None:
+                enc_nbytes = src.enc_nbytes
+            frame, hit = self.fetch_with_info(key, enc_offset, enc_nbytes)
             info.cache_hit = hit
             if not hit:
-                info.bytes_wire = chunk.enc_nbytes
+                info.bytes_wire = enc_nbytes
             t0 = time.monotonic()
             data = decode_chunk(frame)
             info.decode_s = time.monotonic() - t0
@@ -279,11 +580,17 @@ class ParallelFetcher:
                 self.bytes_retried += nbytes
             self.store.stats.record_retry(nbytes)
 
+        def on_abandon() -> None:
+            with self._counter_lock:
+                self.n_abandoned += 1
+            self.store.stats.record_abandoned()
+
         try:
             return self.retry.call(
                 lambda: self.store.get(key, offset, nbytes),
                 token=f"{key}@{offset}+{nbytes}",
                 on_retry=on_retry,
+                on_abandon=on_abandon,
             )
         except RetryExhausted:
             with self._counter_lock:
@@ -485,6 +792,9 @@ class ParallelFetcher:
             handle.decode_s = info.decode_s
             handle.bytes_wire = info.bytes_wire
             handle.bytes_logical = info.bytes_logical
+            handle.n_failovers = info.n_failovers
+            handle.n_hedges = info.n_hedges
+            handle.hedge_wins = info.hedge_wins
             handle._future.set_result(data)
 
         self._prefetch_pool.submit(work)
@@ -494,6 +804,9 @@ class ParallelFetcher:
         if self._prefetch_pool is not None:
             self._prefetch_pool.shutdown(wait=True)
             self._prefetch_pool = None
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=True)
+            self._hedge_pool = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 

@@ -208,6 +208,72 @@ class TestRetryUnderFaultsMatrix:
             assert rr.stats.n_retries >= injected["transient"]
 
 
+class TestReplicaOutageMatrix:
+    def test_store_down_with_replicas_identical_results(self):
+        """One of two replica stores hard-down: every engine fails over
+        to the surviving replica, completes with zero failed workers,
+        and produces bit-identical counts."""
+        from repro.data.dataset import replicate_dataset
+        from repro.storage.health import BreakerPolicy
+
+        toks = generate_tokens(10000, 250, seed=71)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(toks, spec.fmt, 0.5)
+        index = replicate_dataset(index, stores, n_replicas=1)
+        ref = wordcount_exact(toks)
+        n_jobs = len(index.chunks)
+        cloud_chunks = sum(1 for c in index.chunks if c.location == "cloud")
+        assert cloud_chunks > 0
+        for name in ENGINES:
+            # Fresh injector per engine: counters prove the chaos fired.
+            dead = FaultInjectingStore(
+                stores["cloud"], FaultSpec(permanent_keys=("part",))
+            )
+            run_stores = dict(stores, cloud=dead)
+            rr = make_engine(
+                name, clusters, run_stores, batch_size=2,
+                retry=FAST_RETRY, breaker=BreakerPolicy(recovery_s=60.0),
+            ).run(spec, index)
+            assert rr.result == ref, f"{name} diverged with a store down"
+            assert rr.stats.jobs_processed == n_jobs
+            assert rr.stats.n_failed_workers == 0, (
+                f"{name}: failover should contain the outage without "
+                f"sacrificing workers"
+            )
+            assert rr.stats.n_failovers > 0, f"{name}: no failovers recorded"
+            assert dead.injection_counts()["permanent"] > 0, (
+                f"{name}: fault injector never fired -- test is vacuous"
+            )
+
+    def test_hedge_option_accepted_by_every_engine(self):
+        """Replicated dataset + hedge policy: identical results on all
+        engines (stalls are injected seeded, so any hedges that fire
+        race byte-identical replicas)."""
+        from repro.data.dataset import replicate_dataset
+        from repro.storage.health import HedgePolicy
+
+        toks = generate_tokens(8000, 200, seed=72)
+        spec = WordCountSpec()
+        stores, index, clusters = build_env(toks, spec.fmt, 0.5)
+        index = replicate_dataset(index, stores, n_replicas=1)
+        ref = wordcount_exact(toks)
+        for name in ENGINES:
+            stalled = FaultInjectingStore(
+                stores["cloud"],
+                FaultSpec(stall_p=0.5, stall_s=0.02, seed=73),
+            )
+            run_stores = dict(stores, cloud=stalled)
+            rr = make_engine(
+                name, clusters, run_stores, batch_size=2,
+                hedge=HedgePolicy(min_threshold_s=0.005),
+            ).run(spec, index)
+            assert rr.result == ref, f"{name} diverged under hedging"
+            assert rr.stats.jobs_processed == len(index.chunks)
+            assert stalled.injection_counts()["stall"] > 0, (
+                f"{name}: no stalls injected -- test is vacuous"
+            )
+
+
 class TestOptionsValidationParity:
     """All engines validate identically through EngineOptions."""
 

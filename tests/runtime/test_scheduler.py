@@ -268,3 +268,68 @@ class TestRandomScheduler:
         a = RandomScheduler(make_jobs(), seed=5).request_jobs("local", 6)
         b = RandomScheduler(make_jobs(), seed=5).request_jobs("local", 6)
         assert [j.job_id for j in a] == [j.job_id for j in b]
+
+
+class TestBreakerDeprioritization:
+    def make_replicated_jobs(self):
+        """50/50 placement, every chunk replicated on the other site."""
+        import dataclasses
+
+        from repro.data.chunks import ChunkSource
+
+        jobs = make_jobs()
+        out = []
+        for j in jobs:
+            other = "cloud" if j.location == "local" else "local"
+            chunk = dataclasses.replace(
+                j.chunk, replicas=(ChunkSource(other, j.chunk.key),)
+            )
+            out.append(dataclasses.replace(j, chunk=chunk))
+        return out
+
+    def test_without_health_behavior_is_unchanged(self):
+        plain = HeadScheduler(make_jobs())
+        replicated = HeadScheduler(self.make_replicated_jobs())
+        a = [j.job_id for j in plain.request_jobs("local", 6)]
+        b = [j.job_id for j in replicated.request_jobs("local", 6)]
+        assert a == b
+
+    def test_blocked_files_assigned_last(self):
+        # Chunks without replicas: a file whose ONLY source sits behind
+        # an open breaker is deprioritized below every healthy file.
+        open_locs = set()
+        sched = HeadScheduler(make_jobs(local_frac=0.5))
+        sched.attach_health(lambda: open_locs)
+        open_locs.add("local")
+        # A local cluster asks for work: its local files are all behind
+        # the open breaker, so the least-contended *healthy* choice is
+        # preferred when it steals.
+        batch = sched.request_jobs("cloud", 4)
+        assert all(j.location == "cloud" for j in batch)
+        # Stealing from the local cluster now prefers cloud files too.
+        steal = sched.request_jobs("local", 2)
+        assert all(j.location == "cloud" for j in steal)
+
+    def test_replicated_files_are_not_blocked(self):
+        # With a replica on the healthy site, an open breaker on the
+        # primary does not deprioritize the file (a fetch can fail over).
+        open_locs = {"local"}
+        sched = HeadScheduler(self.make_replicated_jobs())
+        sched.attach_health(lambda: open_locs)
+        steal = sched.request_jobs("local", 2)
+        assert all(j.location == "local" for j in steal)
+
+    def test_blocked_still_assigned_when_nothing_else_remains(self):
+        open_locs = {"local", "cloud"}
+        sched = HeadScheduler(make_jobs())
+        sched.attach_health(lambda: open_locs)
+        n = 0
+        while True:
+            batch = sched.request_jobs("local", 4)
+            if not batch:
+                break
+            n += len(batch)
+            for j in batch:
+                sched.complete(j)
+        assert n == sched.assigned_counts["local"]
+        assert sched.all_done

@@ -109,5 +109,11 @@ class TestRunStats:
                 "workers_failed": 1,
                 "jobs_recovered": 2,
                 "recovery_s": 1.5,
+                "n_failovers": 0,
+                "n_hedges": 0,
+                "hedge_wins": 0,
+                "n_breaker_skips": 0,
+                "n_abandoned": 0,
+                "fetch_p95_ms": 0.0,
             }
         ]

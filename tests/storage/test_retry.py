@@ -182,3 +182,99 @@ class TestStorageStats:
         assert s.n_retries == 2
         assert s.bytes_retried == 150
         assert s.n_errors == 1
+
+    def test_abandoned_recording(self):
+        s = StorageStats()
+        s.record_abandoned()
+        s.record_abandoned()
+        assert s.n_abandoned == 2
+
+
+class TestAbandonGuard:
+    def test_validation(self):
+        import repro.storage.retry as retry_mod
+
+        with pytest.raises(ValueError):
+            retry_mod.AbandonGuard(0)
+
+    def test_abandoned_attempts_are_counted_and_capped(self, monkeypatch):
+        """Stuck attempts are abandoned (counted via on_abandon) and the
+        number of live abandoned threads never exceeds the guard cap."""
+        import threading
+
+        import repro.storage.retry as retry_mod
+
+        guard = retry_mod.AbandonGuard(max_abandoned=2)
+        monkeypatch.setattr(retry_mod, "_ABANDON_GUARD", guard)
+        release = threading.Event()
+        p = RetryPolicy(max_attempts=1, base_delay_s=0.0, max_delay_s=0.0,
+                        attempt_timeout_s=0.01)
+
+        def stuck():
+            release.wait(5.0)
+            return b"late"
+
+        abandoned = []
+        try:
+            for _ in range(2):  # fill the cap
+                with pytest.raises(RetryExhausted):
+                    p.call(stuck, on_abandon=lambda: abandoned.append(1))
+            assert guard.live == 2
+            assert guard.total_abandoned == 2
+            assert len(abandoned) == 2
+            # At the cap, the next attempt back-pressures (bounded wait)
+            # instead of stacking a third live thread *before* starting.
+            with pytest.raises(RetryExhausted):
+                p.call(stuck, on_abandon=lambda: abandoned.append(1))
+            assert guard.total_abandoned == 3
+        finally:
+            release.set()
+
+    def test_release_unblocks_waiters(self):
+        import repro.storage.retry as retry_mod
+
+        guard = retry_mod.AbandonGuard(max_abandoned=1)
+        guard.mark_abandoned()
+        assert guard.live == 1
+        guard.release()
+        assert guard.live == 0
+        guard.wait_for_slot(0.01)  # returns immediately: slot free
+
+    def test_fast_attempt_never_touches_the_guard(self, monkeypatch):
+        import repro.storage.retry as retry_mod
+
+        guard = retry_mod.AbandonGuard(max_abandoned=1)
+        monkeypatch.setattr(retry_mod, "_ABANDON_GUARD", guard)
+        p = RetryPolicy(max_attempts=1, attempt_timeout_s=1.0)
+        assert p.call(lambda: b"ok") == b"ok"
+        assert guard.total_abandoned == 0
+        assert guard.live == 0
+
+
+class TestFetcherAbandonAccounting:
+    def test_abandoned_attempts_surface_in_stats(self):
+        """A store whose reads hang past the per-attempt timeout yields
+        RetryExhausted and a nonzero n_abandoned on fetcher and store."""
+        import threading
+
+        class HangingStore(MemoryStore):
+            def __init__(self):
+                super().__init__("cloud")
+                self.release = threading.Event()
+
+            def get(self, key, offset=0, nbytes=None):
+                self.release.wait(5.0)
+                return super().get(key, offset, nbytes)
+
+        store = HangingStore()
+        store.put("obj", b"x" * 64)
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                             max_delay_s=0.0, attempt_timeout_s=0.01)
+        try:
+            with ParallelFetcher(store, n_threads=1, retry=policy) as fetcher:
+                with pytest.raises(RetryExhausted):
+                    fetcher.fetch("obj", 0, 64)
+                assert fetcher.n_abandoned == 2  # both attempts timed out
+                assert store.stats.n_abandoned == 2
+        finally:
+            store.release.set()
