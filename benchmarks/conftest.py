@@ -8,11 +8,17 @@ values so the shapes can be compared at a glance.
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+import platform
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version of the stamped BENCH_*.json envelope (bump on layout changes).
+BENCH_SCHEMA_VERSION = 1
 
 
 @pytest.fixture
@@ -28,3 +34,38 @@ def record_table():
         return path
 
     return _record
+
+
+@pytest.fixture
+def write_bench_json():
+    """Write a machine-readable BENCH_<name>.json with a stamped envelope.
+
+    Every benchmark JSON carries the same header -- schema version,
+    profile name (tiny/full), and run metadata (timestamp, python,
+    platform, cpu count) -- so results from different hosts and CI runs
+    are comparable without guessing where they came from.
+    """
+
+    def _write(name: str, payload: dict, *, profile: str | None = None) -> str:
+        stamped = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "bench": name,
+            "profile": profile,
+            "run": {
+                "timestamp_utc": datetime.datetime.now(
+                    datetime.timezone.utc
+                ).isoformat(timespec="seconds"),
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpus": os.cpu_count() or 1,
+            },
+            **payload,
+        }
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(stamped, fh, indent=2)
+            fh.write("\n")
+        return path
+
+    return _write

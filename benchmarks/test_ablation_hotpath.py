@@ -33,7 +33,6 @@ kernel absorbs other workers' compute into its interval, so only the
 uncontended measurement reflects the kernel itself.
 """
 
-import json
 import math
 import os
 import time
@@ -92,7 +91,7 @@ def run_once(engine, spec, stores, index, clusters, ref, *, rounds=ROUNDS,
     return best, stats
 
 
-def test_hotpath_ablation(benchmark, record_table):
+def test_hotpath_ablation(benchmark, record_table, write_bench_json):
     envs = {codec: build_env(codec) for codec in CODECS}
 
     def sweep():
@@ -175,11 +174,7 @@ def test_hotpath_ablation(benchmark, record_table):
             "batch": solo[True], "per_group": solo[False], "workers": 1,
         },
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_hotpath.json"), "w",
-              encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("hotpath", payload, profile="tiny" if TINY else "full")
     record_table(
         "BENCH_hotpath",
         format_table(

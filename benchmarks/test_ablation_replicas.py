@@ -26,7 +26,6 @@ tiny`` shrinks the workload for the CI perf-smoke job; the completion
 and failover assertions hold on every profile.
 """
 
-import json
 import os
 import time
 
@@ -88,7 +87,7 @@ def run_scenario(toks, ref, *, fault=None, spare=False, replicas=0,
     return wall, rr.stats, injector
 
 
-def test_replica_chaos_ablation(benchmark, record_table):
+def test_replica_chaos_ablation(benchmark, record_table, write_bench_json):
     toks = generate_tokens(N_TOKENS, VOCAB, seed=SEED)
     ref = wordcount_exact(toks)
 
@@ -136,11 +135,7 @@ def test_replica_chaos_ablation(benchmark, record_table):
         "cpus": os.cpu_count() or 1,
         "scenarios": rows,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_replicas.json"), "w",
-              encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("replicas", payload, profile="tiny" if TINY else "full")
     record_table(
         "BENCH_replicas",
         format_table(

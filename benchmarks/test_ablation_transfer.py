@@ -69,7 +69,7 @@ def run_real(codec, local_fraction, toks, spec, ref):
     }
 
 
-def test_codec_ablation_real_bytes(record_table):
+def test_codec_ablation_real_bytes(record_table, write_bench_json):
     toks = generate_tokens(N_TOKENS, VOCAB, seed=31)
     spec = WordCountSpec()
     ref = wordcount_exact(toks)
@@ -95,13 +95,8 @@ def test_codec_ablation_real_bytes(record_table):
     hyb = by[("hybrid", "shuffle")]
     assert hyb["bytes_wire"] < 0.5 * hyb["bytes_logical"]
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    payload = {"real_bytes": rows}
     # The DES half appends to the same payload file.
-    with open(os.path.join(RESULTS_DIR, "BENCH_transfer.json"), "w",
-              encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("transfer", {"real_bytes": rows})
     record_table(
         "BENCH_transfer_codecs",
         format_table(
@@ -112,7 +107,7 @@ def test_codec_ablation_real_bytes(record_table):
     )
 
 
-def test_adaptive_vs_fixed_threads_sim(record_table):
+def test_adaptive_vs_fixed_threads_sim(record_table, write_bench_json):
     env = EnvironmentConfig("hybrid", 0.5, 16, 16)
     profile = APP_PROFILES["knn"]
     params = ResourceParams()
@@ -154,12 +149,14 @@ def test_adaptive_vs_fixed_threads_sim(record_table):
         f"adaptive {adaptive.total_s:.1f}s vs best fixed {best_fixed:.1f}s"
     )
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "BENCH_transfer.json")
     payload = {}
     if os.path.exists(path):
         with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
+        # Re-stamped below; keep only the measurement sections.
+        for key in ("schema_version", "bench", "profile", "run"):
+            payload.pop(key, None)
     payload["sim_retrieval_sweep"] = {
         "app": "knn", "env": "hybrid-50/50", "codec": "shuffle",
         "rows": rows,
@@ -167,9 +164,7 @@ def test_adaptive_vs_fixed_threads_sim(record_table):
         "adaptive_s": round(adaptive.total_s, 2),
         "tuner_parts": tuner_parts,
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("transfer", payload)
     record_table(
         "BENCH_transfer_adaptive",
         format_table(

@@ -22,7 +22,6 @@ shared-memory traffic, and warm pipelined wall/prefetch/cache columns,
 plus the workload shape and host core count.
 """
 
-import json
 import os
 import time
 
@@ -120,7 +119,7 @@ def time_pipelined(name, spec, stores, index, clusters, ref):
     }
 
 
-def test_engine_comparison(benchmark, record_table):
+def test_engine_comparison(benchmark, record_table, write_bench_json):
     pts, spec, stores, index, clusters = build_env()
     ref = lloyd_step(pts, spec.centroids)
 
@@ -151,11 +150,7 @@ def test_engine_comparison(benchmark, record_table):
         "cpus": n_cpus,
         "engines": rows,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_engines.json"), "w",
-              encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    write_bench_json("engines", payload)
     record_table(
         "BENCH_engines",
         format_table(

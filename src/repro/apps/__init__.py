@@ -26,6 +26,15 @@ from repro.apps.kmeans import (
     KMeansSpec,
     lloyd_step,
 )
+from repro.apps.filtered import (
+    BoundingBoxKMeansSpec,
+    BoundingBoxKnnSpec,
+    FilteredWordCountSpec,
+    TopKPageRankSpec,
+    bounding_box_mask,
+    filtered_wordcount_exact,
+    topk_pagerank_window_exact,
+)
 from repro.apps.knn import KNN_APP, KnnMapReduceSpec, KnnSpec, knn_exact
 from repro.apps.stats import (
     STATS_APP,
@@ -76,6 +85,13 @@ __all__ = [
     "KnnMapReduceSpec",
     "KnnSpec",
     "knn_exact",
+    "BoundingBoxKMeansSpec",
+    "BoundingBoxKnnSpec",
+    "FilteredWordCountSpec",
+    "TopKPageRankSpec",
+    "bounding_box_mask",
+    "filtered_wordcount_exact",
+    "topk_pagerank_window_exact",
     "STATS_APP",
     "ColumnStatsMapReduceSpec",
     "ColumnStatsSpec",

@@ -88,6 +88,7 @@ def simulate_environment(
     transfer=None,
     adaptive_fetch: bool = False,
     autotune_params=None,
+    pushdown=None,
 ) -> SimRunResult:
     """Simulate one application under one environment configuration.
 
@@ -100,7 +101,11 @@ def simulate_environment(
     ``codec`` selects the calibrated transfer model for that codec
     (:meth:`~repro.sim.topology.TransferSimModel.for_codec`), or pass an
     explicit ``transfer`` model; ``adaptive_fetch`` swaps fixed
-    retrieval threads for per-path AIMD autotuning.
+    retrieval threads for per-path AIMD autotuning.  ``pushdown`` (a
+    spec or query object with ``relevant``/``priority`` hooks) models
+    metadata-first pruning -- note :func:`paper_index` carries no chunk
+    stats, so this only has an effect on indexes from
+    :func:`~repro.data.dataset.write_dataset`.
     """
     profile = APP_PROFILES[app]
     params = params or ResourceParams()
@@ -114,7 +119,7 @@ def simulate_environment(
         index, env.clusters(params), profile, params,
         prefetch=prefetch, cache_nbytes=cache_nbytes, caches=caches,
         failures=failures, transfer=transfer, adaptive_fetch=adaptive_fetch,
-        autotune_params=autotune_params, **kwargs,
+        autotune_params=autotune_params, pushdown=pushdown, **kwargs,
     )
 
 
@@ -169,6 +174,7 @@ def run_threaded_bursting(
     replicas: int = 0,
     hedge=None,
     breaker=None,
+    pushdown: str | bool | None = None,
 ) -> RunResult:
     """Run a real dataset through the middleware, split across sites.
 
@@ -198,6 +204,13 @@ def run_threaded_bursting(
     threshold; ``breaker`` (a
     :class:`~repro.storage.health.BreakerPolicy`) tracks per-store
     health and routes around stores whose circuit is open.
+
+    ``pushdown`` enables metadata-first retrieval: ``"prune"`` drops
+    chunks the spec's ``relevant(chunk_stats)`` predicate rules out
+    before any fetch, ``"verify"`` additionally fetches the pruned
+    chunks once and asserts their fold contribution is the identity
+    (soundness audit).  The dataset writer records per-chunk statistics
+    by default, so any spec declaring the hooks benefits immediately.
     """
     if "local" not in stores or "cloud" not in stores:
         raise ValueError('stores must provide "local" and "cloud" backends')
@@ -235,6 +248,7 @@ def run_threaded_bursting(
         "crash_plan": crash_plan,
         "hedge": hedge,
         "breaker": breaker,
+        "pushdown": pushdown,
     }
     if prefetch is not None:
         # None keeps each engine's own default (the process engine

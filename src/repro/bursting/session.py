@@ -66,6 +66,12 @@ class BurstingSession:
     ``"actor"`` (message-passing over explicit channels).  Every engine
     accepts every option -- they all run the same
     :class:`~repro.runtime.core.SlaveRuntime` worker loop.
+
+    ``pushdown`` (``"prune"`` or ``"verify"``) turns on metadata-first
+    retrieval for every pass: specs declaring ``relevant``/``priority``
+    hooks skip chunks the index statistics rule out.  Iterative
+    workloads whose filter narrows each pass (e.g. top-k candidate
+    windows) prune more chunks every iteration with no re-organization.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class BurstingSession:
         adaptive_fetch: bool = False,
         min_part_nbytes: int = DEFAULT_MIN_PART_NBYTES,
         autotune_params: AutotuneParams | None = None,
+        pushdown: str | bool | None = None,
     ) -> None:
         missing = set(index.locations) - set(stores)
         if missing:
@@ -113,6 +120,7 @@ class BurstingSession:
             "chunk_cache": self.cache,
             "retry": retry,
             "crash_plan": crash_plan,
+            "pushdown": pushdown,
         }
         if scheduler_factory is not None:
             kwargs["scheduler_factory"] = scheduler_factory

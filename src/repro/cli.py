@@ -166,6 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-part-kb", type=float, default=None,
                    help="floor on parallel sub-range size in KiB; smaller "
                         "fetches coalesce into fewer GETs (default 4)")
+    p.add_argument("--filter", metavar="LO:HI", default=None,
+                   help="count only token ids in the inclusive range LO:HI "
+                        "(runs the range-filtered wordcount variant; the "
+                        "demo sorts the tokens so chunk min/max statistics "
+                        "make pruning effective)")
+    p.add_argument("--pushdown", metavar="MODE", nargs="?", const="prune",
+                   default=None, choices=("prune", "verify"),
+                   help="metadata-first retrieval: prune chunks the index "
+                        "statistics prove irrelevant before any fetch "
+                        '(bare --pushdown = "prune"; "verify" also fetches '
+                        "pruned chunks once and asserts they contribute "
+                        "nothing)")
     return parser
 
 
@@ -342,6 +354,9 @@ def _cmd_evaluate(_args) -> int:
 
 
 def _cmd_demo(args) -> int:
+    import numpy as np
+
+    from repro.apps.filtered import FilteredWordCountSpec, filtered_wordcount_exact
     from repro.apps.wordcount import WordCountSpec, wordcount_exact
     from repro.bursting.driver import run_threaded_bursting
     from repro.data.generator import generate_tokens
@@ -381,7 +396,22 @@ def _cmd_demo(args) -> int:
     if args.cache_mb < 0:
         print("error: --cache-mb must be non-negative", file=sys.stderr)
         return 2
+    token_range: tuple[int, int] | None = None
+    if args.filter is not None:
+        try:
+            lo_text, _, hi_text = args.filter.partition(":")
+            token_range = (int(lo_text), int(hi_text))
+            if token_range[0] > token_range[1]:
+                raise ValueError("LO must not exceed HI")
+        except ValueError as exc:
+            print(f"error: bad --filter spec {args.filter!r} "
+                  f"(expected LO:HI, e.g. 100:199): {exc}", file=sys.stderr)
+            return 2
     tokens = generate_tokens(args.tokens, args.vocab, seed=7)
+    if token_range is not None:
+        # Clustered data is what makes min/max pruning bite: sorted
+        # tokens give each chunk a narrow value range.
+        tokens = np.sort(tokens)
     cloud: Any = SimulatedS3Store()
     if fault_spec is not None:
         # Dormant until the driver arms it: faults model a store that
@@ -397,9 +427,17 @@ def _cmd_demo(args) -> int:
         from repro.storage.cache import ChunkCache
 
         extra["chunk_cache"] = ChunkCache(int(args.cache_mb * (1 << 20)))
+    if token_range is not None:
+        spec: Any = FilteredWordCountSpec(*token_range)
+        expected = filtered_wordcount_exact(tokens, *token_range)
+        what = f"wordcount[{token_range[0]}:{token_range[1]}]"
+    else:
+        spec = WordCountSpec()
+        expected = wordcount_exact(tokens)
+        what = "wordcount"
     try:
         rr = run_threaded_bursting(
-            WordCountSpec(), tokens, stores, engine=args.engine,
+            spec, tokens, stores, engine=args.engine,
             local_fraction=0.5, retry=retry, crash_plan=crash_plan or None,
             codec=args.codec, adaptive_fetch=args.adaptive_fetch,
             min_part_nbytes=(
@@ -408,17 +446,22 @@ def _cmd_demo(args) -> int:
                 else None
             ),
             replicas=args.replicas, hedge=hedge, breaker=breaker,
+            pushdown=args.pushdown,
             **extra,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    ok = rr.result == wordcount_exact(tokens)
-    print(f"wordcount over {args.tokens} tokens across 2 sites "
+    ok = rr.result == expected
+    print(f"{what} over {args.tokens} tokens across 2 sites "
           f"({args.engine} engine): "
           f"{'OK' if ok else 'MISMATCH'}; "
           f"{rr.stats.jobs_processed} jobs ({rr.stats.jobs_stolen} stolen), "
           f"{rr.stats.total_s:.3f}s wall")
+    if args.pushdown is not None:
+        from repro.bursting.report import format_table
+
+        print(format_table(rr.stats.pushdown_rows(), "metadata-first retrieval"))
     if args.engine == "process":
         from repro.bursting.report import format_table
 

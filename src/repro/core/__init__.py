@@ -4,6 +4,7 @@ from repro.core.api import (
     GeneralizedReductionSpec,
     run_local_pass,
     supports_batch_fold,
+    supports_pushdown,
     tree_global_reduction,
     uses_default_global_reduction,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "GeneralizedReductionSpec",
     "run_local_pass",
     "supports_batch_fold",
+    "supports_pushdown",
     "tree_global_reduction",
     "uses_default_global_reduction",
     "COMBINERS",

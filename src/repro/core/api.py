@@ -23,12 +23,16 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.reduction_object import ReductionObject
+from repro.data.chunks import ChunkStats
 from repro.data.formats import RecordFormat
 
 __all__ = [
     "GeneralizedReductionSpec",
+    "has_pushdown_predicate",
+    "has_pushdown_priority",
     "run_local_pass",
     "supports_batch_fold",
+    "supports_pushdown",
     "tree_global_reduction",
     "uses_default_global_reduction",
 ]
@@ -95,6 +99,37 @@ class GeneralizedReductionSpec(abc.ABC):
         """Turn the merged object into the user-facing result."""
         return robj.value()
 
+    # -- pushdown contract (metadata-first retrieval) ------------------------
+
+    def relevant(self, stats: ChunkStats) -> bool:
+        """Pruning predicate over a chunk's index statistics.
+
+        The head calls this before job-pool creation with each chunk's
+        :class:`~repro.data.chunks.ChunkStats`; returning False prunes
+        the chunk -- it is never fetched and never folded.
+
+        **Soundness contract**: return False only when the statistics
+        *prove* the chunk's fold contribution is the identity (it cannot
+        change the reduction object).  When unsure, return True.  Stats
+        bounds may be ``None`` (unknown); helpers like
+        :meth:`ChunkStats.overlaps` already keep-on-unknown.  Chunks
+        with no stats at all are always kept and never reach this hook.
+        ``EngineOptions(pushdown="verify")`` checks the contract at run
+        time by fetching pruned chunks anyway.
+        """
+        return True
+
+    def priority(self, stats: ChunkStats) -> float:
+        """Ordering hint for surviving chunks; higher runs earlier.
+
+        Purely a performance hint -- it reorders jobs within the
+        scheduler's per-file queues (composing with locality, contention
+        and breaker ordering) and never changes the result.  Useful to
+        front-load chunks that dominate the answer, e.g. by estimated
+        selectivity from :meth:`ChunkStats.sample_fraction`.
+        """
+        return 0.0
+
     # -- cost hints for the performance model -------------------------------
     #: Seconds of CPU per data unit on the reference core (calibrated).
     compute_s_per_unit: float = 1e-6
@@ -127,6 +162,28 @@ def supports_batch_fold(spec: GeneralizedReductionSpec) -> bool:
         type(spec).local_reduction_batch
         is not GeneralizedReductionSpec.local_reduction_batch
     )
+
+
+def has_pushdown_predicate(spec) -> bool:
+    """True when ``spec`` overrides :meth:`GeneralizedReductionSpec.relevant`.
+
+    Accepts duck-typed objects too (the simulator passes query objects
+    that are not full specs): any ``relevant`` other than the base-class
+    default counts.
+    """
+    fn = getattr(type(spec), "relevant", None)
+    return fn is not None and fn is not GeneralizedReductionSpec.relevant
+
+
+def has_pushdown_priority(spec) -> bool:
+    """True when ``spec`` overrides :meth:`GeneralizedReductionSpec.priority`."""
+    fn = getattr(type(spec), "priority", None)
+    return fn is not None and fn is not GeneralizedReductionSpec.priority
+
+
+def supports_pushdown(spec) -> bool:
+    """True when ``spec`` declares any part of the pushdown contract."""
+    return has_pushdown_predicate(spec) or has_pushdown_priority(spec)
 
 
 def tree_global_reduction(

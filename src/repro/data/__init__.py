@@ -1,6 +1,11 @@
 """Data organization: formats, chunks, data units, index, generators."""
 
-from repro.data.chunks import ChunkInfo, plan_file_chunks
+from repro.data.chunks import (
+    ChunkInfo,
+    ChunkStats,
+    compute_chunk_stats,
+    plan_file_chunks,
+)
 from repro.data.dataset import (
     distribute_dataset,
     read_all_units,
@@ -21,6 +26,8 @@ from repro.data.units import iter_unit_groups, units_per_group
 
 __all__ = [
     "ChunkInfo",
+    "ChunkStats",
+    "compute_chunk_stats",
     "plan_file_chunks",
     "write_dataset",
     "distribute_dataset",

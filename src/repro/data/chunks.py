@@ -8,9 +8,227 @@ the job pool.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-__all__ = ["ChunkSource", "ChunkInfo", "plan_file_chunks"]
+import numpy as np
+
+__all__ = [
+    "ChunkSource",
+    "ChunkStats",
+    "ChunkInfo",
+    "compute_chunk_stats",
+    "plan_file_chunks",
+]
+
+#: Default number of representative data units sampled into ChunkStats.
+SAMPLE_UNITS = 8
+
+
+def _enc_num(v: int | float | None) -> int | float | str | None:
+    """JSON-safe encoding of a stat value (non-finite floats as strings)."""
+    if isinstance(v, float) and not math.isfinite(v):
+        return repr(v)  # 'inf' / '-inf' / 'nan'
+    return v
+
+
+def _dec_num(v: int | float | str | None) -> int | float | None:
+    if isinstance(v, str):
+        return float(v)
+    return v
+
+
+def _num_eq(a, b) -> bool:
+    """Value equality that treats NaN as equal to NaN (for round-trips)."""
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    return a == b
+
+
+@dataclass(frozen=True, eq=False)
+class ChunkStats:
+    """Per-field statistics over a chunk's *decoded* data units.
+
+    Computed by the organizer (:func:`write_dataset`) in its existing
+    single pass over the data and stored in the index, so the head can
+    prune or reorder chunks without fetching a byte (metadata-first
+    retrieval).  A "field" is one scalar slot of the record: records of
+    shape ``(d,)`` have ``d`` fields; scalar records have one.
+
+    NaN safety: ``counts`` holds the number of *non-NaN* values per
+    field, and ``mins``/``maxs`` ignore NaN entries (``None`` when a
+    field has no non-NaN values at all, e.g. an empty chunk).  ``sums``
+    are exact for integer fields even past the int64 range.  ``sample``
+    holds up to :data:`SAMPLE_UNITS` evenly spaced data units, as tuples
+    of field values, for selectivity estimation.
+
+    Predicates built on these stats must treat ``None`` bounds as
+    "unknown" and keep the chunk -- pruning is only sound on proof.
+    """
+
+    n_units: int
+    counts: tuple[int, ...]
+    mins: tuple[int | float | None, ...]
+    maxs: tuple[int | float | None, ...]
+    sums: tuple[int | float, ...]
+    sample: tuple[tuple[int | float, ...], ...] = ()
+
+    def __eq__(self, other: object) -> bool:
+        # NaN-aware field equality so serialization round-trips compare
+        # equal even when a float sum is NaN (e.g. +inf and -inf data).
+        if not isinstance(other, ChunkStats):
+            return NotImplemented
+        return (
+            self.n_units == other.n_units
+            and self.counts == other.counts
+            and len(self.mins) == len(other.mins)
+            and all(_num_eq(a, b) for a, b in zip(self.mins, other.mins))
+            and all(_num_eq(a, b) for a, b in zip(self.maxs, other.maxs))
+            and all(_num_eq(a, b) for a, b in zip(self.sums, other.sums))
+            and len(self.sample) == len(other.sample)
+            and all(
+                len(r1) == len(r2)
+                and all(_num_eq(a, b) for a, b in zip(r1, r2))
+                for r1, r2 in zip(self.sample, other.sample)
+            )
+        )
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.counts)
+
+    def overlaps(self, field: int, lo: float, hi: float) -> bool:
+        """True when the chunk MAY contain a ``field`` value in [lo, hi].
+
+        Returns True on unknown bounds (``None``), so a ``relevant()``
+        predicate built on it can never mis-prune.
+        """
+        mn, mx = self.mins[field], self.maxs[field]
+        if mn is None or mx is None:
+            return True
+        # NaN bounds cannot arise (mins/maxs are NaN-free by
+        # construction) but a defensive check keeps pruning sound even
+        # against hand-built stats.
+        if isinstance(mn, float) and math.isnan(mn):
+            return True
+        if isinstance(mx, float) and math.isnan(mx):
+            return True
+        return not (mx < lo or mn > hi)
+
+    def mean(self, field: int) -> float | None:
+        """Mean of the field's non-NaN values (None for an empty field)."""
+        if self.counts[field] == 0:
+            return None
+        return float(self.sums[field]) / self.counts[field]
+
+    def sample_fraction(self, pred) -> float:
+        """Fraction of sampled units satisfying ``pred(unit_fields)``.
+
+        A cheap selectivity estimate for ``priority()`` hints; returns
+        0.0 when the chunk carries no sample.
+        """
+        if not self.sample:
+            return 0.0
+        return sum(1 for row in self.sample if pred(row)) / len(self.sample)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_units": self.n_units,
+            "counts": list(self.counts),
+            "mins": [_enc_num(v) for v in self.mins],
+            "maxs": [_enc_num(v) for v in self.maxs],
+            "sums": [_enc_num(v) for v in self.sums],
+            "sample": [[_enc_num(v) for v in row] for row in self.sample],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChunkStats":
+        return cls(
+            n_units=d["n_units"],
+            counts=tuple(d["counts"]),
+            mins=tuple(_dec_num(v) for v in d["mins"]),
+            maxs=tuple(_dec_num(v) for v in d["maxs"]),
+            sums=tuple(_dec_num(v) for v in d["sums"]),
+            sample=tuple(
+                tuple(_dec_num(v) for v in row) for row in d.get("sample", ())
+            ),
+        )
+
+
+def _exact_int_sum(col: np.ndarray) -> int:
+    """Exact big-int sum of an integer column (Python ints don't wrap)."""
+    return sum(int(v) for v in col.tolist())
+
+
+def compute_chunk_stats(
+    units: np.ndarray, *, sample_units: int = SAMPLE_UNITS
+) -> ChunkStats:
+    """Single-pass per-field statistics over one chunk's data units.
+
+    ``units`` is the decoded unit array, shape ``(n, *record_shape)``.
+    Integer sums are overflow-safe: the fast int64 accumulation is
+    cross-checked against a float64 accumulation and falls back to an
+    exact Python-int sum when they diverge (a genuine wrap shifts the
+    value by 2**64, far outside float64 rounding error).
+    """
+    arr = np.asarray(units)
+    n = int(arr.shape[0]) if arr.ndim else 0
+    n_fields = int(np.prod(arr.shape[1:])) if arr.ndim > 1 else 1
+    flat = arr.reshape(n, n_fields)
+    is_float = np.issubdtype(flat.dtype, np.floating)
+
+    counts: list[int] = []
+    mins: list[int | float | None] = []
+    maxs: list[int | float | None] = []
+    sums: list[int | float] = []
+    for f in range(n_fields):
+        col = flat[:, f]
+        if is_float:
+            nan_mask = np.isnan(col)
+            cnt = int(n - nan_mask.sum())
+            counts.append(cnt)
+            if cnt == 0:
+                mins.append(None)
+                maxs.append(None)
+                sums.append(0.0)
+            else:
+                with np.errstate(invalid="ignore"):
+                    mins.append(float(np.nanmin(col)))
+                    maxs.append(float(np.nanmax(col)))
+                    sums.append(float(np.nansum(col)))
+        else:
+            counts.append(n)
+            if n == 0:
+                mins.append(None)
+                maxs.append(None)
+                sums.append(0)
+            else:
+                mins.append(int(col.min()))
+                maxs.append(int(col.max()))
+                fast = int(col.sum(dtype=np.int64))
+                check = float(col.sum(dtype=np.float64))
+                if abs(float(fast) - check) > max(1.0, abs(check)) * 1e-6:
+                    fast = _exact_int_sum(col)
+                sums.append(fast)
+
+    sample: tuple[tuple[int | float, ...], ...] = ()
+    if n > 0 and sample_units > 0:
+        idx = np.unique(
+            np.linspace(0, n - 1, num=min(sample_units, n)).astype(np.int64)
+        )
+        cast = float if is_float else int
+        sample = tuple(
+            tuple(cast(v) for v in flat[i]) for i in idx.tolist()
+        )
+
+    return ChunkStats(
+        n_units=n,
+        counts=tuple(counts),
+        mins=tuple(mins),
+        maxs=tuple(maxs),
+        sums=tuple(sums),
+        sample=sample,
+    )
 
 
 @dataclass(frozen=True)
@@ -75,6 +293,12 @@ class ChunkInfo:
     # primary source above is always tried first when healthy; these are
     # ordered failover/hedge targets.
     replicas: tuple[ChunkSource, ...] = ()
+    # Per-field statistics over the chunk's *decoded* values, computed
+    # by the organizer.  Drives predicate pushdown at the head; None on
+    # indexes written before stats existed (such chunks are never
+    # pruned).  Stats describe logical values, so they are independent
+    # of codec and replica placement.
+    stats: ChunkStats | None = None
 
     @property
     def wire_offset(self) -> int:
@@ -115,6 +339,7 @@ class ChunkInfo:
                 if self.replicas
                 else {}
             ),
+            **({"stats": self.stats.to_dict()} if self.stats is not None else {}),
         }
 
     @classmethod
@@ -128,6 +353,11 @@ class ChunkInfo:
                 "enc_nbytes": d.get("enc_nbytes"),
                 "replicas": tuple(
                     ChunkSource.from_dict(r) for r in d.get("replicas", ())
+                ),
+                "stats": (
+                    ChunkStats.from_dict(d["stats"])
+                    if d.get("stats") is not None
+                    else None
                 ),
             }
         )

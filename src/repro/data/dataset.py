@@ -12,6 +12,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.data.chunks import ChunkStats, compute_chunk_stats
 from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex, build_index
 from repro.storage.base import StorageBackend
@@ -36,6 +37,7 @@ def write_dataset(
     key_prefix: str = "part",
     meta: dict | None = None,
     codec: str | None = None,
+    stats: bool = True,
 ) -> DataIndex:
     """Write ``units`` into ``n_files`` files in ``store`` and build the index.
 
@@ -54,6 +56,12 @@ def write_dataset(
     byte-of-data fractions).  ``lz4`` silently falls back to ``zlib``
     when the optional package is missing; the codec actually used is
     recorded per chunk and in ``index.meta["codec"]``.
+
+    ``stats=True`` (the default) additionally computes per-chunk
+    :class:`~repro.data.chunks.ChunkStats` in this same pass -- over the
+    *decoded* values, so stats are identical with or without a codec and
+    survive :func:`replicate_dataset` unchanged.  They feed the head's
+    predicate pushdown (metadata-first retrieval).
     """
     if n_files <= 0:
         raise ValueError("n_files must be positive")
@@ -64,12 +72,18 @@ def write_dataset(
     base, extra = divmod(n, n_files)
     file_units: list[int] = []
     enc_ranges: dict[int, list[tuple[int, int]]] = {}
+    chunk_stats: dict[int, list[ChunkStats]] = {}
     pos = 0
     for i in range(n_files):
         cnt = base + (1 if i < extra else 0)
         file_units.append(cnt)
         key = f"{key_prefix}-{i:05d}.bin"
         run = units[pos : pos + cnt]
+        if stats:
+            chunk_stats[i] = [
+                compute_chunk_stats(run[start : start + chunk_units])
+                for start in range(0, cnt, chunk_units)
+            ]
         if codec_obj is None:
             store.put(key, fmt.encode(run))
         else:
@@ -96,19 +110,23 @@ def write_dataset(
         key_prefix=key_prefix,
         meta=meta,
     )
-    if codec_obj is None:
+    if codec_obj is None and not stats:
         return index
     next_in_file = {f.file_id: 0 for f in index.files}
     new_chunks = []
     for c in index.chunks:
         j = next_in_file[c.file_id]
         next_in_file[c.file_id] = j + 1
-        enc_off, enc_n = enc_ranges[c.file_id][j]
-        new_chunks.append(
-            replace(c, codec=codec_obj.name, enc_offset=enc_off, enc_nbytes=enc_n)
-        )
+        kw: dict = {}
+        if codec_obj is not None:
+            enc_off, enc_n = enc_ranges[c.file_id][j]
+            kw.update(codec=codec_obj.name, enc_offset=enc_off, enc_nbytes=enc_n)
+        if stats:
+            kw["stats"] = chunk_stats[c.file_id][j]
+        new_chunks.append(replace(c, **kw))
     new_meta = dict(index.meta)
-    new_meta["codec"] = codec_obj.name
+    if codec_obj is not None:
+        new_meta["codec"] = codec_obj.name
     return DataIndex(index.fmt, index.files, new_chunks, new_meta)
 
 

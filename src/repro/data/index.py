@@ -105,31 +105,36 @@ class DataIndex:
                 c.chunk_id, c.file_id, c.key, c.offset, c.nbytes, c.n_units,
                 loc_by_file[c.file_id], c.crc32,
                 codec=c.codec, enc_offset=c.enc_offset, enc_nbytes=c.enc_nbytes,
-                replicas=c.replicas,
+                replicas=c.replicas, stats=c.stats,
             )
             for c in self.chunks
         ]
         return DataIndex(self.fmt, new_files, new_chunks, dict(self.meta))
 
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "format": self.fmt.to_dict(),
-                "files": [f.to_dict() for f in self.files],
-                "chunks": [c.to_dict() for c in self.chunks],
-                "meta": self.meta,
-            }
-        )
+    def to_dict(self) -> dict:
+        """Plain-dict form of the full index (JSON-safe)."""
+        return {
+            "format": self.fmt.to_dict(),
+            "files": [f.to_dict() for f in self.files],
+            "chunks": [c.to_dict() for c in self.chunks],
+            "meta": self.meta,
+        }
 
     @classmethod
-    def from_json(cls, text: str) -> "DataIndex":
-        d = json.loads(text)
+    def from_dict(cls, d: dict) -> "DataIndex":
         return cls(
             fmt=RecordFormat.from_dict(d["format"]),
             files=[FileInfo.from_dict(f) for f in d["files"]],
             chunks=[ChunkInfo.from_dict(c) for c in d["chunks"]],
             meta=d.get("meta", {}),
         )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "DataIndex":
+        return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:

@@ -20,6 +20,12 @@ from repro.runtime.messages import (
     Shutdown,
 )
 from repro.runtime.process_engine import ProcessEngine
+from repro.runtime.pushdown import (
+    PushdownPlan,
+    PushdownSoundnessError,
+    plan_jobs,
+    verify_pruned,
+)
 from repro.runtime.scheduler import HeadScheduler, RandomScheduler, StaticScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 
@@ -80,6 +86,10 @@ __all__ = [
     "RequestJobs",
     "RobjUpload",
     "Shutdown",
+    "PushdownPlan",
+    "PushdownSoundnessError",
+    "plan_jobs",
+    "verify_pruned",
     "HeadScheduler",
     "RandomScheduler",
     "StaticScheduler",

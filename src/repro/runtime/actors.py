@@ -47,7 +47,8 @@ from repro.runtime.core import (
     make_cluster_fetchers,
     rollup_fetcher_stats,
 )
-from repro.runtime.jobs import Job, jobs_from_index
+from repro.runtime.jobs import Job
+from repro.runtime.pushdown import plan_jobs
 from repro.runtime.messages import (
     AssignJobs,
     Channel,
@@ -330,13 +331,17 @@ class ActorEngine(EngineBase):
     def run(self, spec: GeneralizedReductionSpec, index: DataIndex) -> RunResult:
         EngineOptions.validate_index(index, self.stores)
         opts = self.options
-        scheduler = opts.scheduler_factory(jobs_from_index(index))
+        # Pushdown (metadata-first retrieval) runs before the job pool
+        # exists, identically to the other engines.
+        plan = plan_jobs(index, spec, opts.pushdown, stores=self.stores)
+        scheduler = opts.scheduler_factory(plan.jobs)
         group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
         health = self.make_health()
         if health is not None and hasattr(scheduler, "attach_health"):
             scheduler.attach_health(health.open_locations)
         t_start = time.monotonic()
         stats = RunStats()
+        plan.apply_to(stats)
         errors: list[BaseException] = []
         stop = threading.Event()
 

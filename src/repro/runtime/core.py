@@ -47,6 +47,7 @@ from repro.core.serialization import deserialize_robj, serialize_robj
 from repro.data.index import DataIndex
 from repro.data.units import iter_unit_groups
 from repro.runtime.jobs import Job, LocalJobPool
+from repro.runtime.pushdown import normalize_pushdown
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 from repro.storage.autotune import AimdAutotuner, AutotuneParams
@@ -135,6 +136,14 @@ class EngineOptions:
     # over when a source is exhausted.
     hedge: HedgePolicy | None = None
     breaker: BreakerPolicy | None = None
+    # Metadata-first retrieval: apply the spec's pushdown contract
+    # (relevant/priority over index ChunkStats) before job-pool
+    # creation.  None/False = off; True/"prune" = prune irrelevant
+    # chunks and order survivors by priority; "verify" = prune, but
+    # also fetch every pruned chunk and assert its fold contribution is
+    # the identity (the soundness guard -- debug only, spends the bytes
+    # pruning saved).
+    pushdown: str | bool | None = None
     # Process-engine transport knobs (no effect on in-process engines).
     start_method: str | None = None
     merge_threads: int = 4
@@ -142,6 +151,8 @@ class EngineOptions:
     def __post_init__(self) -> None:
         # Normalize crash_plan=None (the historical kwarg default) to {}.
         object.__setattr__(self, "crash_plan", dict(self.crash_plan or {}))
+        # Canonicalize pushdown to None/"prune"/"verify" (raises on junk).
+        object.__setattr__(self, "pushdown", normalize_pushdown(self.pushdown))
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if self.group_nbytes <= 0:
@@ -264,6 +275,10 @@ class EngineBase:
     @property
     def breaker(self) -> BreakerPolicy | None:
         return self.options.breaker
+
+    @property
+    def pushdown(self) -> str | None:
+        return self.options.pushdown
 
     def make_health(self) -> HealthRegistry | None:
         """One shared health registry per run, or ``None`` when neither

@@ -68,7 +68,7 @@ from repro.runtime.core import (
     finalize_run,
     make_cluster_fetchers,
 )
-from repro.runtime.jobs import jobs_from_index
+from repro.runtime.pushdown import plan_jobs
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 from repro.storage.transfer import ParallelFetcher
 
@@ -91,7 +91,11 @@ class ThreadedEngine(EngineBase):
         """Execute ``spec`` over the dataset described by ``index``."""
         EngineOptions.validate_index(index, self.stores)
         opts = self.options
-        scheduler = opts.scheduler_factory(jobs_from_index(index))
+        # Metadata-first retrieval: apply the spec's pushdown contract
+        # (prune + prioritize via index ChunkStats) before the job pool
+        # exists -- pruned chunks are never fetched, decoded, or folded.
+        plan = plan_jobs(index, spec, opts.pushdown, stores=self.stores)
+        scheduler = opts.scheduler_factory(plan.jobs)
         scheduler_lock = threading.Lock()
         group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
         health = self.make_health()
@@ -100,6 +104,7 @@ class ThreadedEngine(EngineBase):
 
         t_start = time.monotonic()
         stats = RunStats()
+        plan.apply_to(stats)
         cluster_robjs: dict[str, list[ReductionObject]] = {}
         threads: list[threading.Thread] = []
         fetchers: dict[str, dict[str, ParallelFetcher]] = {}

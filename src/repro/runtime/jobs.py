@@ -24,6 +24,9 @@ class Job:
 
     job_id: int
     chunk: ChunkInfo
+    #: Pushdown ordering hint (higher runs earlier); 0.0 when the app
+    #: declares none, which preserves pure chunk-id order.
+    priority: float = 0.0
 
     @property
     def location(self) -> str:

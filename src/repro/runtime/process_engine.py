@@ -90,7 +90,8 @@ from repro.runtime.core import (
     finalize_run,
     make_cluster_fetchers,
 )
-from repro.runtime.jobs import Job, jobs_from_index
+from repro.runtime.jobs import Job
+from repro.runtime.pushdown import plan_jobs
 from repro.runtime.stats import RunStats, WorkerStats, ClusterStats
 from repro.storage.faults import WorkerCrash
 from repro.storage.retry import RetryExhausted
@@ -300,7 +301,10 @@ class ProcessEngine(EngineBase):
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-        scheduler = opts.scheduler_factory(jobs_from_index(index))
+        # Pushdown (metadata-first retrieval) runs before the job pool
+        # exists, identically to the other engines.
+        plan = plan_jobs(index, spec, opts.pushdown, stores=self.stores)
+        scheduler = opts.scheduler_factory(plan.jobs)
         scheduler_lock = threading.Lock()
         group_units = units_per_group(opts.group_nbytes, index.fmt.unit_nbytes)
         batch_fold = opts.batch_fold and supports_batch_fold(spec)
@@ -311,6 +315,7 @@ class ProcessEngine(EngineBase):
 
         t_start = time.monotonic()
         stats = RunStats()
+        plan.apply_to(stats)
         # Per cluster: (robj, backing segment or None) per surviving worker.
         cluster_entries: dict[str, list[tuple[ReductionObject, SharedSegment | None]]] = {}
         handles: list[_WorkerHandle] = []

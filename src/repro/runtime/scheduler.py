@@ -13,7 +13,12 @@ execute the *identical* policy:
   handed remote jobs, "chosen from files which the minimum number of
   nodes are currently processing", minimizing file contention;
 * **On-demand pull** -- masters request batches when their pool runs
-  low, so faster clusters naturally process more jobs.
+  low, so faster clusters naturally process more jobs;
+* **Pushdown priority** -- when an app declares a
+  ``priority(chunk_stats)`` hint (metadata-first retrieval), jobs with
+  higher priority are ordered first within each file and steer file
+  selection, composing with (not overriding) locality and breaker
+  deprioritization.
 
 Callers must serialize access (the threaded engine wraps calls in a
 lock; the simulator is single-threaded by construction).
@@ -33,14 +38,17 @@ class HeadScheduler:
     """Locality-aware, contention-minimizing job assignment."""
 
     def __init__(self, jobs: list[Job]) -> None:
-        # Per-file FIFO of unassigned jobs, in chunk order so batches are
-        # consecutive byte ranges.
+        # Per-file queue of unassigned jobs: chunk order so batches are
+        # consecutive byte ranges, except that pushdown priority (when
+        # an app declares one) runs higher-priority jobs first within
+        # each file.  With all priorities 0.0 -- the default -- this is
+        # exactly the historical chunk-id FIFO.
         self._by_file: dict[int, deque[Job]] = {}
         self._file_location: dict[int, str] = {}
         # Every location a file's chunks can be fetched from (primary
         # plus replicas) -- the health deprioritization input.
         self._file_sources: dict[int, frozenset[str]] = {}
-        for job in sorted(jobs, key=lambda j: j.job_id):
+        for job in sorted(jobs, key=lambda j: (-j.priority, j.job_id)):
             self._by_file.setdefault(job.file_id, deque()).append(job)
             self._file_location[job.file_id] = job.location
             if job.file_id not in self._file_sources:
@@ -105,19 +113,36 @@ class HeadScheduler:
         """Currently-open breaker locations ({} when health not wired)."""
         return self._open_locations() if self._open_locations is not None else set()
 
+    def _head_priority(self, fid: int) -> float:
+        """Pushdown priority of the file's next unassigned job (0.0 default)."""
+        q = self._by_file[fid]
+        return q[0].priority if q else 0.0
+
     def _pick_file(self, files: list[int]) -> int:
-        """Least-contended file, deprioritizing breaker-blocked ones."""
+        """Least-contended file, deprioritizing breaker-blocked ones.
+
+        Pushdown priority slots between breaker blocking and contention:
+        among equally-(un)blocked candidates the file whose next job has
+        the highest priority wins, then fewest active readers.  All
+        priorities 0.0 (no pushdown) reduces to the historical order.
+        Note ``reassign()`` requeues at the front of its file regardless
+        of priority -- recovery keeps sequential batches contiguous.
+        """
         open_locs = self._open_locs()
         if open_locs:
             return min(
                 files,
                 key=lambda f: (
                     self._blocked(f, open_locs),
+                    -self._head_priority(f),
                     self._active_readers[f],
                     f,
                 ),
             )
-        return min(files, key=lambda f: (self._active_readers[f], f))
+        return min(
+            files,
+            key=lambda f: (-self._head_priority(f), self._active_readers[f], f),
+        )
 
     def _take_from_file(self, fid: int, max_jobs: int) -> list[Job]:
         q = self._by_file[fid]

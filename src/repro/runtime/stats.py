@@ -294,6 +294,15 @@ class RunStats:
     # state, EWMAs, transition counters), filled when a health registry
     # was active (hedge or breaker configured).
     breakers: dict = field(default_factory=dict)
+    # Metadata-first retrieval (predicate pushdown).  Pruning happens at
+    # the head before any job is assigned, so these are run-level
+    # counters, not per-worker sums: mode that ran (None = off), chunks
+    # pruned by relevant(), wire bytes those chunks would have cost, and
+    # surviving jobs the priority() hint moved off chunk-id order.
+    pushdown_mode: str | None = None
+    n_pruned_chunks: int = 0
+    bytes_pruned: int = 0
+    n_reordered: int = 0
 
     @property
     def jobs_processed(self) -> int:
@@ -536,6 +545,29 @@ class RunStats:
                 }
             )
         return rows
+
+    def pushdown_rows(self) -> list[dict]:
+        """One row summarizing metadata-first retrieval for the run.
+
+        ``bytes_pruned`` is wire bytes the head proved it never needed
+        (encoded size when the dataset is coded); ``pruned_fraction``
+        relates that to the total the run would otherwise have fetched
+        (``bytes_wire + bytes_pruned``).  ``n_reordered`` counts
+        surviving jobs the ``priority()`` hint moved off chunk-id order.
+        """
+        would_fetch = self.bytes_wire + self.bytes_pruned
+        return [
+            {
+                "mode": self.pushdown_mode or "off",
+                "n_pruned_chunks": self.n_pruned_chunks,
+                "bytes_pruned": self.bytes_pruned,
+                "bytes_wire": self.bytes_wire,
+                "pruned_fraction": (
+                    round(self.bytes_pruned / would_fetch, 4) if would_fetch else 0.0
+                ),
+                "n_reordered": self.n_reordered,
+            }
+        ]
 
     def pipeline_rows(self) -> list[dict]:
         """Rows decomposing the prefetch/cache pipeline per cluster.

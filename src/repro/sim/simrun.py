@@ -36,7 +36,8 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.data.index import DataIndex
-from repro.runtime.jobs import Job, jobs_from_index
+from repro.runtime.jobs import Job, jobs_from_index  # noqa: F401 (re-export)
+from repro.runtime.pushdown import plan_jobs
 from repro.runtime.scheduler import HeadScheduler
 from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
 from repro.sim.calibration import AppSimProfile, ResourceParams
@@ -596,6 +597,7 @@ def simulate_run(
     transfer: TransferSimModel | None = None,
     adaptive_fetch: bool = False,
     autotune_params: AutotuneParams | None = None,
+    pushdown=None,
 ) -> SimRunResult:
     """Simulate one complete cloud-bursting execution.
 
@@ -626,6 +628,15 @@ def simulate_run(
     (cluster, data location) path -- the same controller the live
     engines use -- whose converged state lands in each cluster's
     ``stats.autotune``.
+
+    ``pushdown`` models metadata-first retrieval: pass the app's
+    :class:`~repro.core.api.GeneralizedReductionSpec` (or any object
+    with ``relevant``/``priority`` over
+    :class:`~repro.data.chunks.ChunkStats`) and the simulator applies
+    the identical :func:`~repro.runtime.pushdown.plan_jobs` planning
+    the live engines use before job-pool creation, so simulated and
+    real runs agree on which chunks are pruned and on the wire bytes
+    saved (``stats.bytes_pruned`` / ``pushdown_rows()``).
     """
     if not clusters:
         raise ValueError("need at least one cluster")
@@ -653,7 +664,10 @@ def simulate_run(
             else Topology.CLOUD
         )
         topo = Topology(params, head_location)
-    scheduler = scheduler_factory(jobs_from_index(index))
+    pushdown_plan = plan_jobs(
+        index, pushdown, "prune" if pushdown is not None else None
+    )
+    scheduler = scheduler_factory(pushdown_plan.jobs)
 
     tuners: dict[tuple[str, str], AimdAutotuner] | None = None
     if adaptive_fetch:
@@ -684,6 +698,7 @@ def simulate_run(
     spec_ctx = _SpeculationContext(enabled=speculation)
 
     stats = RunStats()
+    pushdown_plan.apply_to(stats)
     cluster_events: list[Event] = []
     masters: list[_SimMaster] = []
     for ci, cluster in enumerate(clusters):

@@ -74,6 +74,58 @@ class TestPlacementProperties:
         assert abs(local_bytes - frac * idx.nbytes) <= units * 16 + 1e-9
 
 
+class TestIndexSerializationProperties:
+    """DataIndex.to_dict/from_dict is the identity on everything the
+    head plans from: meta, per-source encoded ranges (replicas), and
+    per-chunk statistics."""
+
+    @given(
+        n=st.integers(4, 120),
+        dim=st.integers(1, 4),
+        n_files=st.integers(1, 4),
+        chunk_units=st.integers(1, 24),
+        codec=st.sampled_from([None, "zlib"]),
+        replicas=st.integers(0, 2),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_index_roundtrip_identity(
+        self, n, dim, n_files, chunk_units, codec, replicas, seed
+    ):
+        from repro.data.dataset import distribute_dataset, replicate_dataset
+        from repro.data.index import DataIndex
+
+        if n < n_files:
+            n = n_files
+        rng = np.random.default_rng(seed)
+        units = rng.normal(size=(n, dim))
+        stores = {
+            "local": MemoryStore("local"),
+            "cloud": MemoryStore("cloud"),
+            "backup": MemoryStore("backup"),
+        }
+        idx = write_dataset(
+            units, points_format(dim), stores["local"],
+            n_files=n_files, chunk_units=chunk_units, codec=codec,
+        )
+        idx = distribute_dataset(
+            idx, stores, {"local": 0.5, "cloud": 0.5}, stores["local"]
+        )
+        if replicas:
+            idx = replicate_dataset(idx, stores, n_replicas=replicas)
+        back = DataIndex.from_json(idx.to_json())
+        assert back.meta == idx.meta
+        assert back.files == idx.files
+        assert len(back.chunks) == len(idx.chunks)
+        for a, b in zip(idx.chunks, back.chunks):
+            assert b == a  # includes sources (enc ranges) and stats
+            assert b.sources == a.sources
+            assert b.stats == a.stats
+            assert (b.stats is None) == (a.stats is None)
+        assert back.fmt.name == idx.fmt.name
+        assert back.nbytes == idx.nbytes
+
+
 class TestDatasetRoundtripProperties:
     @given(
         n=st.integers(4, 200),

@@ -274,6 +274,44 @@ class TestReplicaOutageMatrix:
             )
 
 
+class TestPushdownParity:
+    """Metadata-first retrieval must be invisible in the answer: every
+    engine produces bit-identical results with pushdown off, pruning,
+    and the verify soundness guard -- while actually pruning chunks."""
+
+    @pytest.mark.parametrize("mode", [None, "prune", "verify"],
+                             ids=["off", "prune", "verify"])
+    def test_filtered_wordcount_identical_across_engines_and_modes(self, mode):
+        from repro.apps.filtered import (
+            FilteredWordCountSpec,
+            filtered_wordcount_exact,
+        )
+
+        toks = np.sort(generate_tokens(9000, 300, seed=70))
+        spec = FilteredWordCountSpec(40, 99)
+        stores, index, clusters = build_env(toks, spec.fmt, 0.5)
+        ref = filtered_wordcount_exact(toks, 40, 99)
+        baseline = None
+        for name in ENGINES:
+            rr = make_engine(
+                name, clusters, stores, batch_size=2, pushdown=mode
+            ).run(spec, index)
+            assert rr.result == ref, f"{name}/pushdown={mode} diverged"
+            if baseline is None:
+                baseline = rr.result
+            assert rr.result == baseline
+            if mode is None:
+                assert rr.stats.n_pruned_chunks == 0
+                assert rr.stats.jobs_processed == len(index.chunks)
+            else:
+                assert rr.stats.n_pruned_chunks > 0, (
+                    f"{name}: sorted data must let pruning fire"
+                )
+                assert rr.stats.jobs_processed == (
+                    len(index.chunks) - rr.stats.n_pruned_chunks
+                )
+
+
 class TestOptionsValidationParity:
     """All engines validate identically through EngineOptions."""
 

@@ -104,6 +104,32 @@ class TestCommands:
         assert "OK" in out
         assert "transfer layer" in out
 
+    def test_demo_filter_with_pushdown(self, capsys):
+        rc = main([
+            "demo", "--tokens", "5000", "--vocab", "200",
+            "--filter", "50:99", "--pushdown",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wordcount[50:99]" in out
+        assert "OK" in out
+        assert "metadata-first retrieval" in out
+        assert "prune" in out
+
+    def test_demo_filter_verify_mode(self, capsys):
+        rc = main([
+            "demo", "--tokens", "5000", "--vocab", "200",
+            "--filter", "50:99", "--pushdown", "verify",
+        ])
+        assert rc == 0
+        assert "verify" in capsys.readouterr().out
+
+    def test_demo_rejects_bad_filter(self, capsys):
+        assert main(["demo", "--filter", "99:50"]) == 2
+        assert main(["demo", "--filter", "abc"]) == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--pushdown", "always"])
+
     def test_demo_rejects_bad_codec_and_negative_min_part(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--codec", "gzip"])
