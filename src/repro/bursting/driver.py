@@ -172,6 +172,7 @@ def run_threaded_bursting(
     min_part_nbytes: int | None = None,
     autotune_params=None,
     replicas: int = 0,
+    stripe: tuple[int, int] | None = None,
     hedge=None,
     breaker=None,
     pushdown: str | bool | None = None,
@@ -205,6 +206,15 @@ def run_threaded_bursting(
     :class:`~repro.storage.health.BreakerPolicy`) tracks per-store
     health and routes around stores whose circuit is open.
 
+    ``stripe=(k, m)`` erasure-codes every chunk after placement
+    (:func:`~repro.data.dataset.stripe_dataset`): the wire frame is
+    split into ``k`` data + ``m`` parity fragments spread round-robin
+    over *all* the stores (extra spare stores widen the spread), the
+    originals are deleted (storage overhead ``(k+m)/k``), and the fetch
+    path races the fragments fastest-k-of-n -- hedging parity fragments
+    under the same ``hedge`` policy and masking up to ``m`` lost
+    fragments per chunk.  Mutually exclusive with ``replicas``.
+
     ``pushdown`` enables metadata-first retrieval: ``"prune"`` drops
     chunks the spec's ``relevant(chunk_stats)`` predicate rules out
     before any fetch, ``"verify"`` additionally fetches the pruned
@@ -226,10 +236,17 @@ def run_threaded_bursting(
     if local_fraction < 1:
         fractions["cloud"] = 1.0 - local_fraction
     index = distribute_dataset(index, stores, fractions, stores["local"])
+    if replicas > 0 and stripe is not None:
+        raise ValueError("replicas and stripe are mutually exclusive")
     if replicas > 0:
         from repro.data.dataset import replicate_dataset
 
         index = replicate_dataset(index, stores, n_replicas=replicas)
+    if stripe is not None:
+        from repro.data.dataset import stripe_dataset
+
+        k, m = stripe
+        index = stripe_dataset(index, stores, k=k, m=m)
     clusters = []
     if local_workers > 0:
         clusters.append(
@@ -248,6 +265,7 @@ def run_threaded_bursting(
         "crash_plan": crash_plan,
         "hedge": hedge,
         "breaker": breaker,
+        "stripe": stripe,
         "pushdown": pushdown,
     }
     if prefetch is not None:

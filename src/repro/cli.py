@@ -137,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="copy every chunk to N additional stores after "
                         "placement; the fetch path fails over to a replica "
                         "when a source store is down (0 = no replication)")
+    p.add_argument("--stripe", metavar="K:M", default=None,
+                   help="erasure-code every chunk after placement into K data "
+                        "+ M parity fragments spread round-robin over all "
+                        "stores (storage overhead (K+M)/K); the fetch path "
+                        "races fragments fastest-K-of-N and masks up to M "
+                        "lost fragments per chunk (mutually exclusive with "
+                        "--replicas)")
+    p.add_argument("--spares", type=int, default=0, metavar="N",
+                   help="add N extra in-memory spare stores before placement "
+                        "so --replicas/--stripe spread over more sites")
     p.add_argument("--hedge", metavar="SPEC", nargs="?", const="", default=None,
                    help="race a replica when a fetch exceeds the store's "
                         "adaptive latency threshold; optional SPEC like "
@@ -377,6 +387,16 @@ def _cmd_demo(args) -> int:
         )
         if args.replicas < 0:
             raise ValueError("--replicas must be non-negative")
+        if args.spares < 0:
+            raise ValueError("--spares must be non-negative")
+        stripe: tuple[int, int] | None = None
+        if args.stripe is not None:
+            k_text, sep, m_text = args.stripe.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"bad --stripe spec {args.stripe!r} (expected K:M, e.g. 4:2)"
+                )
+            stripe = (int(k_text), int(m_text))
         crash_plan: dict[str, int] = {}
         for text in args.crash_worker:
             name, _, n_text = text.rpartition(":")
@@ -418,6 +438,10 @@ def _cmd_demo(args) -> int:
         # degrades after placement, so prep (incl. replication) is clean.
         cloud = FaultInjectingStore(cloud, fault_spec, armed=False)
     stores = {"local": MemoryStore("local"), "cloud": cloud}
+    for i in range(args.spares):
+        # Spare sites widen the fragment/replica spread; they hold no
+        # primary placement, so workers only fetch from them.
+        stores[f"spare{i}"] = MemoryStore(f"spare{i}")
     extra: dict[str, Any] = {}
     if args.prefetch is not None:
         # Unset means each engine keeps its own default (the process
@@ -445,7 +469,7 @@ def _cmd_demo(args) -> int:
                 if args.min_part_kb is not None
                 else None
             ),
-            replicas=args.replicas, hedge=hedge, breaker=breaker,
+            replicas=args.replicas, stripe=stripe, hedge=hedge, breaker=breaker,
             pushdown=args.pushdown,
             **extra,
         )
@@ -484,7 +508,7 @@ def _cmd_demo(args) -> int:
                 + "/".join(f"{k}={v}" for k, v in sorted(inj.items()))
             )
         print("fault tolerance: " + "   ".join(parts))
-    if args.replicas or hedge is not None or breaker is not None:
+    if args.replicas or stripe is not None or hedge is not None or breaker is not None:
         parts = [
             f"failovers: {rr.stats.n_failovers}",
             f"hedges: {rr.stats.n_hedges}",
@@ -492,6 +516,12 @@ def _cmd_demo(args) -> int:
             f"breaker skips: {rr.stats.n_breaker_skips}",
             f"breaker transitions: {rr.stats.n_breaker_transitions}",
         ]
+        if stripe is not None:
+            parts += [
+                f"fragments: {rr.stats.n_fragments}",
+                f"parity decodes: {rr.stats.n_parity_decodes}",
+                f"wasted frag bytes: {rr.stats.fragments_wasted_bytes}",
+            ]
         p95 = rr.stats.fetch_p95_s
         if p95:
             parts.append(f"fetch p95: {p95 * 1e3:.1f}ms")

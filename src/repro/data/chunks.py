@@ -15,6 +15,7 @@ import numpy as np
 
 __all__ = [
     "ChunkSource",
+    "ChunkFragment",
     "ChunkStats",
     "ChunkInfo",
     "compute_chunk_stats",
@@ -266,6 +267,40 @@ class ChunkSource:
 
 
 @dataclass(frozen=True)
+class ChunkFragment:
+    """One erasure-coded fragment of a chunk's wire frame.
+
+    Striped datasets (:func:`repro.data.dataset.stripe_dataset`) split
+    each chunk's encoded frame into ``k`` data + ``m`` parity fragments,
+    each stored as its own object.  ``frag_index < k`` is a verbatim
+    frame slice; ``frag_index >= k`` is parity.  Any ``k`` fragments
+    reconstruct the frame.
+    """
+
+    frag_index: int
+    location: str
+    key: str
+    nbytes: int
+
+    def to_dict(self) -> dict:
+        return {
+            "frag_index": self.frag_index,
+            "location": self.location,
+            "key": self.key,
+            "nbytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChunkFragment":
+        return cls(
+            frag_index=d["frag_index"],
+            location=d["location"],
+            key=d["key"],
+            nbytes=d["nbytes"],
+        )
+
+
+@dataclass(frozen=True)
 class ChunkInfo:
     """Metadata for one logical chunk, as recorded in the index file.
 
@@ -293,6 +328,13 @@ class ChunkInfo:
     # primary source above is always tried first when healthy; these are
     # ordered failover/hedge targets.
     replicas: tuple[ChunkSource, ...] = ()
+    # Erasure striping: when non-empty, the chunk's wire frame no longer
+    # lives at key/offset -- it is split into k data + m parity
+    # fragments (``stripe == (k, m)``), each its own stored object, and
+    # any k of them reconstruct the frame.  location remains the
+    # scheduler-locality home.
+    fragments: tuple[ChunkFragment, ...] = ()
+    stripe: tuple[int, int] | None = None
     # Per-field statistics over the chunk's *decoded* values, computed
     # by the organizer.  Drives predicate pushdown at the head; None on
     # indexes written before stats existed (such chunks are never
@@ -339,6 +381,14 @@ class ChunkInfo:
                 if self.replicas
                 else {}
             ),
+            **(
+                {
+                    "fragments": [f.to_dict() for f in self.fragments],
+                    "stripe": list(self.stripe),
+                }
+                if self.fragments and self.stripe is not None
+                else {}
+            ),
             **({"stats": self.stats.to_dict()} if self.stats is not None else {}),
         }
 
@@ -353,6 +403,12 @@ class ChunkInfo:
                 "enc_nbytes": d.get("enc_nbytes"),
                 "replicas": tuple(
                     ChunkSource.from_dict(r) for r in d.get("replicas", ())
+                ),
+                "fragments": tuple(
+                    ChunkFragment.from_dict(f) for f in d.get("fragments", ())
+                ),
+                "stripe": (
+                    tuple(d["stripe"]) if d.get("stripe") is not None else None
                 ),
                 "stats": (
                     ChunkStats.from_dict(d["stats"])

@@ -22,9 +22,49 @@ __all__ = [
     "write_dataset",
     "distribute_dataset",
     "replicate_dataset",
+    "stripe_dataset",
+    "ordered_placements",
     "read_chunk",
     "read_all_units",
 ]
+
+
+def ordered_placements(
+    stores: dict[str, StorageBackend],
+    home: str,
+    n_slots: int,
+    *,
+    rotation: int = 0,
+    include_home: bool = False,
+    distinct: bool = True,
+    what: str = "replica",
+) -> list[str]:
+    """Choose ``n_slots`` ordered store locations for copies of an object.
+
+    The single source-placement rule shared by :func:`replicate_dataset`
+    (replica targets) and :func:`stripe_dataset` (fragment targets):
+    candidates are the stores in dict order, excluding ``home`` unless
+    ``include_home`` (then home comes first), walked round-robin from
+    ``rotation`` so consecutive objects spread across stores.  With
+    ``distinct=True`` each slot gets a different store and the candidate
+    ring must be wide enough; with ``distinct=False`` the ring wraps, so
+    more slots than stores are allowed (several fragments share a
+    store).
+    """
+    if home not in stores:
+        raise KeyError(f"no store for location {home!r}")
+    ring = [name for name in stores if name != home]
+    if include_home:
+        ring = [home] + ring
+    if not ring:
+        raise ValueError(f"no candidate stores for {what}s of {home!r}")
+    if distinct and n_slots > len(ring):
+        need = n_slots + (0 if include_home else 1)
+        raise ValueError(
+            f"{n_slots} {what}s need {need} stores, have {len(stores)}"
+        )
+    start = rotation % len(ring)
+    return [ring[(start + j) % len(ring)] for j in range(n_slots)]
 
 
 def write_dataset(
@@ -174,24 +214,18 @@ def replicate_dataset(
     """
     if n_replicas <= 0:
         return index
-    others_of = {
-        loc: [name for name in stores if name != loc] for loc in stores
-    }
-    for loc, others in others_of.items():
-        if len(others) < n_replicas:
-            raise ValueError(
-                f"{n_replicas} replicas need {n_replicas + 1} stores, "
-                f"have {len(stores)}"
-            )
+    if n_replicas > len(stores) - 1:
+        raise ValueError(
+            f"{n_replicas} replicas need {n_replicas + 1} stores, "
+            f"have {len(stores)}"
+        )
     replica_locs: dict[int, list[str]] = {}
     for i, f in enumerate(index.files):
-        others = others_of.get(f.location)
-        if others is None:
-            raise KeyError(f"no store for location {f.location!r}")
         # Rotate the start point per file so replicas spread evenly
         # when there are more candidate stores than replicas.
-        start = i % len(others)
-        locs = [(others * 2)[start + j] for j in range(n_replicas)]
+        locs = ordered_placements(
+            stores, f.location, n_replicas, rotation=i, what="replica"
+        )
         replica_locs[f.file_id] = locs
         data = stores[f.location].get(f.key)
         for loc in locs:
@@ -218,6 +252,61 @@ def replicate_dataset(
     return DataIndex(index.fmt, index.files, new_chunks, new_meta)
 
 
+def stripe_dataset(
+    index: DataIndex,
+    stores: dict[str, StorageBackend],
+    *,
+    k: int,
+    m: int,
+) -> DataIndex:
+    """Erasure-code every chunk into ``k`` data + ``m`` parity fragments.
+
+    The sibling of :func:`replicate_dataset` on the coding rung of the
+    robustness ladder: instead of whole extra copies (overhead
+    ``1 + n_replicas``), each chunk's *wire frame* (the encoded frame
+    when a codec is set, the logical bytes otherwise) is split via
+    :func:`repro.storage.erasure.stripe_frame` and the ``k + m``
+    fragments are written round-robin across the stores (home store
+    first, rotated per chunk via :func:`ordered_placements`) -- overhead
+    ``(k + m) / k``, and any ``m`` lost fragments are masked.
+
+    The original file objects are **deleted** after striping, so the
+    recorded overhead really is ``(k + m) / k``; each chunk keeps its
+    ``location`` as the scheduler-locality home and gains
+    ``fragments``/``stripe`` metadata.  Returns the striped index; the
+    input index is unchanged.
+    """
+    from repro.data.chunks import ChunkFragment
+    from repro.storage.erasure import stripe_frame
+
+    if k < 1 or m < 0 or k + m < 2:
+        raise ValueError(f"stripe needs k >= 1 and k + m >= 2, got ({k}, {m})")
+    new_chunks = []
+    for c in index.chunks:
+        frame = stores[c.location].get(c.key, c.wire_offset, c.wire_nbytes)
+        locs = ordered_placements(
+            stores, c.location, k + m,
+            rotation=c.chunk_id, include_home=True, distinct=False,
+            what="fragment",
+        )
+        frags = stripe_frame(frame, k, m)
+        infos = []
+        for j, (loc, data) in enumerate(zip(locs, frags)):
+            fkey = f"{c.key}.c{c.chunk_id:06d}.f{j:02d}"
+            stores[loc].put(fkey, data)
+            infos.append(
+                ChunkFragment(
+                    frag_index=j, location=loc, key=fkey, nbytes=len(data)
+                )
+            )
+        new_chunks.append(replace(c, fragments=tuple(infos), stripe=(k, m)))
+    for f in index.files:
+        stores[f.location].delete(f.key)
+    new_meta = dict(index.meta)
+    new_meta["stripe"] = [k, m]
+    return DataIndex(index.fmt, index.files, new_chunks, new_meta)
+
+
 def read_chunk(
     index: DataIndex,
     chunk_id: int,
@@ -233,7 +322,24 @@ def read_chunk(
     chunk = index.chunks[chunk_id]
     if chunk.chunk_id != chunk_id:  # index must be dense and ordered
         raise ValueError(f"index chunk list is not dense at id {chunk_id}")
-    raw = stores[chunk.location].get(chunk.key, chunk.wire_offset, chunk.wire_nbytes)
+    if chunk.fragments:
+        from repro.storage.erasure import reassemble
+
+        k, m = chunk.stripe
+        frags: dict[int, bytes] = {}
+        for frag in sorted(chunk.fragments, key=lambda f: f.frag_index):
+            if len(frags) == k:
+                break
+            try:
+                frags[frag.frag_index] = stores[frag.location].get(frag.key)
+            except KeyError:
+                continue
+        buf, _ = reassemble(frags, k, m, chunk.wire_nbytes)
+        raw = bytes(buf)
+    else:
+        raw = stores[chunk.location].get(
+            chunk.key, chunk.wire_offset, chunk.wire_nbytes
+        )
     if chunk.codec is not None:
         raw = decode_chunk(raw)
     if verify:

@@ -105,7 +105,8 @@ class DataIndex:
                 c.chunk_id, c.file_id, c.key, c.offset, c.nbytes, c.n_units,
                 loc_by_file[c.file_id], c.crc32,
                 codec=c.codec, enc_offset=c.enc_offset, enc_nbytes=c.enc_nbytes,
-                replicas=c.replicas, stats=c.stats,
+                replicas=c.replicas, fragments=c.fragments, stripe=c.stripe,
+                stats=c.stats,
             )
             for c in self.chunks
         ]

@@ -136,6 +136,12 @@ class EngineOptions:
     # over when a source is exhausted.
     hedge: HedgePolicy | None = None
     breaker: BreakerPolicy | None = None
+    # Erasure-coded striping: ``(k, m)`` means every chunk is stored as
+    # k data + m parity fragments and fetched fastest-k-of-n (the
+    # driver's ``stripe_dataset`` performs the placement; the option is
+    # the declarative record all engines validate against).  None = the
+    # dataset is not striped.
+    stripe: tuple[int, int] | None = None
     # Metadata-first retrieval: apply the spec's pushdown contract
     # (relevant/priority over index ChunkStats) before job-pool
     # creation.  None/False = off; True/"prune" = prune irrelevant
@@ -163,6 +169,20 @@ class EngineOptions:
             raise ValueError("merge_threads must be positive")
         if any(n < 0 for n in self.crash_plan.values()):
             raise ValueError("crash_plan job counts must be non-negative")
+        if self.stripe is not None:
+            stripe = tuple(int(v) for v in self.stripe)
+            if len(stripe) != 2:
+                raise ValueError(f"stripe must be (k, m), got {self.stripe!r}")
+            k, m = stripe
+            if k < 1 or m < 0 or k + m < 2:
+                raise ValueError(
+                    f"stripe needs k >= 1 and k + m >= 2, got ({k}, {m})"
+                )
+            if k + m > 256:
+                raise ValueError(
+                    f"stripe width k+m={k + m} exceeds GF(256) limit 256"
+                )
+            object.__setattr__(self, "stripe", stripe)
 
     # -- the one validation path ---------------------------------------------
 
@@ -185,8 +205,20 @@ class EngineOptions:
 
     @staticmethod
     def validate_index(index: DataIndex, stores: dict[str, StorageBackend]) -> None:
-        """Run-time check that every chunk's location has a store."""
+        """Run-time check that every chunk's location has a store.
+
+        Covers replica sources and erasure fragments too: a striped
+        chunk whose fragments name a location without a store would
+        otherwise only fail deep inside the fetch race.
+        """
         missing = set(index.locations) - set(stores)
+        for c in index.chunks:
+            missing.update(
+                r.location for r in c.replicas if r.location not in stores
+            )
+            missing.update(
+                f.location for f in c.fragments if f.location not in stores
+            )
         if missing:
             raise ValueError(f"index references unknown stores: {sorted(missing)}")
 
@@ -279,6 +311,10 @@ class EngineBase:
     @property
     def pushdown(self) -> str | None:
         return self.options.pushdown
+
+    @property
+    def stripe(self) -> tuple[int, int] | None:
+        return self.options.stripe
 
     def make_health(self) -> HealthRegistry | None:
         """One shared health registry per run, or ``None`` when neither
@@ -512,6 +548,8 @@ def account_fetch_info(wstats: WorkerStats, info: FetchInfo) -> None:
     wstats.n_failovers += info.n_failovers
     wstats.n_hedges += info.n_hedges
     wstats.hedge_wins += info.hedge_wins
+    wstats.n_fragments += info.n_fragments
+    wstats.n_parity_decodes += info.n_parity_decodes
     if info.cache_hit:
         wstats.cache_hits += 1
     else:
@@ -623,6 +661,8 @@ class SlaveRuntime:
         w.n_failovers += pending.n_failovers
         w.n_hedges += pending.n_hedges
         w.hedge_wins += pending.hedge_wins
+        w.n_fragments += pending.n_fragments
+        w.n_parity_decodes += pending.n_parity_decodes
         if ready:
             w.prefetch_hits += 1
         else:
@@ -778,6 +818,7 @@ def rollup_fetcher_stats(
         cstats.bytes_retried += f.bytes_retried
         cstats.n_breaker_skips += f.n_breaker_skips
         cstats.n_abandoned += f.n_abandoned
+        cstats.fragments_wasted_bytes += f.fragments_wasted_bytes
         cstats.fetch_latencies.extend(f.fetch_latencies)
         if f.autotune is not None and f.autotune.n_samples:
             cstats.autotune[loc] = f.autotune.snapshot()

@@ -666,8 +666,11 @@ class ProcessEngine(EngineBase):
         chunk = job.chunk
         sources = chunk.sources
         fetcher = cluster_fetchers[job.location]
-        if self.options.hedge is not None and len(sources) > 1:
-            # Hedged retrieval races replicas inside fetch_chunk; ship
+        if chunk.fragments or (
+            self.options.hedge is not None and len(sources) > 1
+        ):
+            # Hedged retrieval races replicas -- and striped retrieval
+            # races fragments fastest-k-of-n -- inside fetch_chunk; ship
             # logical bytes (one decode + copy in this feeder) -- the
             # encoded-wire-frame optimization below cannot race because
             # it writes straight into the destination mapping.

@@ -83,6 +83,15 @@ class WorkerStats:
     n_failovers: int = 0
     n_hedges: int = 0
     hedge_wins: int = 0
+    # Erasure-striped retrieval: fragments that fed reassemblies (k per
+    # striped fetch), reconstructions that needed a parity decode, and
+    # -- in the DES, where losers are observable synchronously -- bytes
+    # of losing fragments fetched but unused.  Real engines account
+    # wasted bytes on the fetcher instead (losers land after the fetch
+    # returns); ClusterStats sums both.
+    n_fragments: int = 0
+    n_parity_decodes: int = 0
+    fragments_wasted_bytes: int = 0
 
     @property
     def busy_s(self) -> float:
@@ -111,6 +120,9 @@ class ClusterStats:
     bytes_retried: int = 0          # bytes re-requested by those retries
     n_breaker_skips: int = 0        # replica sources skipped (breaker open)
     n_abandoned: int = 0            # attempts abandoned by per-attempt timeouts
+    # Bytes of losing striped fragments fetched but unused, rolled up
+    # from this cluster's fetchers (see WorkerStats for the DES path).
+    fragments_wasted_bytes: int = 0
     # Per-successful-fetch wall seconds (cache hits excluded), pooled
     # from this cluster's fetchers -- the p95 latency sample set.
     fetch_latencies: list = field(default_factory=list)
@@ -276,6 +288,21 @@ class ClusterStats:
         return sum(w.hedge_wins for w in self.workers)
 
     @property
+    def n_fragments(self) -> int:
+        return sum(w.n_fragments for w in self.workers)
+
+    @property
+    def n_parity_decodes(self) -> int:
+        return sum(w.n_parity_decodes for w in self.workers)
+
+    @property
+    def wasted_fragment_bytes(self) -> int:
+        """Losing-fragment bytes: fetcher rollup plus DES worker counts."""
+        return self.fragments_wasted_bytes + sum(
+            w.fragments_wasted_bytes for w in self.workers
+        )
+
+    @property
     def fetch_p95_s(self) -> float:
         """95th-percentile successful-fetch latency (0 with no samples)."""
         return _percentile(self.fetch_latencies, 0.95)
@@ -364,6 +391,18 @@ class RunStats:
     @property
     def n_abandoned(self) -> int:
         return sum(c.n_abandoned for c in self.clusters.values())
+
+    @property
+    def n_fragments(self) -> int:
+        return sum(c.n_fragments for c in self.clusters.values())
+
+    @property
+    def n_parity_decodes(self) -> int:
+        return sum(c.n_parity_decodes for c in self.clusters.values())
+
+    @property
+    def fragments_wasted_bytes(self) -> int:
+        return sum(c.wasted_fragment_bytes for c in self.clusters.values())
 
     @property
     def n_breaker_transitions(self) -> int:
@@ -486,7 +525,10 @@ class RunStats:
         (latency-triggered duplicates and how often the backup won),
         ``n_breaker_skips`` (sources skipped behind an open breaker),
         ``n_abandoned`` (stuck attempts the timeout walked away from),
-        and ``fetch_p95_ms``.
+        and ``fetch_p95_ms``.  The erasure columns do the same for the
+        coding rung: ``n_parity_decodes`` (reassemblies that needed a
+        GF/XOR decode because a data fragment lost its race or store)
+        and ``wasted_frag_bytes`` (losing fragments fetched anyway).
         """
         return [
             {
@@ -502,6 +544,8 @@ class RunStats:
                 "hedge_wins": c.hedge_wins,
                 "n_breaker_skips": c.n_breaker_skips,
                 "n_abandoned": c.n_abandoned,
+                "n_parity_decodes": c.n_parity_decodes,
+                "wasted_frag_bytes": c.wasted_fragment_bytes,
                 "fetch_p95_ms": round(c.fetch_p95_s * 1e3, 3),
             }
             for c in self.clusters.values()

@@ -241,6 +241,38 @@ class _SimMaster:
         self.done = False
 
 
+def _fragment_gen(env, net, path, frag_nbytes: float, stall_s: float):
+    """One fragment leg: seeded stall, link latency, then the flow."""
+    if stall_s > 0:
+        yield stall_s
+    if path.latency_s > 0:
+        yield path.latency_s
+    yield net.transfer(path.links, frag_nbytes, path.per_flow_cap)
+
+
+def _k_of_n(env: SimEnv, events: list[Event], k: int) -> Event:
+    """Event triggering at the ``k``-th completion; value = winner indices.
+
+    The order statistic behind fastest-k-of-n retrieval: losers keep
+    draining their links (their processes are not cancelled), exactly as
+    the live fetcher absorbs late fragments after the stripe completes.
+    """
+    gate = env.event()
+    order: list[int] = []
+
+    def arm(idx: int) -> None:
+        def cb(_value) -> None:
+            order.append(idx)
+            if len(order) == k and not gate.triggered:
+                gate.succeed(tuple(order))
+
+        events[idx].add_callback(cb)
+
+    for i in range(len(events)):
+        arm(i)
+    return gate
+
+
 def _fetch_gen(
     env: SimEnv,
     net: FlowNetwork,
@@ -254,6 +286,8 @@ def _fetch_gen(
     worker_name: str = "",
     transfer: TransferSimModel | None = None,
     tuners: dict | None = None,
+    stripe: tuple[int, int] | None = None,
+    store_stalls: dict | None = None,
 ):
     """Fetch one job's bytes (cache first, then links); fills ``info``.
 
@@ -272,6 +306,17 @@ def _fetch_gen(
     :class:`~repro.storage.autotune.AimdAutotuner`) replaces the fixed
     ``retrieval_threads`` fan-out with the adaptive controller; each
     completed transfer's (wire bytes, parts, duration) is fed back.
+
+    ``stripe=(k, m)`` models erasure-coded fastest-k-of-n retrieval: the
+    wire frame becomes ``k`` fragment flows of ``ceil(wire/k)`` bytes
+    racing over the links, and the fetch completes at the *k*-th
+    fragment completion (an order statistic, so one stalled leg no
+    longer gates the chunk).  ``store_stalls`` (location ->
+    :class:`~repro.storage.faults.FaultSpec`) injects the same seeded
+    per-request stalls the live chaos stores use: a stalled data leg
+    immediately gets a parity backup (modelling the EWMA hedge firing on
+    it), losers keep draining their links, and the wasted/parity
+    accounting matches the live fetcher's counters.
     """
     t0 = env.now
     chunk = job.chunk
@@ -295,10 +340,50 @@ def _fetch_gen(
             if tuner is not None
             else cluster.retrieval_threads
         )
-        path = topo.fetch_path(cluster.location, job.location, parts)
-        if path.latency_s > 0:
-            yield path.latency_s
-        yield net.transfer(path.links, wire_nbytes, path.per_flow_cap)
+        spec = store_stalls.get(job.location) if store_stalls else None
+        if stripe is not None:
+            k, m = stripe
+            frag_nbytes = -(-wire_nbytes // k)
+            frag_path = topo.fetch_path(
+                cluster.location, job.location, max(1, parts // k)
+            )
+            stalls = [
+                (spec.stall_duration_s(chunk.key, chunk.offset + j, 1) or 0.0)
+                if spec is not None
+                else 0.0
+                for j in range(k + m)
+            ]
+            # Launch the k data fragments; a stalled data leg gets its
+            # parity backup at launch (the seeded stall is exactly what
+            # trips the live fetcher's EWMA hedge threshold).
+            launched = list(range(k))
+            parity_next = k
+            for j in range(k):
+                if stalls[j] > 0 and parity_next < k + m:
+                    launched.append(parity_next)
+                    parity_next += 1
+            frag_events = [
+                env.process(
+                    _fragment_gen(env, net, frag_path, frag_nbytes, stalls[j])
+                )
+                for j in launched
+            ]
+            winners = yield _k_of_n(env, frag_events, k)
+            wstats.n_fragments += k
+            wstats.n_parity_decodes += int(
+                any(launched[i] >= k for i in winners)
+            )
+            wstats.fragments_wasted_bytes += (len(launched) - k) * frag_nbytes
+            wire_nbytes = k * frag_nbytes
+        else:
+            if spec is not None:
+                stall = spec.stall_duration_s(chunk.key, chunk.offset, 1)
+                if stall:
+                    yield stall
+            path = topo.fetch_path(cluster.location, job.location, parts)
+            if path.latency_s > 0:
+                yield path.latency_s
+            yield net.transfer(path.links, wire_nbytes, path.per_flow_cap)
         if tuner is not None:
             tuner.record(wire_nbytes, parts, env.now - t0)
         if cache is not None:
@@ -341,6 +426,8 @@ def _worker_proc(
     cache: ChunkCache | None = None,
     transfer: TransferSimModel | None = None,
     tuners: dict | None = None,
+    stripe: tuple[int, int] | None = None,
+    store_stalls: dict | None = None,
 ):
     """One simulated core: pull, fetch, process, repeat.
 
@@ -356,7 +443,8 @@ def _worker_proc(
         # -- retrieval ------------------------------------------------------
         info: dict = {}
         yield from _fetch_gen(env, net, topo, cluster, job, cache, wstats,
-                              info, tracer, worker_name, transfer, tuners)
+                              info, tracer, worker_name, transfer, tuners,
+                              stripe, store_stalls)
         # Decode time is tracked separately (wstats.decode_s), matching
         # the live engines' retrieval/decode split.
         wstats.retrieval_s += info["fetch_s"] - info["decode_s"]
@@ -440,6 +528,8 @@ def _pipelined_worker_proc(
     fail_at_s: float = math.inf,
     transfer: TransferSimModel | None = None,
     tuners: dict | None = None,
+    stripe: tuple[int, int] | None = None,
+    store_stalls: dict | None = None,
 ):
     """One simulated core with double-buffered prefetching.
 
@@ -496,7 +586,8 @@ def _pipelined_worker_proc(
     # The first fetch is unavoidably serial.
     info: dict = {}
     yield from _fetch_gen(env, net, topo, cluster, job, cache, wstats,
-                          info, tracer, worker_name, transfer, tuners)
+                          info, tracer, worker_name, transfer, tuners,
+                          stripe, store_stalls)
     if env.now > fail_at_s:
         die([job])
         return
@@ -511,7 +602,8 @@ def _pipelined_worker_proc(
             # reassigning next_job below stays safe.
             prefetch_done = env.process(
                 _fetch_gen(env, net, topo, cluster, next_job, cache, wstats,
-                           next_info, tracer, worker_name, transfer, tuners)
+                           next_info, tracer, worker_name, transfer, tuners,
+                           stripe, store_stalls)
             )
         completed = yield from compute(job)
         if not completed:
@@ -598,6 +690,8 @@ def simulate_run(
     adaptive_fetch: bool = False,
     autotune_params: AutotuneParams | None = None,
     pushdown=None,
+    stripe: tuple[int, int] | None = None,
+    store_stalls: dict | None = None,
 ) -> SimRunResult:
     """Simulate one complete cloud-bursting execution.
 
@@ -637,9 +731,26 @@ def simulate_run(
     the live engines use before job-pool creation, so simulated and
     real runs agree on which chunks are pruned and on the wire bytes
     saved (``stats.bytes_pruned`` / ``pushdown_rows()``).
+
+    ``stripe=(k, m)`` models erasure-coded chunk striping with
+    fastest-k-of-n fragment retrieval (the counterpart of the live
+    engines' ``EngineOptions(stripe=...)``): each chunk fetch becomes
+    ``k`` racing fragment flows and completes at the *k*-th finish, so
+    a seeded stall on one leg (``store_stalls``, mapping location ->
+    :class:`~repro.storage.faults.FaultSpec`) is masked by a parity
+    backup instead of gating the chunk.  The same counters the live
+    fetcher keeps (``n_fragments``, ``n_parity_decodes``,
+    ``fragments_wasted_bytes``) land in the worker stats so ablation
+    rows line up across simulated and real runs.
     """
     if not clusters:
         raise ValueError("need at least one cluster")
+    if stripe is not None:
+        stripe = tuple(int(v) for v in stripe)  # type: ignore[assignment]
+        if len(stripe) != 2 or stripe[0] < 1 or stripe[1] < 0 or sum(stripe) < 2:
+            raise ValueError(
+                f"stripe must be (k >= 1, m >= 0) with k + m >= 2, got {stripe}"
+            )
     if prefetch and speculation:
         raise ValueError(
             "prefetch cannot be combined with speculation: the pipelined "
@@ -743,14 +854,14 @@ def simulate_run(
                     env, net, topo, master, cluster, profile,
                     wstats, speed, varmodel, cache,
                     tracer, f"{cluster.name}/{wid}", fail_at,
-                    transfer, tuners,
+                    transfer, tuners, stripe, store_stalls,
                 )
             else:
                 proc = _worker_proc(
                     env, net, topo, master, cluster, profile,
                     wstats, speed, varmodel, fail_at, spec_ctx,
                     tracer, f"{cluster.name}/{wid}", cache,
-                    transfer, tuners,
+                    transfer, tuners, stripe, store_stalls,
                 )
             worker_events.append(env.process(proc))
         cluster_events.append(

@@ -113,6 +113,12 @@ class FetchInfo:
     n_failovers: int = 0
     n_hedges: int = 0
     hedge_wins: int = 0
+    # Erasure-striped retrieval: how many fragments fed the reassembly
+    # (k for a striped chunk, 0 otherwise) and whether reconstruction
+    # needed a parity decode (some data fragment lost the race or its
+    # store).
+    n_fragments: int = 0
+    n_parity_decodes: int = 0
 
 
 class PrefetchHandle:
@@ -136,6 +142,8 @@ class PrefetchHandle:
         "n_failovers",
         "n_hedges",
         "hedge_wins",
+        "n_fragments",
+        "n_parity_decodes",
     )
 
     def __init__(self) -> None:
@@ -148,6 +156,8 @@ class PrefetchHandle:
         self.n_failovers = 0
         self.n_hedges = 0
         self.hedge_wins = 0
+        self.n_fragments = 0
+        self.n_parity_decodes = 0
 
     def done(self) -> bool:
         return self._future.done()
@@ -234,6 +244,10 @@ class ParallelFetcher:
         self.hedge_wins = 0
         self.n_breaker_skips = 0
         self.n_abandoned = 0
+        #: Bytes of losing striped fragments that completed anyway
+        #: (fetched but unused); fetcher-level only, rolled up after
+        #: close() since losers land after their fetch returns.
+        self.fragments_wasted_bytes = 0
         #: per-successful-fetch wall seconds (decode excluded, cache
         #: hits excluded) -- the sample pool for p95 fetch latency.
         self.fetch_latencies: list[float] = []
@@ -308,6 +322,8 @@ class ParallelFetcher:
         only transforms that inflate (zlib/lz4/shuffle) materialize one
         new buffer (``n_copies`` 1).
         """
+        if getattr(chunk, "fragments", None):
+            return self._fetch_chunk_striped(chunk)
         sources = getattr(chunk, "sources", None)
         if sources is None or len(sources) <= 1:
             single = None if sources is None else sources[0]
@@ -525,6 +541,217 @@ class ParallelFetcher:
             elif can_hedge:
                 n_hedges += 1  # threshold expired: duplicate the range
                 launch()
+
+    def _fetch_chunk_striped(self, chunk) -> tuple[Buffer, FetchInfo]:
+        """Fastest-k-of-n fetch of an erasure-striped chunk.
+
+        The ``k`` cheapest fragments -- data before parity, then breaker
+        rank, so a half-open data store still gets its recovery probe
+        and the common case needs no GF decode -- launch immediately on
+        the shared hedge pool.  A fragment that *fails* triggers the
+        next backup (failover); one still in flight past the
+        :class:`HedgePolicy` threshold launches a backup too (hedge, up
+        to ``max_hedges``).  The first ``k`` completions win; losers are
+        cancelled when still queued, otherwise absorbed by a callback
+        that credits their bytes to ``fragments_wasted_bytes``.  The
+        winners reassemble into one contiguous buffer
+        (:func:`repro.storage.erasure.reassemble`) that feeds the normal
+        frame-decode path, so identity-codec chunks still hand the
+        worker a view over that single buffer.
+        """
+        from repro.storage.erasure import ErasureError, reassemble
+
+        k, m = chunk.stripe
+        ordered = sorted(chunk.fragments, key=lambda f: f.frag_index)
+        skips = 0
+        rank: dict[str, int] = {}
+        if self.health is not None:
+            locs = list(dict.fromkeys(f.location for f in ordered))
+            rank = {loc: i for i, loc in enumerate(self.health.order(locs))}
+            open_locs = self.health.open_locations()
+            healthy = [f for f in ordered if f.location not in open_locs]
+            if len(healthy) >= k and len(healthy) < len(ordered):
+                # Enough healthy sources: open-breakered stores go last,
+                # used only if the healthy ones fail.
+                skips = len(ordered) - len(healthy)
+                ordered = healthy + [
+                    f for f in ordered if f.location in open_locs
+                ]
+        ordered.sort(
+            key=lambda f: (f.frag_index >= k, rank.get(f.location, 0), f.frag_index)
+        )
+        if len(ordered) < k:
+            raise ErasureError(
+                f"chunk {chunk.chunk_id}: {len(ordered)} fragments recorded, "
+                f"need at least k={k}"
+            )
+        pool = self._hedge_pool_lazy()
+        health = self.health
+        t_start = time.monotonic()
+
+        def task(frag):
+            fetcher = self._route(frag)
+            t0 = time.monotonic()
+            try:
+                data, hit = fetcher.fetch_with_info(frag.key, 0, frag.nbytes)
+            except FAILOVER_ERRORS:
+                if health is not None:
+                    health.record_failure(frag.location)
+                raise
+            elapsed = time.monotonic() - t0
+            if health is not None:
+                health.record_success(frag.location, None if hit else elapsed)
+            return data, hit, elapsed
+
+        inflight: dict[Future, object] = {}
+        hedge_launched: set[int] = set()
+        next_i = 0
+        n_hedges = 0
+        failovers = 0
+        wasted = 0
+        last_exc: BaseException | None = None
+        wins: dict[int, tuple[Buffer, bool, float]] = {}
+
+        def launch(as_hedge: bool = False) -> None:
+            nonlocal next_i
+            frag = ordered[next_i]
+            next_i += 1
+            if as_hedge:
+                hedge_launched.add(frag.frag_index)
+            inflight[pool.submit(task, frag)] = frag
+
+        def absorb_losers() -> None:
+            for f, frag in list(inflight.items()):
+                if f.cancel():
+                    continue
+
+                def credit(fut, nb=frag.nbytes):
+                    if fut.cancelled() or fut.exception() is not None:
+                        return
+                    with self._counter_lock:
+                        self.fragments_wasted_bytes += nb
+
+                f.add_done_callback(credit)
+
+        def flush_counters() -> None:
+            with self._counter_lock:
+                self.n_failovers += failovers
+                self.n_hedges += n_hedges
+                self.n_breaker_skips += skips
+                self.fragments_wasted_bytes += wasted
+
+        for _ in range(k):
+            launch()
+        while len(wins) < k:
+            ewma = 0.0
+            if health is not None:
+                # A leg is late relative to what a healthy *sibling*
+                # fragment takes, not to its own store's (possibly
+                # degraded) history: the stripe completes at the k-th
+                # order statistic, so the fastest expected leg sets the
+                # clock the laggards are judged against.
+                ewma = min(
+                    (
+                        e
+                        for f in ordered
+                        if (e := health.health(f.location).latency_ewma_s) > 0.0
+                    ),
+                    default=0.0,
+                )
+            can_hedge = (
+                self.hedge is not None
+                and next_i < len(ordered)
+                and n_hedges < self.hedge.max_hedges
+            )
+            timeout = self.hedge.threshold_s(ewma) if can_hedge else None
+            done, _pending = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for f in done:
+                frag = inflight.pop(f)
+                exc = f.exception()
+                if exc is None:
+                    data, hit, elapsed = f.result()
+                    if len(wins) < k:
+                        wins[frag.frag_index] = (data, hit, elapsed)
+                    else:
+                        wasted += frag.nbytes
+                elif isinstance(exc, FAILOVER_ERRORS):
+                    last_exc = exc
+                    failovers += 1
+                else:
+                    absorb_losers()
+                    flush_counters()
+                    raise exc
+            if len(wins) >= k:
+                break
+            # Backfill failed legs so k completions stay reachable.
+            while len(inflight) + len(wins) < k and next_i < len(ordered):
+                launch()
+            if len(inflight) + len(wins) < k:
+                absorb_losers()
+                flush_counters()
+                if last_exc is not None:
+                    raise last_exc
+                raise ErasureError(
+                    f"chunk {chunk.chunk_id}: ran out of fragment sources "
+                    f"with {len(wins)} of {k} fetched"
+                )
+            if not done and can_hedge:
+                n_hedges += 1
+                launch(as_hedge=True)
+        t_k = time.monotonic()
+        absorb_losers()
+
+        info = FetchInfo(bytes_logical=chunk.nbytes)
+        info.n_fragments = k
+        info.n_failovers = failovers
+        info.n_hedges = n_hedges
+        info.hedge_wins = int(any(i in hedge_launched for i in wins))
+        info.cache_hit = all(hit for _, hit, _ in wins.values())
+        info.bytes_wire = sum(
+            memoryview(data).nbytes
+            for data, hit, _ in wins.values()
+            if not hit
+        )
+        t0 = time.monotonic()
+        frame = bytearray(chunk.wire_nbytes)
+        _, used_parity = reassemble(
+            {i: data for i, (data, _, _) in wins.items()},
+            k, m, chunk.wire_nbytes, out=frame,
+        )
+        info.n_copies += 1  # fragments gathered into one contiguous frame
+        info.n_parity_decodes = int(used_parity)
+        if chunk.codec is None:
+            data_out: Buffer = frame
+            info.decode_s = time.monotonic() - t0
+        else:
+            data_out = decode_chunk(frame)
+            info.decode_s = time.monotonic() - t0
+            if chunk.codec != "identity":
+                info.n_copies += 1  # the inflate materialized new bytes
+            n = memoryview(data_out).nbytes
+            if n != chunk.nbytes:
+                raise CodecError(
+                    f"chunk {chunk.chunk_id}: decoded {n} bytes, "
+                    f"index says {chunk.nbytes}"
+                )
+        info.fetch_s = max(0.0, t_k - t_start)
+        frag_latencies = [
+            elapsed for _, hit, elapsed in wins.values() if not hit
+        ]
+        with self._counter_lock:
+            self.bytes_wire += info.bytes_wire
+            self.bytes_logical += info.bytes_logical
+            self.decode_s += info.decode_s
+            self.n_copies += info.n_copies
+            self.n_failovers += failovers
+            self.n_hedges += n_hedges
+            self.hedge_wins += info.hedge_wins
+            self.n_breaker_skips += skips
+            self.fragments_wasted_bytes += wasted
+            self.fetch_latencies.extend(frag_latencies)
+        return data_out, info
 
     def _fetch_chunk_source(self, chunk, src=None) -> tuple[Buffer, FetchInfo]:
         """Fetch the chunk's bytes from one concrete source (no routing).
@@ -795,6 +1022,8 @@ class ParallelFetcher:
             handle.n_failovers = info.n_failovers
             handle.n_hedges = info.n_hedges
             handle.hedge_wins = info.hedge_wins
+            handle.n_fragments = info.n_fragments
+            handle.n_parity_decodes = info.n_parity_decodes
             handle._future.set_result(data)
 
         self._prefetch_pool.submit(work)

@@ -114,6 +114,8 @@ class TestRunStats:
                 "hedge_wins": 0,
                 "n_breaker_skips": 0,
                 "n_abandoned": 0,
+                "n_parity_decodes": 0,
+                "wasted_frag_bytes": 0,
                 "fetch_p95_ms": 0.0,
             }
         ]
