@@ -1,0 +1,192 @@
+"""Extension bench: multi-tenant service vs sequential one-shot runs.
+
+The multi-tenant :class:`~repro.service.BurstingService` keeps one
+slave fleet alive and interleaves concurrent jobs chunk-by-chunk, so
+the dead time a one-shot run pays at its tail -- the drain barrier
+while stragglers finish, plus the serialize/ship/global-reduce epilogue
+-- overlaps with other jobs' useful work.  K sequential one-shot runs
+pay that tail K times; the service pays it roughly once.
+
+Two claims are asserted and recorded:
+
+* **makespan**: K=4 jobs submitted concurrently to one service finish
+  sooner than the same 4 jobs run back-to-back as one-shot engine runs;
+* **fairness**: with two tenants at weights 2:1 submitting identical
+  work, the chunks served to each tenant while both still hold work
+  track the weight ratio to within 25%.
+
+Writes ``benchmarks/results/BENCH_service.json``; ``SERVICE_PROFILE=
+tiny`` shrinks the workload for the CI perf-smoke leg.
+"""
+
+import os
+import time
+
+from repro.apps.wordcount import WordCountSpec, wordcount_exact
+from repro.bursting.report import format_table
+from repro.data.dataset import distribute_dataset, write_dataset
+from repro.data.generator import generate_tokens
+from repro.runtime import ClusterConfig, make_engine
+from repro.service import BurstingService, TenantConfig
+from repro.storage.local import MemoryStore
+from repro.storage.s3 import S3Profile, SimulatedS3Store
+
+TINY = os.environ.get("SERVICE_PROFILE", "").lower() == "tiny"
+
+N_TOKENS = 20_000 if TINY else 90_000
+N_CHUNKS = 16 if TINY else 24
+#: Simulated cloud fetch latency: gives every run a straggler tail the
+#: service can overlap with other jobs' work.
+FETCH_LATENCY_S = 0.002 if TINY else 0.004
+K_JOBS = 4
+WEIGHTS = {"analytics": 2.0, "ingest": 1.0}
+
+CLUSTERS = [
+    ClusterConfig("local", "local", 2, 2),
+    ClusterConfig("cloud", "cloud", 2, 2),
+]
+
+
+def build_env():
+    stores = {
+        "local": MemoryStore("local"),
+        "cloud": SimulatedS3Store(
+            profile=S3Profile(request_latency_s=FETCH_LATENCY_S)
+        ),
+    }
+    toks = generate_tokens(N_TOKENS, 400, seed=91)
+    spec = WordCountSpec()
+    index = write_dataset(
+        toks, spec.fmt, stores["local"], n_files=4,
+        chunk_units=max(1, N_TOKENS // N_CHUNKS),
+    )
+    index = distribute_dataset(
+        index, stores, {"local": 0.25, "cloud": 0.75}, stores["local"]
+    )
+    return stores, index, spec, wordcount_exact(toks)
+
+
+def run_sequential(stores, index, spec, ref):
+    """K back-to-back one-shot engine runs (the historical session path)."""
+    t0 = time.perf_counter()
+    for _ in range(K_JOBS):
+        rr = make_engine("threaded", CLUSTERS, stores, batch_size=1).run(
+            spec, index
+        )
+        assert rr.result == ref, "sequential run diverged"
+    return time.perf_counter() - t0
+
+
+def run_concurrent(stores, index, spec, ref):
+    """K jobs on one service: 2 per tenant, weights 2:1."""
+    service = BurstingService(
+        CLUSTERS, stores, batch_size=1,
+        tenants={t: TenantConfig(weight=w) for t, w in WEIGHTS.items()},
+    )
+    tenants = ["analytics", "ingest", "analytics", "ingest"]
+    t0 = time.perf_counter()
+    try:
+        handles = [
+            service.submit(spec, index, tenant=t) for t in tenants[:K_JOBS]
+        ]
+        for h in handles:
+            assert h.result(timeout=120).result == ref, "service run diverged"
+        makespan = time.perf_counter() - t0
+        done_times = {
+            t: sorted(
+                ts
+                for h in handles
+                if h.tenant == t
+                for ts in h.chunk_done_times()
+            )
+            for t in WEIGHTS
+        }
+    finally:
+        service.shutdown()
+    return makespan, done_times
+
+
+def fairness_ratio(done_times):
+    """Served-chunk ratio while both tenants still held work.
+
+    Cut at the moment the first tenant drained completely; past that
+    point the survivor gets the whole fleet and the ratio is
+    meaningless.
+    """
+    t_cut = min(max(ts) for ts in done_times.values())
+    served = {
+        t: sum(1 for x in ts if x <= t_cut) for t, ts in done_times.items()
+    }
+    return served["analytics"] / max(1, served["ingest"]), served, t_cut
+
+
+def test_service_ablation(benchmark, record_table, write_bench_json):
+    stores, index, spec, ref = build_env()
+
+    def run_all():
+        seq_s = run_sequential(stores, index, spec, ref)
+        conc_s, done_times = run_concurrent(stores, index, spec, ref)
+        ratio, served, t_cut = fairness_ratio(done_times)
+        return seq_s, conc_s, ratio, served, t_cut
+
+    seq_s, conc_s, ratio, served, t_cut = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    weight_ratio = WEIGHTS["analytics"] / WEIGHTS["ingest"]
+    rows = [
+        {
+            "mode": "sequential (4 one-shot runs)",
+            "makespan_s": round(seq_s, 3),
+            "speedup": 1.0,
+        },
+        {
+            "mode": "service (4 concurrent jobs)",
+            "makespan_s": round(conc_s, 3),
+            "speedup": round(seq_s / conc_s, 2),
+        },
+    ]
+    record_table(
+        "ablation_service",
+        format_table(
+            rows,
+            f"Extension -- multi-tenant service vs sequential "
+            f"({K_JOBS} wordcount jobs, {N_CHUNKS} chunks each)",
+        )
+        + f"\n\nfair-share while contended (weights 2:1, cut at "
+        f"{t_cut:.3f}s):\n"
+        f"  analytics served {served['analytics']}, "
+        f"ingest served {served['ingest']}  "
+        f"(ratio {ratio:.2f} vs weight ratio {weight_ratio:.1f})",
+    )
+    write_bench_json(
+        "service",
+        {
+            "workload": {
+                "k_jobs": K_JOBS,
+                "n_tokens": N_TOKENS,
+                "n_chunks": N_CHUNKS,
+                "fetch_latency_s": FETCH_LATENCY_S,
+                "weights": WEIGHTS,
+            },
+            "makespan": {
+                "sequential_s": round(seq_s, 4),
+                "concurrent_s": round(conc_s, 4),
+                "speedup": round(seq_s / conc_s, 3),
+            },
+            "fairness": {
+                "served": served,
+                "cut_s": round(t_cut, 4),
+                "ratio": round(ratio, 3),
+                "weight_ratio": weight_ratio,
+                "tolerance": 0.25,
+            },
+        },
+        profile="tiny" if TINY else "full",
+    )
+    # Tripwires: concurrency must win, fairness must track the weights.
+    assert conc_s < seq_s, (
+        f"service makespan {conc_s:.3f}s did not beat sequential {seq_s:.3f}s"
+    )
+    assert weight_ratio * 0.75 <= ratio <= weight_ratio * 1.25, (
+        f"fair-share ratio {ratio:.2f} outside 25% of {weight_ratio}"
+    )

@@ -27,6 +27,7 @@ from repro.core.api import GeneralizedReductionSpec
 from repro.data.dataset import distribute_dataset, write_dataset
 from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex, build_index
+from repro.data.redundancy import validate_redundancy
 from repro.runtime import make_engine
 from repro.runtime.engine import ClusterConfig, RunResult
 from repro.sim.calibration import (
@@ -236,8 +237,9 @@ def run_threaded_bursting(
     if local_fraction < 1:
         fractions["cloud"] = 1.0 - local_fraction
     index = distribute_dataset(index, stores, fractions, stores["local"])
-    if replicas > 0 and stripe is not None:
-        raise ValueError("replicas and stripe are mutually exclusive")
+    stripe = validate_redundancy(
+        replicas=replicas, stripe=stripe, n_stores=len(stores)
+    )
     if replicas > 0:
         from repro.data.dataset import replicate_dataset
 

@@ -26,6 +26,7 @@ from repro.data.dataset import distribute_dataset, write_dataset
 from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex
 from repro.runtime import make_engine
+from repro.runtime.core import EngineOptions
 from repro.runtime.engine import ClusterConfig, RunResult
 from repro.storage.autotune import AutotuneParams
 from repro.storage.base import StorageBackend
@@ -125,7 +126,9 @@ class BurstingSession:
         if scheduler_factory is not None:
             kwargs["scheduler_factory"] = scheduler_factory
         self.engine_name = engine
-        self.engine = make_engine(engine, clusters, stores, **kwargs)
+        self._clusters = clusters
+        self._options = EngineOptions(**kwargs)
+        self.engine = make_engine(engine, clusters, stores, options=self._options)
         self.passes_run = 0
 
     @classmethod
@@ -164,8 +167,28 @@ class BurstingSession:
         return cls(index, stores, **engine_kwargs)
 
     def run(self, spec: GeneralizedReductionSpec) -> RunResult:
-        """Execute one pass of ``spec`` over the session's dataset."""
-        result = self.engine.run(spec, self.index)
+        """Execute one pass of ``spec`` over the session's dataset.
+
+        The session is now a thin compatibility wrapper over the
+        multi-tenant :class:`~repro.service.BurstingService`: each pass
+        spins up a one-shot single-tenant service over the session's
+        *live* store map, submits one job, blocks on its result, and
+        shuts the service down -- so per-pass semantics (crash plans,
+        store swaps between passes, the shared chunk cache) are exactly
+        the historical one-shot engine run.
+        """
+        from repro.service import BurstingService
+
+        service = BurstingService(
+            self._clusters,
+            self.stores,
+            engine=self.engine_name,
+            options=self._options,
+        )
+        try:
+            result = service.submit(spec, self.index).result()
+        finally:
+            service.shutdown()
         self.passes_run += 1
         return result
 

@@ -188,6 +188,66 @@ def build_parser() -> argparse.ArgumentParser:
                         '(bare --pushdown = "prune"; "verify" also fetches '
                         "pruned chunks once and asserts they contribute "
                         "nothing)")
+
+    p = sub.add_parser(
+        "service",
+        help="multi-tenant bursting service: concurrent jobs on one fleet",
+    )
+    ssub = p.add_subparsers(dest="service_command", required=True)
+    pr = ssub.add_parser(
+        "run",
+        help="serve N concurrent jobs (mixed wordcount + kmeans, two "
+             "tenants) over one shared slave fleet and verify every result",
+    )
+    pr.add_argument("--jobs", type=int, default=4,
+                    help="concurrent jobs to submit (alternating apps and "
+                         "tenants)")
+    pr.add_argument("--engine", choices=("threaded", "process", "actor"),
+                    default="threaded",
+                    help="threaded interleaves jobs chunk-by-chunk on one "
+                         "fleet; process/actor execute each admitted job "
+                         "whole (admission-level sharing)")
+    pr.add_argument("--tokens", type=int, default=60_000,
+                    help="wordcount dataset size")
+    pr.add_argument("--points", type=int, default=12_000,
+                    help="kmeans dataset size")
+    pr.add_argument("--vocab", type=int, default=1_000)
+    pr.add_argument("--tenants", default="analytics:2,ingest:1",
+                    metavar="NAME:WEIGHT,...",
+                    help="tenant fair-share weights; submissions round-robin "
+                         "over these tenants")
+    pr.add_argument("--max-inflight", type=int, default=None,
+                    help="per-tenant cap on concurrently running jobs "
+                         "(excess submissions queue FIFO)")
+    pr.add_argument("--crash-worker", action="append", default=[],
+                    metavar="NAME:N",
+                    help="crash fleet worker NAME after N jobs (repeatable); "
+                         "the service contains the crash per job")
+    pr.add_argument("--cache-mb", type=float, default=0.0,
+                    help="shared chunk-cache budget in MB (0 = no cache)")
+    pr.add_argument("--status-json", default=None, metavar="PATH",
+                    help="write the final per-job service rows to PATH "
+                         "(readable later with 'repro service status')")
+    ps = ssub.add_parser(
+        "submit",
+        help="one-shot: submit a single job to a fresh service and wait",
+    )
+    ps.add_argument("--app", choices=("wordcount", "kmeans"),
+                    default="wordcount")
+    ps.add_argument("--tenant", default="default")
+    ps.add_argument("--engine", choices=("threaded", "process", "actor"),
+                    default="threaded")
+    ps.add_argument("--tokens", type=int, default=60_000)
+    ps.add_argument("--points", type=int, default=12_000)
+    ps.add_argument("--vocab", type=int, default=1_000)
+    ps.add_argument("--status-json", default=None, metavar="PATH")
+    pt = ssub.add_parser(
+        "status",
+        help="print the service rows recorded by a previous run "
+             "--status-json",
+    )
+    pt.add_argument("path", help="JSON file written by run/submit "
+                                 "--status-json")
     return parser
 
 
@@ -534,6 +594,176 @@ def _cmd_demo(args) -> int:
     return 0 if ok else 1
 
 
+def _service_env(args):
+    """Shared dataset/cluster construction for the service subcommands."""
+    from repro.apps.kmeans import KMeansSpec, lloyd_step
+    from repro.apps.wordcount import WordCountSpec, wordcount_exact
+    from repro.data.dataset import distribute_dataset, write_dataset
+    from repro.data.generator import generate_points, generate_tokens
+    from repro.runtime import ClusterConfig
+    from repro.storage.local import MemoryStore
+    from repro.storage.s3 import S3Profile, SimulatedS3Store
+
+    stores = {
+        "local": MemoryStore("local"),
+        "cloud": SimulatedS3Store(profile=S3Profile.unthrottled()),
+    }
+    clusters = [
+        ClusterConfig("local", "local", 2, 2),
+        ClusterConfig("cloud", "cloud", 2, 2),
+    ]
+    toks = generate_tokens(args.tokens, args.vocab, seed=7)
+    wspec = WordCountSpec()
+    windex = write_dataset(
+        toks, wspec.fmt, stores["local"], n_files=4,
+        chunk_units=max(1, args.tokens // 12), key_prefix="wc",
+    )
+    windex = distribute_dataset(
+        windex, stores, {"local": 0.5, "cloud": 0.5}, stores["local"]
+    )
+    pts = generate_points(args.points, 4, n_clusters=3, spread=0.1, seed=8)
+    cents = pts[:3].copy()
+    kspec = KMeansSpec(cents)
+    kindex = write_dataset(
+        pts, kspec.fmt, stores["local"], n_files=4,
+        chunk_units=max(1, args.points // 12), key_prefix="km",
+    )
+    kindex = distribute_dataset(
+        kindex, stores, {"local": 0.5, "cloud": 0.5}, stores["local"]
+    )
+    apps = {
+        "wordcount": (wspec, windex, wordcount_exact(toks)),
+        "kmeans": (kspec, kindex, lloyd_step(pts, cents)),
+    }
+    return stores, clusters, apps
+
+
+def _verify_service_result(name, rr, expected) -> bool:
+    import numpy as np
+
+    if name == "wordcount":
+        return rr.result == expected
+    return bool(
+        np.allclose(rr.result.centroids, expected.centroids)
+        and np.array_equal(rr.result.counts, expected.counts)
+    )
+
+
+def _write_status_json(path, rows) -> None:
+    import json
+
+    with open(path, "w") as f:
+        json.dump(rows, f, indent=2)
+
+
+def _cmd_service(args) -> int:
+    from repro.bursting.report import format_table
+
+    if args.service_command == "status":
+        import json
+
+        with open(args.path) as f:
+            rows = json.load(f)
+        print(format_table(rows, "bursting service -- jobs"))
+        return 0
+
+    from repro.service import BurstingService, TenantConfig
+
+    if args.service_command == "submit":
+        stores, clusters, apps = _service_env(args)
+        spec, index, expected = apps[args.app]
+        service = BurstingService(clusters, stores, engine=args.engine,
+                                  batch_size=2)
+        try:
+            handle = service.submit(spec, index, tenant=args.tenant)
+            rr = handle.result()
+        finally:
+            service.shutdown()
+        ok = _verify_service_result(args.app, rr, expected)
+        print(f"{handle.run_id} ({args.app}, tenant {args.tenant}): "
+              f"{'OK' if ok else 'MISMATCH'}; "
+              f"{rr.stats.jobs_processed} jobs, {rr.stats.total_s:.3f}s wall")
+        if args.status_json:
+            _write_status_json(args.status_json, service.service_rows())
+        return 0 if ok else 1
+
+    # service run: N concurrent jobs, mixed apps, round-robin tenants.
+    try:
+        tenants: dict[str, TenantConfig] = {}
+        for part in args.tenants.split(","):
+            name, sep, w_text = part.strip().partition(":")
+            if not name or not sep:
+                raise ValueError(
+                    f"bad --tenants entry {part!r} (expected NAME:WEIGHT)"
+                )
+            tenants[name] = TenantConfig(
+                weight=float(w_text), max_inflight=args.max_inflight
+            )
+        crash_plan: dict[str, int] = {}
+        for text in args.crash_worker:
+            name, _, n_text = text.rpartition(":")
+            if not name:
+                raise ValueError(
+                    f"bad --crash-worker spec {text!r} (expected NAME:N)"
+                )
+            crash_plan[name] = int(n_text)
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stores, clusters, apps = _service_env(args)
+    extra: dict[str, Any] = {}
+    if crash_plan:
+        extra["crash_plan"] = crash_plan
+        extra["min_part_nbytes"] = 0
+    if args.cache_mb:
+        from repro.storage.cache import ChunkCache
+
+        extra["chunk_cache"] = ChunkCache(int(args.cache_mb * (1 << 20)))
+    service = BurstingService(
+        clusters, stores, engine=args.engine, tenants=tenants,
+        batch_size=2, **extra,
+    )
+    tenant_names = list(tenants)
+    app_names = list(apps)
+    handles = []
+    try:
+        for i in range(args.jobs):
+            app = app_names[i % len(app_names)]
+            tenant = tenant_names[i % len(tenant_names)]
+            spec, index, _ = apps[app]
+            handles.append((app, service.submit(spec, index, tenant=tenant)))
+        n_ok = 0
+        for app, handle in handles:
+            rr = handle.result()
+            ok = _verify_service_result(app, rr, apps[app][2])
+            n_ok += ok
+            print(f"{handle.run_id} ({app}, tenant {handle.tenant}): "
+                  f"{'OK' if ok else 'MISMATCH'}; "
+                  f"{rr.stats.jobs_processed} jobs "
+                  f"({rr.stats.jobs_stolen} stolen, "
+                  f"{rr.stats.n_failed_workers} workers failed, "
+                  f"{rr.stats.jobs_recovered} recovered), "
+                  f"{rr.stats.total_s:.3f}s wall")
+        rows = service.service_rows()
+        report = service.tenant_report()
+    finally:
+        service.shutdown()
+    print(format_table(rows, "bursting service -- jobs"))
+    print("tenants: " + "   ".join(
+        f"{name}: weight={t['weight']} served={t['served_chunks']}"
+        for name, t in sorted(report.items())
+    ))
+    if args.status_json:
+        _write_status_json(args.status_json, rows)
+    all_ok = n_ok == len(handles)
+    print(f"service: {n_ok}/{len(handles)} jobs OK "
+          f"({'OK' if all_ok else 'MISMATCH'})")
+    return 0 if all_ok else 1
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "scalability": _cmd_scalability,
@@ -543,6 +773,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "evaluate": _cmd_evaluate,
     "demo": _cmd_demo,
+    "service": _cmd_service,
 }
 
 

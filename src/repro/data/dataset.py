@@ -15,6 +15,7 @@ import numpy as np
 from repro.data.chunks import ChunkStats, compute_chunk_stats
 from repro.data.formats import RecordFormat
 from repro.data.index import DataIndex, build_index
+from repro.data.redundancy import normalize_stripe, validate_redundancy
 from repro.storage.base import StorageBackend
 from repro.storage.codecs import decode_chunk, encode_chunk, resolve_codec
 
@@ -214,11 +215,7 @@ def replicate_dataset(
     """
     if n_replicas <= 0:
         return index
-    if n_replicas > len(stores) - 1:
-        raise ValueError(
-            f"{n_replicas} replicas need {n_replicas + 1} stores, "
-            f"have {len(stores)}"
-        )
+    validate_redundancy(replicas=n_replicas, n_stores=len(stores))
     replica_locs: dict[int, list[str]] = {}
     for i, f in enumerate(index.files):
         # Rotate the start point per file so replicas spread evenly
@@ -279,8 +276,7 @@ def stripe_dataset(
     from repro.data.chunks import ChunkFragment
     from repro.storage.erasure import stripe_frame
 
-    if k < 1 or m < 0 or k + m < 2:
-        raise ValueError(f"stripe needs k >= 1 and k + m >= 2, got ({k}, {m})")
+    k, m = normalize_stripe((k, m))  # canonical wording for shape errors
     new_chunks = []
     for c in index.chunks:
         frame = stores[c.location].get(c.key, c.wire_offset, c.wire_nbytes)

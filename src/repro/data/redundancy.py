@@ -1,0 +1,76 @@
+"""The one validation path for chunk-redundancy configuration.
+
+Replication (extra whole copies) and erasure striping (k data + m
+parity fragments) are the two rungs of the robustness ladder, and they
+are mutually exclusive: a chunk either carries replica sources or
+fragment sources, never both.  Historically the checks were scattered
+-- ``EngineOptions`` validated stripe shape, the bursting driver
+checked exclusivity, and ``replicate_dataset``/``stripe_dataset``
+re-validated with their own wording -- so the same misconfiguration
+produced three different error messages depending on which layer saw it
+first.  Every layer now calls through here, so the wording is uniform
+and a new constraint lands everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["normalize_stripe", "validate_redundancy"]
+
+#: Reed-Solomon over GF(256): at most 256 total fragments per stripe.
+GF256_LIMIT = 256
+
+
+def normalize_stripe(
+    stripe: Sequence[int] | None,
+) -> tuple[int, int] | None:
+    """Validate a ``(k, m)`` stripe spec and return it as an int tuple.
+
+    ``None`` (no striping) passes through.  Raises :class:`ValueError`
+    with the canonical wording on a malformed shape, an infeasible
+    ``k``/``m`` combination, or a stripe wider than the GF(256) field
+    the Reed-Solomon coder runs over.
+    """
+    if stripe is None:
+        return None
+    try:
+        normalized = tuple(int(v) for v in stripe)
+    except (TypeError, ValueError):
+        raise ValueError(f"stripe must be (k, m), got {stripe!r}") from None
+    if len(normalized) != 2:
+        raise ValueError(f"stripe must be (k, m), got {stripe!r}")
+    k, m = normalized
+    if k < 1 or m < 0 or k + m < 2:
+        raise ValueError(f"stripe needs k >= 1 and k + m >= 2, got ({k}, {m})")
+    if k + m > GF256_LIMIT:
+        raise ValueError(
+            f"stripe width k+m={k + m} exceeds GF(256) limit {GF256_LIMIT}"
+        )
+    return (k, m)
+
+
+def validate_redundancy(
+    *,
+    replicas: int = 0,
+    stripe: Sequence[int] | None = None,
+    n_stores: int | None = None,
+) -> tuple[int, int] | None:
+    """Validate a replication/striping configuration as a whole.
+
+    Checks replica count sanity, stripe shape (via
+    :func:`normalize_stripe`), the replicas-vs-stripe exclusivity, and
+    -- when ``n_stores`` is given -- that enough distinct stores exist
+    to hold the requested replicas.  Returns the normalized stripe
+    tuple (or ``None``) so callers can adopt the canonical form.
+    """
+    if replicas < 0:
+        raise ValueError(f"replicas must be non-negative, got {replicas}")
+    normalized = normalize_stripe(stripe)
+    if replicas > 0 and normalized is not None:
+        raise ValueError("replicas and stripe are mutually exclusive")
+    if replicas > 0 and n_stores is not None and replicas > n_stores - 1:
+        raise ValueError(
+            f"{replicas} replicas need {replicas + 1} stores, have {n_stores}"
+        )
+    return normalized

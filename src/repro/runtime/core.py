@@ -45,6 +45,7 @@ from repro.core.api import GeneralizedReductionSpec, supports_batch_fold
 from repro.core.reduction_object import ReductionObject
 from repro.core.serialization import deserialize_robj, serialize_robj
 from repro.data.index import DataIndex
+from repro.data.redundancy import normalize_stripe
 from repro.data.units import iter_unit_groups
 from repro.runtime.jobs import Job, LocalJobPool
 from repro.runtime.pushdown import normalize_pushdown
@@ -169,20 +170,9 @@ class EngineOptions:
             raise ValueError("merge_threads must be positive")
         if any(n < 0 for n in self.crash_plan.values()):
             raise ValueError("crash_plan job counts must be non-negative")
-        if self.stripe is not None:
-            stripe = tuple(int(v) for v in self.stripe)
-            if len(stripe) != 2:
-                raise ValueError(f"stripe must be (k, m), got {self.stripe!r}")
-            k, m = stripe
-            if k < 1 or m < 0 or k + m < 2:
-                raise ValueError(
-                    f"stripe needs k >= 1 and k + m >= 2, got ({k}, {m})"
-                )
-            if k + m > 256:
-                raise ValueError(
-                    f"stripe width k+m={k + m} exceeds GF(256) limit 256"
-                )
-            object.__setattr__(self, "stripe", stripe)
+        # One wording for stripe-shape errors everywhere (engine options,
+        # driver, dataset organizer): repro.data.redundancy.
+        object.__setattr__(self, "stripe", normalize_stripe(self.stripe))
 
     # -- the one validation path ---------------------------------------------
 
@@ -627,8 +617,59 @@ class SlaveRuntime:
         self.errors = errors
         self.stop = stop
         self.crash_after = options.crash_plan.get(name)
-        self._batch_fold = options.batch_fold and supports_batch_fold(spec)
+        self._batch_fold = options.batch_fold and (
+            spec is not None and supports_batch_fold(spec)
+        )
         self._jobs_done = 0
+        self._robj: ReductionObject | None = None
+
+    # -- per-run context hooks -----------------------------------------------
+    #
+    # The base runtime serves exactly one run: one spec, one fetcher
+    # map, one reduction object per worker.  A multi-run slave (the
+    # bursting service's shared fleet) overrides these hooks to resolve
+    # the context from the job's ``run_id`` instead, while the loop,
+    # accounting, and containment logic stay shared.
+
+    def _open_run(self) -> None:
+        """Prepare per-run worker state at loop entry."""
+        self._robj = self.spec.create_reduction_object()
+
+    def _robj_for(self, job: Job) -> ReductionObject:
+        """The reduction object ``job`` folds into."""
+        del job
+        assert self._robj is not None
+        return self._robj
+
+    def _fetchers_for(self, job: Job) -> dict[str, ParallelFetcher]:
+        """The fetcher map serving ``job``'s run."""
+        del job
+        return self.fetchers
+
+    def _emit_robjs(self) -> None:
+        """Publish this worker's reduction object(s) at loop exit."""
+        if self._robj is not None:
+            self.robjs_out.append(self._robj)
+
+    def _before_complete(self, job: Job) -> None:
+        """Per-job hook invoked just before the port learns of completion."""
+
+    def _mark_failed(self, inflight: list[Job | None]) -> None:
+        """Record this worker's death in the stats it was feeding."""
+        del inflight
+        self.wstats.failed = True
+        self.wstats.finished_at = time.monotonic() - self.t_start
+
+    def _on_fatal(
+        self,
+        exc: BaseException,
+        inflight: list[Job | None],
+        pending: PrefetchHandle | None,
+    ) -> None:
+        """Handle a non-recoverable error (fail the whole run fast)."""
+        del inflight, pending
+        self.errors.append(exc)
+        self.stop.set()  # fail fast: abort every other worker promptly
 
     # -- steps ---------------------------------------------------------------
 
@@ -641,13 +682,14 @@ class SlaveRuntime:
     def _fetch_now(self, job: Job) -> bytes:
         """Synchronous fetch of one job's bytes, fully accounted as stall."""
         t0 = time.monotonic()
-        raw, info = self.fetchers[job.location].fetch_chunk(job.chunk)
+        raw, info = self._fetchers_for(job)[job.location].fetch_chunk(job.chunk)
         self.wstats.retrieval_s += time.monotonic() - t0 - info.decode_s
         account_fetch_info(self.wstats, info)
         return raw
 
-    def _await_prefetch(self, pending: PrefetchHandle) -> bytes:
+    def _await_prefetch(self, pending: PrefetchHandle, job: Job) -> bytes:
         """Collect an in-flight prefetch, splitting stall from overlap."""
+        del job  # multi-run slaves switch accounting context on it
         ready = pending.done()
         t_need = time.monotonic()
         raw = pending.result()
@@ -673,7 +715,7 @@ class SlaveRuntime:
             w.cache_misses += 1
         return raw
 
-    def _process(self, robj: ReductionObject, job: Job, raw: bytes) -> None:
+    def _process(self, job: Job, raw: bytes) -> None:
         """Decode, reduce, and complete one job.
 
         The decode is a zero-copy ``np.frombuffer`` view over the fetch
@@ -681,6 +723,7 @@ class SlaveRuntime:
         call over the whole chunk when the spec provides it (and
         ``options.batch_fold`` allows), else the per-unit-group loop.
         """
+        robj = self._robj_for(job)
         if self.options.verify_chunks:
             from repro.data.integrity import verify_chunk_bytes
 
@@ -707,6 +750,7 @@ class SlaveRuntime:
         if job.location != self.cluster.location:
             w.jobs_stolen += 1
         self._jobs_done += 1
+        self._before_complete(job)
         if self.port.complete(job):
             # This execution replaced one lost to a failed worker; its
             # compute time is the recovery overhead (the re-fetch is in
@@ -718,7 +762,6 @@ class SlaveRuntime:
         self,
         inflight: list[Job | None],
         pending: PrefetchHandle | None,
-        robj: ReductionObject,
     ) -> None:
         """Absorb this worker's death without aborting the run.
 
@@ -735,9 +778,8 @@ class SlaveRuntime:
                 requeue.append(j)
         requeue.extend(self.port.worker_died())
         self.port.requeue(requeue)
-        self.wstats.failed = True
-        self.wstats.finished_at = time.monotonic() - self.t_start
-        self.robjs_out.append(robj)
+        self._mark_failed(inflight)
+        self._emit_robjs()
 
     # -- the loop ------------------------------------------------------------
 
@@ -750,7 +792,7 @@ class SlaveRuntime:
         # requeued if this worker dies.
         cur_job: Job | None = None
         next_job: Job | None = None
-        robj = self.spec.create_reduction_object()
+        self._open_run()
         try:
             while not self.stop.is_set():
                 cur_job = self.port.get_job()
@@ -768,31 +810,30 @@ class SlaveRuntime:
                         self._maybe_crash()
                         next_job = self.port.reserve_next()
                         if next_job is not None:
-                            pending = self.fetchers[
+                            pending = self._fetchers_for(next_job)[
                                 next_job.location
                             ].fetch_chunk_async(next_job.chunk)
-                        self._process(robj, cur_job, raw)
+                        self._process(cur_job, raw)
                         cur_job = None
                         if next_job is None:
                             break
-                        raw = self._await_prefetch(pending)
+                        raw = self._await_prefetch(pending, next_job)
                         pending = None
                         cur_job, next_job = next_job, None
                 else:
                     # Serial path: fetch then process, one job at a time.
                     self._maybe_crash()
                     raw = self._fetch_now(cur_job)
-                    self._process(robj, cur_job, raw)
+                    self._process(cur_job, raw)
                     cur_job = None
             self.wstats.finished_at = time.monotonic() - self.t_start
-            self.robjs_out.append(robj)
+            self._emit_robjs()
         except (WorkerCrash, RetryExhausted):
             # Recoverable: this worker is lost, the run is not.
-            self._contain_failure([cur_job, next_job], pending, robj)
+            self._contain_failure([cur_job, next_job], pending)
             pending = None
         except BaseException as exc:  # surfaced by the engine's run()
-            self.errors.append(exc)
-            self.stop.set()  # fail fast: abort every other worker promptly
+            self._on_fatal(exc, [cur_job, next_job], pending)
         finally:
             if pending is not None:
                 pending.cancel()

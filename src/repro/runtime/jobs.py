@@ -27,6 +27,10 @@ class Job:
     #: Pushdown ordering hint (higher runs earlier); 0.0 when the app
     #: declares none, which preserves pure chunk-id order.
     priority: float = 0.0
+    #: Submitted-run tag: which job's reduction object this assignment
+    #: folds into when a shared slave fleet interleaves concurrent runs
+    #: (the multi-tenant service).  "" for single-run engines.
+    run_id: str = ""
 
     @property
     def location(self) -> str:

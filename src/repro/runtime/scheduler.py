@@ -59,6 +59,11 @@ class HeadScheduler:
         self._unassigned = len(jobs)
         self._outstanding = 0  # assigned but not yet completed
         self._open_locations: Callable[[], set[str]] | None = None
+        #: Tenant fair-share deficit of the run this scheduler serves
+        #: (served work / tenant weight).  The multi-job service sets it
+        #: before every assignment; 0.0 -- the single-job default -- is
+        #: a constant term and preserves the historical order exactly.
+        self.tenant_bias = 0.0
         self.assigned_counts: dict[str, int] = {}
         self.stolen_counts: dict[str, int] = {}
         self.n_reassigned = 0          # reassign() calls (requeued jobs)
@@ -118,6 +123,27 @@ class HeadScheduler:
         q = self._by_file[fid]
         return q[0].priority if q else 0.0
 
+    def assignment_key(
+        self, fid: int, open_locs: set[str]
+    ) -> tuple[int, float, float, int, int]:
+        """The one sort key every assignment decision minimizes.
+
+        Terms, most significant first: breaker blocking (healthy files
+        before ones stranded behind open breakers), tenant fair-share
+        deficit (the multi-job service's weighted-fair term -- constant
+        0.0 within a single run), pushdown priority (higher first),
+        active-reader contention, then file id as the deterministic
+        tiebreak.  Extracted so the tenant-weight term is added in
+        exactly one place instead of being rebuilt inline per call site.
+        """
+        return (
+            self._blocked(fid, open_locs) if open_locs else 0,
+            self.tenant_bias,
+            -self._head_priority(fid),
+            self._active_readers[fid],
+            fid,
+        )
+
     def _pick_file(self, files: list[int]) -> int:
         """Least-contended file, deprioritizing breaker-blocked ones.
 
@@ -129,20 +155,7 @@ class HeadScheduler:
         of priority -- recovery keeps sequential batches contiguous.
         """
         open_locs = self._open_locs()
-        if open_locs:
-            return min(
-                files,
-                key=lambda f: (
-                    self._blocked(f, open_locs),
-                    -self._head_priority(f),
-                    self._active_readers[f],
-                    f,
-                ),
-            )
-        return min(
-            files,
-            key=lambda f: (-self._head_priority(f), self._active_readers[f], f),
-        )
+        return min(files, key=lambda f: self.assignment_key(f, open_locs))
 
     def _take_from_file(self, fid: int, max_jobs: int) -> list[Job]:
         q = self._by_file[fid]
@@ -240,6 +253,21 @@ class HeadScheduler:
         self.n_reassigned += 1
         self.requeued_ids.add(job.job_id)
 
+    def drain_unassigned(self) -> list[Job]:
+        """Withdraw every not-yet-assigned job (cancellation path).
+
+        Outstanding jobs are untouched -- workers already hold them and
+        will still report ``complete()``, after which ``all_done``
+        becomes true and the run can be finalized.  Returns the drained
+        jobs (callers may log or reuse them).
+        """
+        drained: list[Job] = []
+        for q in self._by_file.values():
+            drained.extend(q)
+            q.clear()
+        self._unassigned -= len(drained)
+        return drained
+
 
 class StaticScheduler(HeadScheduler):
     """Ablation baseline: strict co-location, no work stealing.
@@ -310,3 +338,9 @@ class RandomScheduler(HeadScheduler):
         super().reassign(job)
         # Keep the random draw order in sync with the per-file queues.
         self._order.appendleft(job)
+
+    def drain_unassigned(self) -> list[Job]:
+        drained = super().drain_unassigned()
+        # The draw order only ever holds unassigned jobs; empty it too.
+        self._order.clear()
+        return drained

@@ -1,0 +1,27 @@
+"""Multi-tenant bursting service: a long-lived head over one fleet.
+
+Public surface::
+
+    from repro.service import BurstingService, TenantConfig
+
+    svc = BurstingService(clusters, stores, chunk_cache=ChunkCache(64 << 20))
+    h1 = svc.submit(spec_a, index_a, tenant="analytics")
+    h2 = svc.submit(spec_b, index_b, tenant="ingest")
+    out = h1.result()          # blocking; or: await h1.aresult()
+    svc.shutdown()
+
+See :mod:`repro.service.service` for the architecture notes.
+"""
+
+from repro.service.registry import JobCancelledError, JobHandle, JobState
+from repro.service.scheduler import MultiJobScheduler, TenantConfig
+from repro.service.service import BurstingService
+
+__all__ = [
+    "BurstingService",
+    "JobHandle",
+    "JobState",
+    "JobCancelledError",
+    "MultiJobScheduler",
+    "TenantConfig",
+]

@@ -1,0 +1,128 @@
+"""Tenant-aware multi-job head scheduling.
+
+One :class:`~repro.runtime.scheduler.HeadScheduler` still owns each
+run's locality/stealing/priority policy -- the paper's policy is
+untouched.  What the service adds is the layer above: *which run's*
+scheduler serves the next assignment request.  That choice is weighted
+fair-share over tenants:
+
+* every tenant has a :class:`TenantConfig` weight; its *deficit* is
+  served work divided by weight, so a weight-2 tenant absorbs twice the
+  chunks before its deficit catches up with a weight-1 tenant's;
+* the run with the lowest ``(tenant deficit, submission seq)`` wins the
+  request -- FIFO within a tenant, weighted round-robin across tenants;
+* the winning deficit is published to the run's scheduler as
+  ``tenant_bias``, the tenant term of
+  :meth:`HeadScheduler.assignment_key`, so subclassed policies compose
+  with fair-share instead of fighting it.
+
+Admission control (per-tenant ``max_inflight``) is enforced by the
+service before a run ever reaches this scheduler.  All methods assume
+the service's head lock is held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.runtime.jobs import Job
+from repro.runtime.scheduler import HeadScheduler
+
+__all__ = ["TenantConfig", "MultiJobScheduler"]
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Fair-share weight and admission cap for one tenant.
+
+    ``weight`` scales the tenant's share of fleet throughput (2.0 gets
+    roughly twice the chunks per unit time of 1.0 under contention);
+    ``max_inflight`` caps how many of the tenant's jobs may run
+    concurrently (``None`` = unlimited; excess submissions queue FIFO).
+    """
+
+    weight: float = 1.0
+    max_inflight: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {self.weight}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 or None, got {self.max_inflight}"
+            )
+
+
+class _SchedulableRun(Protocol):
+    """What the multi-job scheduler needs to know about a run."""
+
+    run_id: str
+    tenant: str
+    seq: int
+    scheduler: HeadScheduler
+
+
+class MultiJobScheduler:
+    """Weighted fair-share interleaving of many runs' head schedulers."""
+
+    def __init__(self, weights: dict[str, float] | None = None) -> None:
+        self._active: dict[str, _SchedulableRun] = {}
+        self._weights: dict[str, float] = dict(weights or {})
+        self._served: dict[str, int] = {}
+
+    # -- run lifecycle -------------------------------------------------------
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        self._weights[tenant] = weight
+
+    def add_run(self, entry: _SchedulableRun) -> None:
+        self._active[entry.run_id] = entry
+        self._served.setdefault(entry.tenant, 0)
+        self._weights.setdefault(entry.tenant, 1.0)
+
+    def remove_run(self, run_id: str) -> None:
+        self._active.pop(run_id, None)
+
+    # -- fair-share accounting -----------------------------------------------
+
+    def deficit(self, tenant: str) -> float:
+        """Served chunks normalized by weight -- lowest deficit serves next."""
+        return self._served.get(tenant, 0) / self._weights.get(tenant, 1.0)
+
+    def served(self, tenant: str) -> int:
+        return self._served.get(tenant, 0)
+
+    # -- assignment ----------------------------------------------------------
+
+    def has_work(self) -> bool:
+        """True while any active run still holds unassigned chunks."""
+        return any(e.scheduler.remaining > 0 for e in self._active.values())
+
+    def _candidates(self) -> Iterable[_SchedulableRun]:
+        return (e for e in self._active.values() if e.scheduler.remaining > 0)
+
+    def request_jobs(self, location: str, max_jobs: int) -> list[Job]:
+        """Serve one cluster's batch request from the fairest run.
+
+        Publishes each candidate's tenant deficit as its scheduler's
+        ``tenant_bias`` (the single place the tenant-weight term enters
+        :meth:`HeadScheduler.assignment_key`), picks the run minimizing
+        ``(deficit, seq)``, and delegates the actual chunk selection --
+        locality, stealing, pushdown priority -- to that run's own
+        :class:`HeadScheduler` unchanged.
+        """
+        best: _SchedulableRun | None = None
+        for entry in self._candidates():
+            entry.scheduler.tenant_bias = self.deficit(entry.tenant)
+            if best is None or (
+                (entry.scheduler.tenant_bias, entry.seq)
+                < (best.scheduler.tenant_bias, best.seq)
+            ):
+                best = entry
+        if best is None:
+            return []
+        jobs = best.scheduler.request_jobs(location, max_jobs)
+        if jobs:
+            self._served[best.tenant] = self._served.get(best.tenant, 0) + len(jobs)
+        return jobs

@@ -1,0 +1,937 @@
+"""BurstingService: a long-lived multi-tenant head over one slave fleet.
+
+The paper's head node orchestrates exactly one generalized-reduction
+run; this module turns it into a *service*.  One
+:class:`BurstingService` owns the durable state -- the slave fleet, the
+store map, the shared chunk cache, the store-health registry, and a job
+registry -- while each submission gets its own head scheduler, fetcher
+set, reduction objects, and :class:`~repro.runtime.stats.RunStats`.
+Assignments carry a ``run_id`` tag, and a slave folds into whichever
+run's reduction object its next assignment belongs to, so concurrent
+jobs interleave chunk-by-chunk over the same workers (Sector/Sphere's
+persistent storage+compute nodes serving many user jobs).
+
+Ownership split:
+
+* **service-lifetime state** -- clusters, stores, options, chunk cache,
+  health registry, the fleet (`ServiceSlave` threads pulling through a
+  per-cluster :class:`ServiceMaster`), the finalizer thread, and the
+  registry of every run ever submitted;
+* **per-run state** (one :class:`_RunEntry` per submission) -- the
+  tagged job pool and its :class:`HeadScheduler`, per-cluster fetchers,
+  per-(worker, run) reduction objects and ``WorkerStats``, an error
+  list, and the run's ``RunStats``.  A finished run is finalized by the
+  *shared* :func:`~repro.runtime.core.finalize_run` epilogue, so
+  per-run stats have full parity with single-run engine results.
+
+Scheduling is two-level: the tenant-aware
+:class:`~repro.service.scheduler.MultiJobScheduler` picks *which run*
+serves a cluster's batch request (weighted fair-share with per-tenant
+``max_inflight`` admission control, FIFO within a tenant), then that
+run's own :class:`HeadScheduler` picks *which chunks* (locality,
+stealing, pushdown priority -- the paper's policy, unchanged).
+
+The process and actor engines execute each run whole (their transports
+pin worker state to one spec per process/mailbox), so for
+``engine="process"``/``"actor"`` the service runs one engine per
+admitted run on a background thread, one engine at a time (forking
+engines from concurrent threads is not fork-safe) -- same
+submit/status/result API, FIFO-in-admission-order execution,
+chunk-level interleaving only on the threaded fleet.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.api import GeneralizedReductionSpec, supports_batch_fold
+from repro.core.reduction_object import ReductionObject
+from repro.data.index import DataIndex
+from repro.data.units import units_per_group
+from repro.runtime.core import (
+    ClusterConfig,
+    EngineBase,
+    EngineOptions,
+    MasterPort,
+    SlaveRuntime,
+    finalize_run,
+    make_cluster_fetchers,
+    rollup_fetcher_stats,
+)
+from repro.runtime.jobs import Job, LocalJobPool
+from repro.runtime.pushdown import plan_jobs
+from repro.runtime.scheduler import HeadScheduler
+from repro.runtime.stats import ClusterStats, RunStats, WorkerStats
+from repro.service.registry import JobCancelledError, JobHandle, JobState
+from repro.service.scheduler import MultiJobScheduler, TenantConfig
+from repro.storage.base import StorageBackend
+from repro.storage.transfer import ParallelFetcher, PrefetchHandle
+
+__all__ = ["BurstingService", "ServiceMaster", "ServiceSlave"]
+
+#: Process-wide guard for the run-per-job backends: the process engine
+#: forks, and forking concurrently from several run threads can deadlock
+#: children on locks inherited mid-acquire.
+_RUN_PER_JOB_LOCK = threading.Lock()
+
+
+@dataclass
+class _RunEntry:
+    """Everything one submitted run owns (registry record)."""
+
+    run_id: str
+    seq: int
+    tenant: str
+    spec: GeneralizedReductionSpec
+    index: DataIndex
+    handle: JobHandle
+    scheduler: HeadScheduler
+    stats: RunStats
+    n_total: int
+    group_units: int
+    batch_fold: bool
+    fetchers: dict[str, dict[str, ParallelFetcher]] = field(default_factory=dict)
+    robjs: dict[str, list[ReductionObject]] = field(default_factory=dict)
+    errors: list[BaseException] = field(default_factory=list)
+    t0: float = 0.0
+    n_done: int = 0
+    #: Service-clock completion time of each chunk (fairness metric).
+    chunk_done_t: list[float] = field(default_factory=list)
+    #: True while the fleet should keep executing this run's chunks.
+    live: bool = False
+    finalize_enqueued: bool = False
+
+
+@dataclass
+class _WorkerCtx:
+    """One worker's per-run fold context (reduction object + stats)."""
+
+    entry: _RunEntry
+    wstats: WorkerStats
+    robj: ReductionObject
+
+
+class ServiceMaster(MasterPort):
+    """Per-cluster job pool refilling from the service's multi-run head.
+
+    The long-lived sibling of :class:`~repro.runtime.core.LockMaster`:
+    instead of latching "drained" when the one run ends, it parks idle
+    workers on the service condition variable until a submission,
+    requeue, or shutdown gives them something to do.  All refills go
+    through the tenant-aware multi-job scheduler under the service's
+    head lock.
+    """
+
+    def __init__(
+        self,
+        service: "BurstingService",
+        cluster: ClusterConfig,
+        batch_size: int,
+        n_workers: int,
+    ) -> None:
+        self.service = service
+        self.cluster = cluster
+        self.batch_size = batch_size
+        self.pool = LocalJobPool()
+        self._alive = n_workers
+        self._alive_lock = threading.Lock()
+
+    def get_job(self, wait: bool = True) -> Job | None:
+        svc = self.service
+        while True:
+            job = self.pool.try_get()
+            if job is None:
+                if svc._stop.is_set():
+                    return None
+                # Pay the master <-> head round-trip outside the lock,
+                # as LockMaster does.
+                if self.cluster.link_latency_s > 0:
+                    time.sleep(self.cluster.link_latency_s)
+                with svc._cond:
+                    job = self.pool.try_get()
+                    if job is None:
+                        if svc._stop.is_set():
+                            return None
+                        jobs = svc._multi.request_jobs(
+                            self.cluster.location, self.batch_size
+                        )
+                        if jobs:
+                            if len(jobs) > 1:
+                                self.pool.add(jobs[1:])
+                                # Wake same-cluster siblings parked below.
+                                svc._cond.notify_all()
+                            job = jobs[0]
+                        elif not wait:
+                            return None
+                        else:
+                            # Nothing assignable anywhere: sleep until a
+                            # submit/requeue/cancel/shutdown notifies.
+                            # No timeout -- every state change that can
+                            # create work notifies under this lock.
+                            svc._cond.wait()
+                            continue
+            # Pooled assignments can go stale when their run is
+            # cancelled or failed after refill; hand them back as
+            # completed so the run can drain, and keep looking.
+            if svc._job_live(job):
+                return job
+            svc._discard_job(job)
+
+    def reserve_next(self) -> Job | None:
+        return self.get_job(wait=False)
+
+    def complete(self, job: Job) -> bool:
+        return self.service._complete(job)
+
+    def requeue(self, jobs: list[Job]) -> None:
+        self.service._requeue(jobs)
+
+    def worker_died(self) -> list[Job]:
+        with self._alive_lock:
+            self._alive -= 1
+            last = self._alive <= 0
+        drained: list[Job] = []
+        if last:
+            while (job := self.pool.try_get()) is not None:
+                drained.append(job)
+        self.service._worker_lost()
+        return drained
+
+
+class ServiceSlave(SlaveRuntime):
+    """A fleet worker folding into whichever run its assignment names.
+
+    The loop, fetch paths, accounting, and crash containment are the
+    shared :class:`SlaveRuntime`; this subclass only swaps the per-run
+    context hooks: the job's ``run_id`` resolves the spec, index,
+    fetchers, per-(worker, run) ``WorkerStats``, and reduction object.
+    Reduction objects are registered with their run at creation, so a
+    crashed worker's partial folds are preserved exactly as in the
+    single-run engines.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        service: "BurstingService",
+        cluster: ClusterConfig,
+        port: MasterPort,
+        options: EngineOptions,
+        t_start: float,
+        stop: threading.Event,
+    ) -> None:
+        super().__init__(
+            name,
+            cluster=cluster,
+            port=port,
+            spec=None,  # resolved per assignment from the run registry
+            index=None,
+            group_units=1,
+            fetchers={},
+            wstats=WorkerStats(),  # scratch; swapped per assignment
+            robjs_out=[],
+            options=options,
+            t_start=t_start,
+            errors=service._fleet_errors,
+            stop=stop,
+        )
+        self.service = service
+        self._ctxs: dict[str, _WorkerCtx] = {}
+        self._resume = False
+
+    def _ctx(self, job: Job) -> _WorkerCtx:
+        """Switch this worker's fold context to ``job``'s run."""
+        ctx = self._ctxs.get(job.run_id)
+        if ctx is None:
+            ctx = self.service._open_worker_ctx(job.run_id, self.cluster.name)
+            self._ctxs[job.run_id] = ctx
+        entry = ctx.entry
+        self.wstats = ctx.wstats
+        self.spec = entry.spec
+        self.index = entry.index
+        self.group_units = entry.group_units
+        self._batch_fold = entry.batch_fold
+        return ctx
+
+    # -- per-run context hooks ----------------------------------------------
+
+    def _open_run(self) -> None:
+        pass  # reduction objects are created per (worker, run) on demand
+
+    def _emit_robjs(self) -> None:
+        pass  # robjs are registered with their run at creation
+
+    def _robj_for(self, job: Job) -> ReductionObject:
+        return self._ctxs[job.run_id].robj
+
+    def _fetchers_for(self, job: Job) -> dict[str, ParallelFetcher]:
+        return self._ctx(job).entry.fetchers[self.cluster.name]
+
+    def _await_prefetch(self, pending: PrefetchHandle, job: Job) -> bytes:
+        self._ctx(job)  # account the collect into the job's run
+        return super()._await_prefetch(pending, job)
+
+    def _process(self, job: Job, raw: bytes) -> None:
+        self._ctx(job)
+        try:
+            super()._process(job, raw)
+        except Exception as exc:
+            # A fold/decode/verify error is fatal for *that run only*:
+            # the fleet keeps serving everyone else.
+            self.service._fail_worker_jobs(exc, [job])
+
+    def _before_complete(self, job: Job) -> None:
+        # Stamp the per-run finish time before the head can observe the
+        # completion (the finalizer may run the instant complete lands).
+        ctx = self._ctxs[job.run_id]
+        ctx.wstats.finished_at = time.monotonic() - ctx.entry.t0
+
+    def _mark_failed(self, inflight: list[Job | None]) -> None:
+        # Attribute this worker's death to the run(s) whose assignments
+        # it was holding; close out its clock in every run it served.
+        for j in inflight:
+            if j is not None:
+                self._ctx(j).wstats.failed = True
+        now = time.monotonic()
+        for ctx in self._ctxs.values():
+            ctx.wstats.finished_at = now - ctx.entry.t0
+
+    def _on_fatal(
+        self,
+        exc: BaseException,
+        inflight: list[Job | None],
+        pending: PrefetchHandle | None,
+    ) -> None:
+        del pending  # cancelled by the caller's ``finally``
+        self.service._fail_worker_jobs(
+            exc, [j for j in inflight if j is not None]
+        )
+        self._resume = True  # the worker survives; only the run failed
+
+    def run(self) -> None:
+        # A fatal error fails one run, not the worker: re-enter the
+        # shared loop after per-run failure handling.  Crash containment
+        # (WorkerCrash/RetryExhausted) does NOT set the resume flag --
+        # a contained worker stays dead, exactly as in the engines.
+        self._resume = True
+        while self._resume:
+            self._resume = False
+            super().run()
+
+
+class BurstingService(EngineBase):
+    """Long-lived multi-tenant head serving concurrent jobs.
+
+    Construction mirrors the engines (clusters + stores + options or
+    option keywords), plus ``tenants`` (name ->
+    :class:`~repro.service.scheduler.TenantConfig`) and an optional
+    global ``max_concurrent_runs`` admission cap.  ``engine`` selects
+    the execution backend: ``"threaded"`` (default) interleaves all
+    admitted runs chunk-by-chunk over one persistent slave fleet;
+    ``"process"``/``"actor"`` execute each admitted run whole on its own
+    engine (admission-level sharing).
+
+    Thread-safe: ``submit``/``status``/``cancel``/``shutdown`` may be
+    called from any thread; :class:`JobHandle` results are awaitable
+    from asyncio via :meth:`JobHandle.aresult`.  Unknown tenants are
+    auto-registered with the default weight 1.0.
+    """
+
+    def __init__(
+        self,
+        clusters: list[ClusterConfig],
+        stores: dict[str, StorageBackend],
+        *,
+        engine: str = "threaded",
+        tenants: dict[str, TenantConfig] | None = None,
+        max_concurrent_runs: int | None = None,
+        options: EngineOptions | None = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(clusters, stores, options=options, **kwargs)
+        from repro.runtime import ENGINES
+
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} (choose from {sorted(ENGINES)})"
+            )
+        if max_concurrent_runs is not None and max_concurrent_runs < 1:
+            raise ValueError("max_concurrent_runs must be >= 1 or None")
+        self.engine_name = engine
+        self._tenants: dict[str, TenantConfig] = dict(tenants or {})
+        self._max_concurrent = max_concurrent_runs
+        self._cond = threading.Condition(threading.RLock())
+        self._multi = MultiJobScheduler(
+            {name: cfg.weight for name, cfg in self._tenants.items()}
+        )
+        self._runs: dict[str, _RunEntry] = {}
+        self._order: list[_RunEntry] = []
+        self._pending: deque[_RunEntry] = deque()
+        self._tenant_running: dict[str, int] = {}
+        self._running = 0
+        self._seq = 0
+        self._closed = False
+        self._stop = threading.Event()
+        self._t0 = time.monotonic()
+        self._health = self.make_health()
+        # Fleet state (threaded backend).
+        self._fleet_started = False
+        self._threads: list[threading.Thread] = []
+        self._masters: dict[str, ServiceMaster] = {}
+        self._alive_workers = 0
+        self._finalize_q: queue.Queue[_RunEntry | None] = queue.Queue()
+        self._finalizer: threading.Thread | None = None
+        self._fleet_errors: list[BaseException] = []
+        # Run-per-job state (process/actor backends).
+        self._run_threads: list[threading.Thread] = []
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        spec: GeneralizedReductionSpec,
+        index: DataIndex,
+        *,
+        tenant: str = "default",
+    ) -> JobHandle:
+        """Register one run and return its :class:`JobHandle`.
+
+        Non-blocking: planning (index validation, pushdown pruning, job
+        tagging) happens in the caller's thread, then the run is queued
+        and admitted as soon as its tenant has capacity.
+        """
+        EngineOptions.validate_index(index, self.stores)
+        plan = plan_jobs(index, spec, self.options.pushdown, stores=self.stores)
+        group_units = units_per_group(
+            self.options.group_nbytes, index.fmt.unit_nbytes
+        )
+        batch_fold = self.options.batch_fold and supports_batch_fold(spec)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is shut down")
+            if tenant not in self._tenants:
+                self._tenants[tenant] = TenantConfig()
+                self._multi.set_weight(tenant, 1.0)
+            seq = self._seq
+            self._seq += 1
+            run_id = f"job-{seq:04d}"
+            jobs = [replace(j, run_id=run_id) for j in plan.jobs]
+            scheduler = self.options.scheduler_factory(jobs)
+            if self._health is not None and hasattr(scheduler, "attach_health"):
+                scheduler.attach_health(self._health.open_locations)
+            stats = RunStats()
+            plan.apply_to(stats)
+            for cluster in self.clusters:
+                stats.clusters[cluster.name] = ClusterStats(
+                    cluster.name, cluster.location
+                )
+            handle = JobHandle(run_id, tenant, seq, self)
+            entry = _RunEntry(
+                run_id=run_id,
+                seq=seq,
+                tenant=tenant,
+                spec=spec,
+                index=index,
+                handle=handle,
+                scheduler=scheduler,
+                stats=stats,
+                n_total=len(jobs),
+                group_units=group_units,
+                batch_fold=batch_fold,
+                robjs={c.name: [] for c in self.clusters},
+            )
+            self._runs[run_id] = entry
+            self._order.append(entry)
+            self._pending.append(entry)
+            self._admit_locked()
+            self._cond.notify_all()
+        return handle
+
+    # -- admission -----------------------------------------------------------
+
+    def _can_admit_locked(self, entry: _RunEntry) -> bool:
+        cfg = self._tenants[entry.tenant]
+        if (
+            cfg.max_inflight is not None
+            and self._tenant_running.get(entry.tenant, 0) >= cfg.max_inflight
+        ):
+            return False
+        if self._max_concurrent is not None and self._running >= self._max_concurrent:
+            return False
+        return True
+
+    def _admit_locked(self) -> None:
+        """Admit every queued run whose tenant has capacity (FIFO within
+        a tenant; a capped tenant never blocks another's submissions)."""
+        remaining: deque[_RunEntry] = deque()
+        for entry in self._pending:
+            if self._can_admit_locked(entry):
+                self._start_run_locked(entry)
+            else:
+                remaining.append(entry)
+        self._pending = remaining
+
+    def _start_run_locked(self, entry: _RunEntry) -> None:
+        self._running += 1
+        self._tenant_running[entry.tenant] = (
+            self._tenant_running.get(entry.tenant, 0) + 1
+        )
+        entry.t0 = time.monotonic()
+        entry.live = True
+        entry.handle._set_running()
+        if self.engine_name == "threaded":
+            self._ensure_fleet_locked()
+            opts = self.options
+            for cluster in self.clusters:
+                entry.fetchers[cluster.name] = make_cluster_fetchers(
+                    self.stores,
+                    cluster,
+                    cache=opts.chunk_cache,
+                    prefetch_workers=max(1, cluster.n_workers),
+                    retry=opts.retry,
+                    adaptive_fetch=opts.adaptive_fetch,
+                    min_part_nbytes=opts.min_part_nbytes,
+                    autotune_params=opts.autotune_params,
+                    health=self._health,
+                    hedge=opts.hedge,
+                )
+            self._multi.add_run(entry)
+            if entry.scheduler.all_done:  # zero-chunk submission
+                self._maybe_finalize_locked(entry)
+        else:
+            th = threading.Thread(
+                target=self._run_via_engine,
+                args=(entry,),
+                name=f"svc-run-{entry.run_id}",
+                daemon=True,
+            )
+            self._run_threads.append(th)
+            th.start()
+
+    def _ensure_fleet_locked(self) -> None:
+        if self._fleet_started:
+            return
+        self._fleet_started = True
+        for cluster in self.clusters:
+            master = ServiceMaster(
+                self, cluster, self.options.batch_size, cluster.n_workers
+            )
+            self._masters[cluster.name] = master
+            for wid in range(cluster.n_workers):
+                slave = ServiceSlave(
+                    f"{cluster.name}-w{wid}",
+                    service=self,
+                    cluster=cluster,
+                    port=master,
+                    options=self.options,
+                    t_start=self._t0,
+                    stop=self._stop,
+                )
+                self._threads.append(
+                    threading.Thread(
+                        target=slave.run, name=f"svc-{slave.name}", daemon=True
+                    )
+                )
+        self._alive_workers = sum(c.n_workers for c in self.clusters)
+        for th in self._threads:
+            th.start()
+        self._finalizer = threading.Thread(
+            target=self._finalize_loop, name="svc-finalizer", daemon=True
+        )
+        self._finalizer.start()
+
+    # -- run-per-job backend (process / actor) -------------------------------
+
+    def _run_via_engine(self, entry: _RunEntry) -> None:
+        from repro.runtime import make_engine
+
+        try:
+            # Serialize engine execution: the process engine forks, and
+            # forking from two run threads at once lets each child
+            # inherit the other engine's queue locks mid-acquire (a
+            # deadlock).  Admission stays concurrent; on these backends
+            # execution is FIFO in admission order.
+            with _RUN_PER_JOB_LOCK:
+                eng = make_engine(
+                    self.engine_name,
+                    self.clusters,
+                    self.stores,
+                    options=self.options,
+                )
+                rr = eng.run(entry.spec, entry.index)
+        except BaseException as exc:
+            entry.errors.append(exc)
+            entry.handle._resolve(JobState.FAILED, exc=exc)
+        else:
+            entry.stats = rr.stats
+            entry.n_done = entry.n_total
+            t = time.monotonic() - self._t0
+            entry.chunk_done_t.extend([t] * entry.n_total)
+            entry.handle._resolve(JobState.DONE, result=rr)
+        finally:
+            entry.live = False
+            with self._cond:
+                self._running -= 1
+                self._tenant_running[entry.tenant] = (
+                    self._tenant_running.get(entry.tenant, 1) - 1
+                )
+                self._admit_locked()
+                self._cond.notify_all()
+
+    # -- fleet callbacks (called by masters/slaves) --------------------------
+
+    def _job_live(self, job: Job) -> bool:
+        entry = self._runs.get(job.run_id)
+        return entry is not None and entry.live
+
+    def _discard_job(self, job: Job) -> None:
+        """Account a stale pooled assignment of a dead run as consumed."""
+        with self._cond:
+            entry = self._runs.get(job.run_id)
+            if entry is None:
+                return
+            entry.scheduler.complete(job)
+            self._maybe_finalize_locked(entry)
+
+    def _complete(self, job: Job) -> bool:
+        with self._cond:
+            entry = self._runs[job.run_id]
+            entry.scheduler.complete(job)
+            recovered = job.job_id in entry.scheduler.requeued_ids
+            entry.n_done += 1
+            entry.chunk_done_t.append(time.monotonic() - self._t0)
+            self._maybe_finalize_locked(entry)
+        return recovered
+
+    def _requeue(self, jobs: list[Job]) -> None:
+        with self._cond:
+            for job in jobs:
+                entry = self._runs.get(job.run_id)
+                if entry is None:
+                    continue
+                if entry.live:
+                    entry.scheduler.reassign(job)
+                else:
+                    # Dead run: consume instead of requeueing work
+                    # nobody should execute.
+                    entry.scheduler.complete(job)
+                    self._maybe_finalize_locked(entry)
+            self._cond.notify_all()
+
+    def _fail_worker_jobs(self, exc: BaseException, jobs: list[Job]) -> None:
+        """Fail the run(s) owning ``jobs`` after a non-recoverable error."""
+        with self._cond:
+            failed: dict[str, _RunEntry] = {}
+            for job in jobs:
+                entry = self._runs.get(job.run_id)
+                if entry is None:
+                    continue
+                entry.scheduler.complete(job)  # consumed by the failure
+                failed[entry.run_id] = entry
+            if not jobs:
+                # Fatal outside any assignment (a service bug): fail
+                # every active fleet run rather than hang them.
+                failed = {
+                    e.run_id: e
+                    for e in self._runs.values()
+                    if e.live and not e.finalize_enqueued
+                }
+            for entry in failed.values():
+                entry.errors.append(exc)
+                entry.live = False
+                entry.scheduler.drain_unassigned()
+                self._maybe_finalize_locked(entry)
+            self._cond.notify_all()
+
+    def _worker_lost(self) -> None:
+        with self._cond:
+            self._alive_workers -= 1
+            if self._alive_workers <= 0:
+                # No survivors anywhere: force-resolve everything rather
+                # than leave handles hanging.
+                for entry in list(self._runs.values()):
+                    if not entry.finalize_enqueued:
+                        self._maybe_finalize_locked(entry)
+                for entry in list(self._pending):
+                    entry.handle._resolve(
+                        JobState.FAILED,
+                        exc=RuntimeError(
+                            "every fleet worker failed; queued run "
+                            f"{entry.run_id} cannot start"
+                        ),
+                    )
+                self._pending.clear()
+            self._cond.notify_all()
+
+    def _open_worker_ctx(self, run_id: str, cluster_name: str) -> _WorkerCtx:
+        """Create one worker's fold context for ``run_id``.
+
+        The reduction object and ``WorkerStats`` are registered with the
+        run immediately, so a later worker crash preserves the partial
+        folds exactly as the single-run engines do.
+        """
+        with self._cond:
+            entry = self._runs[run_id]
+            wstats = WorkerStats()
+            entry.stats.clusters[cluster_name].workers.append(wstats)
+            robj = entry.spec.create_reduction_object()
+            entry.robjs[cluster_name].append(robj)
+            return _WorkerCtx(entry, wstats, robj)
+
+    # -- finalization --------------------------------------------------------
+
+    def _maybe_finalize_locked(self, entry: _RunEntry) -> None:
+        if entry.finalize_enqueued:
+            return
+        if entry.handle.status() is JobState.QUEUED:
+            return
+        force = self._fleet_started and self._alive_workers <= 0
+        if entry.scheduler.all_done or force:
+            entry.finalize_enqueued = True
+            entry.live = False
+            self._finalize_q.put(entry)
+
+    def _finalize_loop(self) -> None:
+        while True:
+            entry = self._finalize_q.get()
+            if entry is None:
+                return
+            try:
+                self._finalize_entry(entry)
+            except BaseException as exc:  # never kill the finalizer
+                entry.handle._resolve(JobState.FAILED, exc=exc)
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    self._tenant_running[entry.tenant] = (
+                        self._tenant_running.get(entry.tenant, 1) - 1
+                    )
+                    self._multi.remove_run(entry.run_id)
+                    self._admit_locked()
+                    self._cond.notify_all()
+
+    def _finalize_entry(self, entry: _RunEntry) -> None:
+        state = entry.handle.status()
+        aborted = (
+            state is JobState.CANCELLED
+            or entry.errors
+            or not entry.scheduler.all_done
+        )
+        if aborted:
+            # Salvage path: close the run's fetchers and roll their
+            # fault state in, then resolve with the right error.  The
+            # partial reduction state is discarded.
+            for cluster in self.clusters:
+                rollup_fetcher_stats(
+                    entry.stats.clusters[cluster.name],
+                    entry.fetchers.get(cluster.name, {}),
+                )
+            entry.stats.n_requeued_jobs = entry.scheduler.n_reassigned
+            if self._health is not None:
+                entry.stats.breakers = self._health.snapshot()
+            entry.stats.total_s = time.monotonic() - entry.t0
+            if state is JobState.CANCELLED:
+                entry.handle._resolve(
+                    JobState.CANCELLED,
+                    exc=JobCancelledError(f"{entry.run_id} was cancelled"),
+                )
+            else:
+                exc = (
+                    entry.errors[0]
+                    if entry.errors
+                    else RuntimeError(
+                        f"{entry.run_id} ended with "
+                        f"{entry.scheduler.remaining} unassigned / "
+                        f"{entry.scheduler.outstanding} outstanding chunks "
+                        "and no workers left to recover"
+                    )
+                )
+                entry.handle._resolve(JobState.FAILED, exc=exc)
+            return
+        try:
+            rr = finalize_run(
+                spec=entry.spec,
+                clusters=self.clusters,
+                stats=entry.stats,
+                scheduler=entry.scheduler,
+                fetchers=entry.fetchers,
+                cluster_robjs=entry.robjs,
+                errors=entry.errors,
+                t_start=entry.t0,
+                health=self._health,
+            )
+        except BaseException as exc:
+            entry.handle._resolve(JobState.FAILED, exc=exc)
+        else:
+            entry.handle._resolve(JobState.DONE, result=rr)
+
+    # -- cancellation / shutdown ---------------------------------------------
+
+    def _cancel(self, run_id: str) -> bool:
+        with self._cond:
+            entry = self._runs.get(run_id)
+            if entry is None:
+                return False
+            return self._cancel_locked(entry)
+
+    def _cancel_locked(self, entry: _RunEntry) -> bool:
+        state = entry.handle.status()
+        if state.terminal or entry.handle.done():
+            return False
+        if state is JobState.QUEUED:
+            try:
+                self._pending.remove(entry)
+            except ValueError:
+                pass
+            entry.handle._mark_cancelled()
+            entry.handle._resolve(
+                JobState.CANCELLED,
+                exc=JobCancelledError(f"{entry.run_id} cancelled before start"),
+            )
+            return True
+        if self.engine_name != "threaded":
+            # The run-per-job backend cannot interrupt a running engine.
+            return False
+        entry.handle._mark_cancelled()
+        entry.live = False
+        entry.scheduler.drain_unassigned()
+        self._maybe_finalize_locked(entry)
+        self._cond.notify_all()
+        return True
+
+    def shutdown(
+        self, *, cancel_pending: bool = False, timeout: float | None = None
+    ) -> None:
+        """Drain and stop the service.
+
+        Rejects new submissions immediately; waits for every registered
+        run to resolve (with ``cancel_pending=True``, cancels queued and
+        running fleet jobs instead of waiting for them); then stops and
+        joins the fleet, the finalizer, and any run threads.  Idempotent.
+        """
+        with self._cond:
+            self._closed = True
+            if cancel_pending:
+                for entry in list(self._order):
+                    self._cancel_locked(entry)
+            self._cond.notify_all()
+        for entry in list(self._order):
+            entry.handle.wait(timeout)
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        for th in self._threads:
+            th.join(timeout)
+        for th in self._run_threads:
+            th.join(timeout)
+        if self._finalizer is not None and self._finalizer.is_alive():
+            self._finalize_q.put(None)
+            self._finalizer.join(timeout)
+
+    close = shutdown
+
+    def __enter__(self) -> "BurstingService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- introspection -------------------------------------------------------
+
+    def _run_stats(self, run_id: str) -> RunStats:
+        return self._runs[run_id].stats
+
+    def _run_progress(self, run_id: str) -> dict[str, int]:
+        entry = self._runs[run_id]
+        return {"jobs_total": entry.n_total, "jobs_done": entry.n_done}
+
+    def _run_chunk_times(self, run_id: str) -> list[float]:
+        return list(self._runs[run_id].chunk_done_t)
+
+    def status(self) -> list[dict[str, Any]]:
+        """One row per registered run: id, tenant, state, progress."""
+        with self._cond:
+            return [
+                {
+                    "job": e.run_id,
+                    "tenant": e.tenant,
+                    "state": e.handle.status().value,
+                    "chunks": e.n_total,
+                    "chunks_done": e.n_done,
+                }
+                for e in self._order
+            ]
+
+    def service_rows(self) -> list[dict[str, Any]]:
+        """Per-run stats rollup plus an ALL summary row.
+
+        ``RunStats`` is per-job under the service; these rows are the
+        service-level view -- one line per run (fault isolation visible
+        per run) and the fleet totals at the bottom.
+        """
+        rows: list[dict[str, Any]] = []
+        totals = {
+            "chunks": 0, "chunks_done": 0, "total_s": 0.0, "stolen": 0,
+            "workers_failed": 0, "recovered": 0, "requeued": 0, "retries": 0,
+        }
+        with self._cond:
+            entries = list(self._order)
+        for e in entries:
+            s = e.stats
+            row = {
+                "job": e.run_id,
+                "tenant": e.tenant,
+                "state": e.handle.status().value,
+                "chunks": e.n_total,
+                "chunks_done": e.n_done,
+                "total_s": round(s.total_s, 4),
+                "stolen": s.jobs_stolen,
+                "workers_failed": s.n_failed_workers,
+                "recovered": s.jobs_recovered,
+                "requeued": s.n_requeued_jobs,
+                "retries": s.n_retries,
+            }
+            rows.append(row)
+            totals["chunks"] += e.n_total
+            totals["chunks_done"] += e.n_done
+            totals["total_s"] += s.total_s
+            totals["stolen"] += s.jobs_stolen
+            totals["workers_failed"] += s.n_failed_workers
+            totals["recovered"] += s.jobs_recovered
+            totals["requeued"] += s.n_requeued_jobs
+            totals["retries"] += s.n_retries
+        rows.append(
+            {
+                "job": "ALL",
+                "tenant": "-",
+                "state": "-",
+                "chunks": totals["chunks"],
+                "chunks_done": totals["chunks_done"],
+                "total_s": round(totals["total_s"], 4),
+                "stolen": totals["stolen"],
+                "workers_failed": totals["workers_failed"],
+                "recovered": totals["recovered"],
+                "requeued": totals["requeued"],
+                "retries": totals["retries"],
+            }
+        )
+        return rows
+
+    def tenant_report(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant served work and configured weight (fairness view)."""
+        with self._cond:
+            return {
+                name: {
+                    "weight": cfg.weight,
+                    "max_inflight": cfg.max_inflight,
+                    "served_chunks": self._multi.served(name),
+                    "running": self._tenant_running.get(name, 0),
+                }
+                for name, cfg in self._tenants.items()
+            }

@@ -1,0 +1,76 @@
+"""The single redundancy validator: every entry point, one wording.
+
+``replicas``/``stripe`` validation used to live in three places
+(EngineOptions, the driver, dataset helpers) with drifting messages;
+:mod:`repro.data.redundancy` is now the only path, so the same bad
+input produces the same error everywhere.
+"""
+
+import pytest
+
+from repro.data.redundancy import (
+    GF256_LIMIT,
+    normalize_stripe,
+    validate_redundancy,
+)
+from repro.runtime.core import EngineOptions
+
+
+class TestNormalizeStripe:
+    def test_none_passes_through(self):
+        assert normalize_stripe(None) is None
+
+    def test_valid_tuple_normalized_to_ints(self):
+        assert normalize_stripe((4.0, 2)) == (4, 2)
+
+    @pytest.mark.parametrize("bad", [(4,), (1, 2, 3), "4:2", 4])
+    def test_shape_errors(self, bad):
+        with pytest.raises(ValueError, match="stripe must be"):
+            normalize_stripe(bad)
+
+    @pytest.mark.parametrize("bad", [(0, 2), (-1, 3), (1, 0)])
+    def test_range_errors(self, bad):
+        with pytest.raises(ValueError, match="stripe needs k >= 1"):
+            normalize_stripe(bad)
+
+    def test_gf256_width_cap(self):
+        with pytest.raises(ValueError, match=f"GF\\(256\\) limit {GF256_LIMIT}"):
+            normalize_stripe((250, 10))
+
+
+class TestValidateRedundancy:
+    def test_negative_replicas(self):
+        with pytest.raises(ValueError, match="replicas must be non-negative"):
+            validate_redundancy(replicas=-1)
+
+    def test_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            validate_redundancy(replicas=1, stripe=(2, 1))
+
+    def test_store_count_check(self):
+        with pytest.raises(ValueError, match="2 replicas need 3 stores, have 2"):
+            validate_redundancy(replicas=2, n_stores=2)
+
+    def test_valid_returns_normalized_stripe(self):
+        assert validate_redundancy(stripe=(3.0, 2.0)) == (3, 2)
+        assert validate_redundancy(replicas=1, n_stores=2) is None
+
+
+class TestUniformWordingAcrossEntryPoints:
+    """Every layer rejects with the validator's wording."""
+
+    def test_engine_options_same_stripe_wording(self):
+        with pytest.raises(ValueError, match="stripe needs k >= 1"):
+            EngineOptions(stripe=(0, 2))
+
+    def test_engine_options_same_shape_wording(self):
+        with pytest.raises(ValueError, match="stripe must be"):
+            EngineOptions(stripe=(4,))
+
+    def test_dataset_helpers_same_wording(self):
+        from repro.data.dataset import replicate_dataset, stripe_dataset
+
+        with pytest.raises(ValueError, match="1 replicas need 2 stores"):
+            replicate_dataset(None, {"only": object()}, n_replicas=1)
+        with pytest.raises(ValueError, match="stripe needs k >= 1"):
+            stripe_dataset(None, {}, k=0, m=2)
